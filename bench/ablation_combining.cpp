@@ -1,0 +1,37 @@
+// Ablation (§VII-D): combining interpolation points across instances.
+//
+// Errm/Erra after 4 instances when the working estimate combines the points
+// of the last k instances (k = 1 disables combining). Communication cost is
+// identical in all configurations — combining is free accuracy on static
+// CDFs.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/evaluation.hpp"
+
+using namespace adam2;
+
+int main() {
+  const bench::BenchEnv env = bench::bench_env(10000);
+  bench::print_banner(
+      "Ablation: combining interpolation points over instances (4 instances)",
+      env);
+
+  bench::print_header("combine_k", {"CPU_Errm", "CPU_Erra", "RAM_Errm",
+                                    "RAM_Erra"});
+  for (std::size_t k : {1u, 2u, 3u, 4u}) {
+    std::vector<double> row;
+    for (data::Attribute attribute :
+         {data::Attribute::kCpuMflops, data::Attribute::kRamMb}) {
+      const auto values = bench::population(attribute, env.n, env.seed);
+      core::SystemConfig config = bench::default_system(env);
+      config.protocol.heuristic = core::SelectionHeuristic::kLCut;
+      config.protocol.combine_last_instances = k;
+      const auto results = bench::run_adam2_series(config, values, 4, env);
+      row.push_back(results.back().entire.max_err);
+      row.push_back(results.back().entire.avg_err);
+    }
+    bench::print_row(std::to_string(k), row);
+  }
+  return 0;
+}

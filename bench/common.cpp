@@ -1,0 +1,143 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/evaluation.hpp"
+
+namespace adam2::bench {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoull(raw, nullptr, 10);
+}
+
+}  // namespace
+
+BenchEnv bench_env(std::size_t default_n) {
+  BenchEnv env;
+  env.n = default_n;
+  if (env_u64("ADAM2_BENCH_FULL", 0) != 0) env.n = 100000;
+  env.n = env_u64("ADAM2_BENCH_N", env.n);
+  env.seed = env_u64("ADAM2_BENCH_SEED", 42);
+  env.peer_sample = env_u64("ADAM2_BENCH_PEERS", 400);
+  return env;
+}
+
+std::vector<stats::Value> population(data::Attribute kind, std::size_t n,
+                                     std::uint64_t seed) {
+  rng::Rng rng(seed ^ (static_cast<std::uint64_t>(kind) + 1) * 0x9e37ULL);
+  return data::generate_population(kind, n, rng);
+}
+
+void print_banner(const std::string& title, const BenchEnv& env) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("# nodes=%zu seed=%llu peer_sample=%zu\n", env.n,
+              static_cast<unsigned long long>(env.seed), env.peer_sample);
+}
+
+void print_header(const std::string& label,
+                  const std::vector<std::string>& columns) {
+  std::printf("%-28s", label.c_str());
+  for (const std::string& c : columns) std::printf(" %14s", c.c_str());
+  std::printf("\n");
+}
+
+void print_row(const std::string& label, const std::vector<double>& values) {
+  std::printf("%-28s", label.c_str());
+  for (double v : values) std::printf(" %14.6g", v);
+  std::printf("\n");
+}
+
+core::SystemConfig default_system(const BenchEnv& env) {
+  core::SystemConfig config;
+  config.engine.seed = env.seed;
+  config.protocol.lambda = 50;
+  config.protocol.instance_ttl = 25;
+  config.protocol.heuristic = core::SelectionHeuristic::kMinMax;
+  config.protocol.bootstrap = core::BootstrapPoints::kNeighbourBased;
+  config.overlay = core::OverlayKind::kCyclon;
+  config.overlay_degree = 20;
+  return config;
+}
+
+sim::AttributeSource churn_source(data::Attribute kind) {
+  return [kind](rng::Rng& rng) { return data::sample_attribute(kind, rng); };
+}
+
+std::vector<InstanceResult> run_adam2_series(
+    const core::SystemConfig& config, const std::vector<stats::Value>& values,
+    std::size_t instances, const BenchEnv& env,
+    sim::AttributeSource churn) {
+  core::Adam2System system(config, values, std::move(churn));
+  const stats::EmpiricalCdf truth{values};
+  // Let the peer-sampling service mix before the first instance, so the
+  // neighbour-based bootstrap draws from a warm descriptor cache.
+  system.run_rounds(5);
+
+  core::EvaluationOptions options;
+  options.peer_sample = env.peer_sample;
+
+  std::vector<InstanceResult> results;
+  results.reserve(instances);
+  for (std::size_t i = 0; i < instances; ++i) {
+    system.run_instance();
+    InstanceResult r;
+    // Under churn the truth drifts; evaluate against the current population.
+    const stats::EmpiricalCdf current_truth =
+        config.engine.churn_rate > 0.0 ? system.truth() : truth;
+    const auto entire =
+        core::evaluate_estimates(system.engine(), current_truth, options);
+    const auto at_points =
+        core::evaluate_estimate_points(system.engine(), current_truth, options);
+    r.entire = {entire.max_err, entire.avg_err};
+    r.at_points = {at_points.max_err, at_points.avg_err};
+    results.push_back(r);
+  }
+  return results;
+}
+
+std::vector<InstanceResult> run_equidepth_series(
+    const baselines::EquiDepthConfig& config, const sim::EngineConfig& engine,
+    const std::vector<stats::Value>& values, std::size_t phases,
+    const BenchEnv& env, sim::AttributeSource churn) {
+  sim::Engine sim_engine(
+      engine, values, core::make_overlay(core::OverlayKind::kCyclon, 20),
+      [config](const sim::AgentContext&) {
+        return std::make_unique<baselines::EquiDepthAgent>(config);
+      },
+      std::move(churn));
+  const stats::EmpiricalCdf truth{values};
+
+  std::vector<InstanceResult> results;
+  results.reserve(phases);
+  for (std::size_t i = 0; i < phases; ++i) {
+    const sim::NodeId initiator = sim_engine.random_live_node();
+    auto ctx = sim_engine.context_for(initiator);
+    auto& agent =
+        dynamic_cast<baselines::EquiDepthAgent&>(sim_engine.agent(initiator));
+    const wire::InstanceId phase = agent.start_phase(ctx);
+    // Evaluate the bins while the phase is still live (last gossip round),
+    // then let it finalise and evaluate the population estimates.
+    sim_engine.run_rounds(config.phase_ttl);
+    const stats::EmpiricalCdf current_truth =
+        engine.churn_rate > 0.0
+            ? stats::EmpiricalCdf{sim_engine.live_attribute_values()}
+            : truth;
+    const auto instant = baselines::evaluate_equidepth_phase(
+        sim_engine, phase, current_truth, env.peer_sample);
+    sim_engine.run_rounds(1);
+    const auto pop = baselines::evaluate_equidepth(sim_engine, current_truth,
+                                                   env.peer_sample);
+    InstanceResult r;
+    r.entire = {pop.max_err, pop.avg_err};
+    r.at_points = instant.at_bins;
+    results.push_back(r);
+  }
+  return results;
+}
+
+}  // namespace adam2::bench

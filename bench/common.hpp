@@ -1,0 +1,71 @@
+// Shared scaffolding for the per-figure bench binaries.
+//
+// Every bench reads its scale from the environment:
+//   ADAM2_BENCH_N=<nodes>   population size (default 20,000)
+//   ADAM2_BENCH_FULL=1      paper scale (100,000 nodes)
+//   ADAM2_BENCH_SEED=<s>    master seed (default 42)
+// and prints the corresponding figure's series as aligned text columns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/equidepth.hpp"
+#include "core/system.hpp"
+#include "data/boinc_synth.hpp"
+#include "stats/cdf.hpp"
+
+namespace adam2::bench {
+
+struct BenchEnv {
+  std::size_t n = 20000;
+  std::uint64_t seed = 42;
+  /// Peers sampled per evaluation (0 = all); keeps wide sweeps tractable.
+  std::size_t peer_sample = 400;
+};
+
+/// Parses the ADAM2_BENCH_* environment variables.
+[[nodiscard]] BenchEnv bench_env(std::size_t default_n = 20000);
+
+/// Synthetic population of `n` values for `kind`, deterministic in `seed`.
+[[nodiscard]] std::vector<stats::Value> population(data::Attribute kind,
+                                                   std::size_t n,
+                                                   std::uint64_t seed);
+
+/// Prints "# <title>" plus the environment banner.
+void print_banner(const std::string& title, const BenchEnv& env);
+
+/// Prints one aligned row of label + numeric columns.
+void print_row(const std::string& label, const std::vector<double>& values);
+void print_header(const std::string& label,
+                  const std::vector<std::string>& columns);
+
+/// Result of one Adam2 aggregation instance in a multi-instance series.
+struct InstanceResult {
+  stats::ErrorPair entire;     ///< Errm / Erra over the whole domain.
+  stats::ErrorPair at_points;  ///< Errors at the interpolation points.
+};
+
+/// Runs `instances` consecutive scripted Adam2 instances on a fresh system
+/// and evaluates after each one. Later instances refine the interpolation
+/// points of earlier ones exactly as in §V.
+[[nodiscard]] std::vector<InstanceResult> run_adam2_series(
+    const core::SystemConfig& config, const std::vector<stats::Value>& values,
+    std::size_t instances, const BenchEnv& env,
+    sim::AttributeSource churn_source = nullptr);
+
+/// Same driver for the EquiDepth baseline phases.
+[[nodiscard]] std::vector<InstanceResult> run_equidepth_series(
+    const baselines::EquiDepthConfig& config, const sim::EngineConfig& engine,
+    const std::vector<stats::Value>& values, std::size_t phases,
+    const BenchEnv& env, sim::AttributeSource churn_source = nullptr);
+
+/// Default system configuration shared by the benches (paper defaults:
+/// lambda = 50, ttl = 25, MinMax + neighbour bootstrap, Cyclon overlay).
+[[nodiscard]] core::SystemConfig default_system(const BenchEnv& env);
+
+/// Attribute source drawing fresh values of `kind` (churn replacements).
+[[nodiscard]] sim::AttributeSource churn_source(data::Attribute kind);
+
+}  // namespace adam2::bench

@@ -1,0 +1,66 @@
+// Figure 7: comparison between HCut, MinMax, and LCut over 5 instances.
+//
+// (a) maximum distance Errm, (b) average distance Erra, for CPU and RAM.
+// Expected shape: all heuristics do well on the smooth CPU curve; on the
+// stepped RAM curve MinMax wins Errm (it finds the steps) while LCut wins
+// Erra (it spends points by arc length); LCut's Errm on RAM is the worst.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace adam2;
+
+int main() {
+  const bench::BenchEnv env = bench::bench_env(10000);
+  bench::print_banner("Figure 7: HCut vs MinMax vs LCut over 5 instances",
+                      env);
+
+  constexpr std::size_t kInstances = 5;
+  const std::pair<const char*, core::SelectionHeuristic> heuristics[] = {
+      {"MinMax", core::SelectionHeuristic::kMinMax},
+      {"HCut", core::SelectionHeuristic::kHCut},
+      {"LCut", core::SelectionHeuristic::kLCut},
+  };
+  const std::pair<const char*, data::Attribute> attributes[] = {
+      {"CPU", data::Attribute::kCpuMflops},
+      {"RAM", data::Attribute::kRamMb},
+  };
+
+  std::vector<std::string> columns;
+  for (std::size_t i = 1; i <= kInstances; ++i) {
+    columns.push_back("inst" + std::to_string(i));
+  }
+
+  // Collect every series once, print Errm then Erra.
+  struct SeriesResult {
+    std::string label;
+    std::vector<double> max_err;
+    std::vector<double> avg_err;
+  };
+  std::vector<SeriesResult> results;
+  for (const auto& [attr_label, attribute] : attributes) {
+    const auto values = bench::population(attribute, env.n, env.seed);
+    for (const auto& [h_label, heuristic] : heuristics) {
+      core::SystemConfig config = bench::default_system(env);
+      config.protocol.heuristic = heuristic;
+      const auto series =
+          bench::run_adam2_series(config, values, kInstances, env);
+      SeriesResult r;
+      r.label = std::string(attr_label) + "-" + h_label;
+      for (const auto& inst : series) {
+        r.max_err.push_back(inst.entire.max_err);
+        r.avg_err.push_back(inst.entire.avg_err);
+      }
+      results.push_back(std::move(r));
+    }
+  }
+
+  std::printf("\n## (a) Maximum distance (Errm)\n");
+  bench::print_header("series", columns);
+  for (const auto& r : results) bench::print_row(r.label, r.max_err);
+
+  std::printf("\n## (b) Average distance (Erra)\n");
+  bench::print_header("series", columns);
+  for (const auto& r : results) bench::print_row(r.label, r.avg_err);
+  return 0;
+}

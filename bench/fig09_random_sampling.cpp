@@ -1,0 +1,51 @@
+// Figure 9: approximation error for random sampling (ref [4]).
+//
+// Errm and Erra of a CDF estimate built from s uniformly drawn samples, for
+// s from 1 to 100,000, on the CPU and RAM attributes. Expected shape:
+// power-law decay with sample count; the skewed RAM attribute needs more
+// samples than the smooth CPU attribute; ~1,000-10,000 samples are needed
+// to match Adam2's accuracy.
+#include <cstdio>
+
+#include "baselines/sampling.hpp"
+#include "common.hpp"
+#include "stats/summary.hpp"
+
+using namespace adam2;
+
+int main() {
+  const bench::BenchEnv env = bench::bench_env();
+  bench::print_banner("Figure 9: approximation error for random sampling",
+                      env);
+
+  const std::size_t sample_sizes[] = {1,    3,    10,   30,    100,  300,
+                                      1000, 3000, 10000, 30000, 100000};
+  constexpr int kRepetitions = 5;  // Average the noisy small-sample errors.
+
+  bench::print_header("samples", {"CPU_Errm", "CPU_Erra", "RAM_Errm",
+                                  "RAM_Erra", "messages"});
+  const auto cpu =
+      bench::population(data::Attribute::kCpuMflops, env.n, env.seed);
+  const auto ram = bench::population(data::Attribute::kRamMb, env.n, env.seed);
+  rng::Rng rng(env.seed + 1);
+
+  for (std::size_t samples : sample_sizes) {
+    baselines::SamplingConfig config;
+    config.sample_size = samples;
+    stats::RunningStat cpu_max, cpu_avg, ram_max, ram_avg;
+    std::size_t messages = 0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      const auto cpu_result = baselines::estimate_by_sampling(cpu, config, rng);
+      const auto ram_result = baselines::estimate_by_sampling(ram, config, rng);
+      cpu_max.add(cpu_result.errors.max_err);
+      cpu_avg.add(cpu_result.errors.avg_err);
+      ram_max.add(ram_result.errors.max_err);
+      ram_avg.add(ram_result.errors.avg_err);
+      messages = cpu_result.messages;
+    }
+    bench::print_row(std::to_string(samples),
+                     {cpu_max.mean(), cpu_avg.mean(), ram_max.mean(),
+                      ram_avg.mean(), static_cast<double>(messages)});
+  }
+  return 0;
+}

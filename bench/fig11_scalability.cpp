@@ -1,0 +1,50 @@
+// Figure 11: influence of the system size on approximation accuracy.
+//
+// Errm (MinMax) and Erra (LCut) after 3 instances for system sizes from 100
+// to 100,000 nodes (capped at 10x the configured bench size by default; run
+// with ADAM2_BENCH_FULL=1 for paper scale). Expected shape: Errm stays in
+// the same order of magnitude across sizes; Erra *decreases* with size
+// because larger populations have longer, easily-interpolated tails.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace adam2;
+
+int main() {
+  const bench::BenchEnv env = bench::bench_env();
+  bench::print_banner("Figure 11: influence of the system size", env);
+
+  constexpr std::size_t kInstances = 3;
+  std::vector<std::size_t> sizes{100, 316, 1000, 3162, 10000, 31623, 100000};
+  std::erase_if(sizes, [&](std::size_t n) { return n > 5 * env.n; });
+
+  bench::print_header("nodes", {"CPU_Errm", "RAM_Errm", "CPU_Erra",
+                                "RAM_Erra"});
+  for (std::size_t n : sizes) {
+    bench::BenchEnv sized = env;
+    sized.n = n;
+    double errm[2];
+    double erra[2];
+    int idx = 0;
+    for (data::Attribute attribute :
+         {data::Attribute::kCpuMflops, data::Attribute::kRamMb}) {
+      const auto values = bench::population(attribute, n, env.seed);
+
+      core::SystemConfig mm = bench::default_system(sized);
+      mm.protocol.heuristic = core::SelectionHeuristic::kMinMax;
+      errm[idx] = bench::run_adam2_series(mm, values, kInstances, sized)
+                      .back()
+                      .entire.max_err;
+
+      core::SystemConfig lc = bench::default_system(sized);
+      lc.protocol.heuristic = core::SelectionHeuristic::kLCut;
+      erra[idx] = bench::run_adam2_series(lc, values, kInstances, sized)
+                      .back()
+                      .entire.avg_err;
+      ++idx;
+    }
+    bench::print_row(std::to_string(n), {errm[0], errm[1], erra[0], erra[1]});
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 14: accuracy-estimation (confidence) error for MinMax.
+//
+// Sweeps the number of verification points from 5 to 100 and reports the
+// mean relative error of the nodes' self-assessment:
+//   (a) |Errm - EstErrm| / Errm with bisection-placed verification points,
+//   (b) |Erra - EstErra| / Erra with uniform verification points.
+// Expected shape: ~20 uniform points estimate Erra within ~10% (at paper
+// scale); Errm is harder and needs more points. Verification points add
+// proportional traffic overhead (~40% at 20 points over lambda = 50).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/evaluation.hpp"
+
+using namespace adam2;
+
+namespace {
+
+double run_confidence(const bench::BenchEnv& env, data::Attribute attribute,
+                      core::VerificationMode mode, std::size_t points) {
+  const auto values = bench::population(attribute, env.n, env.seed);
+  core::SystemConfig config = bench::default_system(env);
+  config.protocol.heuristic = core::SelectionHeuristic::kMinMax;
+  config.protocol.verification_points = points;
+  config.protocol.verification_mode = mode;
+  core::Adam2System system(config, values);
+  system.run_rounds(5);
+  for (int i = 0; i < 3; ++i) system.run_instance();
+
+  core::EvaluationOptions options;
+  options.peer_sample = env.peer_sample;
+  const stats::EmpiricalCdf truth{values};
+  const bool use_max = mode == core::VerificationMode::kBisection;
+  return core::confidence_estimation_error(system.engine(), truth, use_max,
+                                           options);
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchEnv env = bench::bench_env(10000);
+  bench::print_banner("Figure 14: accuracy-estimation error for MinMax", env);
+
+  bench::print_header("verif_points", {"CPU_Errm_est", "RAM_Errm_est",
+                                       "CPU_Erra_est", "RAM_Erra_est"});
+  for (std::size_t points : {5u, 10u, 20u, 30u, 50u, 70u, 100u}) {
+    const double cpu_m = run_confidence(env, data::Attribute::kCpuMflops,
+                                        core::VerificationMode::kBisection,
+                                        points);
+    const double ram_m = run_confidence(env, data::Attribute::kRamMb,
+                                        core::VerificationMode::kBisection,
+                                        points);
+    const double cpu_a = run_confidence(env, data::Attribute::kCpuMflops,
+                                        core::VerificationMode::kUniform,
+                                        points);
+    const double ram_a = run_confidence(env, data::Attribute::kRamMb,
+                                        core::VerificationMode::kUniform,
+                                        points);
+    bench::print_row(std::to_string(points), {cpu_m, ram_m, cpu_a, ram_a});
+  }
+  return 0;
+}

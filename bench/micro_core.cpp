@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the library:
+// payload merging, wire round-trips, point-selection heuristics, and the
+// closed-form discrete error metrics.
+#include <benchmark/benchmark.h>
+
+#include "core/instance.hpp"
+#include "core/point_selection.hpp"
+#include "data/boinc_synth.hpp"
+#include "stats/error_metrics.hpp"
+#include "wire/messages.hpp"
+
+namespace {
+
+using namespace adam2;
+
+core::InstanceState make_state(std::size_t lambda) {
+  std::vector<double> thresholds;
+  for (std::size_t i = 0; i < lambda; ++i) {
+    thresholds.push_back(static_cast<double>(i) * 10.0);
+  }
+  return core::InstanceState::start(
+      {1, 0}, 0, 25, thresholds, {},
+      [](double t) { return 300.0 <= t ? 1.0 : 0.0; }, 300.0, 300.0);
+}
+
+void BM_MergeAverage(benchmark::State& state) {
+  auto a = make_state(static_cast<std::size_t>(state.range(0)));
+  const auto payload = a.to_payload();
+  for (auto _ : state) {
+    a.average_with(payload);
+    benchmark::DoNotOptimize(a.weight);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+BENCHMARK(BM_MergeAverage)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  wire::Adam2Message message;
+  message.sender = 7;
+  auto s = make_state(static_cast<std::size_t>(state.range(0)));
+  message.instances = {s.to_payload()};
+  for (auto _ : state) {
+    const auto bytes = message.encode();
+    const auto decoded = wire::Adam2Message::decode(bytes);
+    benchmark::DoNotOptimize(decoded.instances.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(message.encoded_size()));
+}
+BENCHMARK(BM_WireRoundTrip)->Arg(10)->Arg(50)->Arg(100);
+
+stats::PiecewiseLinearCdf synthetic_prev(std::size_t knots) {
+  std::vector<stats::CdfPoint> points;
+  rng::Rng rng(5);
+  double f = 0.0;
+  for (std::size_t i = 0; i < knots; ++i) {
+    f = std::min(1.0, f + rng.uniform() * 2.0 / static_cast<double>(knots));
+    points.push_back({static_cast<double>(i * 13), f});
+  }
+  points.front().f = 0.0;
+  points.back().f = 1.0;
+  return stats::PiecewiseLinearCdf{std::move(points)};
+}
+
+void BM_SelectHCut(benchmark::State& state) {
+  const auto prev = synthetic_prev(52);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::hcut(prev, 50));
+  }
+}
+BENCHMARK(BM_SelectHCut);
+
+void BM_SelectMinMax(benchmark::State& state) {
+  const auto prev = synthetic_prev(52);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::minmax(prev, 50));
+  }
+}
+BENCHMARK(BM_SelectMinMax);
+
+void BM_SelectLCut(benchmark::State& state) {
+  const auto prev = synthetic_prev(52);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::lcut(prev, 50));
+  }
+}
+BENCHMARK(BM_SelectLCut);
+
+void BM_DiscreteErrors(benchmark::State& state) {
+  rng::Rng rng(7);
+  const auto values = data::generate_population(
+      data::Attribute::kRamMb, static_cast<std::size_t>(state.range(0)), rng);
+  const stats::EmpiricalCdf truth{values};
+  const auto approx = synthetic_prev(52);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::discrete_errors(truth, approx));
+  }
+}
+BENCHMARK(BM_DiscreteErrors)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EmpiricalCdfBuild(benchmark::State& state) {
+  rng::Rng rng(8);
+  const auto values = data::generate_population(
+      data::Attribute::kCpuMflops, static_cast<std::size_t>(state.range(0)),
+      rng);
+  for (auto _ : state) {
+    auto copy = values;
+    benchmark::DoNotOptimize(stats::EmpiricalCdf{std::move(copy)});
+  }
+}
+BENCHMARK(BM_EmpiricalCdfBuild)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Multi-attribute capacity planning with self-tuning accuracy (§I + §VI).
+//
+// A volunteer-computing coordinator-less grid wants, at every node, a live
+// picture of the resource distributions (CPU, RAM, disk) to decide which
+// job classes the system can accept. Each attribute runs its own Adam2
+// protocol with verification points, and the adaptive controller tunes the
+// number of interpolation points per attribute until the self-assessed
+// accuracy meets the target — more points for the stepped RAM curve, fewer
+// for the smooth CPU curve.
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "data/boinc_synth.hpp"
+#include "data/trace.hpp"
+
+using namespace adam2;
+
+namespace {
+
+struct JobClass {
+  const char* name;
+  double min_cpu_mflops;
+  double min_ram_mb;
+  double min_disk_gb;
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kNodes = 3000;
+  rng::Rng rng(5);
+  const auto trace = data::filter_faulty(data::synthesize_trace(kNodes, rng));
+
+  const data::Attribute attributes[] = {data::Attribute::kCpuMflops,
+                                        data::Attribute::kRamMb,
+                                        data::Attribute::kDiskGb};
+
+  // One Adam2 system per attribute (a deployment would multiplex the
+  // instances over one overlay; separate systems keep the example readable).
+  std::vector<std::unique_ptr<core::Adam2System>> systems;
+  for (data::Attribute attribute : attributes) {
+    core::SystemConfig config;
+    config.engine.seed = 100 + static_cast<std::uint64_t>(attribute);
+    config.protocol.lambda = 20;  // Start cheap; let self-tuning grow it.
+    config.protocol.heuristic = core::SelectionHeuristic::kMinMax;
+    config.protocol.verification_points = 20;
+    core::AdaptiveTuning tuning;
+    tuning.target_avg_error = 0.002;
+    tuning.min_lambda = 10;
+    tuning.max_lambda = 120;
+    config.protocol.adaptive = tuning;
+    systems.push_back(std::make_unique<core::Adam2System>(
+        config, data::attribute_column(trace, attribute)));
+  }
+
+  // Run four instances per attribute; lambda adapts in between.
+  for (int round = 0; round < 4; ++round) {
+    for (auto& system : systems) system->run_instance();
+  }
+
+  std::printf("self-tuned configuration after 4 instances "
+              "(target EstErra = 0.002):\n");
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    const sim::NodeId node = systems[i]->engine().live_ids().front();
+    const auto& agent = systems[i]->agent_of(node);
+    std::printf("  %-14s lambda: 20 -> %-3zu  (self-assessed avg err %.5f)\n",
+                std::string(data::attribute_name(attributes[i])).c_str(),
+                agent.current_lambda(),
+                agent.estimate()->self_assessment->avg_err);
+  }
+
+  // Capacity question: what fraction of the grid can run each job class?
+  const JobClass classes[] = {
+      {"small-batch", 500, 256, 10},
+      {"standard", 2000, 1024, 50},
+      {"memory-heavy", 2000, 3500, 50},
+      {"archival", 800, 512, 400},
+  };
+  const sim::NodeId observer = systems[0]->engine().live_ids().front();
+  std::printf("\ncapacity report computed locally at node %llu:\n",
+              static_cast<unsigned long long>(observer));
+  std::printf("  %-14s %10s %10s %10s %12s\n", "job class", "cpu_ok",
+              "ram_ok", "disk_ok", "est_nodes");
+  for (const JobClass& job : classes) {
+    // Independence approximation: multiply marginal fractions.
+    const auto& cpu = *systems[0]->agent_of(observer).estimate();
+    const auto& ram = *systems[1]->agent_of(observer).estimate();
+    const auto& disk = *systems[2]->agent_of(observer).estimate();
+    const double cpu_ok = 1.0 - cpu.cdf(job.min_cpu_mflops);
+    const double ram_ok = 1.0 - ram.cdf(job.min_ram_mb);
+    const double disk_ok = 1.0 - disk.cdf(job.min_disk_gb);
+    const double nodes = cpu_ok * ram_ok * disk_ok * cpu.n_estimate;
+    std::printf("  %-14s %9.1f%% %9.1f%% %9.1f%% %12.0f\n", job.name,
+                cpu_ok * 100, ram_ok * 100, disk_ok * 100, nodes);
+  }
+
+  // Sanity: compare one marginal against ground truth. 1024 MB is a step of
+  // the RAM CDF, so probe just past it — the interpolated curve crosses the
+  // step *at* the threshold and is exact immediately after.
+  const auto truth = systems[1]->truth();
+  const auto& ram_est = *systems[1]->agent_of(observer).estimate();
+  std::printf("\nRAM marginal check (estimate vs truth): F(1024.5) = %.3f vs "
+              "%.3f\n",
+              ram_est.cdf(1024.5), truth(1024.5));
+  return 0;
+}

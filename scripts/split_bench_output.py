@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Split a bench_output.txt (the `for b in build/bench/*` transcript) into
+per-figure TSV files ready for gnuplot/pandas.
+
+Usage:
+    python3 scripts/split_bench_output.py bench_output.txt out_dir/
+
+Each `# <title>` banner starts a new section; table rows (label + numeric
+columns) are written to out_dir/<slug>.tsv with the header preserved.
+"""
+import os
+import re
+import sys
+
+
+def slugify(title: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    return slug[:60]
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    src, out_dir = sys.argv[1], sys.argv[2]
+    os.makedirs(out_dir, exist_ok=True)
+
+    current = None
+    handle = None
+    written = []
+    with open(src, encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            banner = re.match(r"^# (?!nodes=)(.+)$", line)
+            if banner:
+                if handle:
+                    handle.close()
+                current = slugify(banner.group(1))
+                path = os.path.join(out_dir, current + ".tsv")
+                handle = open(path, "w", encoding="utf-8")
+                written.append(path)
+                continue
+            if handle is None or not line or line.startswith(("#", "/bin/")):
+                continue
+            # Sub-section markers become comment lines inside the TSV.
+            if line.startswith("##"):
+                handle.write("# " + line.lstrip("# ") + "\n")
+                continue
+            handle.write(re.sub(r"\s\s+", "\t", line.strip()) + "\n")
+    if handle:
+        handle.close()
+    print(f"wrote {len(written)} files to {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

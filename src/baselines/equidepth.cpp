@@ -1,0 +1,318 @@
+#include "baselines/equidepth.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "stats/summary.hpp"
+
+namespace adam2::baselines {
+
+EquiDepthAgent::EquiDepthAgent(EquiDepthConfig config) : config_(config) {
+  assert(config_.bins >= 2);
+  assert(config_.phase_ttl >= 1);
+}
+
+bool EquiDepthAgent::eligible(const sim::AgentContext& ctx,
+                              const wire::EquiDepthMessage& msg) const {
+  return msg.start_round >= ctx.birth_round &&
+         !finalized_ids_.contains(msg.phase);
+}
+
+void EquiDepthAgent::on_round_start(sim::AgentContext& ctx) {
+  std::vector<wire::InstanceId> finished;
+  for (auto& [id, phase] : active_) {
+    if (phase.ttl == 0) {
+      finished.push_back(id);
+      continue;
+    }
+    --phase.ttl;
+  }
+  for (wire::InstanceId id : finished) {
+    auto it = active_.find(id);
+    Phase phase = std::move(it->second);
+    active_.erase(it);
+    finalize(std::move(phase));
+  }
+
+  if (config_.restart_every_r > 0.0) {
+    const double np =
+        n_estimate_ > 0.0 ? n_estimate_ : config_.initial_n_estimate;
+    if (np >= 1.0 &&
+        ctx.rng.bernoulli(1.0 / (np * config_.restart_every_r))) {
+      start_phase(ctx);
+    }
+  }
+}
+
+wire::InstanceId EquiDepthAgent::start_phase(sim::AgentContext& ctx) {
+  Phase phase;
+  phase.id = wire::InstanceId{ctx.self, next_seq_++};
+  phase.start_round = ctx.round;
+  phase.ttl = config_.phase_ttl;
+  phase.synopsis = {{static_cast<double>(ctx.attribute), 1.0}};
+  const wire::InstanceId id = phase.id;
+  active_.emplace(id, std::move(phase));
+  return id;
+}
+
+wire::EquiDepthMessage EquiDepthAgent::message_for(const Phase& phase,
+                                                   wire::MessageType type,
+                                                   sim::NodeId self) const {
+  wire::EquiDepthMessage msg;
+  msg.type = type;
+  msg.sender = self;
+  msg.phase = phase.id;
+  msg.start_round = phase.start_round;
+  msg.ttl = phase.ttl;
+  msg.synopsis = phase.synopsis;
+  return msg;
+}
+
+std::vector<std::byte> EquiDepthAgent::make_request(sim::AgentContext& ctx) {
+  if (active_.empty()) return {};
+  // One phase per message keeps the format simple; concurrent phases take
+  // turns. (The paper's comparison runs one phase at a time.)
+  const auto& [id, phase] = *active_.begin();
+  return message_for(phase, wire::MessageType::kEquiDepthRequest, ctx.self)
+      .encode();
+}
+
+EquiDepthAgent::Phase EquiDepthAgent::join_phase(
+    const sim::AgentContext& ctx, const wire::EquiDepthMessage& msg) const {
+  Phase phase;
+  phase.id = msg.phase;
+  phase.start_round = msg.start_round;
+  phase.ttl = msg.ttl;
+  phase.synopsis = {{static_cast<double>(ctx.attribute), 1.0}};
+  return phase;
+}
+
+void EquiDepthAgent::merge(Phase& phase,
+                           const std::vector<stats::WeightedValue>& other) {
+  // Push-pull averaging of the two synopses as distributions: each side is
+  // renormalised to unit weight, halved, unioned, and recompressed to the
+  // bin budget. Samples this node already absorbed re-enter through the
+  // received synopsis (the duplication of §VII-A), and every exchange loses
+  // detail to the equi-depth compression — together these floor the accuracy
+  // at a few percent regardless of how long the phase runs.
+  double mine = 0.0;
+  for (const stats::WeightedValue& s : phase.synopsis) mine += s.weight;
+  double theirs = 0.0;
+  for (const stats::WeightedValue& s : other) theirs += s.weight;
+  if (theirs <= 0.0) return;
+  if (mine <= 0.0) {
+    phase.synopsis = other;
+    return;
+  }
+  std::vector<stats::WeightedValue> merged;
+  merged.reserve(phase.synopsis.size() + other.size());
+  for (const stats::WeightedValue& s : phase.synopsis) {
+    merged.push_back({s.value, s.weight / (2.0 * mine)});
+  }
+  for (const stats::WeightedValue& s : other) {
+    merged.push_back({s.value, s.weight / (2.0 * theirs)});
+  }
+  phase.synopsis = stats::compress_equi_depth(std::move(merged), config_.bins);
+}
+
+std::vector<std::byte> EquiDepthAgent::handle_request(
+    sim::AgentContext& ctx, std::span<const std::byte> request) {
+  wire::EquiDepthMessage incoming;
+  try {
+    incoming = wire::EquiDepthMessage::decode(request);
+  } catch (const wire::DecodeError&) {
+    return {};
+  }
+  if (!eligible(ctx, incoming)) return {};
+
+  auto it = active_.find(incoming.phase);
+  if (it == active_.end()) {
+    Phase joined = join_phase(ctx, incoming);
+    auto reply = message_for(joined, wire::MessageType::kEquiDepthResponse,
+                             ctx.self);
+    merge(joined, incoming.synopsis);
+    active_.emplace(incoming.phase, std::move(joined));
+    return reply.encode();
+  }
+  auto reply =
+      message_for(it->second, wire::MessageType::kEquiDepthResponse, ctx.self);
+  merge(it->second, incoming.synopsis);
+  return reply.encode();
+}
+
+void EquiDepthAgent::handle_response(sim::AgentContext& ctx,
+                                     std::span<const std::byte> response) {
+  wire::EquiDepthMessage incoming;
+  try {
+    incoming = wire::EquiDepthMessage::decode(response);
+  } catch (const wire::DecodeError&) {
+    return;
+  }
+  if (!eligible(ctx, incoming)) return;
+  auto it = active_.find(incoming.phase);
+  if (it == active_.end()) {
+    Phase joined = join_phase(ctx, incoming);
+    merge(joined, incoming.synopsis);
+    active_.emplace(incoming.phase, std::move(joined));
+    return;
+  }
+  merge(it->second, incoming.synopsis);
+}
+
+void EquiDepthAgent::finalize(Phase&& phase) {
+  finalized_ids_.insert(phase.id);
+  finalized_order_.push_back(phase.id);
+  while (finalized_order_.size() > kFinalizedMemory) {
+    finalized_ids_.erase(finalized_order_.front());
+    finalized_order_.pop_front();
+  }
+
+  EquiDepthEstimate result;
+  result.phase = phase.id;
+  result.completed_round = phase.start_round + config_.phase_ttl;
+  result.synopsis = std::move(phase.synopsis);
+  if (!result.synopsis.empty()) {
+    result.cdf = stats::centroids_to_cdf(result.synopsis);
+  }
+  estimate_ = std::move(result);
+}
+
+std::vector<stats::WeightedValue> EquiDepthAgent::phase_synopsis(
+    wire::InstanceId id) const {
+  auto it = active_.find(id);
+  return it == active_.end() ? std::vector<stats::WeightedValue>{}
+                             : it->second.synopsis;
+}
+
+std::vector<std::byte> EquiDepthAgent::make_bootstrap_request(
+    sim::AgentContext& ctx) {
+  return wire::BootstrapRequest{ctx.self}.encode();
+}
+
+std::vector<std::byte> EquiDepthAgent::handle_bootstrap_request(
+    sim::AgentContext& ctx, std::span<const std::byte> request) {
+  try {
+    (void)wire::BootstrapRequest::decode(request);
+  } catch (const wire::DecodeError&) {
+    return {};
+  }
+  wire::BootstrapResponse response;
+  response.sender = ctx.self;
+  response.n_estimate = n_estimate_;
+  if (estimate_ && !estimate_->cdf.empty()) {
+    const auto knots = estimate_->cdf.knots();
+    response.cdf_knots.assign(knots.begin(), knots.end());
+    response.min_value = knots.front().t;
+    response.max_value = knots.back().t;
+  }
+  return response.encode();
+}
+
+bool EquiDepthAgent::handle_bootstrap_response(
+    sim::AgentContext& ctx, std::span<const std::byte> response) {
+  wire::BootstrapResponse incoming;
+  try {
+    incoming = wire::BootstrapResponse::decode(response);
+  } catch (const wire::DecodeError&) {
+    return false;
+  }
+  if (incoming.n_estimate > 0.0) n_estimate_ = incoming.n_estimate;
+  if (incoming.cdf_knots.empty()) return false;
+  EquiDepthEstimate inherited;
+  inherited.completed_round = ctx.round;
+  inherited.cdf = stats::PiecewiseLinearCdf{std::move(incoming.cdf_knots)};
+  inherited.inherited = true;
+  estimate_ = std::move(inherited);
+  return true;
+}
+
+namespace {
+
+std::vector<sim::NodeId> sample_peers(sim::Engine& engine,
+                                      std::size_t peer_sample) {
+  const auto live = engine.live_ids();
+  std::vector<sim::NodeId> peers(live.begin(), live.end());
+  if (peer_sample > 0 && peers.size() > peer_sample) {
+    // Private stream per round: evaluating never perturbs the protocol.
+    rng::Rng sampler(0xE7A10001ULL ^
+                     (static_cast<std::uint64_t>(engine.round()) + 1) *
+                         0x9e3779b97f4a7c15ULL);
+    std::vector<sim::NodeId> sampled;
+    sampled.reserve(peer_sample);
+    for (std::size_t idx :
+         sampler.sample_indices(peers.size(), peer_sample)) {
+      sampled.push_back(peers[idx]);
+    }
+    peers = std::move(sampled);
+  }
+  return peers;
+}
+
+}  // namespace
+
+EquiDepthPopulationErrors evaluate_equidepth(sim::Engine& engine,
+                                             const stats::EmpiricalCdf& truth,
+                                             std::size_t peer_sample,
+                                             bool include_inherited,
+                                             bool missing_counts_as_one) {
+  EquiDepthPopulationErrors out;
+  stats::RunningStat avg_stat;
+  for (sim::NodeId id : sample_peers(engine, peer_sample)) {
+    const auto* agent = dynamic_cast<const EquiDepthAgent*>(&engine.agent(id));
+    const EquiDepthEstimate* est =
+        (agent != nullptr && agent->estimate()) ? &*agent->estimate() : nullptr;
+    if (est != nullptr && est->inherited && !include_inherited) est = nullptr;
+    if (est == nullptr || est->cdf.empty()) {
+      ++out.missing;
+      if (!missing_counts_as_one) continue;
+      out.max_err = 1.0;
+      avg_stat.add(1.0);
+      continue;
+    }
+    const stats::ErrorPair errors = stats::discrete_errors(truth, est->cdf);
+    out.max_err = std::max(out.max_err, errors.max_err);
+    avg_stat.add(errors.avg_err);
+  }
+  out.peers = avg_stat.count();
+  out.avg_err = avg_stat.mean();
+  return out;
+}
+
+EquiDepthInstantErrors evaluate_equidepth_phase(
+    sim::Engine& engine, wire::InstanceId phase,
+    const stats::EmpiricalCdf& truth, std::size_t peer_sample,
+    std::optional<sim::Round> born_by) {
+  EquiDepthInstantErrors out;
+  stats::RunningStat entire_avg;
+  stats::RunningStat bins_avg;
+  for (sim::NodeId id : sample_peers(engine, peer_sample)) {
+    if (born_by && engine.node(id).birth_round > *born_by) continue;
+    const auto* agent = dynamic_cast<const EquiDepthAgent*>(&engine.agent(id));
+    const auto synopsis =
+        agent != nullptr ? agent->phase_synopsis(phase)
+                         : std::vector<stats::WeightedValue>{};
+    if (synopsis.empty()) {
+      // Not reached yet: maximum error, as in the Adam2 evaluation.
+      out.entire.max_err = std::max(out.entire.max_err, 1.0);
+      entire_avg.add(1.0);
+      out.at_bins.max_err = std::max(out.at_bins.max_err, 1.0);
+      bins_avg.add(1.0);
+      continue;
+    }
+    const auto cdf = stats::centroids_to_cdf(synopsis);
+    const stats::ErrorPair entire = stats::discrete_errors(truth, cdf);
+    out.entire.max_err = std::max(out.entire.max_err, entire.max_err);
+    entire_avg.add(entire.avg_err);
+    const auto knots = cdf.knots();
+    const stats::ErrorPair at_bins =
+        stats::point_errors(truth, {knots.begin(), knots.size()});
+    out.at_bins.max_err = std::max(out.at_bins.max_err, at_bins.max_err);
+    bins_avg.add(at_bins.avg_err);
+  }
+  out.peers = entire_avg.count();
+  out.entire.avg_err = entire_avg.mean();
+  out.at_bins.avg_err = bins_avg.mean();
+  return out;
+}
+
+}  // namespace adam2::baselines

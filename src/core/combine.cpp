@@ -1,0 +1,57 @@
+#include "core/combine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace adam2::core {
+
+Estimate combine_estimates(std::span<const Estimate> history) {
+  assert(!history.empty());
+  const Estimate& newest = history.back();
+  if (history.size() == 1) return newest;
+
+  Estimate combined = newest;
+  combined.min_value = newest.min_value;
+  combined.max_value = newest.max_value;
+
+  // Collect (threshold, fraction, age) so ties resolve to the newest sample.
+  struct Sample {
+    double t;
+    double f;
+    std::size_t age;  // 0 = newest instance.
+  };
+  std::vector<Sample> samples;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const Estimate& est = history[history.size() - 1 - i];
+    combined.min_value = std::min(combined.min_value, est.min_value);
+    combined.max_value = std::max(combined.max_value, est.max_value);
+    for (const stats::CdfPoint& p : est.points) {
+      samples.push_back({p.t, p.f, i});
+    }
+  }
+  std::sort(samples.begin(), samples.end(), [](const Sample& a, const Sample& b) {
+    return a.t < b.t || (a.t == b.t && a.age < b.age);
+  });
+
+  const double tolerance =
+      std::max((combined.max_value - combined.min_value) * 1e-9, 1e-12);
+  std::vector<stats::CdfPoint> points;
+  points.reserve(samples.size());
+  for (const Sample& s : samples) {
+    if (!points.empty() && s.t - points.back().t <= tolerance) {
+      continue;  // The earlier (newer-instance) sample already covers it.
+    }
+    points.push_back({s.t, s.f});
+  }
+
+  combined.points = std::move(points);
+  combined.cdf = stats::interpolate_with_extremes(
+      combined.points, combined.min_value, combined.max_value);
+  // Samples from different instances can disagree slightly (gossip noise or
+  // CDF drift); repair inversions so the result is a valid CDF.
+  if (!combined.cdf.is_monotone()) combined.cdf = combined.cdf.make_monotone();
+  return combined;
+}
+
+}  // namespace adam2::core

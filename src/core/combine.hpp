@@ -1,0 +1,26 @@
+// Combining interpolation points across aggregation instances (§VII-D):
+// "if the CDF does not change significantly over time, nodes can combine
+// interpolation points obtained over multiple aggregation instances to
+// further reduce the overall estimation errors."
+//
+// Each instance contributes lambda very accurate (t_i, f_i) samples of the
+// true CDF; as long as the CDF is static, the union of the samples from the
+// last k instances is a k*lambda-point interpolation at no extra
+// communication cost. Enabled through Adam2Config::combine_last_instances.
+#pragma once
+
+#include <span>
+
+#include "core/estimate.hpp"
+
+namespace adam2::core {
+
+/// Merges the interpolation points of `history` (oldest to newest) into one
+/// estimate. Thresholds closer than a relative tolerance are collapsed,
+/// keeping the most recent instance's fraction (newer samples supersede
+/// older ones if the CDF drifted). Extremes widen to the union; scalar
+/// fields (n_estimate, self-assessment, instance id) come from the newest
+/// estimate. Precondition: history is non-empty.
+[[nodiscard]] Estimate combine_estimates(std::span<const Estimate> history);
+
+}  // namespace adam2::core

@@ -1,0 +1,44 @@
+// The result a peer holds after an aggregation instance terminates (§IV):
+// the interpolated CDF, the final interpolation points, the gossiped
+// extremes, the system-size estimate, and — when verification points were
+// used — the node's own assessment of its approximation accuracy (§VI).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "stats/cdf.hpp"
+#include "stats/error_metrics.hpp"
+#include "wire/messages.hpp"
+
+namespace adam2::core {
+
+struct Estimate {
+  wire::InstanceId instance;
+  sim::Round completed_round = 0;
+
+  /// The interpolated CDF approximation Fp.
+  stats::PiecewiseLinearCdf cdf;
+
+  /// Final interpolation points H (interior points; extremes excluded).
+  std::vector<stats::CdfPoint> points;
+
+  double min_value = 0.0;
+  double max_value = 0.0;
+
+  /// 1 / w at instance end; 0 when the weight never reached this node
+  /// (e.g. the initiator died before spreading it).
+  double n_estimate = 0.0;
+
+  /// EstErr from the verification points (§VI); absent when disabled.
+  /// max_err is EstErrm, avg_err is EstErra — which one is meaningful
+  /// depends on the configured VerificationMode.
+  std::optional<stats::ErrorPair> self_assessment;
+
+  /// True when this estimate was copied from a neighbour at join time
+  /// rather than computed by participating in the instance (§VII-G).
+  bool inherited = false;
+};
+
+}  // namespace adam2::core

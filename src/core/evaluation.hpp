@@ -1,0 +1,213 @@
+// Population-level error evaluation (§III aggregates):
+//
+//   Errm = max over peers of Errm(p),   Erra = avg over peers of Erra(p),
+//
+// computed either from the peers' completed Estimates or from the in-flight
+// state of a specific instance (per-round curves like Fig. 6/12). Evaluating
+// every peer is exact but O(N * (V + lambda)); a uniform peer sample is
+// supported for large sweeps (the paper reports cross-peer standard
+// deviations below 1e-5, so sampling loses essentially nothing).
+//
+// The evaluators are templates over the hosting engine: both the
+// cycle-driven sim::Engine and the event-driven sim::AsyncEngine expose the
+// required surface (live_ids/node/agent/rng).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <optional>
+
+#include "core/protocol.hpp"
+#include "sim/engine.hpp"
+#include "stats/error_metrics.hpp"
+#include "stats/summary.hpp"
+
+namespace adam2::core {
+
+struct EvaluationOptions {
+  /// Evaluate at most this many uniformly sampled live peers (0 = all).
+  std::size_t peer_sample = 0;
+
+  /// Include peers whose estimate was inherited from a neighbour at join
+  /// time (Fig. 13 includes them; Fig. 12 does not).
+  bool include_inherited = true;
+
+  /// Only evaluate peers born at or before this round (excludes nodes that
+  /// joined during the instance under evaluation, §VII-G).
+  std::optional<sim::Round> born_by;
+
+  /// Peers without a usable estimate count with the maximum error of one
+  /// (the paper's convention while an instance has not reached everyone).
+  bool missing_counts_as_one = true;
+};
+
+struct PopulationErrors {
+  double max_err = 0.0;      ///< Errm: max over peers of max distance.
+  double avg_err = 0.0;      ///< Erra: avg over peers of avg distance.
+  double stddev_max = 0.0;   ///< Cross-peer stddev of Errm(p).
+  double stddev_avg = 0.0;   ///< Cross-peer stddev of Erra(p).
+  std::size_t peers = 0;     ///< Peers evaluated.
+  std::size_t missing = 0;   ///< Peers lacking a usable estimate.
+};
+
+namespace detail {
+
+/// Applies the sampling option and returns the peer ids to evaluate.
+/// Sampling uses a private stream seeded from the round number, so observing
+/// the system never perturbs the protocol's randomness (evaluating or not
+/// evaluating leaves every later round bit-identical).
+template <typename Host>
+std::vector<sim::NodeId> pick_peers(Host& engine,
+                                    const EvaluationOptions& options) {
+  const auto live = engine.live_ids();
+  std::vector<sim::NodeId> peers(live.begin(), live.end());
+  if (options.peer_sample > 0 && peers.size() > options.peer_sample) {
+    rng::Rng sampler(0xE7A10000ULL ^
+                     (static_cast<std::uint64_t>(engine.round()) + 1) *
+                         0x9e3779b97f4a7c15ULL);
+    std::vector<sim::NodeId> sampled;
+    sampled.reserve(options.peer_sample);
+    for (std::size_t idx :
+         sampler.sample_indices(peers.size(), options.peer_sample)) {
+      sampled.push_back(peers[idx]);
+    }
+    peers = std::move(sampled);
+  }
+  return peers;
+}
+
+/// Core aggregation loop: `errors_of` returns a peer's ErrorPair or nullopt
+/// when the peer has nothing usable.
+template <typename Host, typename ErrorsOf>
+PopulationErrors aggregate(Host& engine, const EvaluationOptions& options,
+                           ErrorsOf&& errors_of) {
+  PopulationErrors out;
+  stats::RunningStat max_stat;
+  stats::RunningStat avg_stat;
+  for (sim::NodeId id : pick_peers(engine, options)) {
+    const sim::Node& node = engine.node(id);
+    if (options.born_by && node.birth_round > *options.born_by) continue;
+    std::optional<stats::ErrorPair> errors = errors_of(id);
+    if (!errors) {
+      ++out.missing;
+      if (!options.missing_counts_as_one) continue;
+      errors = stats::ErrorPair{1.0, 1.0};
+    }
+    max_stat.add(errors->max_err);
+    avg_stat.add(errors->avg_err);
+  }
+  out.peers = max_stat.count();
+  if (out.peers > 0) {
+    out.max_err = max_stat.max();
+    out.avg_err = avg_stat.mean();
+    out.stddev_max = max_stat.stddev();
+    out.stddev_avg = avg_stat.stddev();
+  }
+  return out;
+}
+
+template <typename Host>
+const Adam2Agent* adam2_agent(Host& engine, sim::NodeId id) {
+  return dynamic_cast<const Adam2Agent*>(&engine.agent(id));
+}
+
+template <typename Host>
+const Estimate* usable_estimate(Host& engine, sim::NodeId id,
+                                const EvaluationOptions& options) {
+  const Adam2Agent* agent = adam2_agent(engine, id);
+  if (agent == nullptr || !agent->estimate()) return nullptr;
+  const Estimate& est = *agent->estimate();
+  if (est.inherited && !options.include_inherited) return nullptr;
+  if (est.cdf.empty()) return nullptr;
+  return &est;
+}
+
+}  // namespace detail
+
+/// Errors of the peers' *completed* estimates over the entire CDF domain.
+template <typename Host>
+PopulationErrors evaluate_estimates(Host& engine,
+                                    const stats::EmpiricalCdf& truth,
+                                    const EvaluationOptions& options = {}) {
+  return detail::aggregate(
+      engine, options, [&](sim::NodeId id) -> std::optional<stats::ErrorPair> {
+        const Estimate* est = detail::usable_estimate(engine, id, options);
+        if (est == nullptr) return std::nullopt;
+        return stats::discrete_errors(truth, est->cdf);
+      });
+}
+
+/// Errors at the estimates' own interpolation points only.
+template <typename Host>
+PopulationErrors evaluate_estimate_points(
+    Host& engine, const stats::EmpiricalCdf& truth,
+    const EvaluationOptions& options = {}) {
+  return detail::aggregate(
+      engine, options, [&](sim::NodeId id) -> std::optional<stats::ErrorPair> {
+        const Estimate* est = detail::usable_estimate(engine, id, options);
+        if (est == nullptr || est->points.empty()) return std::nullopt;
+        return stats::point_errors(truth, est->points);
+      });
+}
+
+/// In-flight errors of a running instance, over the entire CDF domain
+/// (each participant's current H interpolated with its current extremes).
+template <typename Host>
+PopulationErrors evaluate_instance_cdf(Host& engine, wire::InstanceId id,
+                                       const stats::EmpiricalCdf& truth,
+                                       const EvaluationOptions& options = {}) {
+  return detail::aggregate(
+      engine, options,
+      [&](sim::NodeId peer) -> std::optional<stats::ErrorPair> {
+        const Adam2Agent* agent = detail::adam2_agent(engine, peer);
+        if (agent == nullptr) return std::nullopt;
+        const InstanceState* state = agent->instance(id);
+        if (state == nullptr) return std::nullopt;
+        const auto cdf = stats::interpolate_with_extremes(
+            state->points, state->min_value, state->max_value);
+        return stats::discrete_errors(truth, cdf);
+      });
+}
+
+/// In-flight errors of a running instance at its interpolation points.
+template <typename Host>
+PopulationErrors evaluate_instance_points(
+    Host& engine, wire::InstanceId id, const stats::EmpiricalCdf& truth,
+    const EvaluationOptions& options = {}) {
+  return detail::aggregate(
+      engine, options,
+      [&](sim::NodeId peer) -> std::optional<stats::ErrorPair> {
+        const Adam2Agent* agent = detail::adam2_agent(engine, peer);
+        if (agent == nullptr) return std::nullopt;
+        const InstanceState* state = agent->instance(id);
+        if (state == nullptr) return std::nullopt;
+        return stats::point_errors(truth, state->points);
+      });
+}
+
+/// Mean relative error of the peers' self-assessment (§VII-H):
+/// avg over peers of |Err(p) - EstErr(p)| / Err(p), where `use_max` selects
+/// the Errm (true) or Erra (false) variant.
+template <typename Host>
+double confidence_estimation_error(Host& engine,
+                                   const stats::EmpiricalCdf& truth,
+                                   bool use_max,
+                                   const EvaluationOptions& options = {}) {
+  stats::RunningStat relative;
+  for (sim::NodeId id : detail::pick_peers(engine, options)) {
+    const sim::Node& node = engine.node(id);
+    if (options.born_by && node.birth_round > *options.born_by) continue;
+    const Estimate* est = detail::usable_estimate(engine, id, options);
+    if (est == nullptr || !est->self_assessment) continue;
+    const stats::ErrorPair actual = stats::discrete_errors(truth, est->cdf);
+    const double true_err = use_max ? actual.max_err : actual.avg_err;
+    const double est_err = use_max ? est->self_assessment->max_err
+                                   : est->self_assessment->avg_err;
+    if (true_err <= 0.0) continue;
+    relative.add(std::abs(true_err - est_err) / true_err);
+  }
+  return relative.mean();
+}
+
+}  // namespace adam2::core

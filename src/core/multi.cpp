@@ -1,0 +1,74 @@
+#include "core/multi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace adam2::core {
+namespace {
+
+constexpr double kSizeSentinel = std::numeric_limits<double>::infinity();
+
+/// Divides every fraction by the converged mean set size and removes the
+/// sentinel point (f_i = avg_i / avg).
+void normalize(std::vector<stats::CdfPoint>& points) {
+  if (points.empty()) return;
+  auto sentinel =
+      std::find_if(points.begin(), points.end(),
+                   [](const stats::CdfPoint& p) { return p.t == kSizeSentinel; });
+  if (sentinel == points.end()) return;
+  const double avg = sentinel->f;
+  points.erase(sentinel);
+  if (avg <= 0.0) return;
+  for (stats::CdfPoint& p : points) p.f /= avg;
+}
+
+}  // namespace
+
+MultiValueAdam2Agent::MultiValueAdam2Agent(Adam2Config config,
+                                           std::vector<stats::Value> own_values)
+    : Adam2Agent(config), values_(std::move(own_values)) {
+  assert(!values_.empty());
+  std::sort(values_.begin(), values_.end());
+}
+
+ContributionFn MultiValueAdam2Agent::contribution_fn(
+    const sim::AgentContext& /*ctx*/) const {
+  // Copy the sorted values so the closure stays valid even if the agent is
+  // destroyed mid-instance (churn).
+  return [values = values_](double t) {
+    auto it = std::upper_bound(values.begin(), values.end(), t,
+                               [](double lhs, stats::Value rhs) {
+                                 return lhs < static_cast<double>(rhs);
+                               });
+    return static_cast<double>(it - values.begin());
+  };
+}
+
+std::pair<double, double> MultiValueAdam2Agent::local_extremes(
+    const sim::AgentContext& /*ctx*/) const {
+  return {static_cast<double>(values_.front()),
+          static_cast<double>(values_.back())};
+}
+
+void MultiValueAdam2Agent::augment_thresholds(
+    std::vector<double>& thresholds) const {
+  thresholds.push_back(kSizeSentinel);
+}
+
+void MultiValueAdam2Agent::finalize_points(
+    std::vector<stats::CdfPoint>& points,
+    std::vector<stats::CdfPoint>& verification) const {
+  // Both sequences need the same normalisation; the sentinel only rides with
+  // the interpolation points.
+  auto sentinel =
+      std::find_if(points.begin(), points.end(),
+                   [](const stats::CdfPoint& p) { return p.t == kSizeSentinel; });
+  const double avg = sentinel != points.end() ? sentinel->f : 0.0;
+  normalize(points);
+  if (avg > 0.0) {
+    for (stats::CdfPoint& p : verification) p.f /= avg;
+  }
+}
+
+}  // namespace adam2::core

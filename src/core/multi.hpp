@@ -1,0 +1,44 @@
+// Multi-value-per-node extension (§IV, "Multiple Attribute Values per Node").
+//
+// When each node p holds a *set* A(p) of values (e.g. the sizes of its
+// files), the target CDF is F(x) = |{a in A : a <= x}| / |A| over the union
+// A of all sets. Each node contributes |{a in A(p) : a <= t_i}| for every
+// threshold, plus |A(p)| once. Averaging drives those to avg_i (mean number
+// of values below t_i per node) and avg (mean set size per node); the final
+// fraction is f_i = avg_i / avg.
+//
+// Implementation: the set-size stream rides as one extra bookkeeping point
+// with threshold +infinity — |{a <= inf}| = |A(p)| — so it averages through
+// the unchanged §IV machinery and is divided out (and dropped) at
+// finalisation.
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace adam2::core {
+
+class MultiValueAdam2Agent final : public Adam2Agent {
+ public:
+  MultiValueAdam2Agent(Adam2Config config, std::vector<stats::Value> own_values);
+
+  [[nodiscard]] const std::vector<stats::Value>& own_values() const {
+    return values_;
+  }
+
+ protected:
+  [[nodiscard]] ContributionFn contribution_fn(
+      const sim::AgentContext& ctx) const override;
+  [[nodiscard]] std::pair<double, double> local_extremes(
+      const sim::AgentContext& ctx) const override;
+  void augment_thresholds(std::vector<double>& thresholds) const override;
+  void finalize_points(std::vector<stats::CdfPoint>& points,
+                       std::vector<stats::CdfPoint>& verification)
+      const override;
+
+ private:
+  std::vector<stats::Value> values_;  // Sorted ascending.
+};
+
+}  // namespace adam2::core

@@ -1,0 +1,67 @@
+// Interpolation-point selection (§V) and verification-point placement (§VI).
+//
+// All functions are pure: they take the previous CDF interpolation (or raw
+// neighbour values) and return the new threshold set, sorted and strictly
+// increasing. Every selector returns exactly `lambda` thresholds, padding by
+// splitting the widest gaps when a heuristic produces duplicates — constant
+// message sizes keep the cost evaluation faithful.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "rng/rng.hpp"
+#include "stats/cdf.hpp"
+
+namespace adam2::core {
+
+/// `lambda` thresholds evenly spaced strictly inside (lo, hi).
+[[nodiscard]] std::vector<double> uniform_thresholds(double lo, double hi,
+                                                     std::size_t lambda);
+
+/// Bootstrap from a random subset of neighbours' attribute values (§VII-B):
+/// takes up to `lambda` distinct sampled values as thresholds and pads with
+/// uniform points between the sampled extremes when too few are available.
+[[nodiscard]] std::vector<double> neighbour_thresholds(
+    std::span<const stats::Value> neighbour_values, std::size_t lambda,
+    rng::Rng& rng);
+
+/// HCut (§V-A): thresholds at the i/(lambda+1) quantiles of the previous
+/// interpolation, bounding the vertical gap between consecutive points by
+/// roughly 1/(lambda+1).
+[[nodiscard]] std::vector<double> hcut(const stats::PiecewiseLinearCdf& prev,
+                                       std::size_t lambda);
+
+/// MinMax (Figure 3): iteratively splits the widest vertical gap while
+/// removing the midpoint of the narrowest three-point cluster, homing in on
+/// steps of the CDF.
+[[nodiscard]] std::vector<double> minmax(const stats::PiecewiseLinearCdf& prev,
+                                         std::size_t lambda);
+
+/// LCut (§V-B): divides the previous interpolation curve into lambda + 1
+/// segments of equal Euclidean length, with the t-axis rescaled by
+/// (max - min) to equalise the coordinate ranges.
+[[nodiscard]] std::vector<double> lcut(const stats::PiecewiseLinearCdf& prev,
+                                       std::size_t lambda);
+
+/// Verification thresholds for EstErrm (§VI): iteratively bisects the pair of
+/// consecutive knots with the largest vertical distance, probing where the
+/// true CDF and the interpolation most likely diverge.
+[[nodiscard]] std::vector<double> bisection_thresholds(
+    const stats::PiecewiseLinearCdf& prev, std::size_t count);
+
+/// Dispatch helper over the configured heuristic.
+[[nodiscard]] std::vector<double> select_points(
+    const stats::PiecewiseLinearCdf& prev, std::size_t lambda,
+    SelectionHeuristic heuristic);
+
+/// Sorts, deduplicates (with tolerance), clamps into (lo, hi), and pads or
+/// trims so exactly `lambda` strictly increasing thresholds remain.
+/// Exposed for testing; all selectors call it on their way out.
+[[nodiscard]] std::vector<double> sanitize_thresholds(std::vector<double> ts,
+                                                      double lo, double hi,
+                                                      std::size_t lambda);
+
+}  // namespace adam2::core

@@ -1,0 +1,326 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/combine.hpp"
+#include "core/point_selection.hpp"
+#include "stats/error_metrics.hpp"
+
+namespace adam2::core {
+
+Adam2Agent::Adam2Agent(Adam2Config config)
+    : config_(config), lambda_(config.lambda) {
+  assert(config_.lambda >= 1);
+  assert(config_.instance_ttl >= 1);
+}
+
+ContributionFn Adam2Agent::contribution_fn(
+    const sim::AgentContext& ctx) const {
+  const double attribute = static_cast<double>(ctx.attribute);
+  return [attribute](double t) { return attribute <= t ? 1.0 : 0.0; };
+}
+
+std::pair<double, double> Adam2Agent::local_extremes(
+    const sim::AgentContext& ctx) const {
+  const double attribute = static_cast<double>(ctx.attribute);
+  return {attribute, attribute};
+}
+
+bool Adam2Agent::eligible(const sim::AgentContext& ctx,
+                          const wire::InstancePayload& payload) const {
+  // Nodes ignore instances that started before they entered the system
+  // (§VII-G), so a partial contribution never distorts a running average —
+  // and never rejoin an instance this node already finalised (stragglers'
+  // messages can arrive after local termination).
+  return payload.start_round >= ctx.birth_round &&
+         !finalized_ids_.contains(payload.id);
+}
+
+void Adam2Agent::on_round_start(sim::AgentContext& ctx) {
+  // TTL bookkeeping first. An instance with ttl == 0 has already gossiped
+  // through its full ttl's worth of rounds and terminates now; the others
+  // burn one round. (Finalising before decrementing gives an instance with
+  // ttl = T exactly T exchange rounds.)
+  std::vector<wire::InstanceId> finished;
+  for (auto& [id, state] : active_) {
+    if (state.ttl == 0) {
+      finished.push_back(id);
+      continue;
+    }
+    --state.ttl;
+  }
+  for (wire::InstanceId id : finished) {
+    auto it = active_.find(id);
+    InstanceState state = std::move(it->second);
+    active_.erase(it);
+    finalize(ctx, std::move(state));
+  }
+
+  // Probabilistic instance creation: Ps = 1 / (Np * R) per round (§IV).
+  if (config_.restart_every_r > 0.0) {
+    const double np =
+        n_estimate_ > 0.0 ? n_estimate_ : config_.initial_n_estimate;
+    if (np >= 1.0) {
+      const double ps = 1.0 / (np * config_.restart_every_r);
+      if (ctx.rng.bernoulli(ps)) start_instance(ctx);
+    }
+  }
+}
+
+std::vector<double> Adam2Agent::choose_thresholds(sim::AgentContext& ctx) {
+  if (estimate_ && !estimate_->cdf.empty()) {
+    return select_points(estimate_->cdf, lambda_, config_.heuristic);
+  }
+  // Bootstrap (§VII-B): no prior estimate.
+  std::vector<stats::Value> known =
+      ctx.overlay.known_attribute_values(ctx.self, ctx.host);
+  known.push_back(ctx.attribute);
+  if (config_.bootstrap == BootstrapPoints::kNeighbourBased) {
+    return neighbour_thresholds(known, lambda_, ctx.rng);
+  }
+  const auto [lo_it, hi_it] = std::minmax_element(known.begin(), known.end());
+  return uniform_thresholds(static_cast<double>(*lo_it),
+                            static_cast<double>(*hi_it), lambda_);
+}
+
+std::vector<double> Adam2Agent::choose_verification(sim::AgentContext& ctx,
+                                                    double lo, double hi) {
+  if (config_.verification_points == 0) return {};
+  if (config_.verification_mode == VerificationMode::kBisection && estimate_ &&
+      !estimate_->cdf.empty()) {
+    return bisection_thresholds(estimate_->cdf, config_.verification_points);
+  }
+  // Uniform verification thresholds between the known extremes (§VI). Use a
+  // private stream so verification never perturbs the threshold choice.
+  (void)ctx;
+  return uniform_thresholds(lo, hi, config_.verification_points);
+}
+
+wire::InstanceId Adam2Agent::start_instance(sim::AgentContext& ctx) {
+  const wire::InstanceId id{ctx.self, next_seq_++};
+  std::vector<double> thresholds = choose_thresholds(ctx);
+
+  double lo = 0.0;
+  double hi = 0.0;
+  if (estimate_ && !estimate_->cdf.empty()) {
+    lo = estimate_->min_value;
+    hi = estimate_->max_value;
+  } else if (!thresholds.empty()) {
+    lo = thresholds.front();
+    hi = thresholds.back();
+  }
+  std::vector<double> verification = choose_verification(ctx, lo, hi);
+
+  augment_thresholds(thresholds);
+  const auto [local_min, local_max] = local_extremes(ctx);
+  InstanceState state = InstanceState::start(
+      id, ctx.round, config_.instance_ttl, thresholds, verification,
+      contribution_fn(ctx), local_min, local_max);
+  active_.emplace(id, std::move(state));
+  return id;
+}
+
+std::vector<std::byte> Adam2Agent::make_request(sim::AgentContext& ctx) {
+  if (active_.empty()) return {};
+  wire::Adam2MessageBuilder builder(wire::MessageType::kAdam2Request,
+                                    ctx.self);
+  for (const auto& [id, state] : active_) builder.add(state);
+  return builder.finish();
+}
+
+std::vector<std::byte> Adam2Agent::handle_request(
+    sim::AgentContext& ctx, std::span<const std::byte> request) {
+  wire::Adam2Message incoming;
+  try {
+    incoming = wire::Adam2Message::decode(request);
+  } catch (const wire::DecodeError&) {
+    return {};  // Corrupt or foreign message: drop it, as a deployment would.
+  }
+
+  wire::Adam2MessageBuilder reply(wire::MessageType::kAdam2Response, ctx.self);
+
+  for (const wire::InstancePayload& payload : incoming.instances) {
+    if ((payload.flags & wire::kFlagEmptySet) != 0) continue;
+    if (!eligible(ctx, payload)) continue;
+    auto it = active_.find(payload.id);
+    if (it != active_.end()) {
+      // Symmetric exchange: reply with the pre-merge state, then average.
+      reply.add(it->second);
+      it->second.average_with(payload);
+      continue;
+    }
+    // First contact with this instance: join it.
+    const auto [local_min, local_max] = local_extremes(ctx);
+    InstanceState joined =
+        InstanceState::join(payload, contribution_fn(ctx), local_min, local_max);
+    if (config_.join_policy == JoinPolicy::kMassConserving) {
+      // Reply with the initial values so both sides end at the same average:
+      // total mass grows by exactly this node's contribution.
+      reply.add(joined);
+    } else {
+      // Figure-1 literal: reply with an empty set, which the requester will
+      // ignore. Not mass conserving; kept for the ablation bench.
+      reply.add_empty_set(payload);
+    }
+    joined.average_with(payload);
+    active_.emplace(payload.id, std::move(joined));
+  }
+
+  // Instances the requester did not mention spread through responses too.
+  for (const auto& [id, state] : active_) {
+    const bool requested = std::any_of(
+        incoming.instances.begin(), incoming.instances.end(),
+        [&](const wire::InstancePayload& p) { return p.id == id; });
+    if (!requested) reply.add(state);
+  }
+
+  if (reply.count() == 0) return {};
+  return reply.finish();
+}
+
+void Adam2Agent::handle_response(sim::AgentContext& ctx,
+                                 std::span<const std::byte> response) {
+  wire::Adam2Message incoming;
+  try {
+    incoming = wire::Adam2Message::decode(response);
+  } catch (const wire::DecodeError&) {
+    return;
+  }
+  for (const wire::InstancePayload& payload : incoming.instances) {
+    if ((payload.flags & wire::kFlagEmptySet) != 0) continue;
+    if (!eligible(ctx, payload)) continue;
+    auto it = active_.find(payload.id);
+    if (it != active_.end()) {
+      it->second.average_with(payload);
+      continue;
+    }
+    const auto [local_min, local_max] = local_extremes(ctx);
+    InstanceState joined =
+        InstanceState::join(payload, contribution_fn(ctx), local_min, local_max);
+    if (config_.join_policy == JoinPolicy::kPaperLiteral) {
+      joined.average_with(payload);
+    }
+    // Mass-conserving requester join: initialise only — the responder cannot
+    // learn our initial values within this exchange, so averaging here would
+    // create mass out of nothing.
+    active_.emplace(payload.id, std::move(joined));
+  }
+}
+
+void Adam2Agent::finalize(sim::AgentContext& /*ctx*/, InstanceState&& state) {
+  finalized_ids_.insert(state.id);
+  finalized_order_.push_back(state.id);
+  while (finalized_order_.size() > kFinalizedMemory) {
+    finalized_ids_.erase(finalized_order_.front());
+    finalized_order_.pop_front();
+  }
+
+  std::vector<stats::CdfPoint> points = std::move(state.points);
+  std::vector<stats::CdfPoint> verification = std::move(state.verification);
+  finalize_points(points, verification);
+
+  Estimate result;
+  result.instance = state.id;
+  result.completed_round = state.start_round + config_.instance_ttl;
+  result.min_value = state.min_value;
+  result.max_value = state.max_value;
+  result.points = points;
+  result.cdf =
+      stats::interpolate_with_extremes(points, state.min_value, state.max_value);
+  if (config_.enforce_monotone) result.cdf = result.cdf.make_monotone();
+  if (state.weight > 1e-12) {
+    result.n_estimate = 1.0 / state.weight;
+    n_estimate_ = result.n_estimate;
+  }
+  if (!verification.empty()) {
+    result.self_assessment = stats::estimation_errors(result.cdf, verification);
+    if (config_.adaptive) apply_adaptive_tuning(*result.self_assessment);
+  }
+  if (config_.combine_last_instances > 1) {
+    history_.push_back(result);
+    while (history_.size() > config_.combine_last_instances) {
+      history_.pop_front();
+    }
+    const std::vector<Estimate> window(history_.begin(), history_.end());
+    estimate_ = combine_estimates(window);
+  } else {
+    estimate_ = std::move(result);
+  }
+  ++completed_;
+}
+
+void Adam2Agent::apply_adaptive_tuning(const stats::ErrorPair& assessment) {
+  const AdaptiveTuning& tuning = *config_.adaptive;
+  const double est = config_.verification_mode == VerificationMode::kBisection
+                         ? assessment.max_err
+                         : assessment.avg_err;
+  double next = static_cast<double>(lambda_);
+  if (est > tuning.target_avg_error) {
+    next *= tuning.grow_factor;
+  } else if (est < tuning.slack * tuning.target_avg_error) {
+    next *= tuning.shrink_factor;
+  }
+  lambda_ = std::clamp(static_cast<std::size_t>(std::llround(next)),
+                       tuning.min_lambda, tuning.max_lambda);
+}
+
+const InstanceState* Adam2Agent::instance(wire::InstanceId id) const {
+  auto it = active_.find(id);
+  return it == active_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::byte> Adam2Agent::make_bootstrap_request(
+    sim::AgentContext& ctx) {
+  return wire::BootstrapRequest{ctx.self}.encode();
+}
+
+std::vector<std::byte> Adam2Agent::handle_bootstrap_request(
+    sim::AgentContext& ctx, std::span<const std::byte> request) {
+  try {
+    (void)wire::BootstrapRequest::decode(request);
+  } catch (const wire::DecodeError&) {
+    return {};
+  }
+  wire::BootstrapResponse response;
+  response.sender = ctx.self;
+  response.n_estimate = n_estimate_;
+  if (estimate_) {
+    response.min_value = estimate_->min_value;
+    response.max_value = estimate_->max_value;
+    response.cdf_knots.assign(estimate_->cdf.knots().begin(),
+                              estimate_->cdf.knots().end());
+  }
+  return response.encode();
+}
+
+bool Adam2Agent::handle_bootstrap_response(sim::AgentContext& ctx,
+                                           std::span<const std::byte> response) {
+  wire::BootstrapResponse incoming;
+  try {
+    incoming = wire::BootstrapResponse::decode(response);
+  } catch (const wire::DecodeError&) {
+    return false;
+  }
+  if (incoming.n_estimate > 0.0) n_estimate_ = incoming.n_estimate;
+  if (incoming.cdf_knots.empty()) return false;  // Neighbour had nothing yet.
+
+  // Joining nodes receive an initial CDF approximation from a neighbour
+  // (§VII-G); it is marked inherited so evaluations can distinguish it.
+  Estimate inherited;
+  inherited.completed_round = ctx.round;
+  inherited.min_value = incoming.min_value;
+  inherited.max_value = incoming.max_value;
+  inherited.cdf = stats::PiecewiseLinearCdf{std::move(incoming.cdf_knots)};
+  const auto knots = inherited.cdf.knots();
+  if (knots.size() > 2) {
+    inherited.points.assign(knots.begin() + 1, knots.end() - 1);
+  }
+  inherited.n_estimate = incoming.n_estimate;
+  inherited.inherited = true;
+  estimate_ = std::move(inherited);
+  return true;
+}
+
+}  // namespace adam2::core

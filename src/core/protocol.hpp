@@ -1,0 +1,122 @@
+// The Adam2 per-node protocol (§IV-§VI) as a simulator agent.
+//
+// Each node continuously runs: probabilistic instance creation with
+// Ps = 1/(Np*R); joining instances it hears about through gossip; symmetric
+// push-pull averaging of interpolation points, verification points, and the
+// size-estimation weight; TTL-driven termination producing an Estimate; and
+// (optionally) lambda self-tuning from the instance's self-assessment.
+//
+// Two join policies are supported (DESIGN.md §1): the default mass-conserving
+// join, under which every instance's point averages converge exactly to the
+// true fractions, and the paper-literal Figure-1 rule kept for the ablation
+// bench.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/config.hpp"
+#include "core/estimate.hpp"
+#include "core/instance.hpp"
+#include "sim/agent.hpp"
+
+namespace adam2::core {
+
+class Adam2Agent : public sim::NodeAgent {
+ public:
+  explicit Adam2Agent(Adam2Config config);
+
+  // -- sim::NodeAgent ------------------------------------------------------
+  void on_round_start(sim::AgentContext& ctx) override;
+  [[nodiscard]] std::vector<std::byte> make_request(
+      sim::AgentContext& ctx) override;
+  [[nodiscard]] std::vector<std::byte> handle_request(
+      sim::AgentContext& ctx, std::span<const std::byte> request) override;
+  void handle_response(sim::AgentContext& ctx,
+                       std::span<const std::byte> response) override;
+  [[nodiscard]] std::vector<std::byte> make_bootstrap_request(
+      sim::AgentContext& ctx) override;
+  [[nodiscard]] std::vector<std::byte> handle_bootstrap_request(
+      sim::AgentContext& ctx, std::span<const std::byte> request) override;
+  bool handle_bootstrap_response(sim::AgentContext& ctx,
+                                 std::span<const std::byte> response) override;
+
+  // -- Experiment control / introspection ----------------------------------
+
+  /// Starts a new aggregation instance on this node (scripted experiments;
+  /// probabilistic mode calls this internally). Returns the new instance id.
+  wire::InstanceId start_instance(sim::AgentContext& ctx);
+
+  /// The node's most recent CDF estimate, if any.
+  [[nodiscard]] const std::optional<Estimate>& estimate() const {
+    return estimate_;
+  }
+
+  /// Current system-size estimate Np (0 = none yet).
+  [[nodiscard]] double n_estimate() const { return n_estimate_; }
+
+  [[nodiscard]] std::size_t active_instance_count() const {
+    return active_.size();
+  }
+  [[nodiscard]] const InstanceState* instance(wire::InstanceId id) const;
+  [[nodiscard]] std::size_t completed_instances() const { return completed_; }
+
+  [[nodiscard]] const Adam2Config& config() const { return config_; }
+
+  /// Lambda that the *next* instance started here will use (changes under
+  /// adaptive tuning).
+  [[nodiscard]] std::size_t current_lambda() const { return lambda_; }
+
+ protected:
+  // Extension hooks (multi-value nodes override these, §IV "Multiple
+  // Attribute Values per Node").
+
+  /// This node's initial contribution for a threshold t.
+  [[nodiscard]] virtual ContributionFn contribution_fn(
+      const sim::AgentContext& ctx) const;
+
+  /// This node's local extreme attribute values.
+  [[nodiscard]] virtual std::pair<double, double> local_extremes(
+      const sim::AgentContext& ctx) const;
+
+  /// Lets extensions add bookkeeping thresholds before an instance starts.
+  virtual void augment_thresholds(std::vector<double>& /*thresholds*/) const {}
+
+  /// Lets extensions rewrite the converged points before interpolation.
+  virtual void finalize_points(std::vector<stats::CdfPoint>& /*points*/,
+                               std::vector<stats::CdfPoint>& /*verification*/)
+      const {}
+
+ private:
+  [[nodiscard]] bool eligible(const sim::AgentContext& ctx,
+                              const wire::InstancePayload& payload) const;
+  void finalize(sim::AgentContext& ctx, InstanceState&& state);
+  [[nodiscard]] std::vector<double> choose_thresholds(sim::AgentContext& ctx);
+  [[nodiscard]] std::vector<double> choose_verification(
+      sim::AgentContext& ctx, double lo, double hi);
+  void apply_adaptive_tuning(const stats::ErrorPair& assessment);
+
+  Adam2Config config_;
+  std::size_t lambda_;  ///< Live lambda (config_.lambda + adaptive tuning).
+  std::unordered_map<wire::InstanceId, InstanceState, wire::InstanceIdHash>
+      active_;
+  std::optional<Estimate> estimate_;
+  /// Raw per-instance estimates kept for point combining (§VII-D); bounded
+  /// by config_.combine_last_instances.
+  std::deque<Estimate> history_;
+  /// Tombstones of recently finalised instances. Peers finalise at slightly
+  /// different moments (especially under asynchronous gossip), and a
+  /// straggler's message must not resurrect an instance this node already
+  /// completed — a rejoined instance would average from scratch and corrupt
+  /// the estimate. Bounded FIFO memory.
+  std::unordered_set<wire::InstanceId, wire::InstanceIdHash> finalized_ids_;
+  std::deque<wire::InstanceId> finalized_order_;
+  static constexpr std::size_t kFinalizedMemory = 128;
+  double n_estimate_ = 0.0;
+  std::uint32_t next_seq_ = 0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace adam2::core

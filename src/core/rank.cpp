@@ -1,0 +1,58 @@
+#include "core/rank.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adam2::core {
+
+RankInfo rank_of(const Estimate& estimate, double own_value) {
+  assert(!estimate.cdf.empty());
+  RankInfo info;
+  info.percentile = estimate.cdf(own_value);
+  info.n_estimate = estimate.n_estimate;
+  // Fractional 1-based rank; F(min) nodes share the bottom position.
+  info.rank = std::max(1.0, info.percentile * estimate.n_estimate);
+  return info;
+}
+
+std::size_t slice_of(const Estimate& estimate, double own_value,
+                     std::size_t slices) {
+  assert(slices >= 1);
+  const double percentile = estimate.cdf(own_value);
+  auto slice = static_cast<std::size_t>(percentile * static_cast<double>(slices));
+  return std::min(slice, slices - 1);  // percentile == 1 maps to the last.
+}
+
+std::vector<double> slice_boundaries(const Estimate& estimate,
+                                     std::size_t slices) {
+  assert(slices >= 1);
+  assert(!estimate.cdf.empty());
+  std::vector<double> boundaries;
+  boundaries.reserve(slices - 1);
+  for (std::size_t i = 1; i < slices; ++i) {
+    boundaries.push_back(estimate.cdf.inverse(
+        static_cast<double>(i) / static_cast<double>(slices)));
+  }
+  return boundaries;
+}
+
+ShapeSummary summarize_shape(const Estimate& estimate) {
+  assert(!estimate.cdf.empty());
+  ShapeSummary summary;
+  summary.q25 = estimate.cdf.inverse(0.25);
+  summary.median = estimate.cdf.inverse(0.50);
+  summary.q75 = estimate.cdf.inverse(0.75);
+  summary.p95 = estimate.cdf.inverse(0.95);
+  const double iqr = summary.q75 - summary.q25;
+  if (iqr > 0.0) {
+    summary.quartile_skew =
+        (summary.q75 + summary.q25 - 2.0 * summary.median) / iqr;
+  }
+  const double range = estimate.max_value - estimate.min_value;
+  if (range > 0.0) {
+    summary.upper_tail_span = (estimate.max_value - summary.p95) / range;
+  }
+  return summary;
+}
+
+}  // namespace adam2::core

@@ -1,0 +1,60 @@
+// Rank and slice derivation from a CDF estimate.
+//
+// §II positions Adam2 against dedicated ranking/slicing protocols [8]-[10]:
+// those compute only a node's rank (1..N) or slice, while a distribution
+// estimate subsumes them — rank(p) ~= F(A(p)) * N — *and* reveals skew,
+// imbalance, and outliers that ranks by construction cannot. These helpers
+// make the subsumption concrete: given an Estimate, any node computes its
+// own rank, percentile, and slice membership locally, with zero additional
+// communication.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/estimate.hpp"
+
+namespace adam2::core {
+
+/// A node's position in the population ordering, derived locally.
+struct RankInfo {
+  double percentile = 0.0;   ///< F(own value) in [0, 1].
+  double rank = 0.0;         ///< percentile * N (1-based, fractional).
+  double n_estimate = 0.0;   ///< The N used for the rank.
+};
+
+/// Rank of a node holding `own_value` under `estimate`.
+/// Precondition: the estimate holds a CDF and a positive n_estimate.
+[[nodiscard]] RankInfo rank_of(const Estimate& estimate, double own_value);
+
+/// Equal-population slicing (the "ordered slicing" service of [9]): assigns
+/// the node to one of `slices` groups of ~N/slices nodes each, ordered by
+/// attribute value. Returns the 0-based slice index.
+[[nodiscard]] std::size_t slice_of(const Estimate& estimate, double own_value,
+                                   std::size_t slices);
+
+/// Boundaries (attribute thresholds) of equal-population slices: the
+/// (i/slices)-quantiles of the estimated CDF for i = 1..slices-1. A slice
+/// leader can publish these so nodes self-assign without gossip.
+[[nodiscard]] std::vector<double> slice_boundaries(const Estimate& estimate,
+                                                   std::size_t slices);
+
+/// Distribution-shape summary that rank-only protocols cannot provide
+/// (the §II argument): quartiles, tail weight, and a skew indicator.
+struct ShapeSummary {
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double p95 = 0.0;
+  /// Bowley skewness in [-1, 1]: (q75 + q25 - 2*median) / (q75 - q25);
+  /// 0 when the quartiles are symmetric around the median.
+  double quartile_skew = 0.0;
+  /// Fraction of the attribute *range* above the 95th population percentile
+  /// — large values mean a long, thin upper tail (outlier candidates).
+  double upper_tail_span = 0.0;
+};
+
+[[nodiscard]] ShapeSummary summarize_shape(const Estimate& estimate);
+
+}  // namespace adam2::core

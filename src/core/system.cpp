@@ -1,0 +1,67 @@
+#include "core/system.hpp"
+
+#include <stdexcept>
+
+#include "sim/overlay.hpp"
+
+namespace adam2::core {
+
+std::unique_ptr<sim::Overlay> make_overlay(OverlayKind kind,
+                                           std::size_t degree) {
+  switch (kind) {
+    case OverlayKind::kStaticRandom:
+      return std::make_unique<sim::StaticRandomOverlay>(degree);
+    case OverlayKind::kCyclon: {
+      sim::CyclonConfig config;
+      config.view_size = degree;
+      config.shuffle_size = std::max<std::size_t>(1, degree / 2);
+      return std::make_unique<sim::CyclonOverlay>(config);
+    }
+  }
+  throw std::invalid_argument("unknown overlay kind");
+}
+
+Adam2System::Adam2System(SystemConfig config,
+                         std::vector<stats::Value> attributes,
+                         sim::AttributeSource churn_source)
+    : config_(config) {
+  const Adam2Config protocol = config_.protocol;
+  engine_ = std::make_unique<sim::Engine>(
+      config_.engine, std::move(attributes),
+      make_overlay(config_.overlay, config_.overlay_degree),
+      [protocol](const sim::AgentContext&) {
+        return std::make_unique<Adam2Agent>(protocol);
+      },
+      std::move(churn_source));
+}
+
+Adam2Agent& Adam2System::agent_of(sim::NodeId id) {
+  auto* agent = dynamic_cast<Adam2Agent*>(&engine_->agent(id));
+  if (agent == nullptr) throw std::logic_error("node is not running Adam2");
+  return *agent;
+}
+
+stats::EmpiricalCdf Adam2System::truth() const {
+  return stats::EmpiricalCdf{engine_->live_attribute_values()};
+}
+
+wire::InstanceId Adam2System::start_instance(
+    std::optional<sim::NodeId> initiator) {
+  const sim::NodeId node = initiator.value_or(engine_->random_live_node());
+  auto ctx = engine_->context_for(node);
+  return agent_of(node).start_instance(ctx);
+}
+
+wire::InstanceId Adam2System::run_instance(
+    std::optional<sim::NodeId> initiator) {
+  const wire::InstanceId id = start_instance(initiator);
+  // ttl exchange rounds plus the round whose round-start finalises it.
+  engine_->run_rounds(config_.protocol.instance_ttl + 1u);
+  return id;
+}
+
+PopulationErrors Adam2System::errors(const EvaluationOptions& options) const {
+  return evaluate_estimates(*engine_, truth(), options);
+}
+
+}  // namespace adam2::core

@@ -1,0 +1,73 @@
+// Adam2System: the convenience facade tying the substrates together.
+//
+// Builds an Engine over the chosen overlay, one Adam2Agent per node, and
+// exposes instance control plus result access — the public API the examples
+// and most experiments use. Scripted experiments start instances explicitly;
+// setting Adam2Config::restart_every_r > 0 instead lets nodes self-select
+// probabilistically as in a real deployment (§IV).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/evaluation.hpp"
+#include "core/protocol.hpp"
+#include "sim/cyclon.hpp"
+#include "sim/engine.hpp"
+
+namespace adam2::core {
+
+enum class OverlayKind : std::uint8_t {
+  kStaticRandom,  ///< Fixed random graph.
+  kCyclon,        ///< Gossip peer sampling (default; feeds neighbour bootstrap).
+};
+
+struct SystemConfig {
+  sim::EngineConfig engine;
+  Adam2Config protocol;
+  OverlayKind overlay = OverlayKind::kCyclon;
+  /// Degree of the static graph / view size of Cyclon.
+  std::size_t overlay_degree = 20;
+};
+
+class Adam2System {
+ public:
+  /// Builds a system of `attributes.size()` nodes holding those values.
+  /// `churn_source` provides attribute values for churned-in nodes (required
+  /// when engine.churn_rate > 0, unused otherwise).
+  Adam2System(SystemConfig config, std::vector<stats::Value> attributes,
+              sim::AttributeSource churn_source = nullptr);
+
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+  /// The Adam2 agent running on `id`.
+  [[nodiscard]] Adam2Agent& agent_of(sim::NodeId id);
+
+  /// Ground-truth CDF of the current live population.
+  [[nodiscard]] stats::EmpiricalCdf truth() const;
+
+  /// Starts an aggregation instance on `initiator` (default: random node).
+  wire::InstanceId start_instance(std::optional<sim::NodeId> initiator = {});
+
+  /// Starts an instance and runs rounds until it has terminated everywhere;
+  /// afterwards every participating node holds a fresh Estimate.
+  wire::InstanceId run_instance(std::optional<sim::NodeId> initiator = {});
+
+  void run_rounds(std::size_t count) { engine_->run_rounds(count); }
+
+  /// Population errors of the completed estimates against current truth.
+  [[nodiscard]] PopulationErrors errors(
+      const EvaluationOptions& options = {}) const;
+
+ private:
+  SystemConfig config_;
+  std::unique_ptr<sim::Engine> engine_;
+};
+
+/// Builds the overlay for `kind` (shared with the baselines' drivers).
+[[nodiscard]] std::unique_ptr<sim::Overlay> make_overlay(OverlayKind kind,
+                                                         std::size_t degree);
+
+}  // namespace adam2::core

@@ -1,0 +1,34 @@
+// Node attribute identities for the evaluation workloads.
+//
+// The paper evaluates on per-host attributes extracted from the 2008 BOINC
+// volunteer-computing trace [5]: measured CPU performance, installed memory,
+// measured downstream bandwidth, and installed disk space. We generate
+// synthetic equivalents (see data/boinc_synth.hpp and DESIGN.md §4).
+#pragma once
+
+#include <string_view>
+
+namespace adam2::data {
+
+enum class Attribute {
+  kCpuMflops,      ///< Measured CPU performance — smooth CDF (Fig. 4).
+  kRamMb,          ///< Installed memory — heavily stepped CDF (Fig. 4).
+  kBandwidthKbps,  ///< Measured downstream bandwidth — tiered heavy tail.
+  kDiskGb,         ///< Installed disk space — mildly stepped mixture.
+};
+
+[[nodiscard]] constexpr std::string_view attribute_name(Attribute a) noexcept {
+  switch (a) {
+    case Attribute::kCpuMflops: return "cpu_mflops";
+    case Attribute::kRamMb: return "ram_mb";
+    case Attribute::kBandwidthKbps: return "bandwidth_kbps";
+    case Attribute::kDiskGb: return "disk_gb";
+  }
+  return "unknown";
+}
+
+inline constexpr Attribute kAllAttributes[] = {
+    Attribute::kCpuMflops, Attribute::kRamMb, Attribute::kBandwidthKbps,
+    Attribute::kDiskGb};
+
+}  // namespace adam2::data

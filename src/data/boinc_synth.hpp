@@ -1,0 +1,37 @@
+// Synthetic stand-in for the 2008 BOINC host trace [5].
+//
+// The real trace is not redistributable, so we generate attribute populations
+// calibrated to the qualitative CDF shapes the paper's Figure 4 shows and the
+// evaluation depends on:
+//
+//  * CPU (MFLOPS): smooth lognormal mixture spanning ~50-25,000 MFLOPS —
+//    the "easy" curve every heuristic approximates well.
+//  * RAM (MB): mass concentrated on commodity module sizes (256 MB ... 8 GB)
+//    with a small fraction of off-step values (e.g. memory shared with
+//    integrated graphics) — the heavily stepped curve where interpolation
+//    point placement decides accuracy.
+//  * Bandwidth (kbps): access-technology tiers with multiplicative
+//    measurement noise — a heavy-tailed, semi-stepped curve.
+//  * Disk (GB): commodity drive sizes with wide jitter — mildly stepped.
+//
+// All values are positive integers (the paper's discrete attribute space).
+// DESIGN.md §4 documents why this substitution preserves the evaluation.
+#pragma once
+
+#include <vector>
+
+#include "data/attribute.hpp"
+#include "rng/rng.hpp"
+#include "stats/cdf.hpp"
+
+namespace adam2::data {
+
+/// Draws one attribute value from the synthetic population of `kind`.
+[[nodiscard]] stats::Value sample_attribute(Attribute kind, rng::Rng& rng);
+
+/// Generates `n` attribute values of `kind`.
+[[nodiscard]] std::vector<stats::Value> generate_population(Attribute kind,
+                                                            std::size_t n,
+                                                            rng::Rng& rng);
+
+}  // namespace adam2::data

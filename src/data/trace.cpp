@@ -1,0 +1,120 @@
+#include "data/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "data/boinc_synth.hpp"
+
+namespace adam2::data {
+namespace {
+
+constexpr char kHeader[] = "host_id,cpu_mflops,ram_mb,bandwidth_kbps,disk_gb";
+
+// Paper-style sanity bounds; readings outside are considered faulty.
+constexpr stats::Value kMaxCpuMflops = 10'000'000;       // 10 TFLOPS/host
+constexpr stats::Value kMaxRamMb = 4'194'304;            // 4 TB
+constexpr stats::Value kMaxBandwidthKbps = 100'000'000;  // 100 Gbit/s
+constexpr stats::Value kMaxDiskGb = 1'048'576;           // 1 PB
+
+bool is_sane(const HostRecord& r) {
+  return r.cpu_mflops > 0 && r.cpu_mflops <= kMaxCpuMflops && r.ram_mb > 0 &&
+         r.ram_mb <= kMaxRamMb && r.bandwidth_kbps > 0 &&
+         r.bandwidth_kbps <= kMaxBandwidthKbps && r.disk_gb > 0 &&
+         r.disk_gb <= kMaxDiskGb;
+}
+
+}  // namespace
+
+stats::Value attribute_of(const HostRecord& record, Attribute kind) {
+  switch (kind) {
+    case Attribute::kCpuMflops: return record.cpu_mflops;
+    case Attribute::kRamMb: return record.ram_mb;
+    case Attribute::kBandwidthKbps: return record.bandwidth_kbps;
+    case Attribute::kDiskGb: return record.disk_gb;
+  }
+  assert(false && "unknown attribute");
+  return 0;
+}
+
+std::vector<stats::Value> attribute_column(
+    const std::vector<HostRecord>& records, Attribute kind) {
+  std::vector<stats::Value> column;
+  column.reserve(records.size());
+  for (const HostRecord& r : records) column.push_back(attribute_of(r, kind));
+  return column;
+}
+
+std::vector<HostRecord> filter_faulty(std::vector<HostRecord> records) {
+  std::erase_if(records, [](const HostRecord& r) { return !is_sane(r); });
+  return records;
+}
+
+std::vector<HostRecord> synthesize_trace(std::size_t n, rng::Rng& rng) {
+  std::vector<HostRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records.push_back(HostRecord{
+        .host_id = static_cast<std::int64_t>(i),
+        .cpu_mflops = sample_attribute(Attribute::kCpuMflops, rng),
+        .ram_mb = sample_attribute(Attribute::kRamMb, rng),
+        .bandwidth_kbps = sample_attribute(Attribute::kBandwidthKbps, rng),
+        .disk_gb = sample_attribute(Attribute::kDiskGb, rng),
+    });
+  }
+  return records;
+}
+
+void write_csv(std::ostream& out, const std::vector<HostRecord>& records) {
+  out << kHeader << '\n';
+  for (const HostRecord& r : records) {
+    out << r.host_id << ',' << r.cpu_mflops << ',' << r.ram_mb << ','
+        << r.bandwidth_kbps << ',' << r.disk_gb << '\n';
+  }
+}
+
+std::vector<HostRecord> read_csv(std::istream& in) {
+  std::vector<HostRecord> records;
+  std::string line;
+  bool first = true;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line == kHeader) continue;  // Header optional.
+    }
+    std::istringstream row(line);
+    HostRecord r;
+    char comma = ',';
+    row >> r.host_id >> comma >> r.cpu_mflops >> comma >> r.ram_mb >> comma >>
+        r.bandwidth_kbps >> comma >> r.disk_gb;
+    if (!row) {
+      throw std::runtime_error("trace CSV parse error at line " +
+                               std::to_string(line_no));
+    }
+    records.push_back(r);
+  }
+  return records;
+}
+
+void save_trace(const std::string& path,
+                const std::vector<HostRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace for writing: " + path);
+  write_csv(out, records);
+  if (!out) throw std::runtime_error("error writing trace: " + path);
+}
+
+std::vector<HostRecord> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace for reading: " + path);
+  return read_csv(in);
+}
+
+}  // namespace adam2::data

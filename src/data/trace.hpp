@@ -1,0 +1,59 @@
+// Host trace records and CSV persistence.
+//
+// Mirrors what the paper extracted from the BOINC 2008 data set: one record
+// per host with the four measured attributes. Anyone holding the real trace
+// can export it to this CSV schema and run every experiment on it; the bench
+// harness otherwise generates synthetic populations (data/boinc_synth.hpp).
+// `filter_faulty` reproduces the paper's cleaning step (dropping obviously
+// broken readings such as negative memory).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/attribute.hpp"
+#include "rng/rng.hpp"
+#include "stats/cdf.hpp"
+
+namespace adam2::data {
+
+/// One host's attribute readings (CSV row).
+struct HostRecord {
+  std::int64_t host_id = 0;
+  stats::Value cpu_mflops = 0;
+  stats::Value ram_mb = 0;
+  stats::Value bandwidth_kbps = 0;
+  stats::Value disk_gb = 0;
+
+  friend bool operator==(const HostRecord&, const HostRecord&) = default;
+};
+
+/// Returns the value of `kind` within `record`.
+[[nodiscard]] stats::Value attribute_of(const HostRecord& record,
+                                        Attribute kind);
+
+/// Extracts one attribute column from a trace.
+[[nodiscard]] std::vector<stats::Value> attribute_column(
+    const std::vector<HostRecord>& records, Attribute kind);
+
+/// Drops records with non-positive or absurd readings, as the paper does
+/// ("a machine with a bandwidth capacity above 10^31 bps or one with a
+/// negative amount of memory").
+[[nodiscard]] std::vector<HostRecord> filter_faulty(
+    std::vector<HostRecord> records);
+
+/// Generates a synthetic trace of `n` hosts (boinc_synth distributions).
+[[nodiscard]] std::vector<HostRecord> synthesize_trace(std::size_t n,
+                                                       rng::Rng& rng);
+
+/// CSV round-trip. The header line is
+/// `host_id,cpu_mflops,ram_mb,bandwidth_kbps,disk_gb`.
+void write_csv(std::ostream& out, const std::vector<HostRecord>& records);
+[[nodiscard]] std::vector<HostRecord> read_csv(std::istream& in);
+
+/// File-path conveniences; throw std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const std::vector<HostRecord>& records);
+[[nodiscard]] std::vector<HostRecord> load_trace(const std::string& path);
+
+}  // namespace adam2::data

@@ -1,0 +1,92 @@
+#include "rng/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace adam2::rng {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) noexcept {
+  assert(rate > 0.0);
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  assert(xm > 0.0 && alpha > 0.0);
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slop: fall back to last index.
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> picked;
+  if (k >= n) {
+    picked.resize(n);
+    for (std::size_t i = 0; i < n; ++i) picked[i] = i;
+    return picked;
+  }
+  picked.reserve(k);
+  // Classic reservoir sampling; O(n) but branch-light and unbiased.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (picked.size() < k) {
+      picked.push_back(i);
+    } else {
+      const std::size_t j = below(i + 1);
+      if (j < k) picked[j] = i;
+    }
+  }
+  return picked;
+}
+
+}  // namespace adam2::rng

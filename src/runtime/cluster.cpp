@@ -1,0 +1,317 @@
+#include "runtime/cluster.hpp"
+
+#include <cassert>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+
+#include "sim/overlay.hpp"
+
+namespace adam2::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+/// HostView bridge the agents see. Membership is static, so liveness and
+/// attribute lookups are lock-free reads; traffic totals take a mutex (low
+/// contention: two short updates per exchange).
+class Cluster::HostBridge final : public sim::HostView {
+ public:
+  HostBridge(const std::vector<stats::Value>& attributes,
+             const std::vector<sim::NodeId>& ids)
+      : attributes_(attributes), ids_(ids) {}
+
+  [[nodiscard]] bool is_live(sim::NodeId id) const override {
+    return id < attributes_.size();
+  }
+  [[nodiscard]] stats::Value attribute_of(sim::NodeId id) const override {
+    return attributes_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] sim::Round round() const override {
+    return 0;  // Wall-clock runtime has no global round; agents use ctx.round.
+  }
+  [[nodiscard]] std::span<const sim::NodeId> live_ids() const override {
+    return ids_;
+  }
+  void record_traffic(sim::NodeId /*sender*/, sim::NodeId /*receiver*/,
+                      sim::Channel channel, std::size_t bytes) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    traffic_.on(channel).add_send(bytes);
+    traffic_.on(channel).add_receive(bytes);
+  }
+
+  [[nodiscard]] sim::TrafficStats snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return traffic_;
+  }
+
+ private:
+  const std::vector<stats::Value>& attributes_;
+  const std::vector<sim::NodeId>& ids_;
+  mutable std::mutex mutex_;
+  sim::TrafficStats traffic_;
+};
+
+/// One node: an agent, a mailbox, and the thread driving both.
+class Cluster::RuntimeNode {
+ public:
+  RuntimeNode(Cluster& cluster, sim::NodeId id, stats::Value attribute,
+              rng::Rng rng)
+      : cluster_(cluster), id_(id), attribute_(attribute), rng_(rng) {}
+
+  void create_agent(const sim::AgentFactory& factory) {
+    sim::AgentContext ctx = make_context();
+    agent_ = factory(ctx);
+    if (!agent_) throw std::runtime_error("agent factory returned null");
+  }
+
+  void start() {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  void request_stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    mailbox_.close();
+  }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Mailbox& mailbox() { return mailbox_; }
+
+  void post(Cluster::NodeTask task) {
+    {
+      const std::lock_guard<std::mutex> lock(tasks_mutex_);
+      tasks_.push_back(std::move(task));
+    }
+    // Wake the loop: an empty self-addressed envelope is cheapest.
+    mailbox_.push(Envelope{EnvelopeKind::kWakeup, id_, 0, {}});
+  }
+
+  /// Runs the task inline; only valid when the thread is not running
+  /// (before start / after join).
+  void run_inline(const Cluster::NodeTask& task) {
+    sim::AgentContext ctx = make_context();
+    task(*agent_, ctx);
+  }
+
+  [[nodiscard]] const sim::TrafficStats& traffic() const { return traffic_; }
+
+ private:
+  sim::AgentContext make_context() {
+    return sim::AgentContext{*cluster_.host_, *cluster_.overlay_,
+                             id_,            local_round_,
+                             0,              attribute_,
+                             rng_};
+  }
+
+  Clock::duration jittered_period() {
+    const double jitter = cluster_.config_.period_jitter;
+    const double factor = rng_.uniform(1.0 - jitter, 1.0 + jitter);
+    return std::chrono::duration_cast<Clock::duration>(
+        cluster_.config_.gossip_period * factor);
+  }
+
+  void run() {
+    Clock::time_point next_tick = Clock::now() + jittered_period();
+    while (!stop_.load(std::memory_order_relaxed)) {
+      drain_tasks();
+      auto envelope = mailbox_.wait_pop(next_tick);
+      if (stop_.load(std::memory_order_relaxed)) break;
+      if (envelope) {
+        handle(std::move(*envelope));
+        continue;
+      }
+      if (Clock::now() >= next_tick) {
+        tick();
+        next_tick += jittered_period();
+      }
+    }
+    drain_tasks();
+  }
+
+  void drain_tasks() {
+    for (;;) {
+      Cluster::NodeTask task;
+      {
+        const std::lock_guard<std::mutex> lock(tasks_mutex_);
+        if (tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      sim::AgentContext ctx = make_context();
+      task(*agent_, ctx);
+    }
+  }
+
+  [[nodiscard]] bool awaiting_response() const {
+    return awaiting_ && Clock::now() < awaiting_deadline_;
+  }
+
+  void tick() {
+    ++local_round_;
+    sim::AgentContext ctx = make_context();
+    agent_->on_round_start(ctx);
+
+    if (awaiting_response()) return;  // Exchange atomicity.
+    awaiting_ = false;
+
+    auto request = agent_->make_request(ctx);
+    if (request.empty()) return;
+    const auto target = cluster_.overlay_->pick_gossip_target(id_, rng_);
+    if (!target || *target == id_) {
+      ++traffic_.failed_contacts;
+      return;
+    }
+    traffic_.on(sim::Channel::kAggregation).add_send(request.size());
+    const std::uint64_t token = ++last_token_;
+    if (cluster_.network_.send(
+            *target, Envelope{EnvelopeKind::kGossipRequest, id_, token,
+                              std::move(request)})) {
+      awaiting_ = true;
+      awaiting_token_ = token;
+      awaiting_deadline_ = Clock::now() + cluster_.config_.response_timeout;
+    } else {
+      ++traffic_.failed_contacts;
+    }
+  }
+
+  void handle(Envelope&& envelope) {
+    sim::AgentContext ctx = make_context();
+    switch (envelope.kind) {
+      case EnvelopeKind::kGossipRequest: {
+        if (awaiting_response()) {
+          // Atomicity: no reply while locked — but NACK so the requester
+          // frees its own lock immediately instead of waiting out the
+          // response timeout.
+          ++traffic_.busy_rejections;
+          cluster_.network_.send(envelope.from,
+                                 Envelope{EnvelopeKind::kGossipBusy, id_,
+                                          envelope.token, {}});
+          return;
+        }
+        traffic_.on(sim::Channel::kAggregation)
+            .add_receive(envelope.payload.size());
+        auto response = agent_->handle_request(ctx, envelope.payload);
+        if (response.empty()) return;
+        traffic_.on(sim::Channel::kAggregation).add_send(response.size());
+        cluster_.network_.send(
+            envelope.from, Envelope{EnvelopeKind::kGossipResponse, id_,
+                                    envelope.token, std::move(response)});
+        return;
+      }
+      case EnvelopeKind::kGossipResponse:
+        if (!awaiting_ || envelope.token != awaiting_token_) {
+          // Stale: we already gave up on that exchange. Merging it now
+          // would violate atomicity (our state moved on meanwhile).
+          ++traffic_.dropped_messages;
+          return;
+        }
+        awaiting_ = false;
+        traffic_.on(sim::Channel::kAggregation)
+            .add_receive(envelope.payload.size());
+        agent_->handle_response(ctx, envelope.payload);
+        return;
+      case EnvelopeKind::kBootstrapRequest: {
+        auto response = agent_->handle_bootstrap_request(ctx, envelope.payload);
+        if (response.empty()) return;
+        cluster_.network_.send(
+            envelope.from, Envelope{EnvelopeKind::kBootstrapResponse, id_,
+                                    envelope.token, std::move(response)});
+        return;
+      }
+      case EnvelopeKind::kBootstrapResponse:
+        (void)agent_->handle_bootstrap_response(ctx, envelope.payload);
+        return;
+      case EnvelopeKind::kGossipBusy:
+        if (awaiting_ && envelope.token == awaiting_token_) {
+          awaiting_ = false;  // Exchange abandoned; nothing was merged.
+        }
+        return;
+      case EnvelopeKind::kWakeup:
+        return;  // drain_tasks at the top of the loop does the work.
+    }
+  }
+
+  Cluster& cluster_;
+  const sim::NodeId id_;
+  const stats::Value attribute_;
+  rng::Rng rng_;
+  std::unique_ptr<sim::NodeAgent> agent_;
+  Mailbox mailbox_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  sim::Round local_round_ = 0;
+  bool awaiting_ = false;
+  std::uint64_t awaiting_token_ = 0;
+  std::uint64_t last_token_ = 0;
+  Clock::time_point awaiting_deadline_{};
+  sim::TrafficStats traffic_;
+  std::mutex tasks_mutex_;
+  std::deque<Cluster::NodeTask> tasks_;
+};
+
+Cluster::Cluster(ClusterConfig config, std::vector<stats::Value> attributes,
+                 sim::AgentFactory agent_factory)
+    : config_(config), attributes_(std::move(attributes)) {
+  if (attributes_.empty()) throw std::invalid_argument("empty cluster");
+  if (!agent_factory) throw std::invalid_argument("cluster requires a factory");
+
+  ids_.resize(attributes_.size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    ids_[i] = static_cast<sim::NodeId>(i);
+  }
+  host_ = std::make_unique<HostBridge>(attributes_, ids_);
+
+  rng::Rng rng(config_.seed);
+  overlay_ = std::make_unique<sim::StaticRandomOverlay>(config_.overlay_degree);
+  overlay_->build_initial(ids_, *host_, rng);
+
+  nodes_.reserve(ids_.size());
+  for (sim::NodeId id : ids_) {
+    nodes_.push_back(std::make_unique<RuntimeNode>(
+        *this, id, attributes_[static_cast<std::size_t>(id)], rng.split(id)));
+    network_.attach(id, &nodes_.back()->mailbox());
+  }
+  // Agents are created after every mailbox is attached, in case a factory
+  // wants to send something immediately.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->create_agent(agent_factory);
+  }
+}
+
+Cluster::~Cluster() { stop(); }
+
+void Cluster::start() {
+  if (running_.exchange(true)) return;
+  for (auto& node : nodes_) node->start();
+}
+
+void Cluster::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& node : nodes_) node->request_stop();
+  for (auto& node : nodes_) node->join();
+}
+
+void Cluster::run_on_node(sim::NodeId id, NodeTask fn) {
+  auto& node = *nodes_.at(static_cast<std::size_t>(id));
+  if (!running_) {
+    node.run_inline(fn);
+    return;
+  }
+  std::promise<void> done;
+  auto future = done.get_future();
+  node.post([&fn, &done](sim::NodeAgent& agent, sim::AgentContext& ctx) {
+    fn(agent, ctx);
+    done.set_value();
+  });
+  future.wait();
+}
+
+sim::TrafficStats Cluster::total_traffic() const {
+  sim::TrafficStats total = host_->snapshot();
+  for (const auto& node : nodes_) total += node->traffic();
+  return total;
+}
+
+}  // namespace adam2::runtime

@@ -1,0 +1,86 @@
+// Threaded in-process deployment of the protocol agents.
+//
+// Where sim::Engine and sim::AsyncEngine *simulate* time, the Cluster runs
+// every node on a real thread against the wall clock: nodes gossip on their
+// own jittered timers, exchange framed datagrams through the in-process
+// Network, and apply the same exchange-atomicity discipline as the
+// asynchronous engine (a node awaiting a response refuses other exchanges
+// until it arrives or times out). The protocol agents are the exact same
+// NodeAgent objects the simulators host — nothing about Adam2 changes when
+// the substrate becomes genuinely concurrent.
+//
+// Membership is static (no churn): the runtime demonstrates deployment-style
+// concurrency, not the churn model, which the simulators cover.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "runtime/transport.hpp"
+#include "sim/agent.hpp"
+#include "sim/overlay.hpp"
+#include "sim/traffic.hpp"
+
+namespace adam2::runtime {
+
+struct ClusterConfig {
+  /// Mean wall-clock time between a node's gossip initiations.
+  std::chrono::microseconds gossip_period{2000};
+  double period_jitter = 0.2;  ///< Relative uniform jitter per period.
+  /// How long a node stays locked waiting for a response before giving up.
+  std::chrono::microseconds response_timeout{20000};
+  std::size_t overlay_degree = 8;
+  std::uint64_t seed = 0xc1a5;
+};
+
+class Cluster {
+ public:
+  /// Builds (but does not start) a cluster of `attributes.size()` nodes.
+  Cluster(ClusterConfig config, std::vector<stats::Value> attributes,
+          sim::AgentFactory agent_factory);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Launches one thread per node. Idempotent.
+  void start();
+
+  /// Signals every node to finish and joins the threads. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Executes `fn(agent, ctx)` on the node's own thread and blocks until it
+  /// completes — the only safe way to touch an agent while the cluster runs
+  /// (e.g. to start an aggregation instance or copy an estimate out).
+  using NodeTask = std::function<void(sim::NodeAgent&, sim::AgentContext&)>;
+  void run_on_node(sim::NodeId id, NodeTask fn);
+
+  /// Aggregate traffic across all nodes (safe any time; counters are only
+  /// approximate while threads are running).
+  [[nodiscard]] sim::TrafficStats total_traffic() const;
+
+  [[nodiscard]] const Network& network() const { return network_; }
+
+ private:
+  class RuntimeNode;
+  class HostBridge;
+
+  ClusterConfig config_;
+  std::vector<stats::Value> attributes_;
+  std::vector<sim::NodeId> ids_;
+  Network network_;
+  std::unique_ptr<sim::Overlay> overlay_;
+  std::unique_ptr<HostBridge> host_;
+  std::vector<std::unique_ptr<RuntimeNode>> nodes_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace adam2::runtime

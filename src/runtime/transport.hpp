@@ -1,0 +1,93 @@
+// In-process datagram transport for the threaded runtime.
+//
+// Every node owns a Mailbox; the shared Network routes envelopes between
+// mailboxes. Envelopes carry a kind tag (gossip request/response, bootstrap
+// request/response) plus the sender id, so a receiving node knows which
+// agent callback to invoke — exactly the framing a UDP deployment would put
+// in front of the protocol payload.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace adam2::runtime {
+
+enum class EnvelopeKind : std::uint8_t {
+  kGossipRequest = 1,
+  kGossipResponse = 2,
+  kBootstrapRequest = 3,
+  kBootstrapResponse = 4,
+  kWakeup = 5,  ///< Empty self-notification (task queue poke).
+  kGossipBusy = 6,  ///< NACK: responder is mid-exchange; requester unlocks.
+};
+
+struct Envelope {
+  EnvelopeKind kind = EnvelopeKind::kGossipRequest;
+  sim::NodeId from = 0;
+  /// Exchange token: stamped on requests, echoed on responses, so a
+  /// requester can discard responses to exchanges it already timed out of
+  /// (merging a stale response would break exchange atomicity).
+  std::uint64_t token = 0;
+  std::vector<std::byte> payload;
+};
+
+/// A node's inbound queue. Threads block on `wait_pop` with a deadline so
+/// the node loop wakes for whichever comes first: a message or its next
+/// gossip tick.
+class Mailbox {
+ public:
+  void push(Envelope envelope);
+
+  /// Pops the oldest envelope, waiting at most until `deadline`.
+  /// Returns nullopt on timeout or when the mailbox is closed and empty.
+  [[nodiscard]] std::optional<Envelope> wait_pop(
+      std::chrono::steady_clock::time_point deadline);
+
+  /// Non-blocking pop.
+  [[nodiscard]] std::optional<Envelope> try_pop();
+
+  /// Wakes all waiters; subsequent waits return immediately when empty.
+  void close();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Envelope> queue_;
+  bool closed_ = false;
+};
+
+/// Thread-safe router between mailboxes. Delivery is immediate (in-process);
+/// traffic is counted per direction for the cost accounting.
+class Network {
+ public:
+  /// Registers `mailbox` as the endpoint for `id`. The mailbox must outlive
+  /// the network or be deregistered first.
+  void attach(sim::NodeId id, Mailbox* mailbox);
+  void detach(sim::NodeId id);
+
+  /// Routes an envelope; returns false (and drops it) when the destination
+  /// is not attached.
+  bool send(sim::NodeId to, Envelope envelope);
+
+  [[nodiscard]] std::uint64_t messages_routed() const;
+  [[nodiscard]] std::uint64_t bytes_routed() const;
+  [[nodiscard]] std::uint64_t drops() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<sim::NodeId, Mailbox*> endpoints_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace adam2::runtime

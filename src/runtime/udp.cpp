@@ -1,0 +1,294 @@
+#include "runtime/udp.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstring>
+#include <future>
+#include <stdexcept>
+
+namespace adam2::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kHeaderBytes = 1 + 8 + 8;  // kind + from + token
+constexpr std::size_t kMaxDatagram = 64 * 1024;
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+UdpEndpoint::UdpEndpoint() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr = loopback(0);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("bind() failed");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+UdpEndpoint::~UdpEndpoint() { shutdown(); }
+
+void UdpEndpoint::shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool UdpEndpoint::send(std::uint16_t to_port, const Envelope& envelope) {
+  if (fd_ < 0) return false;
+  std::vector<std::byte> frame(kHeaderBytes + envelope.payload.size());
+  frame[0] = static_cast<std::byte>(envelope.kind);
+  std::memcpy(frame.data() + 1, &envelope.from, 8);
+  std::memcpy(frame.data() + 9, &envelope.token, 8);
+  if (!envelope.payload.empty()) {
+    std::memcpy(frame.data() + kHeaderBytes, envelope.payload.data(),
+                envelope.payload.size());
+  }
+  const sockaddr_in addr = loopback(to_port);
+  const auto sent =
+      ::sendto(fd_, frame.data(), frame.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  return sent == static_cast<ssize_t>(frame.size());
+}
+
+std::optional<Envelope> UdpEndpoint::receive(
+    std::chrono::microseconds timeout) {
+  if (fd_ < 0) return std::nullopt;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(timeout.count() % 1'000'000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0) {
+    return std::nullopt;
+  }
+  std::byte buffer[kMaxDatagram];
+  const auto received = ::recv(fd_, buffer, sizeof buffer, 0);
+  if (received < static_cast<ssize_t>(kHeaderBytes)) return std::nullopt;
+
+  Envelope envelope;
+  envelope.kind = static_cast<EnvelopeKind>(buffer[0]);
+  std::memcpy(&envelope.from, buffer + 1, 8);
+  std::memcpy(&envelope.token, buffer + 9, 8);
+  envelope.payload.assign(buffer + kHeaderBytes, buffer + received);
+  return envelope;
+}
+
+UdpDirectory::UdpDirectory(std::vector<stats::Value> attributes,
+                           std::vector<std::uint16_t> ports)
+    : attributes_(std::move(attributes)), ports_(std::move(ports)) {
+  assert(attributes_.size() == ports_.size());
+  ids_.resize(attributes_.size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    ids_[i] = static_cast<sim::NodeId>(i);
+  }
+}
+
+std::optional<sim::NodeId> UdpDirectory::pick_gossip_target(
+    sim::NodeId id, rng::Rng& rng) const {
+  if (ids_.size() < 2) return std::nullopt;
+  for (;;) {
+    const sim::NodeId candidate = ids_[rng.below(ids_.size())];
+    if (candidate != id) return candidate;
+  }
+}
+
+std::vector<sim::NodeId> UdpDirectory::neighbors(sim::NodeId id) const {
+  std::vector<sim::NodeId> out;
+  out.reserve(ids_.size() - 1);
+  for (sim::NodeId other : ids_) {
+    if (other != id) out.push_back(other);
+  }
+  return out;
+}
+
+std::vector<stats::Value> UdpDirectory::known_attribute_values(
+    sim::NodeId id, const sim::HostView& /*host*/) const {
+  std::vector<stats::Value> values;
+  values.reserve(attributes_.size() - 1);
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (static_cast<sim::NodeId>(i) != id) values.push_back(attributes_[i]);
+  }
+  return values;
+}
+
+void UdpDirectory::record_traffic(sim::NodeId, sim::NodeId,
+                                  sim::Channel channel, std::size_t bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  traffic_.on(channel).add_send(bytes);
+  traffic_.on(channel).add_receive(bytes);
+}
+
+sim::TrafficStats UdpDirectory::traffic() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return traffic_;
+}
+
+UdpPeer::UdpPeer(UdpPeerConfig config, sim::NodeId id, UdpDirectory& directory,
+                 UdpEndpoint& endpoint, std::unique_ptr<sim::NodeAgent> agent)
+    : config_(config),
+      id_(id),
+      directory_(directory),
+      endpoint_(endpoint),
+      agent_(std::move(agent)),
+      rng_(config.seed ^ (id * 0x9e3779b97f4a7c15ULL)) {
+  if (!agent_) throw std::invalid_argument("peer requires an agent");
+}
+
+UdpPeer::~UdpPeer() { stop(); }
+
+void UdpPeer::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false);
+  thread_ = std::thread([this] { run(); });
+}
+
+void UdpPeer::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true);
+  thread_.join();
+}
+
+sim::AgentContext UdpPeer::make_context() {
+  return sim::AgentContext{directory_, directory_, id_,
+                           local_round_, 0,         directory_.attribute_of(id_),
+                           rng_};
+}
+
+void UdpPeer::run_on_peer(
+    const std::function<void(sim::NodeAgent&, sim::AgentContext&)>& fn) {
+  if (!thread_.joinable()) {
+    sim::AgentContext ctx = make_context();
+    fn(*agent_, ctx);
+    return;
+  }
+  std::promise<void> done;
+  auto future = done.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(tasks_mutex_);
+    tasks_.push_back([&fn, &done](sim::NodeAgent& agent,
+                                  sim::AgentContext& ctx) {
+      fn(agent, ctx);
+      done.set_value();
+    });
+  }
+  future.wait();  // The loop polls tasks at least once per receive timeout.
+}
+
+void UdpPeer::drain_tasks() {
+  for (;;) {
+    std::function<void(sim::NodeAgent&, sim::AgentContext&)> task;
+    {
+      const std::lock_guard<std::mutex> lock(tasks_mutex_);
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.erase(tasks_.begin());
+    }
+    sim::AgentContext ctx = make_context();
+    task(*agent_, ctx);
+  }
+}
+
+void UdpPeer::run() {
+  auto jittered = [this] {
+    const double factor =
+        rng_.uniform(1.0 - config_.period_jitter, 1.0 + config_.period_jitter);
+    return std::chrono::duration_cast<Clock::duration>(config_.gossip_period *
+                                                       factor);
+  };
+  Clock::time_point next_tick = Clock::now() + jittered();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    drain_tasks();
+    const auto now = Clock::now();
+    if (now >= next_tick) {
+      sim::AgentContext ctx = make_context();
+      tick(ctx);
+      next_tick += jittered();
+      continue;
+    }
+    const auto wait = std::min(
+        std::chrono::duration_cast<std::chrono::microseconds>(next_tick - now),
+        std::chrono::microseconds(2000));  // Bounded so tasks stay responsive.
+    auto envelope = endpoint_.receive(wait);
+    if (envelope) {
+      sim::AgentContext ctx = make_context();
+      handle(ctx, std::move(*envelope));
+    }
+  }
+  drain_tasks();
+}
+
+void UdpPeer::tick(sim::AgentContext& ctx) {
+  ++local_round_;
+  agent_->on_round_start(ctx);
+  if (awaiting_ && Clock::now() < awaiting_deadline_) return;  // Atomicity.
+  awaiting_ = false;
+
+  auto request = agent_->make_request(ctx);
+  if (request.empty()) return;
+  const auto target = directory_.pick_gossip_target(id_, rng_);
+  if (!target) return;
+  directory_.record_traffic(id_, *target, sim::Channel::kAggregation,
+                            request.size());
+  const std::uint64_t token = ++last_token_;
+  if (endpoint_.send(directory_.port_of(*target),
+                     Envelope{EnvelopeKind::kGossipRequest, id_, token,
+                              std::move(request)})) {
+    awaiting_ = true;
+    awaiting_token_ = token;
+    awaiting_deadline_ = Clock::now() + config_.response_timeout;
+  }
+}
+
+void UdpPeer::handle(sim::AgentContext& ctx, Envelope&& envelope) {
+  switch (envelope.kind) {
+    case EnvelopeKind::kGossipRequest: {
+      if (awaiting_ && Clock::now() < awaiting_deadline_) {
+        endpoint_.send(directory_.port_of(envelope.from),
+                       Envelope{EnvelopeKind::kGossipBusy, id_, envelope.token,
+                                {}});
+        return;
+      }
+      auto response = agent_->handle_request(ctx, envelope.payload);
+      if (response.empty()) return;
+      directory_.record_traffic(id_, envelope.from, sim::Channel::kAggregation,
+                                response.size());
+      endpoint_.send(directory_.port_of(envelope.from),
+                     Envelope{EnvelopeKind::kGossipResponse, id_,
+                              envelope.token, std::move(response)});
+      return;
+    }
+    case EnvelopeKind::kGossipResponse:
+      if (!awaiting_ || envelope.token != awaiting_token_) return;  // Stale.
+      awaiting_ = false;
+      agent_->handle_response(ctx, envelope.payload);
+      return;
+    case EnvelopeKind::kGossipBusy:
+      if (awaiting_ && envelope.token == awaiting_token_) awaiting_ = false;
+      return;
+    case EnvelopeKind::kBootstrapRequest:
+    case EnvelopeKind::kBootstrapResponse:
+    case EnvelopeKind::kWakeup:
+      return;  // Static membership: no join-time transfer needed.
+  }
+}
+
+}  // namespace adam2::runtime

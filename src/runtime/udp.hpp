@@ -1,0 +1,149 @@
+// Real-socket deployment path: Adam2 agents gossiping over loopback UDP.
+//
+// UdpEndpoint frames Envelopes onto UDP datagrams
+// ([kind u8][from u64][token u64][payload]) on a 127.0.0.1 socket with an
+// OS-assigned port. UdpPeer hosts one NodeAgent on its own thread, driving
+// the same tick / busy-lock / NACK / stale-token discipline as the
+// in-process Cluster — but with genuine sockets, so the protocol stack is
+// exercised against real datagram semantics (kernel buffering, drops under
+// pressure). Peer discovery is a static Directory (id -> port) shared by
+// all peers, standing in for whatever membership service a deployment uses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "runtime/transport.hpp"
+#include "sim/agent.hpp"
+#include "sim/overlay.hpp"
+#include "sim/traffic.hpp"
+
+namespace adam2::runtime {
+
+/// A bound loopback UDP socket speaking the Envelope framing.
+class UdpEndpoint {
+ public:
+  /// Binds 127.0.0.1 with an ephemeral port. Throws on failure.
+  UdpEndpoint();
+  ~UdpEndpoint();
+
+  UdpEndpoint(const UdpEndpoint&) = delete;
+  UdpEndpoint& operator=(const UdpEndpoint&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Sends an envelope to a loopback port. Returns false on send failure.
+  bool send(std::uint16_t to_port, const Envelope& envelope);
+
+  /// Receives one envelope, waiting at most `timeout`. Returns nullopt on
+  /// timeout, socket closure, or an undecodable datagram.
+  [[nodiscard]] std::optional<Envelope> receive(
+      std::chrono::microseconds timeout);
+
+  /// Unblocks receivers and makes further sends fail.
+  void shutdown();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Static membership + address book shared by all peers of one deployment:
+/// node id -> UDP port, plus the attribute directory that stands in for the
+/// peer-sampling value cache. Doubles as the sim::Overlay and sim::HostView
+/// the agents see.
+class UdpDirectory final : public sim::Overlay, public sim::HostView {
+ public:
+  UdpDirectory(std::vector<stats::Value> attributes,
+               std::vector<std::uint16_t> ports);
+
+  [[nodiscard]] std::uint16_t port_of(sim::NodeId id) const {
+    return ports_[static_cast<std::size_t>(id)];
+  }
+
+  // -- sim::Overlay (full random membership) -----------------------------
+  void add_node(sim::NodeId, const sim::HostView&, rng::Rng&) override {}
+  void remove_node(sim::NodeId) override {}
+  [[nodiscard]] std::optional<sim::NodeId> pick_gossip_target(
+      sim::NodeId id, rng::Rng& rng) const override;
+  [[nodiscard]] std::vector<sim::NodeId> neighbors(sim::NodeId id) const override;
+  [[nodiscard]] std::vector<stats::Value> known_attribute_values(
+      sim::NodeId id, const sim::HostView& host) const override;
+
+  // -- sim::HostView ------------------------------------------------------
+  [[nodiscard]] bool is_live(sim::NodeId id) const override {
+    return id < attributes_.size();
+  }
+  [[nodiscard]] stats::Value attribute_of(sim::NodeId id) const override {
+    return attributes_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] sim::Round round() const override { return 0; }
+  [[nodiscard]] std::span<const sim::NodeId> live_ids() const override {
+    return ids_;
+  }
+  void record_traffic(sim::NodeId, sim::NodeId, sim::Channel channel,
+                      std::size_t bytes) override;
+
+  [[nodiscard]] sim::TrafficStats traffic() const;
+
+ private:
+  std::vector<stats::Value> attributes_;
+  std::vector<std::uint16_t> ports_;
+  std::vector<sim::NodeId> ids_;
+  mutable std::mutex mutex_;
+  sim::TrafficStats traffic_;
+};
+
+struct UdpPeerConfig {
+  std::chrono::microseconds gossip_period{3000};
+  double period_jitter = 0.2;
+  std::chrono::microseconds response_timeout{30000};
+  std::uint64_t seed = 1;
+};
+
+/// One protocol node over a real socket; owns its agent and thread.
+class UdpPeer {
+ public:
+  UdpPeer(UdpPeerConfig config, sim::NodeId id, UdpDirectory& directory,
+          UdpEndpoint& endpoint, std::unique_ptr<sim::NodeAgent> agent);
+  ~UdpPeer();
+
+  void start();
+  void stop();
+
+  /// Executes `fn(agent, ctx)` on the peer's thread (blocking), as
+  /// Cluster::run_on_node does.
+  void run_on_peer(const std::function<void(sim::NodeAgent&,
+                                            sim::AgentContext&)>& fn);
+
+ private:
+  void run();
+  void tick(sim::AgentContext& ctx);
+  void handle(sim::AgentContext& ctx, Envelope&& envelope);
+  sim::AgentContext make_context();
+  void drain_tasks();
+
+  UdpPeerConfig config_;
+  sim::NodeId id_;
+  UdpDirectory& directory_;
+  UdpEndpoint& endpoint_;
+  std::unique_ptr<sim::NodeAgent> agent_;
+  rng::Rng rng_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  sim::Round local_round_ = 0;
+  bool awaiting_ = false;
+  std::uint64_t awaiting_token_ = 0;
+  std::uint64_t last_token_ = 0;
+  std::chrono::steady_clock::time_point awaiting_deadline_{};
+  std::mutex tasks_mutex_;
+  std::vector<std::function<void(sim::NodeAgent&, sim::AgentContext&)>> tasks_;
+};
+
+}  // namespace adam2::runtime

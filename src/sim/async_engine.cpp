@@ -1,0 +1,300 @@
+#include "sim/async_engine.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace adam2::sim {
+
+AsyncEngine::AsyncEngine(AsyncConfig config,
+                         std::vector<stats::Value> initial_attributes,
+                         std::unique_ptr<Overlay> overlay,
+                         AgentFactory agent_factory,
+                         AttributeSource attribute_source)
+    : config_(config),
+      rng_(config.seed),
+      overlay_(std::move(overlay)),
+      agent_factory_(std::move(agent_factory)),
+      attribute_source_(std::move(attribute_source)) {
+  if (!overlay_) throw std::invalid_argument("engine requires an overlay");
+  if (!agent_factory_) {
+    throw std::invalid_argument("engine requires an agent factory");
+  }
+  if (config_.churn_per_second > 0.0 && !attribute_source_) {
+    throw std::invalid_argument("churn requires an attribute source");
+  }
+  if (!(config_.gossip_period > 0.0)) {
+    throw std::invalid_argument("gossip period must be positive");
+  }
+  if (config_.latency_max < config_.latency_min) {
+    throw std::invalid_argument("latency bounds inverted");
+  }
+
+  nodes_.reserve(initial_attributes.size());
+  for (stats::Value value : initial_attributes) {
+    spawn_node(value, /*bootstrap=*/false);
+  }
+  overlay_->build_initial(live_ids_, *this, rng_);
+
+  // Desynchronised start: first ticks are spread over one full period.
+  for (NodeId id : live_ids_) {
+    schedule(rng_.uniform(0.0, config_.gossip_period), EventKind::kNodeTick,
+             id, id);
+  }
+  schedule(config_.gossip_period, EventKind::kMaintenance, 0, 0);
+}
+
+void AsyncEngine::spawn_node(stats::Value attribute, bool bootstrap) {
+  const NodeId id = next_id_++;
+  Node node;
+  node.id = id;
+  node.attribute = attribute;
+  node.birth_round = bootstrap ? round() + 1 : round();
+  node.alive = true;
+  node.rng = rng_.split(id);
+  nodes_.push_back(std::move(node));
+  index_[id] = nodes_.size() - 1;
+  live_pos_[id] = live_ids_.size();
+  live_ids_.push_back(id);
+
+  Node& stored = nodes_.back();
+  AgentContext ctx = context_ref(stored);
+  stored.agent = agent_factory_(ctx);
+  if (!stored.agent) throw std::runtime_error("agent factory returned null");
+
+  if (!bootstrap) return;
+
+  overlay_->add_node(id, *this, rng_);
+  // Join-time state transfer, as in the cycle-driven engine (retrying a few
+  // neighbours until one has usable state).
+  auto request = stored.agent->make_bootstrap_request(ctx);
+  if (!request.empty()) {
+    constexpr int kBootstrapAttempts = 4;
+    for (int attempt = 0; attempt < kBootstrapAttempts; ++attempt) {
+      const auto target = overlay_->pick_gossip_target(id, stored.rng);
+      if (!target || !is_live(*target)) {
+        ++stored.traffic.failed_contacts;
+        ++total_traffic_.failed_contacts;
+        continue;
+      }
+      record_traffic(id, *target, Channel::kBootstrap, request.size());
+      Node& neighbour = node_ref(*target);
+      AgentContext nctx = context_ref(neighbour);
+      auto response = neighbour.agent->handle_bootstrap_request(nctx, request);
+      if (response.empty()) continue;
+      record_traffic(*target, id, Channel::kBootstrap, response.size());
+      if (stored.agent->handle_bootstrap_response(ctx, response)) break;
+    }
+  }
+  schedule(now_ + next_period(), EventKind::kNodeTick, id, id);
+}
+
+AgentContext AsyncEngine::context_ref(Node& n) {
+  return AgentContext{*this,  *overlay_,   n.id, round(),
+                      n.birth_round, n.attribute, n.rng};
+}
+
+Node& AsyncEngine::node_ref(NodeId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) throw std::out_of_range("unknown node id");
+  return nodes_[it->second];
+}
+
+const Node& AsyncEngine::node_ref(NodeId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) throw std::out_of_range("unknown node id");
+  return nodes_[it->second];
+}
+
+bool AsyncEngine::is_live(NodeId id) const {
+  auto it = index_.find(id);
+  return it != index_.end() && nodes_[it->second].alive;
+}
+
+stats::Value AsyncEngine::attribute_of(NodeId id) const {
+  return node_ref(id).attribute;
+}
+
+void AsyncEngine::record_traffic(NodeId sender, NodeId receiver,
+                                 Channel channel, std::size_t bytes) {
+  auto record = [&](NodeId id, auto&& fn) {
+    auto it = index_.find(id);
+    if (it != index_.end()) fn(nodes_[it->second].traffic);
+  };
+  record(sender, [&](TrafficStats& t) { t.on(channel).add_send(bytes); });
+  record(receiver, [&](TrafficStats& t) { t.on(channel).add_receive(bytes); });
+  total_traffic_.on(channel).add_send(bytes);
+  total_traffic_.on(channel).add_receive(bytes);
+}
+
+NodeAgent& AsyncEngine::agent(NodeId id) { return *node_ref(id).agent; }
+
+const Node& AsyncEngine::node(NodeId id) const { return node_ref(id); }
+
+NodeId AsyncEngine::random_live_node() {
+  if (live_ids_.empty()) throw std::runtime_error("no live nodes");
+  return live_ids_[rng_.below(live_ids_.size())];
+}
+
+std::vector<stats::Value> AsyncEngine::live_attribute_values() const {
+  std::vector<stats::Value> values;
+  values.reserve(live_ids_.size());
+  for (NodeId id : live_ids_) values.push_back(node_ref(id).attribute);
+  return values;
+}
+
+AgentContext AsyncEngine::context_for(NodeId id) {
+  return context_ref(node_ref(id));
+}
+
+double AsyncEngine::sample_latency() {
+  return rng_.uniform(config_.latency_min, config_.latency_max);
+}
+
+double AsyncEngine::next_period() {
+  const double jitter = config_.period_jitter;
+  return config_.gossip_period * rng_.uniform(1.0 - jitter, 1.0 + jitter);
+}
+
+void AsyncEngine::schedule(double time, EventKind kind, NodeId from, NodeId to,
+                           std::vector<std::byte> payload) {
+  queue_.push(Event{time, next_seq_++, kind, from, to, std::move(payload)});
+}
+
+void AsyncEngine::run_until(double time) {
+  while (!queue_.empty() && queue_.top().time <= time) {
+    // top() is const; moving the payload out before pop() avoids copying the
+    // message buffer (the moved-from element is removed immediately).
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    handle(std::move(event));
+  }
+  now_ = time;
+}
+
+void AsyncEngine::handle(Event&& event) {
+  switch (event.kind) {
+    case EventKind::kNodeTick:
+      on_tick(event.from);
+      return;
+    case EventKind::kRequestDelivery:
+      on_request(std::move(event));
+      return;
+    case EventKind::kResponseDelivery:
+      on_response(std::move(event));
+      return;
+    case EventKind::kMaintenance:
+      on_maintenance();
+      return;
+  }
+}
+
+bool AsyncEngine::is_busy(NodeId id) const {
+  auto it = busy_until_.find(id);
+  return it != busy_until_.end() && now_ < it->second;
+}
+
+void AsyncEngine::set_busy(NodeId id) {
+  // Worst-case round trip plus slack; a lost response frees the node then.
+  busy_until_[id] = now_ + 2.0 * config_.latency_max + 1e-9;
+}
+
+void AsyncEngine::clear_busy(NodeId id) { busy_until_.erase(id); }
+
+void AsyncEngine::on_tick(NodeId id) {
+  if (!is_live(id)) return;  // Died while the tick was in flight.
+  Node& n = node_ref(id);
+  AgentContext ctx = context_ref(n);
+  n.agent->on_round_start(ctx);
+
+  // Exchange atomicity: never two exchanges in flight from one node.
+  if (!is_busy(id)) {
+    auto request = n.agent->make_request(ctx);
+    if (!request.empty()) {
+      const auto target = overlay_->pick_gossip_target(id, n.rng);
+      if (!target || !is_live(*target) || *target == id) {
+        ++n.traffic.failed_contacts;
+        ++total_traffic_.failed_contacts;
+      } else {
+        record_traffic(id, *target, Channel::kAggregation, request.size());
+        set_busy(id);
+        if (config_.message_loss > 0.0 &&
+            rng_.bernoulli(config_.message_loss)) {
+          ++total_traffic_.dropped_messages;
+        } else {
+          schedule(now_ + sample_latency(), EventKind::kRequestDelivery, id,
+                   *target, std::move(request));
+        }
+      }
+    }
+  }
+  schedule(now_ + next_period(), EventKind::kNodeTick, id, id);
+}
+
+void AsyncEngine::on_request(Event&& event) {
+  if (!is_live(event.to)) return;  // Responder died in flight.
+  Node& responder = node_ref(event.to);
+  if (is_busy(event.to)) {
+    // Atomicity: the responder's state could still change when its own
+    // outstanding response arrives, so it must not commit to an answer now.
+    ++responder.traffic.busy_rejections;
+    ++total_traffic_.busy_rejections;
+    return;
+  }
+  AgentContext ctx = context_ref(responder);
+  auto response = responder.agent->handle_request(ctx, event.payload);
+  if (response.empty()) return;
+  record_traffic(event.to, event.from, Channel::kAggregation, response.size());
+  if (config_.message_loss > 0.0 && rng_.bernoulli(config_.message_loss)) {
+    ++total_traffic_.dropped_messages;
+    return;
+  }
+  schedule(now_ + sample_latency(), EventKind::kResponseDelivery, event.to,
+           event.from, std::move(response));
+}
+
+void AsyncEngine::on_response(Event&& event) {
+  clear_busy(event.to);
+  if (!is_live(event.to)) return;  // Requester died in flight.
+  Node& requester = node_ref(event.to);
+  AgentContext ctx = context_ref(requester);
+  requester.agent->handle_response(ctx, event.payload);
+}
+
+void AsyncEngine::on_maintenance() {
+  overlay_->maintain(*this, rng_);
+  if (config_.churn_per_second > 0.0 && !live_ids_.empty()) {
+    const double expected = config_.churn_per_second * config_.gossip_period *
+                            static_cast<double>(live_ids_.size());
+    auto count = static_cast<std::size_t>(expected);
+    if (rng_.bernoulli(expected - std::floor(expected))) ++count;
+    count = std::min(count, live_ids_.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeId victim = live_ids_[rng_.below(live_ids_.size())];
+      Node& n = node_ref(victim);
+      n.alive = false;
+      n.agent.reset();
+      overlay_->remove_node(victim);
+      remove_from_live(victim);
+      busy_until_.erase(victim);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      spawn_node(attribute_source_(rng_), /*bootstrap=*/true);
+    }
+  }
+  schedule(now_ + config_.gossip_period, EventKind::kMaintenance, 0, 0);
+}
+
+void AsyncEngine::remove_from_live(NodeId id) {
+  auto it = live_pos_.find(id);
+  assert(it != live_pos_.end());
+  const std::size_t pos = it->second;
+  const NodeId moved = live_ids_.back();
+  live_ids_[pos] = moved;
+  live_ids_.pop_back();
+  live_pos_[moved] = pos;
+  live_pos_.erase(id);
+}
+
+}  // namespace adam2::sim

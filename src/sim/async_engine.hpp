@@ -1,0 +1,165 @@
+// Event-driven asynchronous simulation mode (PeerSim's event-driven
+// analogue).
+//
+// The cycle-driven Engine assumes globally synchronised rounds. Real
+// deployments have neither synchronised clocks nor instant messages: each
+// node gossips on its own jittered timer and messages take a random one-way
+// latency. AsyncEngine models exactly that with a discrete-event queue while
+// hosting the *same* NodeAgent implementations — demonstrating that the
+// protocol only relies on the request/response exchange semantics, not on
+// round synchrony (§VII-F: the gossip period is bounded below by the message
+// round-trip time).
+//
+// Event kinds:
+//   * node tick      — the node runs its round-start hook and initiates one
+//                      exchange; the next tick is scheduled one jittered
+//                      period later;
+//   * request/response delivery — after a sampled latency; lost with the
+//                      configured probability; deliveries to dead nodes are
+//                      dropped (requester side counts a failed contact);
+//   * maintenance    — overlay shuffles and churn, once per mean period.
+//
+// Exchange atomicity: with message latency, a node's state could change
+// between sending a request and receiving the matching response, which
+// permanently creates or destroys averaging mass (the well-known atomicity
+// requirement of push-pull gossip). A node with an exchange in flight is
+// therefore *busy*: it initiates nothing and silently refuses incoming
+// requests until its response arrives or a worst-case-RTT timeout passes.
+// With that discipline the averaging conserves mass exactly (up to messages
+// deliberately lost by `message_loss`).
+//
+// A node's protocol "round" is its own tick count, so TTLs advance at the
+// node's pace exactly as §IV describes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "sim/agent.hpp"
+#include "sim/engine.hpp"
+#include "sim/overlay.hpp"
+#include "sim/traffic.hpp"
+#include "sim/types.hpp"
+
+namespace adam2::sim {
+
+struct AsyncConfig {
+  double gossip_period = 1.0;   ///< Mean seconds between a node's initiations.
+  double period_jitter = 0.05;  ///< Relative uniform jitter per period.
+  double latency_min = 0.010;   ///< One-way message latency bounds (uniform).
+  double latency_max = 0.100;
+  double message_loss = 0.0;    ///< Per-message loss probability.
+  /// Fraction of nodes replaced per second (0.001 at a 1 s period matches
+  /// the paper's typical churn).
+  double churn_per_second = 0.0;
+  std::uint64_t seed = 0xa5ada2;
+};
+
+class AsyncEngine final : public HostView {
+ public:
+  AsyncEngine(AsyncConfig config, std::vector<stats::Value> initial_attributes,
+              std::unique_ptr<Overlay> overlay, AgentFactory agent_factory,
+              AttributeSource attribute_source);
+
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+  /// Processes events until simulated time reaches `time` (seconds).
+  void run_until(double time);
+
+  [[nodiscard]] double now() const { return now_; }
+
+  // -- HostView ----------------------------------------------------------
+  [[nodiscard]] bool is_live(NodeId id) const override;
+  [[nodiscard]] stats::Value attribute_of(NodeId id) const override;
+  /// Global round index: elapsed mean periods (used for instance
+  /// eligibility; individual nodes tick at their own jittered pace).
+  [[nodiscard]] Round round() const override {
+    return static_cast<Round>(now_ / config_.gossip_period);
+  }
+  [[nodiscard]] std::span<const NodeId> live_ids() const override {
+    return live_ids_;
+  }
+  void record_traffic(NodeId sender, NodeId receiver, Channel channel,
+                      std::size_t bytes) override;
+
+  // -- Introspection -----------------------------------------------------
+  [[nodiscard]] std::size_t live_count() const { return live_ids_.size(); }
+  [[nodiscard]] NodeAgent& agent(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] Overlay& overlay() { return *overlay_; }
+  [[nodiscard]] rng::Rng& rng() { return rng_; }
+  [[nodiscard]] NodeId random_live_node();
+  [[nodiscard]] std::vector<stats::Value> live_attribute_values() const;
+  [[nodiscard]] const TrafficStats& total_traffic() const {
+    return total_traffic_;
+  }
+  [[nodiscard]] AgentContext context_for(NodeId id);
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kNodeTick,
+    kRequestDelivery,
+    kResponseDelivery,
+    kMaintenance,
+  };
+
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break for identical timestamps.
+    EventKind kind = EventKind::kNodeTick;
+    NodeId from = 0;
+    NodeId to = 0;
+    std::vector<std::byte> payload;
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  Node& node_ref(NodeId id);
+  const Node& node_ref(NodeId id) const;
+  void schedule(double time, EventKind kind, NodeId from, NodeId to,
+                std::vector<std::byte> payload = {});
+  void handle(Event&& event);
+  void on_tick(NodeId id);
+  void on_request(Event&& event);
+  void on_response(Event&& event);
+  void on_maintenance();
+  void spawn_node(stats::Value attribute, bool bootstrap);
+  void remove_from_live(NodeId id);
+  [[nodiscard]] double sample_latency();
+  [[nodiscard]] double next_period();
+  [[nodiscard]] AgentContext context_ref(Node& n);
+
+  AsyncConfig config_;
+  rng::Rng rng_;
+  std::unique_ptr<Overlay> overlay_;
+  AgentFactory agent_factory_;
+  AttributeSource attribute_source_;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeId, std::size_t> index_;
+  [[nodiscard]] bool is_busy(NodeId id) const;
+  void set_busy(NodeId id);
+  void clear_busy(NodeId id);
+
+  std::vector<NodeId> live_ids_;
+  std::unordered_map<NodeId, std::size_t> live_pos_;
+  /// Nodes with an exchange in flight: id -> time the lock expires.
+  std::unordered_map<NodeId, double> busy_until_;
+  NodeId next_id_ = 0;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  TrafficStats total_traffic_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace adam2::sim

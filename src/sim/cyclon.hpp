@@ -1,0 +1,74 @@
+// Cyclon-style gossip-based peer sampling (Voulgaris et al.; the paper's
+// reference [11] family).
+//
+// Each node keeps a small partial view of (id, age, attribute) descriptors.
+// Once per round it shuffles with its oldest view entry: it sends a random
+// subset of its view plus a fresh self-descriptor, receives a subset back,
+// and installs the received descriptors preferentially over the slots it
+// sent away. Dead entries are discovered through failed shuffles and evicted,
+// which keeps the overlay connected under churn.
+//
+// Descriptors piggyback the peer's attribute value; every node additionally
+// remembers the most recent `value_cache_size` values it saw, feeding the
+// neighbour-based interpolation-point bootstrap (§V, §VII-B).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "sim/overlay.hpp"
+#include "wire/messages.hpp"
+
+namespace adam2::sim {
+
+struct CyclonConfig {
+  std::size_t view_size = 20;      ///< Partial view capacity (c), at most 64.
+  std::size_t shuffle_size = 8;    ///< Descriptors exchanged per shuffle (l).
+  std::size_t value_cache_size = 128;  ///< Recently seen attribute values.
+};
+
+class CyclonOverlay final : public Overlay {
+ public:
+  explicit CyclonOverlay(CyclonConfig config);
+
+  void build_initial(std::span<const NodeId> ids, const HostView& host,
+                     rng::Rng& rng) override;
+  void add_node(NodeId id, const HostView& host, rng::Rng& rng) override;
+  void remove_node(NodeId id) override;
+  [[nodiscard]] std::optional<NodeId> pick_gossip_target(
+      NodeId id, rng::Rng& rng) const override;
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId id) const override;
+  [[nodiscard]] std::vector<stats::Value> known_attribute_values(
+      NodeId id, const HostView& host) const override;
+  void maintain(HostView& host, rng::Rng& rng) override;
+
+  [[nodiscard]] const CyclonConfig& config() const { return config_; }
+
+ private:
+  struct View {
+    std::vector<wire::NodeDescriptor> entries;
+    std::deque<stats::Value> value_cache;
+  };
+
+  /// One shuffle initiated by `id` with its oldest live view entry.
+  void shuffle_once(NodeId id, HostView& host, rng::Rng& rng);
+
+  /// Installs `received` into `view`, replacing sent-away slots (bits set in
+  /// `sent_mask`) first, then filling free capacity, never duplicating ids
+  /// or storing `self`.
+  void install(NodeId self, View& view,
+               std::span<const wire::NodeDescriptor> received,
+               std::uint64_t sent_mask);
+
+  void remember_values(View& view,
+                       std::span<const wire::NodeDescriptor> descriptors);
+
+  CyclonConfig config_;
+  std::unordered_map<NodeId, View> views_;
+  // Scratch messages reused across shuffles (hot path: one shuffle per node
+  // per round).
+  wire::ShuffleMessage request_scratch_;
+  wire::ShuffleMessage response_scratch_;
+};
+
+}  // namespace adam2::sim

@@ -1,0 +1,102 @@
+#include "sim/overlay.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adam2::sim {
+
+void Overlay::build_initial(std::span<const NodeId> ids, const HostView& host,
+                            rng::Rng& rng) {
+  for (NodeId id : ids) add_node(id, host, rng);
+}
+
+void Overlay::maintain(HostView& /*host*/, rng::Rng& /*rng*/) {}
+
+StaticRandomOverlay::StaticRandomOverlay(std::size_t degree)
+    : degree_(degree) {
+  assert(degree_ >= 1);
+}
+
+void StaticRandomOverlay::link(NodeId a, NodeId b) {
+  links_[a].out.push_back(b);
+  links_[b].out.push_back(a);
+}
+
+void StaticRandomOverlay::build_initial(std::span<const NodeId> ids,
+                                        const HostView& /*host*/,
+                                        rng::Rng& rng) {
+  links_.clear();
+  links_.reserve(ids.size());
+  if (ids.size() < 2) {
+    for (NodeId id : ids) links_[id];
+    return;
+  }
+  // Random ring (guarantees connectivity) plus random chords up to `degree_`.
+  std::vector<NodeId> order(ids.begin(), ids.end());
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    link(order[i], order[(i + 1) % order.size()]);
+  }
+  const std::size_t chords_per_node = degree_ > 2 ? (degree_ - 2) / 2 : 0;
+  for (NodeId id : ids) {
+    for (std::size_t c = 0; c < chords_per_node; ++c) {
+      NodeId other = ids[rng.below(ids.size())];
+      if (other != id) link(id, other);
+    }
+  }
+}
+
+void StaticRandomOverlay::add_node(NodeId id, const HostView& host,
+                                   rng::Rng& rng) {
+  links_[id];  // Ensure the entry exists even if no peer is available.
+  const auto live = host.live_ids();
+  if (live.empty()) return;
+  for (std::size_t attempts = 0, added = 0;
+       added < degree_ && attempts < degree_ * 8; ++attempts) {
+    NodeId other = live[rng.below(live.size())];
+    if (other == id) continue;
+    link(id, other);
+    ++added;
+  }
+}
+
+void StaticRandomOverlay::remove_node(NodeId id) {
+  auto it = links_.find(id);
+  if (it == links_.end()) return;
+  // Drop the reverse links eagerly so neighbour lists stay small; a dead
+  // forward link discovered by a peer is handled as a failed contact.
+  for (NodeId peer : it->second.out) {
+    auto peer_it = links_.find(peer);
+    if (peer_it == links_.end()) continue;
+    std::erase(peer_it->second.out, id);
+  }
+  links_.erase(it);
+}
+
+std::optional<NodeId> StaticRandomOverlay::pick_gossip_target(
+    NodeId id, rng::Rng& rng) const {
+  auto it = links_.find(id);
+  if (it == links_.end() || it->second.out.empty()) return std::nullopt;
+  const auto& out = it->second.out;
+  return out[rng.below(out.size())];
+}
+
+std::vector<NodeId> StaticRandomOverlay::neighbors(NodeId id) const {
+  auto it = links_.find(id);
+  if (it == links_.end()) return {};
+  return it->second.out;
+}
+
+std::vector<stats::Value> StaticRandomOverlay::known_attribute_values(
+    NodeId id, const HostView& host) const {
+  std::vector<stats::Value> values;
+  auto it = links_.find(id);
+  if (it == links_.end()) return values;
+  values.reserve(it->second.out.size());
+  for (NodeId peer : it->second.out) {
+    if (host.is_live(peer)) values.push_back(host.attribute_of(peer));
+  }
+  return values;
+}
+
+}  // namespace adam2::sim

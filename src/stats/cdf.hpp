@@ -1,0 +1,112 @@
+// Cumulative distribution functions over a discrete attribute domain.
+//
+// The paper's system model (§III) defines the CDF of attribute A as
+// F(x) = |{p : A(p) <= x}| / N over a *discrete* attribute space. We
+// represent attribute values as 64-bit integers and model two CDF kinds:
+//
+//  * EmpiricalCdf        — the true step function built from all values;
+//  * PiecewiseLinearCdf  — the approximation a peer builds by linearly
+//                          interpolating its (t_i, f_i) points (§IV).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace adam2::stats {
+
+/// Discrete attribute value (the paper's attribute space is discrete).
+using Value = std::int64_t;
+
+/// One interpolation point: fraction `f` of values at or below threshold `t`.
+struct CdfPoint {
+  double t = 0.0;
+  double f = 0.0;
+
+  friend bool operator==(const CdfPoint&, const CdfPoint&) = default;
+};
+
+/// True cumulative distribution of a finite multiset of attribute values.
+/// Right-continuous step function: F(x) = fraction of values <= x.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+
+  /// Builds the CDF from the multiset `values` (need not be sorted).
+  /// Precondition: `values` is non-empty.
+  explicit EmpiricalCdf(std::vector<Value> values);
+
+  /// Fraction of values at or below x. 0 below the minimum, 1 at/above the
+  /// maximum.
+  [[nodiscard]] double operator()(double x) const;
+
+  [[nodiscard]] Value min() const { return distinct_.front(); }
+  [[nodiscard]] Value max() const { return distinct_.back(); }
+  [[nodiscard]] std::size_t size() const { return total_; }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+
+  /// Smallest value v with F(v) >= q, for q in (0, 1]; q <= 0 gives min().
+  [[nodiscard]] Value quantile(double q) const;
+
+  /// Distinct values in increasing order.
+  [[nodiscard]] std::span<const Value> distinct_values() const {
+    return distinct_;
+  }
+
+  /// cumulative_fraction()[j] == F(distinct_values()[j]); the last entry is 1.
+  [[nodiscard]] std::span<const double> cumulative_fractions() const {
+    return cumulative_;
+  }
+
+ private:
+  std::vector<Value> distinct_;
+  std::vector<double> cumulative_;
+  std::size_t total_ = 0;
+};
+
+/// Piecewise-linear CDF approximation interpolating a peer's points.
+///
+/// The curve is anchored by its knots: 0 left of the first knot, linear
+/// between consecutive knots, and the last knot's fraction at/after the last
+/// knot. Adam2 peers anchor the curve with the gossiped global extremes as
+/// (min, 0) and (max, 1) plus the lambda interpolation points in between.
+class PiecewiseLinearCdf {
+ public:
+  PiecewiseLinearCdf() = default;
+
+  /// Builds the interpolation from `knots`. Knots are sorted by threshold;
+  /// exact duplicates (same t) are collapsed keeping the larger fraction.
+  /// Fractions are clamped to [0, 1].
+  explicit PiecewiseLinearCdf(std::vector<CdfPoint> knots);
+
+  [[nodiscard]] double operator()(double x) const;
+
+  [[nodiscard]] bool empty() const { return knots_.empty(); }
+  [[nodiscard]] std::span<const CdfPoint> knots() const { return knots_; }
+
+  /// Smallest x with value >= q (by linear inverse); clamps to knot range.
+  /// Precondition: the curve is monotone (see is_monotone()).
+  [[nodiscard]] double inverse(double q) const;
+
+  /// True iff fractions are non-decreasing in t. Gossip noise can produce
+  /// tiny inversions; make_monotone() repairs them.
+  [[nodiscard]] bool is_monotone() const;
+
+  /// Returns a monotone copy (isotonic clamp with running maximum).
+  [[nodiscard]] PiecewiseLinearCdf make_monotone() const;
+
+  /// Total Euclidean arc length of the curve with the t-axis rescaled by
+  /// `t_scale` (the paper's LCut rescales by max - min to equalise axes).
+  [[nodiscard]] double arc_length(double t_scale) const;
+
+ private:
+  std::vector<CdfPoint> knots_;
+};
+
+/// Convenience: anchors `points` with (min,0) and (max,1) and interpolates,
+/// exactly as an Adam2 peer converts its H set into a CDF at instance end.
+[[nodiscard]] PiecewiseLinearCdf interpolate_with_extremes(
+    std::span<const CdfPoint> points, double min_value, double max_value);
+
+}  // namespace adam2::stats

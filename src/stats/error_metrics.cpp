@@ -1,0 +1,118 @@
+#include "stats/error_metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace adam2::stats {
+namespace {
+
+/// Sum of |h(x)| for integer x in [a, b] where h is linear with endpoint
+/// values ha = h(a) and hb = h(b). Splits at the sign change so every
+/// sub-series has a constant sign and the arithmetic-series formula applies.
+double abs_linear_sum(std::int64_t a, std::int64_t b, double ha, double hb) {
+  const double n = static_cast<double>(b - a + 1);
+  if (ha == 0.0 || hb == 0.0 || (ha > 0.0) == (hb > 0.0)) {
+    return std::abs(ha + hb) * n / 2.0;
+  }
+  // Sign change strictly inside; b > a is implied (ha != hb, opposite signs).
+  const double slope = (hb - ha) / static_cast<double>(b - a);
+  const double root = static_cast<double>(a) - ha / slope;
+  auto k = static_cast<std::int64_t>(std::floor(root));
+  k = std::clamp(k, a, b - 1);
+  const double hk = ha + slope * static_cast<double>(k - a);
+  const double hk1 = ha + slope * static_cast<double>(k + 1 - a);
+  const double left = std::abs(ha + hk) * static_cast<double>(k - a + 1) / 2.0;
+  const double right = std::abs(hk1 + hb) * static_cast<double>(b - k) / 2.0;
+  return left + right;
+}
+
+}  // namespace
+
+ErrorPair discrete_errors(const EmpiricalCdf& truth,
+                          const PiecewiseLinearCdf& approx) {
+  assert(!truth.empty());
+  assert(!approx.empty());
+  const std::int64_t m = truth.min();
+  const std::int64_t big_m = truth.max();
+  if (m == big_m) {
+    const double err = std::abs(1.0 - approx(static_cast<double>(m)));
+    return {err, err};
+  }
+
+  // Run starts: every integer where F's level or Fp's linear segment changes.
+  std::vector<std::int64_t> starts;
+  const auto distinct = truth.distinct_values();
+  starts.reserve(distinct.size() + approx.knots().size() + 1);
+  starts.push_back(m);
+  for (std::size_t j = 1; j < distinct.size(); ++j) starts.push_back(distinct[j]);
+  for (const CdfPoint& k : approx.knots()) {
+    const auto c = static_cast<std::int64_t>(std::ceil(k.t));
+    if (c > m && c <= big_m) starts.push_back(c);
+  }
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+  double max_err = 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    const std::int64_t a = starts[i];
+    const std::int64_t b = (i + 1 < starts.size()) ? starts[i + 1] - 1 : big_m;
+    const double level = truth(static_cast<double>(a));
+    const double ha = level - approx(static_cast<double>(a));
+    const double hb = level - approx(static_cast<double>(b));
+    max_err = std::max({max_err, std::abs(ha), std::abs(hb)});
+    sum += abs_linear_sum(a, b, ha, hb);
+  }
+  return {max_err, sum / static_cast<double>(big_m - m)};
+}
+
+ErrorPair discrete_errors_brute(const EmpiricalCdf& truth,
+                                const PiecewiseLinearCdf& approx) {
+  assert(!truth.empty());
+  assert(!approx.empty());
+  const std::int64_t m = truth.min();
+  const std::int64_t big_m = truth.max();
+  if (m == big_m) {
+    const double err = std::abs(1.0 - approx(static_cast<double>(m)));
+    return {err, err};
+  }
+  double max_err = 0.0;
+  double sum = 0.0;
+  for (std::int64_t x = m; x <= big_m; ++x) {
+    const double d = std::abs(truth(static_cast<double>(x)) -
+                              approx(static_cast<double>(x)));
+    max_err = std::max(max_err, d);
+    sum += d;
+  }
+  return {max_err, sum / static_cast<double>(big_m - m)};
+}
+
+ErrorPair point_errors(const EmpiricalCdf& truth,
+                       std::span<const CdfPoint> points) {
+  if (points.empty()) return {};
+  double max_err = 0.0;
+  double sum = 0.0;
+  for (const CdfPoint& p : points) {
+    const double d = std::abs(truth(p.t) - p.f);
+    max_err = std::max(max_err, d);
+    sum += d;
+  }
+  return {max_err, sum / static_cast<double>(points.size())};
+}
+
+ErrorPair estimation_errors(const PiecewiseLinearCdf& approx,
+                            std::span<const CdfPoint> verification) {
+  if (verification.empty() || approx.empty()) return {};
+  double max_err = 0.0;
+  double sum = 0.0;
+  for (const CdfPoint& p : verification) {
+    const double d = std::abs(approx(p.t) - p.f);
+    max_err = std::max(max_err, d);
+    sum += d;
+  }
+  return {max_err, sum / static_cast<double>(verification.size())};
+}
+
+}  // namespace adam2::stats

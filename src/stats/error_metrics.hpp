@@ -1,0 +1,50 @@
+// Approximation-error metrics between a true CDF and an interpolated one.
+//
+// The paper (§III) uses two metrics over the discrete attribute domain
+// [min, max]:
+//
+//   Errm(p) = max_x |F(x) - Fp(x)|                      (Kolmogorov-Smirnoff)
+//   Erra(p) = sum_{x=min}^{max} |F(x) - Fp(x)| / (max - min)
+//
+// Scanning every integer x is infeasible for wide domains (bandwidth spans
+// ~1e9 values), so `discrete_errors` evaluates both metrics *exactly* using
+// closed forms: between breakpoints of either curve, F is constant and Fp is
+// linear, so |F - Fp| is maximised at run endpoints and its sum over the
+// integers in the run is an arithmetic series (split at the sign change).
+// `discrete_errors_brute` scans integers directly and is used to validate the
+// closed forms in tests.
+#pragma once
+
+#include <span>
+
+#include "stats/cdf.hpp"
+
+namespace adam2::stats {
+
+/// Both paper metrics, computed in one pass.
+struct ErrorPair {
+  double max_err = 0.0;  ///< Errm: maximum vertical distance.
+  double avg_err = 0.0;  ///< Erra: average vertical distance over the domain.
+};
+
+/// Exact Errm/Erra between `truth` and `approx` over the integer domain
+/// [truth.min(), truth.max()].
+[[nodiscard]] ErrorPair discrete_errors(const EmpiricalCdf& truth,
+                                        const PiecewiseLinearCdf& approx);
+
+/// Direct integer scan of the same metrics; O(max - min). Test oracle only.
+[[nodiscard]] ErrorPair discrete_errors_brute(const EmpiricalCdf& truth,
+                                              const PiecewiseLinearCdf& approx);
+
+/// Errors restricted to a point set: max/avg of |F(t_i) - f_i| over `points`.
+/// Used for the paper's "interpolation points" error series (Fig. 6/12) and
+/// for confidence estimation at verification points (§VI).
+[[nodiscard]] ErrorPair point_errors(const EmpiricalCdf& truth,
+                                     std::span<const CdfPoint> points);
+
+/// Errors of `approx` evaluated at verification points carrying exact
+/// fractions: max/avg of |approx(t_i) - f_i| (the EstErr formulas of §VI).
+[[nodiscard]] ErrorPair estimation_errors(const PiecewiseLinearCdf& approx,
+                                          std::span<const CdfPoint> verification);
+
+}  // namespace adam2::stats

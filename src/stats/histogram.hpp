@@ -1,0 +1,48 @@
+// Histogram utilities shared by the data generators and the EquiDepth
+// baseline: equi-width counting, and equi-depth (quantile) boundaries over
+// plain or weighted samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/cdf.hpp"
+
+namespace adam2::stats {
+
+/// A weighted sample point: `weight` copies of `value` (weights may be
+/// fractional after synopsis merging).
+struct WeightedValue {
+  double value = 0.0;
+  double weight = 0.0;
+
+  friend bool operator==(const WeightedValue&, const WeightedValue&) = default;
+};
+
+/// Counts of `values` over `bins` equal-width buckets spanning [lo, hi].
+/// Values outside the range are clamped into the edge buckets.
+/// Precondition: bins >= 1 and hi > lo.
+[[nodiscard]] std::vector<std::size_t> equi_width_counts(
+    std::span<const Value> values, std::size_t bins, double lo, double hi);
+
+/// Equi-depth boundaries: the (i/bins)-quantiles of `values` for
+/// i = 1..bins-1. `values` need not be sorted. Precondition: bins >= 1,
+/// values non-empty.
+[[nodiscard]] std::vector<double> equi_depth_boundaries(
+    std::span<const Value> values, std::size_t bins);
+
+/// Compresses weighted samples to at most `capacity` centroids while
+/// preserving total weight: sorts by value and greedily merges adjacent
+/// centroids into equal-weight groups (the synopsis compression step of the
+/// EquiDepth baseline, ref [3]). Returns centroids sorted by value.
+[[nodiscard]] std::vector<WeightedValue> compress_equi_depth(
+    std::vector<WeightedValue> samples, std::size_t capacity);
+
+/// Interprets weighted centroids as a distribution and returns its CDF
+/// interpolation: knot k holds (value_k, cumulative weight fraction through
+/// centroid k, midpoint convention). Precondition: total weight > 0.
+[[nodiscard]] PiecewiseLinearCdf centroids_to_cdf(
+    std::span<const WeightedValue> centroids);
+
+}  // namespace adam2::stats

@@ -1,0 +1,155 @@
+// Bounded binary encoding/decoding.
+//
+// Every message the simulator transports is actually serialised to bytes and
+// decoded on receipt. This keeps protocol implementations honest about what
+// crosses the wire and makes the cost evaluation (§VII-I) exact: traffic
+// accounting simply sums encoded buffer sizes.
+//
+// Encoding: little-endian fixed-width integers, IEEE-754 doubles, and
+// u32-length-prefixed sequences. No varints — message sizes stay predictable
+// (the paper's ~800 B at lambda = 50 assumes 16 B per interpolation point).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace adam2::wire {
+
+/// Thrown when a buffer is truncated or structurally invalid.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only encoder.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u16(std::uint16_t v) { little_endian(v); }
+  void u32(std::uint32_t v) { little_endian(v); }
+  void u64(std::uint64_t v) { little_endian(v); }
+  void i64(std::int64_t v) { little_endian(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  /// Sequence length prefix (u32). Caller then writes `n` elements.
+  void length(std::size_t n) {
+    if (n > UINT32_MAX) throw DecodeError("sequence too long to encode");
+    u32(static_cast<std::uint32_t>(n));
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  /// Pre-allocates for a message whose encoded size is known.
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
+  /// Overwrites 4 already-written bytes at `offset` (little endian). Used to
+  /// patch sequence counts that are only known after the elements were
+  /// appended. Precondition: offset + 4 <= size().
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      buf_[offset + i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+    }
+  }
+
+ private:
+  template <typename T>
+  void little_endian(T v) {
+    if constexpr (std::endian::native == std::endian::little) {
+      raw(&v, sizeof(T));  // Host layout already matches the wire format.
+    } else {
+      std::byte tmp[sizeof(T)];
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        tmp[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+      }
+      raw(tmp, sizeof(T));
+    }
+  }
+
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked decoder over a byte span.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  [[nodiscard]] std::uint16_t u16() { return little_endian<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return little_endian<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return little_endian<std::uint64_t>(); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  /// Reads a sequence length and validates it against the remaining bytes
+  /// (each element needs at least `min_element_size` bytes), so a corrupt
+  /// length cannot trigger a huge allocation.
+  [[nodiscard]] std::size_t length(std::size_t min_element_size) {
+    const std::uint32_t n = u32();
+    if (min_element_size > 0 && n > remaining() / min_element_size) {
+      throw DecodeError("sequence length exceeds remaining buffer");
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+  /// Throws unless the entire buffer was consumed.
+  void expect_done() const {
+    if (!done()) throw DecodeError("trailing bytes after message");
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T little_endian() {
+    need(sizeof(T));
+    T v = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        v |= static_cast<T>(static_cast<std::uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+      }
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void need(std::size_t n) const {
+    if (remaining() < n) throw DecodeError("buffer truncated");
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace adam2::wire

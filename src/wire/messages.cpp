@@ -1,0 +1,259 @@
+#include "wire/messages.hpp"
+
+#include <cassert>
+
+namespace adam2::wire {
+namespace {
+
+void check_type(MessageType got, MessageType a, MessageType b,
+                const char* what) {
+  if (got != a && got != b) throw DecodeError(std::string("bad type tag for ") + what);
+}
+
+void encode_points(Writer& w, const std::vector<stats::CdfPoint>& points) {
+  w.length(points.size());
+  for (const stats::CdfPoint& p : points) {
+    w.f64(p.t);
+    w.f64(p.f);
+  }
+}
+
+std::vector<stats::CdfPoint> decode_points(Reader& r) {
+  const std::size_t n = r.length(16);
+  std::vector<stats::CdfPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stats::CdfPoint p;
+    p.t = r.f64();
+    p.f = r.f64();
+    points.push_back(p);
+  }
+  return points;
+}
+
+void encode_payload(Writer& w, const InstancePayload& p) {
+  w.u64(p.id.initiator);
+  w.u32(p.id.seq);
+  w.u32(p.start_round);
+  w.u16(p.ttl);
+  w.u8(p.flags);
+  w.f64(p.weight);
+  w.f64(p.min_value);
+  w.f64(p.max_value);
+  encode_points(w, p.points);
+  encode_points(w, p.verification);
+}
+
+InstancePayload decode_payload(Reader& r) {
+  InstancePayload p;
+  p.id.initiator = r.u64();
+  p.id.seq = r.u32();
+  p.start_round = r.u32();
+  p.ttl = r.u16();
+  p.flags = r.u8();
+  p.weight = r.f64();
+  p.min_value = r.f64();
+  p.max_value = r.f64();
+  p.points = decode_points(r);
+  p.verification = decode_points(r);
+  return p;
+}
+
+constexpr std::size_t payload_fixed_size() {
+  // id(12) + start_round(4) + ttl(2) + flags(1) + weight/min/max(24)
+  // + two sequence length prefixes (8)
+  return 12 + 4 + 2 + 1 + 24 + 8;
+}
+
+}  // namespace
+
+Adam2MessageBuilder::Adam2MessageBuilder(MessageType type,
+                                         std::uint64_t sender) {
+  writer_.u8(static_cast<std::uint8_t>(type));
+  writer_.u64(sender);
+  writer_.u32(0);  // Payload count, patched in finish().
+}
+
+void Adam2MessageBuilder::add(const InstancePayload& payload) {
+  encode_payload(writer_, payload);
+  ++count_;
+}
+
+void Adam2MessageBuilder::add_empty_set(const InstancePayload& like) {
+  InstancePayload marker;
+  marker.id = like.id;
+  marker.start_round = like.start_round;
+  marker.ttl = like.ttl;
+  marker.flags = kFlagEmptySet;
+  encode_payload(writer_, marker);
+  ++count_;
+}
+
+std::vector<std::byte> Adam2MessageBuilder::finish() {
+  writer_.patch_u32(1 + 8, count_);
+  return writer_.take();
+}
+
+MessageType peek_type(std::span<const std::byte> buffer) {
+  if (buffer.empty()) throw DecodeError("empty buffer");
+  return static_cast<MessageType>(buffer[0]);
+}
+
+std::vector<std::byte> Adam2Message::encode() const {
+  Writer w;
+  w.reserve(encoded_size());
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(sender);
+  w.length(instances.size());
+  for (const InstancePayload& p : instances) encode_payload(w, p);
+  return w.take();
+}
+
+Adam2Message Adam2Message::decode(std::span<const std::byte> buffer) {
+  Reader r(buffer);
+  Adam2Message m;
+  m.type = static_cast<MessageType>(r.u8());
+  check_type(m.type, MessageType::kAdam2Request, MessageType::kAdam2Response,
+             "Adam2Message");
+  m.sender = r.u64();
+  const std::size_t n = r.length(payload_fixed_size());
+  m.instances.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) m.instances.push_back(decode_payload(r));
+  r.expect_done();
+  return m;
+}
+
+std::size_t Adam2Message::encoded_size() const {
+  std::size_t size = 1 + 8 + 4;  // type + sender + count
+  for (const InstancePayload& p : instances) {
+    size += payload_fixed_size() + 16 * (p.points.size() + p.verification.size());
+  }
+  return size;
+}
+
+std::vector<std::byte> BootstrapRequest::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kBootstrapRequest));
+  w.u64(sender);
+  return w.take();
+}
+
+BootstrapRequest BootstrapRequest::decode(std::span<const std::byte> buffer) {
+  Reader r(buffer);
+  check_type(static_cast<MessageType>(r.u8()), MessageType::kBootstrapRequest,
+             MessageType::kBootstrapRequest, "BootstrapRequest");
+  BootstrapRequest m;
+  m.sender = r.u64();
+  r.expect_done();
+  return m;
+}
+
+std::vector<std::byte> BootstrapResponse::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kBootstrapResponse));
+  w.u64(sender);
+  w.f64(n_estimate);
+  w.f64(min_value);
+  w.f64(max_value);
+  encode_points(w, cdf_knots);
+  return w.take();
+}
+
+BootstrapResponse BootstrapResponse::decode(std::span<const std::byte> buffer) {
+  Reader r(buffer);
+  check_type(static_cast<MessageType>(r.u8()), MessageType::kBootstrapResponse,
+             MessageType::kBootstrapResponse, "BootstrapResponse");
+  BootstrapResponse m;
+  m.sender = r.u64();
+  m.n_estimate = r.f64();
+  m.min_value = r.f64();
+  m.max_value = r.f64();
+  m.cdf_knots = decode_points(r);
+  r.expect_done();
+  return m;
+}
+
+std::vector<std::byte> EquiDepthMessage::encode() const {
+  Writer w;
+  w.reserve(encoded_size());
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(sender);
+  w.u64(phase.initiator);
+  w.u32(phase.seq);
+  w.u32(start_round);
+  w.u16(ttl);
+  w.u8(flags);
+  w.length(synopsis.size());
+  for (const stats::WeightedValue& s : synopsis) {
+    w.f64(s.value);
+    w.f64(s.weight);
+  }
+  return w.take();
+}
+
+EquiDepthMessage EquiDepthMessage::decode(std::span<const std::byte> buffer) {
+  Reader r(buffer);
+  EquiDepthMessage m;
+  m.type = static_cast<MessageType>(r.u8());
+  check_type(m.type, MessageType::kEquiDepthRequest,
+             MessageType::kEquiDepthResponse, "EquiDepthMessage");
+  m.sender = r.u64();
+  m.phase.initiator = r.u64();
+  m.phase.seq = r.u32();
+  m.start_round = r.u32();
+  m.ttl = r.u16();
+  m.flags = r.u8();
+  const std::size_t n = r.length(16);
+  m.synopsis.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stats::WeightedValue s;
+    s.value = r.f64();
+    s.weight = r.f64();
+    m.synopsis.push_back(s);
+  }
+  r.expect_done();
+  return m;
+}
+
+std::size_t EquiDepthMessage::encoded_size() const {
+  return 1 + 8 + 12 + 4 + 2 + 1 + 4 + 16 * synopsis.size();
+}
+
+std::vector<std::byte> ShuffleMessage::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(sender);
+  w.length(descriptors.size());
+  for (const NodeDescriptor& d : descriptors) {
+    w.u64(d.id);
+    w.u32(d.age);
+    w.i64(d.attribute);
+  }
+  return w.take();
+}
+
+std::size_t ShuffleMessage::encoded_size() const {
+  return 1 + 8 + 4 + 20 * descriptors.size();
+}
+
+ShuffleMessage ShuffleMessage::decode(std::span<const std::byte> buffer) {
+  Reader r(buffer);
+  ShuffleMessage m;
+  m.type = static_cast<MessageType>(r.u8());
+  check_type(m.type, MessageType::kShuffleRequest,
+             MessageType::kShuffleResponse, "ShuffleMessage");
+  m.sender = r.u64();
+  const std::size_t n = r.length(20);
+  m.descriptors.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeDescriptor d;
+    d.id = r.u64();
+    d.age = r.u32();
+    d.attribute = r.i64();
+    m.descriptors.push_back(d);
+  }
+  r.expect_done();
+  return m;
+}
+
+}  // namespace adam2::wire

@@ -1,0 +1,184 @@
+// Wire formats for every message the protocols exchange.
+//
+// One gossip exchange is a request/response pair (§IV: "nodes need to
+// exchange a pair of messages during each gossip round"). An Adam2 message
+// carries one payload per aggregation instance the sender participates in;
+// each payload holds the instance identity and TTL, the averaging weight used
+// for system-size estimation, the gossiped global extremes, the lambda
+// interpolation points H and the optional verification points V (§VI).
+//
+// With lambda = 50 points and no verification points a payload is ~850 bytes,
+// matching the paper's "approximately 800 bytes" (§VII-I).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/cdf.hpp"
+#include "stats/histogram.hpp"
+#include "wire/buffer.hpp"
+
+namespace adam2::wire {
+
+/// Discriminates message kinds on the wire (first byte of every buffer).
+enum class MessageType : std::uint8_t {
+  kAdam2Request = 1,
+  kAdam2Response = 2,
+  kBootstrapRequest = 3,
+  kBootstrapResponse = 4,
+  kEquiDepthRequest = 5,
+  kEquiDepthResponse = 6,
+  kShuffleRequest = 7,
+  kShuffleResponse = 8,
+};
+
+/// Reads the type tag without consuming the buffer.
+[[nodiscard]] MessageType peek_type(std::span<const std::byte> buffer);
+
+/// Globally unique aggregation-instance identity: the initiator's node id
+/// plus the initiator-local sequence number.
+struct InstanceId {
+  std::uint64_t initiator = 0;
+  std::uint32_t seq = 0;
+
+  friend auto operator<=>(const InstanceId&, const InstanceId&) = default;
+};
+
+struct InstanceIdHash {
+  [[nodiscard]] std::size_t operator()(const InstanceId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.initiator * 0x9e3779b97f4a7c15ULL +
+                                      id.seq);
+  }
+};
+
+/// Payload flag bits.
+inline constexpr std::uint8_t kFlagEmptySet = 0x01;  ///< Paper-literal join marker.
+
+/// Per-instance state as it travels between two peers.
+struct InstancePayload {
+  InstanceId id;
+  std::uint32_t start_round = 0;  ///< Engine round the instance started in.
+  std::uint16_t ttl = 0;          ///< Rounds left before termination.
+  std::uint8_t flags = 0;
+  double weight = 0.0;      ///< System-size averaging weight (initiator: 1).
+  double min_value = 0.0;   ///< Gossiped global minimum (merged with min).
+  double max_value = 0.0;   ///< Gossiped global maximum (merged with max).
+  std::vector<stats::CdfPoint> points;        ///< H: interpolation points.
+  std::vector<stats::CdfPoint> verification;  ///< V: verification points.
+
+  friend bool operator==(const InstancePayload&, const InstancePayload&) =
+      default;
+};
+
+/// A full Adam2 gossip message (request or response).
+struct Adam2Message {
+  MessageType type = MessageType::kAdam2Request;
+  std::uint64_t sender = 0;
+  std::vector<InstancePayload> instances;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static Adam2Message decode(std::span<const std::byte> buffer);
+  /// Exact size encode() would produce, without allocating.
+  [[nodiscard]] std::size_t encoded_size() const;
+
+  friend bool operator==(const Adam2Message&, const Adam2Message&) = default;
+};
+
+/// Zero-copy encoder for Adam2 messages: appends payloads straight from the
+/// sender's live state, avoiding the intermediate Adam2Message copies on the
+/// per-exchange hot path. The payload count is patched in at finish().
+class Adam2MessageBuilder {
+ public:
+  Adam2MessageBuilder(MessageType type, std::uint64_t sender);
+
+  void add(const InstancePayload& payload);
+
+  /// Appends the paper-literal "empty set" marker for `like`'s instance.
+  void add_empty_set(const InstancePayload& like);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// Finalises and returns the buffer (the builder is spent afterwards).
+  [[nodiscard]] std::vector<std::byte> finish();
+
+ private:
+  Writer writer_;
+  std::uint32_t count_ = 0;
+};
+
+/// Sent by a node joining the overlay to one of its initial neighbours.
+struct BootstrapRequest {
+  std::uint64_t sender = 0;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static BootstrapRequest decode(std::span<const std::byte> buffer);
+
+  friend bool operator==(const BootstrapRequest&, const BootstrapRequest&) =
+      default;
+};
+
+/// Bootstrap reply: the neighbour's current view of the world, giving the
+/// joiner an initial CDF approximation and system-size estimate (§IV, §VII-G).
+struct BootstrapResponse {
+  std::uint64_t sender = 0;
+  double n_estimate = 0.0;  ///< 0 when the neighbour has none yet.
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::vector<stats::CdfPoint> cdf_knots;  ///< Empty when no estimate yet.
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static BootstrapResponse decode(
+      std::span<const std::byte> buffer);
+
+  friend bool operator==(const BootstrapResponse&, const BootstrapResponse&) =
+      default;
+};
+
+/// EquiDepth baseline gossip message: a phase identity plus the equi-depth
+/// synopsis (weighted centroids) being disseminated.
+struct EquiDepthMessage {
+  MessageType type = MessageType::kEquiDepthRequest;
+  std::uint64_t sender = 0;
+  InstanceId phase;
+  std::uint32_t start_round = 0;
+  std::uint16_t ttl = 0;
+  std::uint8_t flags = 0;
+  std::vector<stats::WeightedValue> synopsis;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static EquiDepthMessage decode(
+      std::span<const std::byte> buffer);
+  [[nodiscard]] std::size_t encoded_size() const;
+
+  friend bool operator==(const EquiDepthMessage&, const EquiDepthMessage&) =
+      default;
+};
+
+/// Peer-sampling descriptor: overlay address, gossip age, and the node's
+/// current attribute value (piggybacked so neighbour-based bootstrap can use
+/// cached neighbour values, §V / §VII-B).
+struct NodeDescriptor {
+  std::uint64_t id = 0;
+  std::uint32_t age = 0;
+  std::int64_t attribute = 0;
+
+  friend bool operator==(const NodeDescriptor&, const NodeDescriptor&) =
+      default;
+};
+
+/// Cyclon-style view-shuffle message (overlay maintenance channel).
+struct ShuffleMessage {
+  MessageType type = MessageType::kShuffleRequest;
+  std::uint64_t sender = 0;
+  std::vector<NodeDescriptor> descriptors;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static ShuffleMessage decode(std::span<const std::byte> buffer);
+  [[nodiscard]] std::size_t encoded_size() const;
+
+  friend bool operator==(const ShuffleMessage&, const ShuffleMessage&) = default;
+};
+
+}  // namespace adam2::wire

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/combine.hpp"
+#include "core/evaluation.hpp"
+#include "core/system.hpp"
+#include "data/boinc_synth.hpp"
+
+namespace adam2::core {
+namespace {
+
+Estimate make_estimate(std::vector<stats::CdfPoint> points, double min_v,
+                       double max_v, sim::Round round) {
+  Estimate est;
+  est.completed_round = round;
+  est.points = std::move(points);
+  est.min_value = min_v;
+  est.max_value = max_v;
+  est.n_estimate = 100.0;
+  est.cdf = stats::interpolate_with_extremes(est.points, min_v, max_v);
+  return est;
+}
+
+TEST(CombineTest, SingleEstimatePassesThrough) {
+  const auto est = make_estimate({{5.0, 0.5}}, 0.0, 10.0, 1);
+  const Estimate combined = combine_estimates({&est, 1});
+  EXPECT_EQ(combined.points, est.points);
+  EXPECT_DOUBLE_EQ(combined.min_value, 0.0);
+}
+
+TEST(CombineTest, UnionOfDisjointPoints) {
+  const Estimate old_est = make_estimate({{2.0, 0.2}, {6.0, 0.6}}, 0.0, 10.0, 1);
+  const Estimate new_est = make_estimate({{4.0, 0.4}, {8.0, 0.8}}, 0.0, 10.0, 2);
+  const std::vector<Estimate> history{old_est, new_est};
+  const Estimate combined = combine_estimates(history);
+  ASSERT_EQ(combined.points.size(), 4u);
+  EXPECT_DOUBLE_EQ(combined.points[0].t, 2.0);
+  EXPECT_DOUBLE_EQ(combined.points[1].t, 4.0);
+  EXPECT_DOUBLE_EQ(combined.points[2].t, 6.0);
+  EXPECT_DOUBLE_EQ(combined.points[3].t, 8.0);
+  // The richer interpolation is exact at all four sample positions.
+  EXPECT_DOUBLE_EQ(combined.cdf(4.0), 0.4);
+  EXPECT_DOUBLE_EQ(combined.cdf(6.0), 0.6);
+}
+
+TEST(CombineTest, DuplicateThresholdKeepsNewestFraction) {
+  const Estimate old_est = make_estimate({{5.0, 0.3}}, 0.0, 10.0, 1);
+  const Estimate new_est = make_estimate({{5.0, 0.7}}, 0.0, 10.0, 2);
+  const std::vector<Estimate> history{old_est, new_est};
+  const Estimate combined = combine_estimates(history);
+  ASSERT_EQ(combined.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(combined.points[0].f, 0.7);
+}
+
+TEST(CombineTest, ExtremesWidenToUnion) {
+  const Estimate old_est = make_estimate({{5.0, 0.5}}, -50.0, 10.0, 1);
+  const Estimate new_est = make_estimate({{6.0, 0.6}}, 0.0, 99.0, 2);
+  const std::vector<Estimate> history{old_est, new_est};
+  const Estimate combined = combine_estimates(history);
+  EXPECT_DOUBLE_EQ(combined.min_value, -50.0);
+  EXPECT_DOUBLE_EQ(combined.max_value, 99.0);
+}
+
+TEST(CombineTest, ScalarFieldsComeFromNewest) {
+  Estimate old_est = make_estimate({{5.0, 0.5}}, 0.0, 10.0, 1);
+  old_est.n_estimate = 50.0;
+  Estimate new_est = make_estimate({{6.0, 0.6}}, 0.0, 10.0, 2);
+  new_est.n_estimate = 80.0;
+  new_est.instance = {7, 3};
+  const std::vector<Estimate> history{old_est, new_est};
+  const Estimate combined = combine_estimates(history);
+  EXPECT_DOUBLE_EQ(combined.n_estimate, 80.0);
+  EXPECT_EQ(combined.instance, (wire::InstanceId{7, 3}));
+  EXPECT_EQ(combined.completed_round, 2u);
+}
+
+TEST(CombineTest, ResultIsMonotone) {
+  // Conflicting samples (drifted CDF) still produce a valid CDF.
+  const Estimate old_est =
+      make_estimate({{4.0, 0.9}, {8.0, 0.95}}, 0.0, 10.0, 1);
+  const Estimate new_est = make_estimate({{5.0, 0.2}}, 0.0, 10.0, 2);
+  const std::vector<Estimate> history{old_est, new_est};
+  const Estimate combined = combine_estimates(history);
+  EXPECT_TRUE(combined.cdf.is_monotone());
+}
+
+TEST(CombineTest, EndToEndCombiningReducesError) {
+  // §VII-D: combining points from multiple instances reduces the error on a
+  // static CDF at no extra communication cost.
+  rng::Rng data_rng(31);
+  const auto values =
+      data::generate_population(data::Attribute::kRamMb, 2000, data_rng);
+  const stats::EmpiricalCdf truth{values};
+
+  auto run = [&](std::size_t combine) {
+    SystemConfig config;
+    config.engine.seed = 9;
+    config.protocol.lambda = 30;
+    config.protocol.heuristic = SelectionHeuristic::kLCut;
+    config.protocol.combine_last_instances = combine;
+    Adam2System system(config, values);
+    for (int i = 0; i < 4; ++i) system.run_instance();
+    return evaluate_estimates(system.engine(), truth);
+  };
+  const auto single = run(1);
+  const auto combined = run(3);
+  EXPECT_LT(combined.avg_err, single.avg_err);
+}
+
+TEST(CombineTest, HistoryIsBounded) {
+  SystemConfig config;
+  config.engine.seed = 10;
+  config.protocol.lambda = 10;
+  config.protocol.instance_ttl = 15;
+  config.protocol.combine_last_instances = 2;
+  std::vector<stats::Value> values;
+  for (int i = 0; i < 200; ++i) values.push_back(i);
+  Adam2System system(config, values);
+  for (int i = 0; i < 4; ++i) system.run_instance();
+  // After 4 instances with a window of 2, the estimate combines at most
+  // 2 * lambda points (plus none lost): points <= 20.
+  const auto& est = *system.agent_of(0).estimate();
+  EXPECT_LE(est.points.size(), 20u);
+  EXPECT_GT(est.points.size(), 10u);
+}
+
+}  // namespace
+}  // namespace adam2::core

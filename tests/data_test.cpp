@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "data/boinc_synth.hpp"
+#include "data/trace.hpp"
+#include "stats/cdf.hpp"
+
+namespace adam2::data {
+namespace {
+
+using stats::EmpiricalCdf;
+using stats::Value;
+
+std::vector<Value> sample(Attribute kind, std::size_t n, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  return generate_population(kind, n, rng);
+}
+
+TEST(BoincSynthTest, AllAttributesArePositive) {
+  for (Attribute kind : kAllAttributes) {
+    for (Value v : sample(kind, 5000, 1)) {
+      EXPECT_GT(v, 0) << attribute_name(kind);
+    }
+  }
+}
+
+TEST(BoincSynthTest, DeterministicForSameSeed) {
+  EXPECT_EQ(sample(Attribute::kCpuMflops, 100, 9),
+            sample(Attribute::kCpuMflops, 100, 9));
+}
+
+TEST(BoincSynthTest, CpuIsSmooth) {
+  // A smooth distribution has many distinct values and no single value
+  // carrying a large probability mass (Fig. 4's CPU curve).
+  const auto values = sample(Attribute::kCpuMflops, 50000, 2);
+  const EmpiricalCdf cdf{values};
+  EXPECT_GT(cdf.distinct_values().size(), 3000u);
+
+  const auto fractions = cdf.cumulative_fractions();
+  double largest_step = fractions[0];
+  for (std::size_t i = 1; i < fractions.size(); ++i) {
+    largest_step = std::max(largest_step, fractions[i] - fractions[i - 1]);
+  }
+  EXPECT_LT(largest_step, 0.01);
+}
+
+TEST(BoincSynthTest, RamIsHeavilyStepped) {
+  // The RAM CDF must contain visible steps: a handful of standard module
+  // sizes carry most of the probability mass (Fig. 4's RAM curve).
+  const auto values = sample(Attribute::kRamMb, 50000, 3);
+  const EmpiricalCdf cdf{values};
+  const auto distinct = cdf.distinct_values();
+  const auto fractions = cdf.cumulative_fractions();
+
+  double mass_in_big_steps = 0.0;
+  int big_steps = 0;
+  for (std::size_t i = 0; i < distinct.size(); ++i) {
+    const double step =
+        fractions[i] - (i > 0 ? fractions[i - 1] : 0.0);
+    if (step > 0.02) {
+      mass_in_big_steps += step;
+      ++big_steps;
+    }
+  }
+  EXPECT_GE(big_steps, 5);
+  EXPECT_GT(mass_in_big_steps, 0.75);
+}
+
+TEST(BoincSynthTest, RamConcentratesOnModuleSizes) {
+  const auto values = sample(Attribute::kRamMb, 20000, 4);
+  const std::set<Value> modules{128,  192,  256,  320,  384,  448,  512,
+                                640,  768,  896,  1024, 1280, 1536, 1792,
+                                2048, 2560, 3072, 4096, 6144, 8192};
+  std::size_t on_step = 0;
+  for (Value v : values) on_step += modules.count(v);
+  EXPECT_GT(static_cast<double>(on_step) / values.size(), 0.85);
+  EXPECT_LT(static_cast<double>(on_step) / values.size(), 1.0);
+}
+
+TEST(BoincSynthTest, CpuSpansExpectedRange) {
+  const auto values = sample(Attribute::kCpuMflops, 50000, 5);
+  const EmpiricalCdf cdf{values};
+  EXPECT_GE(cdf.min(), 50);
+  EXPECT_LE(cdf.max(), 25000);
+  // Median in the low thousands of MFLOPS (2008-era hosts).
+  EXPECT_GT(cdf.quantile(0.5), 800);
+  EXPECT_LT(cdf.quantile(0.5), 5000);
+}
+
+TEST(BoincSynthTest, BandwidthIsHeavyTailed) {
+  const auto values = sample(Attribute::kBandwidthKbps, 50000, 6);
+  const EmpiricalCdf cdf{values};
+  // Tail: the 99th percentile is much larger than the median.
+  EXPECT_GT(cdf.quantile(0.99),
+            8 * cdf.quantile(0.5));
+}
+
+TEST(BoincSynthTest, DiskSpansCommoditySizes) {
+  const auto values = sample(Attribute::kDiskGb, 20000, 7);
+  const EmpiricalCdf cdf{values};
+  EXPECT_GE(cdf.min(), 4);
+  EXPECT_LE(cdf.max(), 8192);
+}
+
+// -------------------------------------------------------------------- Trace
+
+TEST(TraceTest, SynthesizeProducesSequentialIds) {
+  rng::Rng rng(8);
+  const auto records = synthesize_trace(100, rng);
+  ASSERT_EQ(records.size(), 100u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].host_id, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(TraceTest, AttributeColumnSelectsField) {
+  const std::vector<HostRecord> records{
+      {.host_id = 0, .cpu_mflops = 1, .ram_mb = 2, .bandwidth_kbps = 3, .disk_gb = 4},
+      {.host_id = 1, .cpu_mflops = 5, .ram_mb = 6, .bandwidth_kbps = 7, .disk_gb = 8},
+  };
+  EXPECT_EQ(attribute_column(records, Attribute::kCpuMflops),
+            (std::vector<Value>{1, 5}));
+  EXPECT_EQ(attribute_column(records, Attribute::kRamMb),
+            (std::vector<Value>{2, 6}));
+  EXPECT_EQ(attribute_column(records, Attribute::kBandwidthKbps),
+            (std::vector<Value>{3, 7}));
+  EXPECT_EQ(attribute_column(records, Attribute::kDiskGb),
+            (std::vector<Value>{4, 8}));
+}
+
+TEST(TraceTest, FilterFaultyDropsBrokenReadings) {
+  std::vector<HostRecord> records{
+      {.host_id = 0, .cpu_mflops = 1000, .ram_mb = 512, .bandwidth_kbps = 1024, .disk_gb = 100},
+      {.host_id = 1, .cpu_mflops = 1000, .ram_mb = -512, .bandwidth_kbps = 1024, .disk_gb = 100},
+      {.host_id = 2, .cpu_mflops = 1000, .ram_mb = 512, .bandwidth_kbps = 200'000'000, .disk_gb = 100},
+      {.host_id = 3, .cpu_mflops = 0, .ram_mb = 512, .bandwidth_kbps = 1024, .disk_gb = 100},
+  };
+  const auto filtered = filter_faulty(std::move(records));
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].host_id, 0);
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  rng::Rng rng(9);
+  const auto records = synthesize_trace(50, rng);
+  std::stringstream stream;
+  write_csv(stream, records);
+  EXPECT_EQ(read_csv(stream), records);
+}
+
+TEST(TraceTest, CsvReadsHeaderlessInput) {
+  std::stringstream stream("1,100,512,1024,80\n2,200,1024,2048,160\n");
+  const auto records = read_csv(stream);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].ram_mb, 1024);
+}
+
+TEST(TraceTest, CsvRejectsGarbage) {
+  std::stringstream stream("this,is,not,a,number\n");
+  EXPECT_THROW((void)read_csv(stream), std::runtime_error);
+}
+
+TEST(TraceTest, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_trace("/nonexistent/path/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceTest, SaveAndLoadFile) {
+  rng::Rng rng(10);
+  const auto records = synthesize_trace(20, rng);
+  const std::string path = ::testing::TempDir() + "/adam2_trace_test.csv";
+  save_trace(path, records);
+  EXPECT_EQ(load_trace(path), records);
+}
+
+}  // namespace
+}  // namespace adam2::data

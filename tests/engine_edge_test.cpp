@@ -1,0 +1,155 @@
+// Edge cases of the simulation substrate: degenerate populations, exhausted
+// overlays, repeated kills, and clamped churn.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "sim/cyclon.hpp"
+#include "sim/engine.hpp"
+#include "sim/overlay.hpp"
+
+namespace adam2::sim {
+namespace {
+
+class SilentAgent final : public NodeAgent {
+ public:
+  std::vector<std::byte> make_request(AgentContext&) override { return {}; }
+  std::vector<std::byte> handle_request(AgentContext&,
+                                        std::span<const std::byte>) override {
+    return {};
+  }
+};
+
+AgentFactory silent_factory() {
+  return [](const AgentContext&) { return std::make_unique<SilentAgent>(); };
+}
+
+TEST(EngineEdgeTest, EmptyPopulationRunsHarmlessly) {
+  Engine engine(EngineConfig{}, {}, std::make_unique<StaticRandomOverlay>(4),
+                silent_factory(), nullptr);
+  engine.run_rounds(3);
+  EXPECT_EQ(engine.live_count(), 0u);
+  EXPECT_THROW((void)engine.random_live_node(), std::runtime_error);
+}
+
+TEST(EngineEdgeTest, SingleNodeCannotGossip) {
+  core::SystemConfig config;
+  config.overlay = core::OverlayKind::kStaticRandom;
+  core::Adam2System system(config, {42});
+  system.start_instance(NodeId{0});
+  system.run_rounds(3);
+  // No neighbour exists: every attempted exchange is a failed contact.
+  EXPECT_GT(system.engine().total_traffic().failed_contacts, 0u);
+  EXPECT_EQ(system.engine()
+                .total_traffic()
+                .on(Channel::kAggregation)
+                .messages_sent,
+            0u);
+}
+
+TEST(EngineEdgeTest, SingleNodeInstanceStillFinalises) {
+  core::SystemConfig config;
+  config.protocol.instance_ttl = 5;
+  core::Adam2System system(config, {42});
+  system.run_instance(NodeId{0});
+  const auto& est = system.agent_of(0).estimate();
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(est->n_estimate, 1.0);  // Weight never diluted.
+  EXPECT_DOUBLE_EQ(est->min_value, 42.0);
+  EXPECT_DOUBLE_EQ(est->max_value, 42.0);
+}
+
+TEST(EngineEdgeTest, TwoNodeSystemConverges) {
+  core::SystemConfig config;
+  config.protocol.lambda = 3;
+  config.protocol.instance_ttl = 40;
+  config.overlay = core::OverlayKind::kStaticRandom;
+  config.overlay_degree = 1;
+  core::Adam2System system(config, {10, 20});
+  system.run_instance(NodeId{0});
+  for (NodeId id : {NodeId{0}, NodeId{1}}) {
+    const auto& est = system.agent_of(id).estimate();
+    ASSERT_TRUE(est.has_value());
+    EXPECT_NEAR(est->n_estimate, 2.0, 1e-6);
+    EXPECT_DOUBLE_EQ(est->min_value, 10.0);
+    EXPECT_DOUBLE_EQ(est->max_value, 20.0);
+    for (const stats::CdfPoint& p : est->points) {
+      const double truth = p.t >= 20 ? 1.0 : (p.t >= 10 ? 0.5 : 0.0);
+      EXPECT_NEAR(p.f, truth, 1e-9);
+    }
+  }
+}
+
+TEST(EngineEdgeTest, KillNodeTwiceIsIdempotent) {
+  Engine engine(EngineConfig{}, {1, 2, 3},
+                std::make_unique<StaticRandomOverlay>(2), silent_factory(),
+                nullptr);
+  engine.kill_node(1);
+  engine.kill_node(1);
+  EXPECT_EQ(engine.live_count(), 2u);
+}
+
+TEST(EngineEdgeTest, ChurnCountClampsToPopulation) {
+  Engine engine(EngineConfig{}, {1, 2, 3},
+                std::make_unique<StaticRandomOverlay>(2), silent_factory(),
+                [](rng::Rng&) { return stats::Value{9}; });
+  engine.churn_nodes(100);  // More than exist.
+  EXPECT_EQ(engine.live_count(), 3u);
+  for (NodeId id : engine.live_ids()) {
+    EXPECT_EQ(engine.attribute_of(id), 9);
+  }
+}
+
+TEST(EngineEdgeTest, ObserverSeesConsistentStateDuringChurn) {
+  EngineConfig config;
+  config.churn_rate = 0.2;
+  config.seed = 5;
+  Engine engine(config, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+                std::make_unique<StaticRandomOverlay>(3), silent_factory(),
+                [](rng::Rng& rng) { return static_cast<stats::Value>(rng.below(50)); });
+  engine.add_observer([](Engine& e) {
+    // Live ids must always reference live nodes with agents.
+    for (NodeId id : e.live_ids()) {
+      EXPECT_TRUE(e.is_live(id));
+      (void)e.agent(id);
+    }
+  });
+  engine.run_rounds(10);
+  EXPECT_EQ(engine.live_count(), 10u);
+}
+
+TEST(EngineEdgeTest, CyclonWithMinimalView) {
+  CyclonConfig config;
+  config.view_size = 1;
+  config.shuffle_size = 1;
+  Engine engine(EngineConfig{}, {1, 2, 3, 4},
+                std::make_unique<CyclonOverlay>(config), silent_factory(),
+                nullptr);
+  engine.run_rounds(10);
+  for (NodeId id : engine.live_ids()) {
+    EXPECT_LE(engine.overlay().neighbors(id).size(), 1u);
+  }
+}
+
+TEST(EngineEdgeTest, AttributeSourceReceivesWorkingRng) {
+  EngineConfig config;
+  config.churn_rate = 0.5;
+  config.seed = 6;
+  bool called = false;
+  Engine engine(config, {1, 2, 3, 4},
+                std::make_unique<StaticRandomOverlay>(2), silent_factory(),
+                [&called](rng::Rng& rng) {
+                  called = true;
+                  return static_cast<stats::Value>(rng.range(5, 10));
+                });
+  engine.run_rounds(3);
+  EXPECT_TRUE(called);
+  for (NodeId id : engine.live_ids()) {
+    if (id >= 4) {
+      EXPECT_GE(engine.attribute_of(id), 5);
+      EXPECT_LE(engine.attribute_of(id), 10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adam2::sim

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "core/instance.hpp"
+#include "rng/rng.hpp"
+
+namespace adam2::core {
+namespace {
+
+ContributionFn indicator(double attribute) {
+  return [attribute](double t) { return attribute <= t ? 1.0 : 0.0; };
+}
+
+TEST(InstanceStateTest, StartInitialisesInitiator) {
+  const auto state = InstanceState::start(
+      {1, 0}, 10, 25, {100.0, 200.0, 300.0}, {150.0}, indicator(150.0), 150.0,
+      150.0);
+  EXPECT_EQ(state.id, (wire::InstanceId{1, 0}));
+  EXPECT_EQ(state.start_round, 10u);
+  EXPECT_EQ(state.ttl, 25);
+  EXPECT_DOUBLE_EQ(state.weight, 1.0);
+  ASSERT_EQ(state.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(state.points[0].f, 0.0);  // 150 > 100
+  EXPECT_DOUBLE_EQ(state.points[1].f, 1.0);  // 150 <= 200
+  EXPECT_DOUBLE_EQ(state.points[2].f, 1.0);
+  ASSERT_EQ(state.verification.size(), 1u);
+  EXPECT_DOUBLE_EQ(state.verification[0].f, 1.0);
+  EXPECT_DOUBLE_EQ(state.min_value, 150.0);
+  EXPECT_DOUBLE_EQ(state.max_value, 150.0);
+}
+
+TEST(InstanceStateTest, JoinTakesThresholdsFromPayloadWithZeroWeight) {
+  const auto initiator = InstanceState::start(
+      {1, 0}, 10, 25, {100.0, 200.0}, {}, indicator(50.0), 50.0, 50.0);
+  const auto payload = initiator.to_payload();
+  const auto joiner = InstanceState::join(payload, indicator(250.0), 250.0, 250.0);
+  EXPECT_EQ(joiner.id, initiator.id);
+  EXPECT_EQ(joiner.start_round, initiator.start_round);
+  EXPECT_DOUBLE_EQ(joiner.weight, 0.0);
+  ASSERT_EQ(joiner.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(joiner.points[0].t, 100.0);
+  EXPECT_DOUBLE_EQ(joiner.points[0].f, 0.0);  // 250 > 100
+  EXPECT_DOUBLE_EQ(joiner.points[1].f, 0.0);  // 250 > 200
+  EXPECT_DOUBLE_EQ(joiner.min_value, 250.0);
+}
+
+TEST(InstanceStateTest, PayloadRoundTripPreservesState) {
+  const auto state = InstanceState::start(
+      {7, 3}, 2, 20, {10.0, 20.0}, {15.0}, indicator(12.0), 12.0, 12.0);
+  const auto payload = state.to_payload();
+  EXPECT_EQ(payload.id, state.id);
+  EXPECT_EQ(payload.start_round, state.start_round);
+  EXPECT_EQ(payload.ttl, state.ttl);
+  EXPECT_DOUBLE_EQ(payload.weight, state.weight);
+  EXPECT_EQ(payload.points, state.points);
+  EXPECT_EQ(payload.verification, state.verification);
+}
+
+TEST(InstanceStateTest, AverageWithIsSymmetricMean) {
+  auto a = InstanceState::start({1, 0}, 0, 25, {100.0}, {}, indicator(50.0),
+                                50.0, 50.0);
+  auto b = InstanceState::join(a.to_payload(), indicator(200.0), 200.0, 200.0);
+  const auto payload_a = a.to_payload();
+  const auto payload_b = b.to_payload();
+  a.average_with(payload_b);
+  b.average_with(payload_a);
+  EXPECT_DOUBLE_EQ(a.points[0].f, 0.5);
+  EXPECT_DOUBLE_EQ(b.points[0].f, 0.5);
+  EXPECT_DOUBLE_EQ(a.weight, 0.5);
+  EXPECT_DOUBLE_EQ(b.weight, 0.5);
+}
+
+TEST(InstanceStateTest, AverageMergesExtremesWithMinMax) {
+  auto a = InstanceState::start({1, 0}, 0, 25, {100.0}, {}, indicator(50.0),
+                                50.0, 50.0);
+  const auto b =
+      InstanceState::join(a.to_payload(), indicator(200.0), 200.0, 200.0);
+  a.average_with(b.to_payload());
+  EXPECT_DOUBLE_EQ(a.min_value, 50.0);
+  EXPECT_DOUBLE_EQ(a.max_value, 200.0);
+}
+
+TEST(InstanceStateTest, RepeatedAveragingConvergesPairwise) {
+  auto a = InstanceState::start({1, 0}, 0, 25, {100.0}, {}, indicator(50.0),
+                                50.0, 50.0);
+  auto b = InstanceState::join(a.to_payload(), indicator(200.0), 200.0, 200.0);
+  for (int i = 0; i < 10; ++i) {
+    const auto pa = a.to_payload();
+    const auto pb = b.to_payload();
+    a.average_with(pb);
+    b.average_with(pa);
+  }
+  EXPECT_NEAR(a.points[0].f, 0.5, 1e-12);
+  EXPECT_NEAR(b.points[0].f, 0.5, 1e-12);
+}
+
+TEST(InstanceStateTest, MassConservationAcrossArbitrarySchedules) {
+  // Three peers, initiator holds value below the threshold. Any sequence of
+  // symmetric exchanges keeps sum(f) and sum(weight) constant.
+  auto a = InstanceState::start({1, 0}, 0, 25, {100.0}, {}, indicator(50.0),
+                                50.0, 50.0);
+  auto b = InstanceState::join(a.to_payload(), indicator(200.0), 200.0, 200.0);
+  auto c = InstanceState::join(a.to_payload(), indicator(80.0), 80.0, 80.0);
+
+  auto mass = [&] { return a.points[0].f + b.points[0].f + c.points[0].f; };
+  auto weight = [&] { return a.weight + b.weight + c.weight; };
+  const double f0 = mass();
+  const double w0 = weight();
+  EXPECT_DOUBLE_EQ(f0, 2.0);  // 50 and 80 are <= 100; 200 is not.
+  EXPECT_DOUBLE_EQ(w0, 1.0);
+
+  rng::Rng rng(5);
+  InstanceState* peers[] = {&a, &b, &c};
+  for (int i = 0; i < 50; ++i) {
+    InstanceState* x = peers[rng.below(3)];
+    InstanceState* y = peers[rng.below(3)];
+    if (x == y) continue;
+    const auto px = x->to_payload();
+    const auto py = y->to_payload();
+    x->average_with(py);
+    y->average_with(px);
+    EXPECT_NEAR(mass(), f0, 1e-12);
+    EXPECT_NEAR(weight(), w0, 1e-12);
+  }
+  // And the values converge to mass/3 (the true fraction 2/3) pairwise-ish.
+  EXPECT_NEAR(a.points[0].f, 2.0 / 3.0, 0.2);
+}
+
+}  // namespace
+}  // namespace adam2::core

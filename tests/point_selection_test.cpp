@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/point_selection.hpp"
+#include "rng/rng.hpp"
+#include "stats/cdf.hpp"
+
+namespace adam2::core {
+namespace {
+
+using stats::CdfPoint;
+using stats::PiecewiseLinearCdf;
+
+void expect_strictly_increasing(const std::vector<double>& ts) {
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    EXPECT_LT(ts[i - 1], ts[i]) << "at index " << i;
+  }
+}
+
+void expect_inside(const std::vector<double>& ts, double lo, double hi) {
+  for (double t : ts) {
+    EXPECT_GT(t, lo);
+    EXPECT_LT(t, hi);
+  }
+}
+
+/// Anchored previous interpolation of a smooth-ish curve for refinement tests.
+PiecewiseLinearCdf smooth_prev() {
+  std::vector<CdfPoint> knots;
+  for (int i = 0; i <= 10; ++i) {
+    const double t = 100.0 * i;
+    const double f = static_cast<double>(i) / 10.0;
+    knots.push_back({t, f * f * (3 - 2 * f)});  // Smoothstep, monotone.
+  }
+  knots.front().f = 0.0;
+  knots.back().f = 1.0;
+  return PiecewiseLinearCdf{std::move(knots)};
+}
+
+/// A CDF with one huge step at t=500 (RAM-like shape). The plateaus carry
+/// several near-redundant points so MinMax has clusters it can cannibalise.
+PiecewiseLinearCdf step_prev() {
+  return PiecewiseLinearCdf{{{0.0, 0.0},
+                             {100.0, 0.01},
+                             {200.0, 0.02},
+                             {499.0, 0.05},
+                             {501.0, 0.95},
+                             {700.0, 0.96},
+                             {800.0, 0.97},
+                             {1000.0, 1.0}}};
+}
+
+// --------------------------------------------------------------- sanitize
+
+TEST(SanitizeTest, KeepsWellFormedInput) {
+  const auto ts = sanitize_thresholds({1.0, 2.0, 3.0}, 0.0, 10.0, 3);
+  EXPECT_EQ(ts, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(SanitizeTest, SortsAndDeduplicates) {
+  const auto ts = sanitize_thresholds({3.0, 1.0, 3.0, 2.0}, 0.0, 10.0, 3);
+  EXPECT_EQ(ts, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(SanitizeTest, DropsOutOfRangeAndPads) {
+  const auto ts = sanitize_thresholds({-5.0, 5.0, 15.0}, 0.0, 10.0, 3);
+  ASSERT_EQ(ts.size(), 3u);
+  expect_strictly_increasing(ts);
+  expect_inside(ts, 0.0, 10.0);
+  EXPECT_NE(std::find(ts.begin(), ts.end(), 5.0), ts.end());
+}
+
+TEST(SanitizeTest, PadsEmptyInputUniformly) {
+  const auto ts = sanitize_thresholds({}, 0.0, 8.0, 4);
+  ASSERT_EQ(ts.size(), 4u);
+  expect_strictly_increasing(ts);
+  expect_inside(ts, 0.0, 8.0);
+}
+
+TEST(SanitizeTest, TrimsOversizedInputEvenly) {
+  std::vector<double> ts;
+  for (int i = 1; i < 100; ++i) ts.push_back(static_cast<double>(i));
+  const auto out = sanitize_thresholds(std::move(ts), 0.0, 100.0, 10);
+  ASSERT_EQ(out.size(), 10u);
+  expect_strictly_increasing(out);
+}
+
+TEST(SanitizeTest, DegenerateRangeStillReturnsLambdaPoints) {
+  const auto ts = sanitize_thresholds({1.0, 2.0}, 5.0, 5.0, 3);
+  EXPECT_EQ(ts.size(), 3u);
+}
+
+TEST(SanitizeTest, RejectsNonFiniteThresholds) {
+  const auto ts = sanitize_thresholds(
+      {std::nan(""), 5.0, std::numeric_limits<double>::infinity()}, 0.0, 10.0,
+      2);
+  ASSERT_EQ(ts.size(), 2u);
+  for (double t : ts) EXPECT_TRUE(std::isfinite(t));
+}
+
+// ---------------------------------------------------------------- uniform
+
+TEST(UniformThresholdsTest, EvenSpacing) {
+  const auto ts = uniform_thresholds(0.0, 100.0, 4);
+  ASSERT_EQ(ts.size(), 4u);
+  EXPECT_DOUBLE_EQ(ts[0], 20.0);
+  EXPECT_DOUBLE_EQ(ts[1], 40.0);
+  EXPECT_DOUBLE_EQ(ts[2], 60.0);
+  EXPECT_DOUBLE_EQ(ts[3], 80.0);
+}
+
+TEST(UniformThresholdsTest, ExcludesEndpoints) {
+  const auto ts = uniform_thresholds(0.0, 10.0, 9);
+  expect_inside(ts, 0.0, 10.0);
+}
+
+// -------------------------------------------------------------- neighbour
+
+TEST(NeighbourThresholdsTest, UsesObservedValues) {
+  rng::Rng rng(1);
+  const std::vector<stats::Value> values{100, 200, 300, 400, 500};
+  const auto ts = neighbour_thresholds(values, 5, rng);
+  ASSERT_EQ(ts.size(), 5u);
+  for (stats::Value v : values) {
+    EXPECT_NE(std::find(ts.begin(), ts.end(), static_cast<double>(v)),
+              ts.end());
+  }
+}
+
+TEST(NeighbourThresholdsTest, SamplesSubsetWhenManyValues) {
+  rng::Rng rng(2);
+  std::vector<stats::Value> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i);
+  const auto ts = neighbour_thresholds(values, 50, rng);
+  ASSERT_EQ(ts.size(), 50u);
+  expect_strictly_increasing(ts);
+}
+
+TEST(NeighbourThresholdsTest, PadsWhenFewValues) {
+  rng::Rng rng(3);
+  const std::vector<stats::Value> values{100, 900};
+  const auto ts = neighbour_thresholds(values, 10, rng);
+  ASSERT_EQ(ts.size(), 10u);
+  expect_strictly_increasing(ts);
+}
+
+TEST(NeighbourThresholdsTest, HandlesSingleRepeatedValue) {
+  rng::Rng rng(4);
+  const std::vector<stats::Value> values{7, 7, 7, 7};
+  const auto ts = neighbour_thresholds(values, 5, rng);
+  EXPECT_EQ(ts.size(), 5u);
+}
+
+// ------------------------------------------------------------------- HCut
+
+TEST(HCutTest, ThresholdsLandOnQuantiles) {
+  // For the identity-ish CDF on [0, 1000] (uniform), HCut's points are the
+  // i/(lambda+1) quantiles: 250, 500, 750 for lambda = 3.
+  const PiecewiseLinearCdf prev{{{0.0, 0.0}, {1000.0, 1.0}}};
+  const auto ts = hcut(prev, 3);
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_NEAR(ts[0], 250.0, 1e-9);
+  EXPECT_NEAR(ts[1], 500.0, 1e-9);
+  EXPECT_NEAR(ts[2], 750.0, 1e-9);
+}
+
+TEST(HCutTest, EqualVerticalGapsOnPreviousCurve) {
+  const auto prev = smooth_prev();
+  const std::size_t lambda = 9;
+  const auto ts = hcut(prev, lambda);
+  ASSERT_EQ(ts.size(), lambda);
+  // Consecutive points (including anchors) cut equal vertical slices.
+  double prev_f = 0.0;
+  for (double t : ts) {
+    EXPECT_NEAR(prev(t) - prev_f, 1.0 / (lambda + 1), 1e-6);
+    prev_f = prev(t);
+  }
+}
+
+TEST(HCutTest, ConcentratesPointsInsideSteps) {
+  const auto ts = hcut(step_prev(), 9);
+  // 90% of the mass lies in (499, 501): most thresholds must land there.
+  const auto inside = std::count_if(ts.begin(), ts.end(), [](double t) {
+    return t >= 499.0 && t <= 501.0;
+  });
+  EXPECT_GE(inside, 7);
+}
+
+// ----------------------------------------------------------------- MinMax
+
+TEST(MinMaxTest, ReturnsExactlyLambdaPoints) {
+  for (std::size_t lambda : {3u, 10u, 50u}) {
+    const auto ts = minmax(smooth_prev(), lambda);
+    EXPECT_EQ(ts.size(), lambda);
+    expect_strictly_increasing(ts);
+  }
+}
+
+TEST(MinMaxTest, SplitsTheWidestVerticalGap) {
+  // Previous curve has a huge step between 499 and 501; MinMax must add
+  // points inside it.
+  const auto ts = minmax(step_prev(), 8);
+  const auto inside = std::count_if(ts.begin(), ts.end(), [](double t) {
+    return t > 499.0 && t < 501.0;
+  });
+  EXPECT_GE(inside, 1);
+}
+
+TEST(MinMaxTest, NoChangeWhenGapsAreBalanced) {
+  // A perfectly uniform previous interpolation: the widest pair gap equals
+  // the narrowest triple gap, so MinMax keeps the points (Figure 3's exit).
+  std::vector<CdfPoint> knots;
+  for (int i = 0; i <= 10; ++i) {
+    knots.push_back({static_cast<double>(i), i / 10.0});
+  }
+  const PiecewiseLinearCdf prev{knots};
+  const auto ts = minmax(prev, 9);
+  ASSERT_EQ(ts.size(), 9u);
+  for (int i = 1; i <= 9; ++i) {
+    EXPECT_NEAR(ts[i - 1], static_cast<double>(i), 1e-9);
+  }
+}
+
+TEST(MinMaxTest, IdempotentOnItsOwnOutputShape) {
+  // Applying MinMax twice to the same (static) curve moves points less the
+  // second time — a loose convergence property.
+  const auto prev = step_prev();
+  const auto first = minmax(prev, 20);
+  std::vector<CdfPoint> knots{{0.0, 0.0}};
+  for (double t : first) knots.push_back({t, prev(t)});
+  knots.push_back({1000.0, 1.0});
+  const PiecewiseLinearCdf refined{knots};
+  const auto second = minmax(refined, 20);
+  ASSERT_EQ(second.size(), 20u);
+  expect_strictly_increasing(second);
+}
+
+// ------------------------------------------------------------------- LCut
+
+TEST(LCutTest, EqualArcLengthSegments) {
+  const auto prev = smooth_prev();
+  const std::size_t lambda = 7;
+  const auto ts = lcut(prev, lambda);
+  ASSERT_EQ(ts.size(), lambda);
+
+  const double scale = 1000.0;
+  auto arc_between = [&](double a, double b) {
+    // Numeric arc length of prev between a and b, t rescaled by `scale`.
+    double total = 0.0;
+    const int steps = 2000;
+    double prev_t = a;
+    double prev_f = prev(a);
+    for (int i = 1; i <= steps; ++i) {
+      const double t = a + (b - a) * i / steps;
+      const double f = prev(t);
+      total += std::hypot((t - prev_t) / scale, f - prev_f);
+      prev_t = t;
+      prev_f = f;
+    }
+    return total;
+  };
+
+  std::vector<double> cuts{0.0};
+  cuts.insert(cuts.end(), ts.begin(), ts.end());
+  cuts.push_back(1000.0);
+  std::vector<double> lengths;
+  for (std::size_t i = 1; i < cuts.size(); ++i) {
+    lengths.push_back(arc_between(cuts[i - 1], cuts[i]));
+  }
+  const double expected = arc_between(0.0, 1000.0) / (lambda + 1);
+  for (double len : lengths) EXPECT_NEAR(len, expected, expected * 0.05);
+}
+
+TEST(LCutTest, UniformCurveGivesUniformPoints) {
+  const PiecewiseLinearCdf prev{{{0.0, 0.0}, {100.0, 1.0}}};
+  const auto ts = lcut(prev, 4);
+  ASSERT_EQ(ts.size(), 4u);
+  EXPECT_NEAR(ts[0], 20.0, 1e-9);
+  EXPECT_NEAR(ts[3], 80.0, 1e-9);
+}
+
+TEST(LCutTest, BalancesStepAndPlateau) {
+  // On a step CDF, LCut spends points on the step *and* the plateaus
+  // (Euclidean distance counts horizontal runs too), unlike HCut.
+  const auto ts = lcut(step_prev(), 9);
+  const auto inside = std::count_if(ts.begin(), ts.end(), [](double t) {
+    return t > 499.0 && t < 501.0;
+  });
+  const auto outside = static_cast<std::ptrdiff_t>(ts.size()) - inside;
+  EXPECT_GE(inside, 2);
+  EXPECT_GE(outside, 2);
+}
+
+// -------------------------------------------------------------- bisection
+
+TEST(BisectionTest, TargetsTheWidestVerticalGap) {
+  const auto ts = bisection_thresholds(step_prev(), 3);
+  ASSERT_EQ(ts.size(), 3u);
+  // First split lands mid-step at 500.
+  EXPECT_NE(std::find_if(ts.begin(), ts.end(),
+                         [](double t) { return std::abs(t - 500.0) < 1.0; }),
+            ts.end());
+}
+
+TEST(BisectionTest, ReturnsRequestedCount) {
+  for (std::size_t count : {1u, 5u, 20u, 100u}) {
+    const auto ts = bisection_thresholds(smooth_prev(), count);
+    EXPECT_EQ(ts.size(), count);
+    expect_strictly_increasing(ts);
+  }
+}
+
+TEST(BisectionTest, ZeroCountIsEmpty) {
+  EXPECT_TRUE(bisection_thresholds(smooth_prev(), 0).empty());
+}
+
+// ------------------------------------------------------------ dispatch
+
+TEST(SelectPointsTest, DispatchesToAllHeuristics) {
+  const auto prev = smooth_prev();
+  EXPECT_EQ(select_points(prev, 5, SelectionHeuristic::kHCut),
+            hcut(prev, 5));
+  EXPECT_EQ(select_points(prev, 5, SelectionHeuristic::kMinMax),
+            minmax(prev, 5));
+  EXPECT_EQ(select_points(prev, 5, SelectionHeuristic::kLCut),
+            lcut(prev, 5));
+}
+
+/// Property sweep: every heuristic returns lambda strictly increasing
+/// in-range thresholds for random monotone previous curves.
+class SelectionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, SelectionHeuristic>> {};
+
+TEST_P(SelectionPropertyTest, WellFormedOutput) {
+  const auto [seed, heuristic] = GetParam();
+  rng::Rng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+  std::vector<CdfPoint> knots{{0.0, 0.0}};
+  double t = 0.0;
+  double f = 0.0;
+  const std::size_t segments = 3 + rng.below(20);
+  for (std::size_t i = 0; i < segments; ++i) {
+    t += rng.uniform(0.5, 200.0);
+    f = std::min(1.0, f + rng.uniform(0.0, 0.3));
+    knots.push_back({t, f});
+  }
+  knots.push_back({t + 1.0, 1.0});
+  const PiecewiseLinearCdf prev{std::move(knots)};
+
+  const std::size_t lambda = 1 + rng.below(60);
+  const auto ts = select_points(prev, lambda, heuristic);
+  ASSERT_EQ(ts.size(), lambda);
+  expect_strictly_increasing(ts);
+  expect_inside(ts, prev.knots().front().t, prev.knots().back().t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCurves, SelectionPropertyTest,
+    ::testing::Combine(::testing::Range(0, 15),
+                       ::testing::Values(SelectionHeuristic::kHCut,
+                                         SelectionHeuristic::kMinMax,
+                                         SelectionHeuristic::kLCut)));
+
+}  // namespace
+}  // namespace adam2::core

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/rank.hpp"
+#include "core/system.hpp"
+#include "rng/rng.hpp"
+
+namespace adam2::core {
+namespace {
+
+Estimate uniform_estimate(double lo, double hi, double n) {
+  Estimate est;
+  est.min_value = lo;
+  est.max_value = hi;
+  est.n_estimate = n;
+  est.cdf = stats::interpolate_with_extremes({}, lo, hi);
+  return est;
+}
+
+TEST(RankTest, PercentileAndRankOnUniformCdf) {
+  const Estimate est = uniform_estimate(0.0, 100.0, 1000.0);
+  const RankInfo mid = rank_of(est, 50.0);
+  EXPECT_DOUBLE_EQ(mid.percentile, 0.5);
+  EXPECT_DOUBLE_EQ(mid.rank, 500.0);
+  const RankInfo bottom = rank_of(est, 0.0);
+  EXPECT_DOUBLE_EQ(bottom.rank, 1.0);  // Clamped to 1-based.
+  const RankInfo top = rank_of(est, 100.0);
+  EXPECT_DOUBLE_EQ(top.rank, 1000.0);
+}
+
+TEST(RankTest, SliceAssignmentCoversAllSlices) {
+  const Estimate est = uniform_estimate(0.0, 100.0, 1000.0);
+  EXPECT_EQ(slice_of(est, 5.0, 4), 0u);
+  EXPECT_EQ(slice_of(est, 30.0, 4), 1u);
+  EXPECT_EQ(slice_of(est, 60.0, 4), 2u);
+  EXPECT_EQ(slice_of(est, 90.0, 4), 3u);
+  EXPECT_EQ(slice_of(est, 100.0, 4), 3u);  // Top maps into the last slice.
+}
+
+TEST(RankTest, SliceBoundariesAreQuantiles) {
+  const Estimate est = uniform_estimate(0.0, 100.0, 1000.0);
+  const auto bounds = slice_boundaries(est, 4);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_NEAR(bounds[0], 25.0, 1e-9);
+  EXPECT_NEAR(bounds[1], 50.0, 1e-9);
+  EXPECT_NEAR(bounds[2], 75.0, 1e-9);
+}
+
+TEST(RankTest, ShapeSummarySymmetricCdf) {
+  const Estimate est = uniform_estimate(0.0, 100.0, 1000.0);
+  const ShapeSummary shape = summarize_shape(est);
+  EXPECT_NEAR(shape.median, 50.0, 1e-9);
+  EXPECT_NEAR(shape.quartile_skew, 0.0, 1e-9);
+  EXPECT_NEAR(shape.upper_tail_span, 0.05, 1e-9);
+}
+
+TEST(RankTest, ShapeSummaryDetectsSkew) {
+  // Mass concentrated low: F rises fast then flattens.
+  Estimate est;
+  est.min_value = 0.0;
+  est.max_value = 1000.0;
+  est.n_estimate = 100.0;
+  est.cdf = stats::PiecewiseLinearCdf{
+      {{0.0, 0.0}, {50.0, 0.5}, {100.0, 0.75}, {1000.0, 1.0}}};
+  const ShapeSummary shape = summarize_shape(est);
+  EXPECT_GT(shape.quartile_skew, 0.2);  // Right-skewed.
+  // p95 = 820 on this curve, so 18% of the range is past it — a long tail.
+  EXPECT_NEAR(shape.upper_tail_span, 0.18, 1e-9);
+}
+
+TEST(RankTest, EndToEndRanksMatchTrueOrdering) {
+  // Run Adam2, then compare estimated ranks against the true sorted order.
+  rng::Rng rng(3);
+  std::vector<stats::Value> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(static_cast<stats::Value>(rng.below(100000)));
+  }
+  SystemConfig config;
+  config.engine.seed = 4;
+  config.protocol.lambda = 40;
+  config.protocol.heuristic = SelectionHeuristic::kLCut;
+  Adam2System system(config, values);
+  for (int i = 0; i < 2; ++i) system.run_instance();
+
+  // True fractional rank of each value.
+  std::vector<stats::Value> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  double worst = 0.0;
+  for (sim::NodeId id : system.engine().live_ids()) {
+    const auto& est = *system.agent_of(id).estimate();
+    const double own =
+        static_cast<double>(system.engine().node(id).attribute);
+    const RankInfo info = rank_of(est, own);
+    const auto true_rank = static_cast<double>(
+        std::upper_bound(sorted.begin(), sorted.end(),
+                         system.engine().node(id).attribute) -
+        sorted.begin());
+    worst = std::max(worst, std::abs(info.rank - true_rank));
+  }
+  EXPECT_LT(worst, 25.0);  // Within ~5% of N for every node.
+}
+
+TEST(RankTest, EndToEndSlicesAreBalanced) {
+  rng::Rng rng(5);
+  std::vector<stats::Value> values;
+  for (int i = 0; i < 600; ++i) {
+    values.push_back(static_cast<stats::Value>(rng.below(100000)));
+  }
+  SystemConfig config;
+  config.engine.seed = 6;
+  config.protocol.lambda = 40;
+  Adam2System system(config, values);
+  for (int i = 0; i < 2; ++i) system.run_instance();
+
+  std::map<std::size_t, int> counts;
+  for (sim::NodeId id : system.engine().live_ids()) {
+    const auto& est = *system.agent_of(id).estimate();
+    const double own =
+        static_cast<double>(system.engine().node(id).attribute);
+    ++counts[slice_of(est, own, 3)];
+  }
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [slice, count] : counts) {
+    EXPECT_NEAR(count, 200, 40) << "slice " << slice;
+  }
+}
+
+}  // namespace
+}  // namespace adam2::core

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <chrono>
+#include <thread>
+
+#include "core/protocol.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/transport.hpp"
+#include "wire/buffer.hpp"
+
+namespace adam2::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ----------------------------------------------------------------- Mailbox
+
+TEST(MailboxTest, PushPopFifo) {
+  Mailbox mailbox;
+  mailbox.push({EnvelopeKind::kGossipRequest, 1, 0, {}});
+  mailbox.push({EnvelopeKind::kGossipResponse, 2, 0, {}});
+  auto first = mailbox.try_pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->from, 1u);
+  auto second = mailbox.try_pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->from, 2u);
+  EXPECT_FALSE(mailbox.try_pop().has_value());
+}
+
+TEST(MailboxTest, WaitPopTimesOut) {
+  Mailbox mailbox;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result =
+      mailbox.wait_pop(start + 20ms);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 15ms);
+}
+
+TEST(MailboxTest, WaitPopWakesOnPush) {
+  Mailbox mailbox;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(5ms);
+    mailbox.push({EnvelopeKind::kWakeup, 7, 0, {}});
+  });
+  const auto result =
+      mailbox.wait_pop(std::chrono::steady_clock::now() + 5s);
+  producer.join();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->from, 7u);
+}
+
+TEST(MailboxTest, CloseWakesWaiters) {
+  Mailbox mailbox;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(5ms);
+    mailbox.close();
+  });
+  const auto result =
+      mailbox.wait_pop(std::chrono::steady_clock::now() + 5s);
+  closer.join();
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(MailboxTest, PushAfterCloseIsDropped) {
+  Mailbox mailbox;
+  mailbox.close();
+  mailbox.push({EnvelopeKind::kWakeup, 1, 0, {}});
+  EXPECT_EQ(mailbox.size(), 0u);
+}
+
+// ----------------------------------------------------------------- Network
+
+TEST(NetworkTest, RoutesToAttachedMailboxes) {
+  Network network;
+  Mailbox a;
+  Mailbox b;
+  network.attach(1, &a);
+  network.attach(2, &b);
+  EXPECT_TRUE(network.send(2, {EnvelopeKind::kGossipRequest, 1, 0,
+                               std::vector<std::byte>(10)}));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(network.messages_routed(), 1u);
+  EXPECT_EQ(network.bytes_routed(), 10u);
+}
+
+TEST(NetworkTest, DropsToUnknownDestination) {
+  Network network;
+  EXPECT_FALSE(network.send(9, {EnvelopeKind::kGossipRequest, 1, 0, {}}));
+  EXPECT_EQ(network.drops(), 1u);
+}
+
+TEST(NetworkTest, DetachStopsDelivery) {
+  Network network;
+  Mailbox a;
+  network.attach(1, &a);
+  network.detach(1);
+  EXPECT_FALSE(network.send(1, {EnvelopeKind::kWakeup, 0, 0, {}}));
+}
+
+// ----------------------------------------------------------------- Cluster
+
+std::vector<stats::Value> iota_values(std::size_t n) {
+  std::vector<stats::Value> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<stats::Value>(i + 1);
+  }
+  return values;
+}
+
+ClusterConfig fast_config(std::uint64_t seed) {
+  ClusterConfig config;
+  config.seed = seed;
+  config.gossip_period = 1ms;
+  config.response_timeout = 100ms;
+  return config;
+}
+
+sim::AgentFactory adam2_factory(core::Adam2Config protocol) {
+  return [protocol](const sim::AgentContext&) {
+    return std::make_unique<core::Adam2Agent>(protocol);
+  };
+}
+
+TEST(ClusterTest, StartsAndStopsCleanly) {
+  core::Adam2Config protocol;
+  protocol.lambda = 5;
+  protocol.instance_ttl = 10;
+  Cluster cluster(fast_config(1), iota_values(8), adam2_factory(protocol));
+  cluster.start();
+  std::this_thread::sleep_for(20ms);
+  cluster.stop();
+  SUCCEED();
+}
+
+TEST(ClusterTest, StopIsIdempotentAndDestructorSafe) {
+  core::Adam2Config protocol;
+  Cluster cluster(fast_config(2), iota_values(4), adam2_factory(protocol));
+  cluster.start();
+  cluster.stop();
+  cluster.stop();
+  // Destructor runs stop() again.
+}
+
+TEST(ClusterTest, RunOnNodeExecutesOnOwningThread) {
+  core::Adam2Config protocol;
+  Cluster cluster(fast_config(4), iota_values(4), adam2_factory(protocol));
+  cluster.start();
+  std::atomic<int> calls{0};
+  const auto main_thread = std::this_thread::get_id();
+  cluster.run_on_node(2, [&](sim::NodeAgent&, sim::AgentContext& ctx) {
+    EXPECT_EQ(ctx.self, 2u);
+    EXPECT_NE(std::this_thread::get_id(), main_thread);
+    ++calls;
+  });
+  cluster.stop();
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ClusterTest, RunOnNodeWorksInlineWhenStopped) {
+  core::Adam2Config protocol;
+  Cluster cluster(fast_config(5), iota_values(4), adam2_factory(protocol));
+  bool called = false;
+  cluster.run_on_node(1, [&](sim::NodeAgent&, sim::AgentContext& ctx) {
+    EXPECT_EQ(ctx.self, 1u);
+    called = true;
+  });
+  EXPECT_TRUE(called);
+}
+
+TEST(ClusterTest, Adam2ConvergesOnRealThreads) {
+  core::Adam2Config protocol;
+  protocol.lambda = 8;
+  protocol.instance_ttl = 80;
+  protocol.bootstrap = core::BootstrapPoints::kUniform;
+
+  // Sized for small CI machines: few threads, relaxed period, so the
+  // epidemic spread comfortably outruns the tick-driven TTL even under
+  // heavy scheduling contention.
+  const std::size_t n = 16;
+  ClusterConfig config = fast_config(3);
+  config.gossip_period = std::chrono::microseconds(4000);
+  Cluster cluster(config, iota_values(n), adam2_factory(protocol));
+  cluster.start();
+
+  cluster.run_on_node(0, [](sim::NodeAgent& agent, sim::AgentContext& ctx) {
+    dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
+  });
+
+  // Poll until every node finalised an estimate, with a generous
+  // wall-clock cap for slow machines.
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  std::size_t with_estimate = 0;
+  std::vector<core::Estimate> estimates;
+  while (std::chrono::steady_clock::now() < deadline) {
+    with_estimate = 0;
+    estimates.clear();
+    for (sim::NodeId id = 0; id < n; ++id) {
+      cluster.run_on_node(id, [&](sim::NodeAgent& agent, sim::AgentContext&) {
+        const auto& a2 = dynamic_cast<core::Adam2Agent&>(agent);
+        if (a2.estimate()) {
+          ++with_estimate;
+          estimates.push_back(*a2.estimate());
+        }
+      });
+    }
+    if (with_estimate == n) break;
+    std::this_thread::sleep_for(10ms);
+  }
+  cluster.stop();
+
+  ASSERT_EQ(with_estimate, n);
+  for (const core::Estimate& est : estimates) {
+    EXPECT_NEAR(est.n_estimate, static_cast<double>(n),
+                static_cast<double>(n) * 0.3);
+    EXPECT_DOUBLE_EQ(est.min_value, 1.0);
+    EXPECT_DOUBLE_EQ(est.max_value, static_cast<double>(n));
+    for (const stats::CdfPoint& p : est.points) {
+      const double truth =
+          std::min(1.0, std::floor(p.t) / static_cast<double>(n));
+      EXPECT_NEAR(p.f, truth, 0.15) << "at t=" << p.t;
+    }
+  }
+}
+
+TEST(ClusterTest, TrafficIsAccounted) {
+  core::Adam2Config protocol;
+  protocol.lambda = 5;
+  protocol.instance_ttl = 20;
+  Cluster cluster(fast_config(6), iota_values(16), adam2_factory(protocol));
+  cluster.start();
+  cluster.run_on_node(0, [](sim::NodeAgent& agent, sim::AgentContext& ctx) {
+    dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
+  });
+  std::this_thread::sleep_for(100ms);
+  cluster.stop();
+  const auto traffic = cluster.total_traffic();
+  EXPECT_GT(traffic.on(sim::Channel::kAggregation).messages_sent, 10u);
+  EXPECT_GT(cluster.network().messages_routed(), 10u);
+}
+
+}  // namespace
+}  // namespace adam2::runtime

@@ -1,0 +1,483 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "sim/cyclon.hpp"
+#include "sim/engine.hpp"
+#include "sim/overlay.hpp"
+#include "wire/buffer.hpp"
+
+namespace adam2::sim {
+namespace {
+
+/// Minimal push-pull averaging agent used to exercise the engine's exchange
+/// mediation independent of the Adam2 protocol: each node starts with its
+/// attribute value and the population should converge to the global mean
+/// with total mass conserved exactly.
+class AveragingAgent final : public NodeAgent {
+ public:
+  explicit AveragingAgent(double initial) : value_(initial) {}
+
+  [[nodiscard]] double value() const { return value_; }
+
+  void on_round_start(AgentContext&) override {}
+
+  std::vector<std::byte> make_request(AgentContext&) override {
+    return encode(value_);
+  }
+
+  std::vector<std::byte> handle_request(AgentContext&,
+                                        std::span<const std::byte> req) override {
+    const double theirs = decode(req);
+    const auto reply = encode(value_);  // Pre-merge value (symmetric).
+    value_ = (value_ + theirs) / 2.0;
+    return reply;
+  }
+
+  void handle_response(AgentContext&, std::span<const std::byte> resp) override {
+    value_ = (value_ + decode(resp)) / 2.0;
+  }
+
+ private:
+  static std::vector<std::byte> encode(double v) {
+    wire::Writer w;
+    w.f64(v);
+    return w.take();
+  }
+  static double decode(std::span<const std::byte> bytes) {
+    wire::Reader r(bytes);
+    return r.f64();
+  }
+
+  double value_;
+};
+
+AgentFactory averaging_factory() {
+  return [](const AgentContext& ctx) {
+    return std::make_unique<AveragingAgent>(static_cast<double>(ctx.attribute));
+  };
+}
+
+/// Agent that never gossips; used for pure substrate tests.
+class SilentAgent final : public NodeAgent {
+ public:
+  std::vector<std::byte> make_request(AgentContext&) override { return {}; }
+  std::vector<std::byte> handle_request(AgentContext&,
+                                        std::span<const std::byte>) override {
+    return {};
+  }
+};
+
+AgentFactory silent_factory() {
+  return [](const AgentContext&) { return std::make_unique<SilentAgent>(); };
+}
+
+std::vector<stats::Value> iota_values(std::size_t n) {
+  std::vector<stats::Value> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<stats::Value>(i);
+  return values;
+}
+
+EngineConfig config_with_seed(std::uint64_t seed) {
+  EngineConfig config;
+  config.seed = seed;
+  return config;
+}
+
+// ------------------------------------------------------------------ Engine
+
+TEST(EngineTest, ConstructsRequestedPopulation) {
+  Engine engine(config_with_seed(1), iota_values(100),
+                std::make_unique<StaticRandomOverlay>(8), silent_factory(),
+                nullptr);
+  EXPECT_EQ(engine.live_count(), 100u);
+  EXPECT_EQ(engine.nodes_ever(), 100u);
+  EXPECT_EQ(engine.round(), 0u);
+}
+
+TEST(EngineTest, AttributesAreAssignedInOrder) {
+  Engine engine(config_with_seed(2), {10, 20, 30},
+                std::make_unique<StaticRandomOverlay>(2), silent_factory(),
+                nullptr);
+  EXPECT_EQ(engine.attribute_of(0), 10);
+  EXPECT_EQ(engine.attribute_of(1), 20);
+  EXPECT_EQ(engine.attribute_of(2), 30);
+}
+
+TEST(EngineTest, RoundCounterAdvances) {
+  Engine engine(config_with_seed(3), iota_values(10),
+                std::make_unique<StaticRandomOverlay>(4), silent_factory(),
+                nullptr);
+  engine.run_rounds(7);
+  EXPECT_EQ(engine.round(), 7u);
+}
+
+TEST(EngineTest, AveragingConvergesToGlobalMean) {
+  const std::size_t n = 256;
+  Engine engine(config_with_seed(4), iota_values(n),
+                std::make_unique<StaticRandomOverlay>(10), averaging_factory(),
+                nullptr);
+  engine.run_rounds(60);
+  const double mean = (static_cast<double>(n) - 1.0) / 2.0;
+  for (NodeId id : engine.live_ids()) {
+    const auto& agent = dynamic_cast<const AveragingAgent&>(engine.agent(id));
+    EXPECT_NEAR(agent.value(), mean, 1e-8);
+  }
+}
+
+TEST(EngineTest, AveragingConservesMassExactly) {
+  const std::size_t n = 128;
+  Engine engine(config_with_seed(5), iota_values(n),
+                std::make_unique<StaticRandomOverlay>(8), averaging_factory(),
+                nullptr);
+  auto total = [&] {
+    double sum = 0.0;
+    for (NodeId id : engine.live_ids()) {
+      sum += dynamic_cast<const AveragingAgent&>(engine.agent(id)).value();
+    }
+    return sum;
+  };
+  const double before = total();
+  engine.run_rounds(10);
+  EXPECT_NEAR(total(), before, 1e-9 * before);
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Engine engine(config_with_seed(seed), iota_values(64),
+                  std::make_unique<StaticRandomOverlay>(6),
+                  averaging_factory(), nullptr);
+    engine.run_rounds(5);
+    std::vector<double> values;
+    for (NodeId id : engine.live_ids()) {
+      values.push_back(
+          dynamic_cast<const AveragingAgent&>(engine.agent(id)).value());
+    }
+    return values;
+  };
+  EXPECT_EQ(run(77), run(77));
+  EXPECT_NE(run(77), run(78));
+}
+
+TEST(EngineTest, TrafficIsAccountedPerChannelAndGlobally) {
+  Engine engine(config_with_seed(6), iota_values(50),
+                std::make_unique<StaticRandomOverlay>(6), averaging_factory(),
+                nullptr);
+  engine.run_rounds(3);
+  const auto& total = engine.total_traffic();
+  const auto& agg = total.on(Channel::kAggregation);
+  // Every successful exchange = 2 messages (request + response) of 8 bytes.
+  EXPECT_GT(agg.messages_sent, 0u);
+  EXPECT_EQ(agg.bytes_sent, agg.messages_sent * 8);
+  EXPECT_EQ(agg.messages_received, agg.messages_sent);
+
+  // Per-node totals sum to the global ones.
+  std::uint64_t per_node = 0;
+  for (NodeId id : engine.live_ids()) {
+    per_node += engine.node(id).traffic.on(Channel::kAggregation).bytes_sent;
+  }
+  EXPECT_EQ(per_node, agg.bytes_sent);
+}
+
+TEST(EngineTest, ObserverRunsEveryRound) {
+  Engine engine(config_with_seed(7), iota_values(10),
+                std::make_unique<StaticRandomOverlay>(4), silent_factory(),
+                nullptr);
+  int calls = 0;
+  engine.add_observer([&](Engine&) { ++calls; });
+  engine.run_rounds(5);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(EngineTest, KillNodeRemovesItFromLiveSet) {
+  Engine engine(config_with_seed(8), iota_values(10),
+                std::make_unique<StaticRandomOverlay>(4), silent_factory(),
+                nullptr);
+  engine.kill_node(3);
+  EXPECT_EQ(engine.live_count(), 9u);
+  EXPECT_FALSE(engine.is_live(3));
+  const auto live = engine.live_ids();
+  EXPECT_EQ(std::count(live.begin(), live.end(), 3u), 0);
+}
+
+TEST(EngineTest, ChurnKeepsPopulationSizeConstant) {
+  EngineConfig config = config_with_seed(9);
+  config.churn_rate = 0.05;
+  Engine engine(config, iota_values(200),
+                std::make_unique<StaticRandomOverlay>(8), averaging_factory(),
+                [](rng::Rng& rng) {
+                  return static_cast<stats::Value>(rng.below(100));
+                });
+  engine.run_rounds(20);
+  EXPECT_EQ(engine.live_count(), 200u);
+  EXPECT_GT(engine.nodes_ever(), 200u);
+  // Roughly 5% of 200 = 10 replacements per round over 20 rounds.
+  EXPECT_NEAR(static_cast<double>(engine.nodes_ever() - 200), 200.0, 60.0);
+}
+
+TEST(EngineTest, ChurnedInNodesGetFreshIdsAndBirthRounds) {
+  EngineConfig config = config_with_seed(10);
+  config.churn_rate = 0.1;
+  Engine engine(config, iota_values(50),
+                std::make_unique<StaticRandomOverlay>(6), silent_factory(),
+                [](rng::Rng&) { return stats::Value{7}; });
+  engine.run_rounds(5);
+  std::set<NodeId> seen;
+  for (NodeId id : engine.live_ids()) {
+    EXPECT_TRUE(seen.insert(id).second);  // No duplicates.
+    const Node& node = engine.node(id);
+    if (id >= 50) {
+      EXPECT_GT(node.birth_round, 0u);
+      EXPECT_EQ(node.attribute, 7);
+    }
+  }
+}
+
+TEST(EngineTest, ChurnRequiresAttributeSource) {
+  EngineConfig config = config_with_seed(11);
+  config.churn_rate = 0.1;
+  EXPECT_THROW(Engine(config, iota_values(10),
+                      std::make_unique<StaticRandomOverlay>(4),
+                      silent_factory(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(EngineTest, MessageLossDropsTraffic) {
+  EngineConfig lossy = config_with_seed(12);
+  lossy.message_loss = 0.5;
+  Engine engine(lossy, iota_values(100),
+                std::make_unique<StaticRandomOverlay>(8), averaging_factory(),
+                nullptr);
+  engine.run_rounds(5);
+  EXPECT_GT(engine.total_traffic().dropped_messages, 50u);
+}
+
+TEST(EngineTest, MessageLossBreaksExactMassConservation) {
+  // A dropped response leaves the responder merged but not the requester —
+  // the asymmetry a real deployment would see.
+  EngineConfig lossy = config_with_seed(13);
+  lossy.message_loss = 0.3;
+  Engine engine(lossy, iota_values(64),
+                std::make_unique<StaticRandomOverlay>(8), averaging_factory(),
+                nullptr);
+  auto total = [&] {
+    double sum = 0.0;
+    for (NodeId id : engine.live_ids()) {
+      sum += dynamic_cast<const AveragingAgent&>(engine.agent(id)).value();
+    }
+    return sum;
+  };
+  const double before = total();
+  engine.run_rounds(10);
+  EXPECT_NE(total(), before);
+}
+
+TEST(EngineTest, SetAttributeChangesGroundTruth) {
+  Engine engine(config_with_seed(14), iota_values(5),
+                std::make_unique<StaticRandomOverlay>(2), silent_factory(),
+                nullptr);
+  engine.set_attribute(2, 999);
+  EXPECT_EQ(engine.attribute_of(2), 999);
+  const auto values = engine.live_attribute_values();
+  EXPECT_EQ(std::count(values.begin(), values.end(), 999), 1);
+}
+
+TEST(EngineTest, UnknownNodeThrows) {
+  Engine engine(config_with_seed(15), iota_values(3),
+                std::make_unique<StaticRandomOverlay>(2), silent_factory(),
+                nullptr);
+  EXPECT_THROW((void)engine.node(99), std::out_of_range);
+  EXPECT_FALSE(engine.is_live(99));
+}
+
+// ----------------------------------------------------- StaticRandomOverlay
+
+TEST(StaticOverlayTest, InitialGraphIsConnected) {
+  Engine engine(config_with_seed(16), iota_values(500),
+                std::make_unique<StaticRandomOverlay>(8), silent_factory(),
+                nullptr);
+  // BFS over neighbour lists from node 0.
+  std::set<NodeId> visited{0};
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    const NodeId current = frontier.front();
+    frontier.pop();
+    for (NodeId next : engine.overlay().neighbors(current)) {
+      if (visited.insert(next).second) frontier.push(next);
+    }
+  }
+  EXPECT_EQ(visited.size(), 500u);
+}
+
+TEST(StaticOverlayTest, DegreesAreNearTarget) {
+  Engine engine(config_with_seed(17), iota_values(1000),
+                std::make_unique<StaticRandomOverlay>(10), silent_factory(),
+                nullptr);
+  double total_degree = 0.0;
+  for (NodeId id : engine.live_ids()) {
+    total_degree += static_cast<double>(engine.overlay().neighbors(id).size());
+  }
+  EXPECT_NEAR(total_degree / 1000.0, 10.0, 2.5);
+}
+
+TEST(StaticOverlayTest, PickGossipTargetReturnsNeighbour) {
+  Engine engine(config_with_seed(18), iota_values(100),
+                std::make_unique<StaticRandomOverlay>(6), silent_factory(),
+                nullptr);
+  rng::Rng rng(1);
+  for (NodeId id : {NodeId{0}, NodeId{50}, NodeId{99}}) {
+    const auto neighbors = engine.overlay().neighbors(id);
+    for (int i = 0; i < 20; ++i) {
+      const auto target = engine.overlay().pick_gossip_target(id, rng);
+      ASSERT_TRUE(target.has_value());
+      EXPECT_NE(std::find(neighbors.begin(), neighbors.end(), *target),
+                neighbors.end());
+    }
+  }
+}
+
+TEST(StaticOverlayTest, RemoveNodeDropsReverseLinks) {
+  StaticRandomOverlay overlay(4);
+  Engine engine(config_with_seed(19), iota_values(20),
+                std::make_unique<StaticRandomOverlay>(4), silent_factory(),
+                nullptr);
+  const auto victims = engine.overlay().neighbors(0);
+  ASSERT_FALSE(victims.empty());
+  const NodeId victim = victims.front();
+  engine.kill_node(victim);
+  const auto after = engine.overlay().neighbors(0);
+  EXPECT_EQ(std::count(after.begin(), after.end(), victim), 0);
+}
+
+TEST(StaticOverlayTest, KnownAttributeValuesComeFromLiveNeighbours) {
+  Engine engine(config_with_seed(20), iota_values(50),
+                std::make_unique<StaticRandomOverlay>(6), silent_factory(),
+                nullptr);
+  const auto values = engine.overlay().known_attribute_values(0, engine);
+  EXPECT_FALSE(values.empty());
+  for (stats::Value v : values) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+// -------------------------------------------------------------- Cyclon
+
+std::unique_ptr<CyclonOverlay> make_cyclon(std::size_t view = 8,
+                                           std::size_t shuffle = 4) {
+  CyclonConfig config;
+  config.view_size = view;
+  config.shuffle_size = shuffle;
+  return std::make_unique<CyclonOverlay>(config);
+}
+
+TEST(CyclonTest, ViewsRespectCapacity) {
+  Engine engine(config_with_seed(21), iota_values(200), make_cyclon(),
+                silent_factory(), nullptr);
+  engine.run_rounds(10);
+  for (NodeId id : engine.live_ids()) {
+    EXPECT_LE(engine.overlay().neighbors(id).size(), 8u);
+    EXPECT_GE(engine.overlay().neighbors(id).size(), 1u);
+  }
+}
+
+TEST(CyclonTest, ViewsContainNoSelfOrDuplicates) {
+  Engine engine(config_with_seed(22), iota_values(100), make_cyclon(),
+                silent_factory(), nullptr);
+  engine.run_rounds(15);
+  for (NodeId id : engine.live_ids()) {
+    const auto neighbors = engine.overlay().neighbors(id);
+    const std::set<NodeId> unique(neighbors.begin(), neighbors.end());
+    EXPECT_EQ(unique.size(), neighbors.size());
+    EXPECT_EQ(unique.count(id), 0u);
+  }
+}
+
+TEST(CyclonTest, ShufflingMixesViews) {
+  Engine engine(config_with_seed(23), iota_values(200), make_cyclon(),
+                silent_factory(), nullptr);
+  const auto before = engine.overlay().neighbors(0);
+  engine.run_rounds(20);
+  const auto after = engine.overlay().neighbors(0);
+  // After 20 shuffles the view should have turned over substantially.
+  std::size_t kept = 0;
+  for (NodeId id : after) {
+    kept += std::count(before.begin(), before.end(), id);
+  }
+  EXPECT_LT(kept, before.size());
+}
+
+TEST(CyclonTest, GraphStaysConnectedUnderChurn) {
+  EngineConfig config = config_with_seed(24);
+  config.churn_rate = 0.01;
+  Engine engine(config, iota_values(300), make_cyclon(12, 6),
+                silent_factory(),
+                [](rng::Rng& rng) {
+                  return static_cast<stats::Value>(rng.below(1000));
+                });
+  engine.run_rounds(50);
+  // BFS over the (directed) views, treating edges as undirected.
+  std::map<NodeId, std::vector<NodeId>> undirected;
+  for (NodeId id : engine.live_ids()) {
+    for (NodeId peer : engine.overlay().neighbors(id)) {
+      if (!engine.is_live(peer)) continue;
+      undirected[id].push_back(peer);
+      undirected[peer].push_back(id);
+    }
+  }
+  const NodeId start = engine.live_ids().front();
+  std::set<NodeId> visited{start};
+  std::queue<NodeId> frontier;
+  frontier.push(start);
+  while (!frontier.empty()) {
+    const NodeId current = frontier.front();
+    frontier.pop();
+    for (NodeId next : undirected[current]) {
+      if (visited.insert(next).second) frontier.push(next);
+    }
+  }
+  EXPECT_GT(static_cast<double>(visited.size()),
+            0.99 * static_cast<double>(engine.live_count()));
+}
+
+TEST(CyclonTest, DeadEntriesAreEventuallyEvicted) {
+  Engine engine(config_with_seed(25), iota_values(100), make_cyclon(),
+                silent_factory(), nullptr);
+  engine.run_rounds(5);
+  engine.kill_node(42);
+  engine.run_rounds(30);
+  for (NodeId id : engine.live_ids()) {
+    const auto neighbors = engine.overlay().neighbors(id);
+    EXPECT_EQ(std::count(neighbors.begin(), neighbors.end(), NodeId{42}), 0)
+        << "node " << id << " still references the dead node";
+  }
+}
+
+TEST(CyclonTest, DescriptorsCarryAttributeValues) {
+  Engine engine(config_with_seed(26), iota_values(100), make_cyclon(),
+                silent_factory(), nullptr);
+  engine.run_rounds(10);
+  const auto values = engine.overlay().known_attribute_values(0, engine);
+  EXPECT_GT(values.size(), 8u);  // View plus the shuffle value cache.
+  for (stats::Value v : values) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(CyclonTest, ShuffleTrafficIsAccountedOnOverlayChannel) {
+  Engine engine(config_with_seed(27), iota_values(50), make_cyclon(),
+                silent_factory(), nullptr);
+  engine.run_rounds(3);
+  const auto& overlay_traffic = engine.total_traffic().on(Channel::kOverlay);
+  EXPECT_GT(overlay_traffic.messages_sent, 0u);
+  EXPECT_EQ(engine.total_traffic().on(Channel::kAggregation).messages_sent, 0u);
+}
+
+}  // namespace
+}  // namespace adam2::sim

@@ -1,0 +1,167 @@
+// Edge-case coverage for the stats layer beyond the mainline unit tests:
+// degenerate domains, approximations narrower/wider than the truth, heavy
+// weighted samples, and numeric extremes.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "rng/rng.hpp"
+#include "stats/cdf.hpp"
+#include "stats/error_metrics.hpp"
+#include "stats/histogram.hpp"
+
+namespace adam2::stats {
+namespace {
+
+TEST(CdfEdgeTest, NegativeValuesWork) {
+  const EmpiricalCdf cdf{{-100, -50, 0, 50}};
+  EXPECT_DOUBLE_EQ(cdf(-101.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(-100.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf(-1.0), 0.5);
+  EXPECT_EQ(cdf.min(), -100);
+}
+
+TEST(CdfEdgeTest, LargeMagnitudeValues) {
+  const Value big = 1'000'000'000'000LL;
+  const EmpiricalCdf cdf{{-big, 0, big}};
+  EXPECT_DOUBLE_EQ(cdf(0.0), 2.0 / 3.0);
+  EXPECT_EQ(cdf.quantile(0.99), big);
+}
+
+TEST(CdfEdgeTest, InverseOnFlatSegmentReturnsLeftEdge) {
+  // A plateau in f: inverse picks the first threshold reaching the level.
+  const PiecewiseLinearCdf cdf{
+      {{0.0, 0.0}, {10.0, 0.5}, {20.0, 0.5}, {30.0, 1.0}}};
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.5), 10.0);
+}
+
+TEST(CdfEdgeTest, SingleKnotCurve) {
+  const PiecewiseLinearCdf cdf{{{5.0, 0.7}}};
+  EXPECT_DOUBLE_EQ(cdf(4.9), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(5.0), 0.7);
+  EXPECT_DOUBLE_EQ(cdf(5.1), 0.7);
+}
+
+TEST(CdfEdgeTest, InterpolateWithExtremesHandlesAllPointsOutside) {
+  const std::vector<CdfPoint> points{{-5.0, 0.1}, {100.0, 0.9}};
+  const auto cdf = interpolate_with_extremes(points, 0.0, 10.0);
+  ASSERT_EQ(cdf.knots().size(), 2u);  // Only the anchors survive.
+  EXPECT_DOUBLE_EQ(cdf(5.0), 0.5);
+}
+
+TEST(ErrorMetricsEdgeTest, ApproximationNarrowerThanTruthDomain) {
+  // Approximation only covers [40, 60] of a [0, 100] truth: outside the
+  // knots it clamps to 0 / its last fraction, producing large errors that
+  // the evaluator must account exactly.
+  std::vector<Value> values;
+  for (int i = 0; i <= 100; ++i) values.push_back(i);
+  const EmpiricalCdf truth{values};
+  const PiecewiseLinearCdf approx{{{40.0, 0.0}, {60.0, 1.0}}};
+  const auto fast = discrete_errors(truth, approx);
+  const auto brute = discrete_errors_brute(truth, approx);
+  EXPECT_NEAR(fast.max_err, brute.max_err, 1e-12);
+  EXPECT_NEAR(fast.avg_err, brute.avg_err, 1e-12);
+  EXPECT_GT(fast.max_err, 0.35);  // F(39) ~ 0.40 vs approx 0.
+}
+
+TEST(ErrorMetricsEdgeTest, ApproximationWiderThanTruthDomain) {
+  const EmpiricalCdf truth{{10, 20}};
+  const PiecewiseLinearCdf approx{{{-100.0, 0.0}, {100.0, 1.0}}};
+  const auto fast = discrete_errors(truth, approx);
+  const auto brute = discrete_errors_brute(truth, approx);
+  EXPECT_NEAR(fast.max_err, brute.max_err, 1e-12);
+  EXPECT_NEAR(fast.avg_err, brute.avg_err, 1e-12);
+}
+
+TEST(ErrorMetricsEdgeTest, TwoAdjacentIntegerValues) {
+  const EmpiricalCdf truth{{5, 6}};
+  const PiecewiseLinearCdf approx{{{5.0, 0.5}, {6.0, 1.0}}};
+  const auto errors = discrete_errors(truth, approx);
+  EXPECT_NEAR(errors.max_err, 0.0, 1e-12);
+}
+
+TEST(ErrorMetricsEdgeTest, KnotsAtNonIntegerPositions) {
+  // Fractional thresholds between every integer: run segmentation must
+  // still match brute force.
+  const EmpiricalCdf truth{{0, 1, 2, 3, 4, 5}};
+  const PiecewiseLinearCdf approx{
+      {{-0.5, 0.0}, {1.5, 0.4}, {2.5, 0.45}, {4.7, 0.9}, {5.2, 1.0}}};
+  const auto fast = discrete_errors(truth, approx);
+  const auto brute = discrete_errors_brute(truth, approx);
+  EXPECT_NEAR(fast.max_err, brute.max_err, 1e-12);
+  EXPECT_NEAR(fast.avg_err, brute.avg_err, 1e-12);
+}
+
+TEST(ErrorMetricsEdgeTest, HugeDomainIsCheapToEvaluate) {
+  // Domain of ~2e9 integers: the closed form must not iterate them.
+  std::vector<Value> values{0, 1'000'000'000, 2'000'000'000};
+  const EmpiricalCdf truth{values};
+  const PiecewiseLinearCdf approx{{{0.0, 0.3}, {2e9, 1.0}}};
+  const auto errors = discrete_errors(truth, approx);  // Must return fast.
+  EXPECT_GT(errors.max_err, 0.0);
+  EXPECT_LT(errors.max_err, 1.0);
+}
+
+TEST(HistogramEdgeTest, CompressSplitsOneHeavySample) {
+  // One sample carrying all the weight is split across bins.
+  std::vector<WeightedValue> samples{{5.0, 100.0}};
+  const auto compressed = compress_equi_depth(std::move(samples), 4);
+  double total = 0.0;
+  for (const auto& c : compressed) {
+    EXPECT_DOUBLE_EQ(c.value, 5.0);
+    total += c.weight;
+  }
+  EXPECT_NEAR(total, 100.0, 1e-9);
+}
+
+TEST(HistogramEdgeTest, CompressToOneBin) {
+  std::vector<WeightedValue> samples{{0.0, 1.0}, {10.0, 3.0}};
+  const auto compressed = compress_equi_depth(std::move(samples), 1);
+  ASSERT_EQ(compressed.size(), 1u);
+  EXPECT_NEAR(compressed[0].weight, 4.0, 1e-12);
+  EXPECT_NEAR(compressed[0].value, 7.5, 1e-12);  // Weighted mean.
+}
+
+TEST(HistogramEdgeTest, ZeroWeightSamplesDoNotCrash) {
+  std::vector<WeightedValue> samples{{1.0, 0.0}, {2.0, 1.0}, {3.0, 0.0}};
+  const auto compressed = compress_equi_depth(std::move(samples), 2);
+  double total = 0.0;
+  for (const auto& c : compressed) total += c.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+/// Property: compress_equi_depth preserves the weighted mean exactly
+/// (centroids are weighted averages of what they absorb).
+class CompressPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressPropertyTest, PreservesWeightAndMean) {
+  rng::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  std::vector<WeightedValue> samples;
+  double total_w = 0.0;
+  double total_m = 0.0;
+  const std::size_t n = 1 + rng.below(300);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = rng.uniform(0.0, 4.0);
+    const double v = rng.uniform(-1000.0, 1000.0);
+    samples.push_back({v, w});
+    total_w += w;
+    total_m += v * w;
+  }
+  if (total_w <= 0.0) return;  // Degenerate draw; nothing to check.
+  const std::size_t capacity = 1 + rng.below(32);
+  const auto compressed = compress_equi_depth(std::move(samples), capacity);
+  EXPECT_LE(compressed.size(), capacity + 1);  // Rounding slop at most one.
+  double w = 0.0;
+  double m = 0.0;
+  for (const auto& c : compressed) {
+    w += c.weight;
+    m += c.value * c.weight;
+  }
+  EXPECT_NEAR(w, total_w, 1e-9 * std::max(1.0, total_w));
+  EXPECT_NEAR(m, total_m, 1e-6 * std::max(1.0, std::abs(total_m)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, CompressPropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace adam2::stats

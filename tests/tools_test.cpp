@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "../tools/flags.hpp"
+
+namespace adam2::tools {
+namespace {
+
+Flags parse(std::vector<std::string> args) {
+  std::vector<char*> argv{const_cast<char*>("prog")};
+  for (auto& a : args) argv.push_back(a.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesNameValuePairs) {
+  auto flags = parse({"--nodes", "500", "--attribute", "ram_mb"});
+  EXPECT_EQ(flags.get_int("nodes", 0), 500);
+  EXPECT_EQ(flags.get("attribute", ""), "ram_mb");
+}
+
+TEST(FlagsTest, ParsesEqualsSyntax) {
+  auto flags = parse({"--churn=0.01"});
+  EXPECT_DOUBLE_EQ(flags.get_double("churn", 0.0), 0.01);
+}
+
+TEST(FlagsTest, SwitchesHaveEmptyValue) {
+  auto flags = parse({"--help", "--nodes", "5"});
+  EXPECT_TRUE(flags.get_bool("help"));
+  EXPECT_EQ(flags.get_int("nodes", 0), 5);
+}
+
+TEST(FlagsTest, TrailingSwitchWorks) {
+  auto flags = parse({"--nodes", "5", "--verbose"});
+  EXPECT_TRUE(flags.has("verbose"));
+}
+
+TEST(FlagsTest, FallbacksApplyWhenAbsent) {
+  auto flags = parse({});
+  EXPECT_EQ(flags.get_int("nodes", 123), 123);
+  EXPECT_DOUBLE_EQ(flags.get_double("churn", 0.5), 0.5);
+  EXPECT_EQ(flags.get("name", "dflt"), "dflt");
+  EXPECT_FALSE(flags.has("anything"));
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  auto flags = parse({"generate", "--nodes", "5", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "generate");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(FlagsTest, BadIntegerThrows) {
+  auto flags = parse({"--nodes", "abc"});
+  EXPECT_THROW((void)flags.get_int("nodes", 0), std::invalid_argument);
+}
+
+TEST(FlagsTest, BadDoubleThrows) {
+  auto flags = parse({"--churn", "zzz"});
+  EXPECT_THROW((void)flags.get_double("churn", 0.0), std::invalid_argument);
+}
+
+TEST(FlagsTest, RejectUnknownCatchesTypos) {
+  auto flags = parse({"--nodez", "5"});
+  (void)flags.get_int("nodes", 0);
+  EXPECT_THROW(flags.reject_unknown(), std::invalid_argument);
+}
+
+TEST(FlagsTest, RejectUnknownPassesWhenAllSeen) {
+  auto flags = parse({"--nodes", "5"});
+  (void)flags.get_int("nodes", 0);
+  EXPECT_NO_THROW(flags.reject_unknown());
+}
+
+TEST(FlagsTest, NegativeNumberIsAValueNotAFlag) {
+  auto flags = parse({"--offset", "-5"});
+  EXPECT_EQ(flags.get_int("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace adam2::tools

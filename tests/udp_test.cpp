@@ -1,0 +1,145 @@
+// Real-socket path: Adam2 over loopback UDP datagrams.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "core/protocol.hpp"
+#include "runtime/udp.hpp"
+
+namespace adam2::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(UdpEndpointTest, BindsDistinctEphemeralPorts) {
+  UdpEndpoint a;
+  UdpEndpoint b;
+  EXPECT_NE(a.port(), 0);
+  EXPECT_NE(b.port(), 0);
+  EXPECT_NE(a.port(), b.port());
+}
+
+TEST(UdpEndpointTest, EnvelopeRoundTrip) {
+  UdpEndpoint sender;
+  UdpEndpoint receiver;
+  Envelope out{EnvelopeKind::kGossipRequest, 42, 7,
+               {std::byte{1}, std::byte{2}, std::byte{3}}};
+  ASSERT_TRUE(sender.send(receiver.port(), out));
+  const auto in = receiver.receive(1s);
+  ASSERT_TRUE(in.has_value());
+  EXPECT_EQ(in->kind, EnvelopeKind::kGossipRequest);
+  EXPECT_EQ(in->from, 42u);
+  EXPECT_EQ(in->token, 7u);
+  EXPECT_EQ(in->payload, out.payload);
+}
+
+TEST(UdpEndpointTest, EmptyPayloadRoundTrip) {
+  UdpEndpoint sender;
+  UdpEndpoint receiver;
+  ASSERT_TRUE(sender.send(receiver.port(), {EnvelopeKind::kGossipBusy, 1, 9, {}}));
+  const auto in = receiver.receive(1s);
+  ASSERT_TRUE(in.has_value());
+  EXPECT_EQ(in->kind, EnvelopeKind::kGossipBusy);
+  EXPECT_TRUE(in->payload.empty());
+}
+
+TEST(UdpEndpointTest, ReceiveTimesOut) {
+  UdpEndpoint receiver;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(receiver.receive(20ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 15ms);
+}
+
+TEST(UdpDirectoryTest, PickTargetNeverSelf) {
+  UdpDirectory directory({1, 2, 3}, {1000, 1001, 1002});
+  rng::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto target = directory.pick_gossip_target(1, rng);
+    ASSERT_TRUE(target.has_value());
+    EXPECT_NE(*target, 1u);
+  }
+}
+
+TEST(UdpDirectoryTest, KnownValuesExcludeSelf) {
+  UdpDirectory directory({10, 20, 30}, {1, 2, 3});
+  const auto values = directory.known_attribute_values(1, directory);
+  EXPECT_EQ(values, (std::vector<stats::Value>{10, 30}));
+}
+
+TEST(UdpPeerTest, Adam2ConvergesOverRealSockets) {
+  constexpr std::size_t kPeers = 12;
+  std::vector<stats::Value> values;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    values.push_back(static_cast<stats::Value>((i + 1) * 10));
+  }
+
+  std::vector<std::unique_ptr<UdpEndpoint>> endpoints;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    endpoints.push_back(std::make_unique<UdpEndpoint>());
+    ports.push_back(endpoints.back()->port());
+  }
+  UdpDirectory directory(values, ports);
+
+  core::Adam2Config protocol;
+  protocol.lambda = 6;
+  protocol.instance_ttl = 80;
+  protocol.bootstrap = core::BootstrapPoints::kNeighbourBased;
+
+  UdpPeerConfig config;
+  config.gossip_period = 3ms;
+  config.response_timeout = 30ms;
+  config.seed = 9;
+
+  std::vector<std::unique_ptr<UdpPeer>> peers;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    peers.push_back(std::make_unique<UdpPeer>(
+        config, static_cast<sim::NodeId>(i), directory, *endpoints[i],
+        std::make_unique<core::Adam2Agent>(protocol)));
+  }
+  for (auto& peer : peers) peer->start();
+
+  peers[0]->run_on_peer([](sim::NodeAgent& agent, sim::AgentContext& ctx) {
+    dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
+  });
+
+  // Poll until every peer finalised (ttl=80 ticks at ~3 ms).
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  std::size_t with_estimate = 0;
+  std::vector<core::Estimate> estimates;
+  while (std::chrono::steady_clock::now() < deadline) {
+    with_estimate = 0;
+    estimates.clear();
+    for (auto& peer : peers) {
+      peer->run_on_peer([&](sim::NodeAgent& agent, sim::AgentContext&) {
+        const auto& a2 = dynamic_cast<core::Adam2Agent&>(agent);
+        if (a2.estimate()) {
+          ++with_estimate;
+          estimates.push_back(*a2.estimate());
+        }
+      });
+    }
+    if (with_estimate == kPeers) break;
+    std::this_thread::sleep_for(20ms);
+  }
+  for (auto& peer : peers) peer->stop();
+
+  ASSERT_EQ(with_estimate, kPeers);
+  const stats::EmpiricalCdf truth{values};
+  for (const core::Estimate& est : estimates) {
+    EXPECT_NEAR(est.n_estimate, static_cast<double>(kPeers),
+                static_cast<double>(kPeers) * 0.3);
+    EXPECT_DOUBLE_EQ(est.min_value, 10.0);
+    EXPECT_DOUBLE_EQ(est.max_value, 120.0);
+    for (const stats::CdfPoint& p : est.points) {
+      EXPECT_NEAR(p.f, truth(p.t), 0.15) << "at t=" << p.t;
+    }
+  }
+  EXPECT_GT(directory.traffic().on(sim::Channel::kAggregation).messages_sent,
+            100u);
+}
+
+}  // namespace
+}  // namespace adam2::runtime

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "rng/rng.hpp"
+#include "wire/buffer.hpp"
+#include "wire/messages.hpp"
+
+namespace adam2::wire {
+namespace {
+
+// ------------------------------------------------------------------ Buffer
+
+TEST(BufferTest, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.14159);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BufferTest, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  const auto& bytes = w.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned>(bytes[0]), 0x04u);
+  EXPECT_EQ(static_cast<unsigned>(bytes[3]), 0x01u);
+}
+
+TEST(BufferTest, SpecialDoublesRoundTrip) {
+  Writer w;
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-std::numeric_limits<double>::infinity());
+  w.f64(0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+  Reader r(w.bytes());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), 0.0);
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(BufferTest, TruncatedReadThrows) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_THROW((void)r.u8(), DecodeError);
+}
+
+TEST(BufferTest, ExpectDoneThrowsOnTrailingBytes) {
+  Writer w;
+  w.u16(7);
+  w.u8(1);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_THROW(r.expect_done(), DecodeError);
+}
+
+TEST(BufferTest, LengthGuardsAgainstHugeAllocations) {
+  Writer w;
+  w.u32(0xffffffff);  // Claims 4 billion elements...
+  Reader r(w.bytes());
+  EXPECT_THROW((void)r.length(16), DecodeError);  // ...but no bytes follow.
+}
+
+TEST(BufferTest, LengthAcceptsHonestSequences) {
+  Writer w;
+  w.length(2);
+  w.u64(1);
+  w.u64(2);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.length(8), 2u);
+}
+
+// ---------------------------------------------------------------- Messages
+
+InstancePayload sample_payload(std::uint32_t seq = 7) {
+  InstancePayload p;
+  p.id = {42, seq};
+  p.start_round = 19;
+  p.ttl = 23;
+  p.flags = 0;
+  p.weight = 0.125;
+  p.min_value = -4.0;
+  p.max_value = 1e9;
+  p.points = {{1.0, 0.25}, {2.5, 0.5}, {100.0, 0.99}};
+  p.verification = {{1.5, 0.3}};
+  return p;
+}
+
+TEST(Adam2MessageTest, RoundTrip) {
+  Adam2Message m;
+  m.type = MessageType::kAdam2Request;
+  m.sender = 1234;
+  m.instances = {sample_payload(1), sample_payload(2)};
+  const auto bytes = m.encode();
+  EXPECT_EQ(Adam2Message::decode(bytes), m);
+}
+
+TEST(Adam2MessageTest, EncodedSizeMatchesEncoding) {
+  Adam2Message m;
+  m.type = MessageType::kAdam2Response;
+  m.sender = 5;
+  m.instances = {sample_payload()};
+  EXPECT_EQ(m.encoded_size(), m.encode().size());
+
+  m.instances.clear();
+  EXPECT_EQ(m.encoded_size(), m.encode().size());
+}
+
+TEST(Adam2MessageTest, PaperMessageSizeAtLambda50) {
+  // §VII-I: "For lambda = 50 the size of a gossip message is approximately
+  // 800 bytes". Our format: 50 points * 16 B + fixed overhead.
+  Adam2Message m;
+  m.type = MessageType::kAdam2Request;
+  m.sender = 1;
+  InstancePayload p;
+  p.id = {1, 0};
+  for (int i = 0; i < 50; ++i) {
+    p.points.push_back({static_cast<double>(i), 0.5});
+  }
+  m.instances = {p};
+  const std::size_t size = m.encoded_size();
+  EXPECT_GE(size, 800u);
+  EXPECT_LE(size, 900u);
+}
+
+TEST(Adam2MessageTest, TenExtraPointsCostAbout160Bytes) {
+  // §VII-D: "with 10 extra points, the size of the messages increases by
+  // about 160 bytes".
+  auto size_for = [](int lambda) {
+    Adam2Message m;
+    InstancePayload p;
+    for (int i = 0; i < lambda; ++i) p.points.push_back({1.0 * i, 0.5});
+    m.instances = {p};
+    return m.encoded_size();
+  };
+  EXPECT_EQ(size_for(60) - size_for(50), 160u);
+}
+
+TEST(Adam2MessageTest, RejectsWrongTypeTag) {
+  Adam2Message m;
+  m.instances = {sample_payload()};
+  auto bytes = m.encode();
+  bytes[0] = static_cast<std::byte>(MessageType::kShuffleRequest);
+  EXPECT_THROW((void)Adam2Message::decode(bytes), DecodeError);
+}
+
+TEST(Adam2MessageTest, RejectsTruncatedBuffer) {
+  Adam2Message m;
+  m.instances = {sample_payload()};
+  auto bytes = m.encode();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW((void)Adam2Message::decode(bytes), DecodeError);
+}
+
+TEST(Adam2MessageTest, RejectsTrailingGarbage) {
+  Adam2Message m;
+  m.instances = {sample_payload()};
+  auto bytes = m.encode();
+  bytes.push_back(std::byte{0});
+  EXPECT_THROW((void)Adam2Message::decode(bytes), DecodeError);
+}
+
+TEST(Adam2MessageTest, EmptySetFlagSurvivesRoundTrip) {
+  Adam2Message m;
+  InstancePayload p;
+  p.id = {9, 1};
+  p.flags = kFlagEmptySet;
+  m.instances = {p};
+  const auto decoded = Adam2Message::decode(m.encode());
+  EXPECT_EQ(decoded.instances[0].flags, kFlagEmptySet);
+}
+
+TEST(PeekTypeTest, ReadsFirstByte) {
+  Adam2Message m;
+  const auto bytes = m.encode();
+  EXPECT_EQ(peek_type(bytes), MessageType::kAdam2Request);
+  EXPECT_THROW((void)peek_type({}), DecodeError);
+}
+
+TEST(BootstrapMessagesTest, RequestRoundTrip) {
+  const BootstrapRequest req{77};
+  EXPECT_EQ(BootstrapRequest::decode(req.encode()), req);
+}
+
+TEST(BootstrapMessagesTest, ResponseRoundTrip) {
+  BootstrapResponse resp;
+  resp.sender = 3;
+  resp.n_estimate = 99000.5;
+  resp.min_value = 1.0;
+  resp.max_value = 2.0;
+  resp.cdf_knots = {{1.0, 0.0}, {1.5, 0.5}, {2.0, 1.0}};
+  EXPECT_EQ(BootstrapResponse::decode(resp.encode()), resp);
+}
+
+TEST(BootstrapMessagesTest, EmptyResponseRoundTrip) {
+  const BootstrapResponse resp;
+  EXPECT_EQ(BootstrapResponse::decode(resp.encode()), resp);
+}
+
+TEST(EquiDepthMessageTest, RoundTrip) {
+  EquiDepthMessage m;
+  m.type = MessageType::kEquiDepthResponse;
+  m.sender = 11;
+  m.phase = {4, 2};
+  m.start_round = 100;
+  m.ttl = 13;
+  m.synopsis = {{1.0, 2.0}, {3.0, 0.5}};
+  EXPECT_EQ(EquiDepthMessage::decode(m.encode()), m);
+  EXPECT_EQ(m.encoded_size(), m.encode().size());
+}
+
+TEST(EquiDepthMessageTest, ComparableSizeToAdam2AtSameBudget) {
+  // §VII-I: "The costs of EquiDepth are very similar to those of Adam2".
+  EquiDepthMessage ed;
+  for (int i = 0; i < 50; ++i) ed.synopsis.push_back({1.0 * i, 1.0});
+  Adam2Message a2;
+  InstancePayload p;
+  for (int i = 0; i < 50; ++i) p.points.push_back({1.0 * i, 0.5});
+  a2.instances = {p};
+  const auto diff =
+      static_cast<std::ptrdiff_t>(ed.encoded_size()) -
+      static_cast<std::ptrdiff_t>(a2.encoded_size());
+  EXPECT_LT(std::abs(diff), 64);
+}
+
+TEST(ShuffleMessageTest, RoundTrip) {
+  ShuffleMessage m;
+  m.type = MessageType::kShuffleRequest;
+  m.sender = 8;
+  m.descriptors = {{1, 0, 512}, {2, 5, 1024}, {3, 9, -7}};
+  EXPECT_EQ(ShuffleMessage::decode(m.encode()), m);
+}
+
+/// Fuzz: random truncations/corruptions must throw DecodeError, never crash
+/// or hang.
+class WireFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireFuzzTest, CorruptedBuffersThrowCleanly) {
+  rng::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Adam2Message m;
+  m.sender = rng();
+  const std::size_t count = rng.below(3);
+  for (std::size_t i = 0; i < count; ++i) {
+    m.instances.push_back(sample_payload(static_cast<std::uint32_t>(i)));
+  }
+  auto bytes = m.encode();
+  // Corrupt a few random bytes and/or truncate.
+  for (int i = 0; i < 4 && !bytes.empty(); ++i) {
+    bytes[rng.below(bytes.size())] = static_cast<std::byte>(rng() & 0xff);
+  }
+  if (rng.bernoulli(0.5) && !bytes.empty()) {
+    bytes.resize(rng.below(bytes.size()));
+  }
+  try {
+    const auto decoded = Adam2Message::decode(bytes);
+    (void)decoded;  // Harmless decode is fine too.
+  } catch (const DecodeError&) {
+    // Expected for most corruptions.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCorruptions, WireFuzzTest,
+                         ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace adam2::wire

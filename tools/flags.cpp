@@ -1,0 +1,77 @@
+#include "flags.hpp"
+
+#include <cstdlib>
+
+namespace adam2::tools {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string name = arg.substr(2);
+    if (name.empty()) throw std::invalid_argument("bare -- is not a flag");
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      values_[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another flag (then a switch).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[name] = argv[++i];
+    } else {
+      values_[name] = "";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  seen_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get(const std::string& name,
+                       const std::string& fallback) const {
+  seen_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  seen_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const auto value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+  return value;
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  seen_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+  return value;
+}
+
+void Flags::reject_unknown() const {
+  for (const auto& [name, value] : values_) {
+    if (!seen_.count(name)) {
+      throw std::invalid_argument("unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace adam2::tools
