@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_join_policy.dir/ablation_join_policy.cpp.o"
+  "CMakeFiles/ablation_join_policy.dir/ablation_join_policy.cpp.o.d"
+  "ablation_join_policy"
+  "ablation_join_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_join_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_attribute_cdfs.dir/fig04_attribute_cdfs.cpp.o"
+  "CMakeFiles/fig04_attribute_cdfs.dir/fig04_attribute_cdfs.cpp.o.d"
+  "fig04_attribute_cdfs"
+  "fig04_attribute_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_attribute_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

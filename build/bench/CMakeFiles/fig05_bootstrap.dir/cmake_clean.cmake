@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_bootstrap.dir/fig05_bootstrap.cpp.o"
+  "CMakeFiles/fig05_bootstrap.dir/fig05_bootstrap.cpp.o.d"
+  "fig05_bootstrap"
+  "fig05_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

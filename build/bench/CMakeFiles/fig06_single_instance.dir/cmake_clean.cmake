@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_single_instance.dir/fig06_single_instance.cpp.o"
+  "CMakeFiles/fig06_single_instance.dir/fig06_single_instance.cpp.o.d"
+  "fig06_single_instance"
+  "fig06_single_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_single_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_heuristics.dir/fig07_heuristics.cpp.o"
+  "CMakeFiles/fig07_heuristics.dir/fig07_heuristics.cpp.o.d"
+  "fig07_heuristics"
+  "fig07_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_equidepth_phases.dir/fig08_equidepth_phases.cpp.o"
+  "CMakeFiles/fig08_equidepth_phases.dir/fig08_equidepth_phases.cpp.o.d"
+  "fig08_equidepth_phases"
+  "fig08_equidepth_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_equidepth_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

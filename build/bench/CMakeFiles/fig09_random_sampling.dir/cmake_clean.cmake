@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_random_sampling.dir/fig09_random_sampling.cpp.o"
+  "CMakeFiles/fig09_random_sampling.dir/fig09_random_sampling.cpp.o.d"
+  "fig09_random_sampling"
+  "fig09_random_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_random_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_interpolation_points.dir/fig10_interpolation_points.cpp.o"
+  "CMakeFiles/fig10_interpolation_points.dir/fig10_interpolation_points.cpp.o.d"
+  "fig10_interpolation_points"
+  "fig10_interpolation_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_interpolation_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_churn_single_instance.cpp" "bench/CMakeFiles/fig12_churn_single_instance.dir/fig12_churn_single_instance.cpp.o" "gcc" "bench/CMakeFiles/fig12_churn_single_instance.dir/fig12_churn_single_instance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adam2_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adam2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/adam2_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/adam2_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adam2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/adam2_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/adam2_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/adam2_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

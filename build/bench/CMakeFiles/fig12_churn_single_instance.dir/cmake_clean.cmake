@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_churn_single_instance.dir/fig12_churn_single_instance.cpp.o"
+  "CMakeFiles/fig12_churn_single_instance.dir/fig12_churn_single_instance.cpp.o.d"
+  "fig12_churn_single_instance"
+  "fig12_churn_single_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_churn_single_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

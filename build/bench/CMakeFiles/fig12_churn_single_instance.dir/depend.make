@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_churn_single_instance.
+# This may be replaced when dependencies are built.

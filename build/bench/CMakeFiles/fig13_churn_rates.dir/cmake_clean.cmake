@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_churn_rates.dir/fig13_churn_rates.cpp.o"
+  "CMakeFiles/fig13_churn_rates.dir/fig13_churn_rates.cpp.o.d"
+  "fig13_churn_rates"
+  "fig13_churn_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_churn_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

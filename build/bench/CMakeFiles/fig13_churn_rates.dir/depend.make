@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_churn_rates.
+# This may be replaced when dependencies are built.

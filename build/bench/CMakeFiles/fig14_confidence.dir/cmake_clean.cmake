@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_confidence.dir/fig14_confidence.cpp.o"
+  "CMakeFiles/fig14_confidence.dir/fig14_confidence.cpp.o.d"
+  "fig14_confidence"
+  "fig14_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_cost.dir/tab_cost.cpp.o"
+  "CMakeFiles/tab_cost.dir/tab_cost.cpp.o.d"
+  "tab_cost"
+  "tab_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

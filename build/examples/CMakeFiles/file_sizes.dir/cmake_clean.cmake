@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_sizes.dir/file_sizes.cpp.o"
+  "CMakeFiles/file_sizes.dir/file_sizes.cpp.o.d"
+  "file_sizes"
+  "file_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_monitor.dir/load_monitor.cpp.o"
+  "CMakeFiles/load_monitor.dir/load_monitor.cpp.o.d"
+  "load_monitor"
+  "load_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_monitor.dir/threaded_monitor.cpp.o"
+  "CMakeFiles/threaded_monitor.dir/threaded_monitor.cpp.o.d"
+  "threaded_monitor"
+  "threaded_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

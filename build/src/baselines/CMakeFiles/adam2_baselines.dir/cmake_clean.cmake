@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam2_baselines.dir/equidepth.cpp.o"
+  "CMakeFiles/adam2_baselines.dir/equidepth.cpp.o.d"
+  "CMakeFiles/adam2_baselines.dir/sampling.cpp.o"
+  "CMakeFiles/adam2_baselines.dir/sampling.cpp.o.d"
+  "libadam2_baselines.a"
+  "libadam2_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam2_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

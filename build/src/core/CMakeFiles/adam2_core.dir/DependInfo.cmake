@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/combine.cpp" "src/core/CMakeFiles/adam2_core.dir/combine.cpp.o" "gcc" "src/core/CMakeFiles/adam2_core.dir/combine.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/adam2_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/adam2_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/multi.cpp" "src/core/CMakeFiles/adam2_core.dir/multi.cpp.o" "gcc" "src/core/CMakeFiles/adam2_core.dir/multi.cpp.o.d"
+  "/root/repo/src/core/point_selection.cpp" "src/core/CMakeFiles/adam2_core.dir/point_selection.cpp.o" "gcc" "src/core/CMakeFiles/adam2_core.dir/point_selection.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/adam2_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/adam2_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/rank.cpp" "src/core/CMakeFiles/adam2_core.dir/rank.cpp.o" "gcc" "src/core/CMakeFiles/adam2_core.dir/rank.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/adam2_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/adam2_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rng/CMakeFiles/adam2_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/adam2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/adam2_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adam2_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam2_core.dir/combine.cpp.o"
+  "CMakeFiles/adam2_core.dir/combine.cpp.o.d"
+  "CMakeFiles/adam2_core.dir/instance.cpp.o"
+  "CMakeFiles/adam2_core.dir/instance.cpp.o.d"
+  "CMakeFiles/adam2_core.dir/multi.cpp.o"
+  "CMakeFiles/adam2_core.dir/multi.cpp.o.d"
+  "CMakeFiles/adam2_core.dir/point_selection.cpp.o"
+  "CMakeFiles/adam2_core.dir/point_selection.cpp.o.d"
+  "CMakeFiles/adam2_core.dir/protocol.cpp.o"
+  "CMakeFiles/adam2_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/adam2_core.dir/rank.cpp.o"
+  "CMakeFiles/adam2_core.dir/rank.cpp.o.d"
+  "CMakeFiles/adam2_core.dir/system.cpp.o"
+  "CMakeFiles/adam2_core.dir/system.cpp.o.d"
+  "libadam2_core.a"
+  "libadam2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/boinc_synth.cpp" "src/data/CMakeFiles/adam2_data.dir/boinc_synth.cpp.o" "gcc" "src/data/CMakeFiles/adam2_data.dir/boinc_synth.cpp.o.d"
+  "/root/repo/src/data/trace.cpp" "src/data/CMakeFiles/adam2_data.dir/trace.cpp.o" "gcc" "src/data/CMakeFiles/adam2_data.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rng/CMakeFiles/adam2_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/adam2_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam2_data.dir/boinc_synth.cpp.o"
+  "CMakeFiles/adam2_data.dir/boinc_synth.cpp.o.d"
+  "CMakeFiles/adam2_data.dir/trace.cpp.o"
+  "CMakeFiles/adam2_data.dir/trace.cpp.o.d"
+  "libadam2_data.a"
+  "libadam2_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam2_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

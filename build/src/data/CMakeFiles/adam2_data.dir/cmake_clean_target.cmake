@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadam2_data.a"
+)

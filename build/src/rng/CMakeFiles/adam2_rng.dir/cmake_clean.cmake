@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam2_rng.dir/rng.cpp.o"
+  "CMakeFiles/adam2_rng.dir/rng.cpp.o.d"
+  "libadam2_rng.a"
+  "libadam2_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam2_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

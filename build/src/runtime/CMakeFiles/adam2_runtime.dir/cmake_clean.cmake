@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam2_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/adam2_runtime.dir/cluster.cpp.o.d"
+  "CMakeFiles/adam2_runtime.dir/transport.cpp.o"
+  "CMakeFiles/adam2_runtime.dir/transport.cpp.o.d"
+  "CMakeFiles/adam2_runtime.dir/udp.cpp.o"
+  "CMakeFiles/adam2_runtime.dir/udp.cpp.o.d"
+  "libadam2_runtime.a"
+  "libadam2_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam2_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

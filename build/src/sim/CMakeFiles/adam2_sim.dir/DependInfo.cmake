@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/async_engine.cpp" "src/sim/CMakeFiles/adam2_sim.dir/async_engine.cpp.o" "gcc" "src/sim/CMakeFiles/adam2_sim.dir/async_engine.cpp.o.d"
+  "/root/repo/src/sim/cyclon.cpp" "src/sim/CMakeFiles/adam2_sim.dir/cyclon.cpp.o" "gcc" "src/sim/CMakeFiles/adam2_sim.dir/cyclon.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/adam2_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/adam2_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/overlay.cpp" "src/sim/CMakeFiles/adam2_sim.dir/overlay.cpp.o" "gcc" "src/sim/CMakeFiles/adam2_sim.dir/overlay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rng/CMakeFiles/adam2_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/adam2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/adam2_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam2_sim.dir/async_engine.cpp.o"
+  "CMakeFiles/adam2_sim.dir/async_engine.cpp.o.d"
+  "CMakeFiles/adam2_sim.dir/cyclon.cpp.o"
+  "CMakeFiles/adam2_sim.dir/cyclon.cpp.o.d"
+  "CMakeFiles/adam2_sim.dir/engine.cpp.o"
+  "CMakeFiles/adam2_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/adam2_sim.dir/overlay.cpp.o"
+  "CMakeFiles/adam2_sim.dir/overlay.cpp.o.d"
+  "libadam2_sim.a"
+  "libadam2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam2_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam2_stats.dir/cdf.cpp.o"
+  "CMakeFiles/adam2_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/adam2_stats.dir/error_metrics.cpp.o"
+  "CMakeFiles/adam2_stats.dir/error_metrics.cpp.o.d"
+  "CMakeFiles/adam2_stats.dir/histogram.cpp.o"
+  "CMakeFiles/adam2_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/adam2_stats.dir/summary.cpp.o"
+  "CMakeFiles/adam2_stats.dir/summary.cpp.o.d"
+  "libadam2_stats.a"
+  "libadam2_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam2_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

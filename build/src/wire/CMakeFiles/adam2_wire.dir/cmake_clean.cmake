@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam2_wire.dir/messages.cpp.o"
+  "CMakeFiles/adam2_wire.dir/messages.cpp.o.d"
+  "libadam2_wire.a"
+  "libadam2_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam2_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

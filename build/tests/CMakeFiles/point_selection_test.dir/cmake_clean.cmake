@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_selection_test.dir/point_selection_test.cpp.o"
+  "CMakeFiles/point_selection_test.dir/point_selection_test.cpp.o.d"
+  "point_selection_test"
+  "point_selection_test.pdb"
+  "point_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_edge_test.dir/stats_edge_test.cpp.o"
+  "CMakeFiles/stats_edge_test.dir/stats_edge_test.cpp.o.d"
+  "stats_edge_test"
+  "stats_edge_test.pdb"
+  "stats_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

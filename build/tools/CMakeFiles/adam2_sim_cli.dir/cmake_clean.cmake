@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam2_sim_cli.dir/adam2_sim.cpp.o"
+  "CMakeFiles/adam2_sim_cli.dir/adam2_sim.cpp.o.d"
+  "adam2_sim"
+  "adam2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam2_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam2_tools_flags.dir/flags.cpp.o"
+  "CMakeFiles/adam2_tools_flags.dir/flags.cpp.o.d"
+  "libadam2_tools_flags.a"
+  "libadam2_tools_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam2_tools_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam2_trace.dir/adam2_trace.cpp.o"
+  "CMakeFiles/adam2_trace.dir/adam2_trace.cpp.o.d"
+  "adam2_trace"
+  "adam2_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam2_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
