@@ -24,6 +24,7 @@ BenchEnv bench_env(std::size_t default_n) {
   env.n = env_u64("ADAM2_BENCH_N", env.n);
   env.seed = env_u64("ADAM2_BENCH_SEED", 42);
   env.peer_sample = env_u64("ADAM2_BENCH_PEERS", 400);
+  env.threads = env_u64("ADAM2_BENCH_THREADS", 0);
   return env;
 }
 
@@ -35,8 +36,9 @@ std::vector<stats::Value> population(data::Attribute kind, std::size_t n,
 
 void print_banner(const std::string& title, const BenchEnv& env) {
   std::printf("# %s\n", title.c_str());
-  std::printf("# nodes=%zu seed=%llu peer_sample=%zu\n", env.n,
-              static_cast<unsigned long long>(env.seed), env.peer_sample);
+  std::printf("# nodes=%zu seed=%llu peer_sample=%zu threads=%zu\n", env.n,
+              static_cast<unsigned long long>(env.seed), env.peer_sample,
+              env.threads);
 }
 
 void print_header(const std::string& label,
@@ -61,6 +63,7 @@ core::SystemConfig default_system(const BenchEnv& env) {
   config.protocol.bootstrap = core::BootstrapPoints::kNeighbourBased;
   config.overlay = core::OverlayKind::kCyclon;
   config.overlay_degree = 20;
+  config.engine_threads = env.threads;
   return config;
 }
 

@@ -1,9 +1,10 @@
 // Shared scaffolding for the per-figure bench binaries.
 //
 // Every bench reads its scale from the environment:
-//   ADAM2_BENCH_N=<nodes>   population size (default 20,000)
-//   ADAM2_BENCH_FULL=1      paper scale (100,000 nodes)
-//   ADAM2_BENCH_SEED=<s>    master seed (default 42)
+//   ADAM2_BENCH_N=<nodes>     population size (default 20,000)
+//   ADAM2_BENCH_FULL=1        paper scale (100,000 nodes)
+//   ADAM2_BENCH_SEED=<s>      master seed (default 42)
+//   ADAM2_BENCH_THREADS=<t>   cycle-engine worker threads (default serial)
 // and prints the corresponding figure's series as aligned text columns.
 #pragma once
 
@@ -23,6 +24,8 @@ struct BenchEnv {
   std::uint64_t seed = 42;
   /// Peers sampled per evaluation (0 = all); keeps wide sweeps tractable.
   std::size_t peer_sample = 400;
+  /// Cycle-engine worker threads (0/1 = serial Engine; >1 = ParallelEngine).
+  std::size_t threads = 0;
 };
 
 /// Parses the ADAM2_BENCH_* environment variables.

@@ -5,11 +5,55 @@
 // with ADAM2_BENCH_FULL=1 for paper scale). Expected shape: Errm stays in
 // the same order of magnitude across sizes; Erra *decreases* with size
 // because larger populations have longer, easily-interpolated tails.
+//
+// With ADAM2_BENCH_THREADS=<t> (t > 1) each row runs on the sharded
+// ParallelEngine and is re-run serially for comparison: the row gains a
+// speedup column plus a `match` flag checking that the parallel errors are
+// bit-identical to the serial ones (the engine's determinism contract).
+#include <chrono>
 #include <cstdio>
 
 #include "common.hpp"
 
 using namespace adam2;
+
+namespace {
+
+struct RowResult {
+  double errm[2];
+  double erra[2];
+  double wall_s = 0.0;
+};
+
+RowResult run_row(const bench::BenchEnv& sized, std::size_t n,
+                  std::uint64_t seed, std::size_t instances) {
+  RowResult row;
+  const auto start = std::chrono::steady_clock::now();
+  int idx = 0;
+  for (data::Attribute attribute :
+       {data::Attribute::kCpuMflops, data::Attribute::kRamMb}) {
+    const auto values = bench::population(attribute, n, seed);
+
+    core::SystemConfig mm = bench::default_system(sized);
+    mm.protocol.heuristic = core::SelectionHeuristic::kMinMax;
+    row.errm[idx] = bench::run_adam2_series(mm, values, instances, sized)
+                        .back()
+                        .entire.max_err;
+
+    core::SystemConfig lc = bench::default_system(sized);
+    lc.protocol.heuristic = core::SelectionHeuristic::kLCut;
+    row.erra[idx] = bench::run_adam2_series(lc, values, instances, sized)
+                        .back()
+                        .entire.avg_err;
+    ++idx;
+  }
+  row.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count();
+  return row;
+}
+
+}  // namespace
 
 int main() {
   const bench::BenchEnv env = bench::bench_env();
@@ -19,32 +63,35 @@ int main() {
   std::vector<std::size_t> sizes{100, 316, 1000, 3162, 10000, 31623, 100000};
   std::erase_if(sizes, [&](std::size_t n) { return n > 5 * env.n; });
 
-  bench::print_header("nodes", {"CPU_Errm", "RAM_Errm", "CPU_Erra",
-                                "RAM_Erra"});
+  const bool compare = env.threads > 1;
+  std::vector<std::string> columns{"CPU_Errm", "RAM_Errm", "CPU_Erra",
+                                   "RAM_Erra", "wall_s"};
+  if (compare) {
+    columns.push_back("serial_s");
+    columns.push_back("speedup");
+  }
+  bench::print_header("nodes", columns);
   for (std::size_t n : sizes) {
     bench::BenchEnv sized = env;
     sized.n = n;
-    double errm[2];
-    double erra[2];
-    int idx = 0;
-    for (data::Attribute attribute :
-         {data::Attribute::kCpuMflops, data::Attribute::kRamMb}) {
-      const auto values = bench::population(attribute, n, env.seed);
-
-      core::SystemConfig mm = bench::default_system(sized);
-      mm.protocol.heuristic = core::SelectionHeuristic::kMinMax;
-      errm[idx] = bench::run_adam2_series(mm, values, kInstances, sized)
-                      .back()
-                      .entire.max_err;
-
-      core::SystemConfig lc = bench::default_system(sized);
-      lc.protocol.heuristic = core::SelectionHeuristic::kLCut;
-      erra[idx] = bench::run_adam2_series(lc, values, kInstances, sized)
-                      .back()
-                      .entire.avg_err;
-      ++idx;
+    const RowResult row = run_row(sized, n, env.seed, kInstances);
+    std::vector<double> values{row.errm[0], row.errm[1], row.erra[0],
+                               row.erra[1], row.wall_s};
+    bool match = true;
+    if (compare) {
+      bench::BenchEnv serial = sized;
+      serial.threads = 0;
+      const RowResult base = run_row(serial, n, env.seed, kInstances);
+      for (int i = 0; i < 2; ++i) {
+        match = match && row.errm[i] == base.errm[i] &&
+                row.erra[i] == base.erra[i];
+      }
+      values.push_back(base.wall_s);
+      values.push_back(base.wall_s / row.wall_s);
     }
-    bench::print_row(std::to_string(n), {errm[0], errm[1], erra[0], erra[1]});
+    std::string label = std::to_string(n);
+    if (compare) label += match ? " match" : " MISMATCH";
+    bench::print_row(label, values);
   }
   return 0;
 }

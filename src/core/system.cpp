@@ -26,13 +26,19 @@ Adam2System::Adam2System(SystemConfig config,
                          sim::AttributeSource churn_source)
     : config_(config) {
   const Adam2Config protocol = config_.protocol;
-  engine_ = std::make_unique<sim::Engine>(
-      config_.engine, std::move(attributes),
-      make_overlay(config_.overlay, config_.overlay_degree),
-      [protocol](const sim::AgentContext&) {
-        return std::make_unique<Adam2Agent>(protocol);
-      },
-      std::move(churn_source));
+  auto factory = [protocol](const sim::AgentContext&) {
+    return std::make_unique<Adam2Agent>(protocol);
+  };
+  auto overlay = make_overlay(config_.overlay, config_.overlay_degree);
+  if (config_.engine_threads > 1) {
+    engine_ = std::make_unique<sim::ParallelEngine>(
+        config_.engine, config_.engine_threads, std::move(attributes),
+        std::move(overlay), std::move(factory), std::move(churn_source));
+  } else {
+    engine_ = std::make_unique<sim::Engine>(
+        config_.engine, std::move(attributes), std::move(overlay),
+        std::move(factory), std::move(churn_source));
+  }
 }
 
 Adam2Agent& Adam2System::agent_of(sim::NodeId id) {

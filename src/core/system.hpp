@@ -15,6 +15,7 @@
 #include "core/protocol.hpp"
 #include "sim/cyclon.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel_engine.hpp"
 
 namespace adam2::core {
 
@@ -29,6 +30,10 @@ struct SystemConfig {
   OverlayKind overlay = OverlayKind::kCyclon;
   /// Degree of the static graph / view size of Cyclon.
   std::size_t overlay_degree = 20;
+  /// Worker threads for the cycle engine. 0 and 1 select the serial Engine;
+  /// larger values select the sharded ParallelEngine, which produces
+  /// bit-identical results at any thread count.
+  std::size_t engine_threads = 0;
 };
 
 class Adam2System {
@@ -39,7 +44,7 @@ class Adam2System {
   Adam2System(SystemConfig config, std::vector<stats::Value> attributes,
               sim::AttributeSource churn_source = nullptr);
 
-  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] sim::CycleEngine& engine() { return *engine_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
   /// The Adam2 agent running on `id`.
@@ -63,7 +68,7 @@ class Adam2System {
 
  private:
   SystemConfig config_;
-  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<sim::CycleEngine> engine_;
 };
 
 /// Builds the overlay for `kind` (shared with the baselines' drivers).

@@ -1,0 +1,88 @@
+// Protocol-side interface of every substrate.
+//
+// A NodeAgent is the per-node protocol instance (Adam2, EquiDepth, ...). The
+// hosting substrate mediates every interaction: it asks an agent for a gossip
+// request, delivers it to the chosen target's agent, and routes the response
+// back — all as encoded byte buffers, exactly as a deployment would put them
+// on the wire. Agents never touch each other directly, which is what lets the
+// same agent code run under the serial engine, the parallel engine, the
+// event-driven engine, and the threaded runtimes unchanged.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "host/overlay.hpp"
+#include "host/types.hpp"
+#include "host/view.hpp"
+#include "rng/rng.hpp"
+#include "stats/cdf.hpp"
+
+namespace adam2::host {
+
+/// Everything an agent may see of its host node during a callback. All
+/// substrates construct these, so protocol implementations are
+/// transport-agnostic.
+struct AgentContext {
+  HostView& host;          ///< Liveness/attribute queries, traffic recording.
+  Overlay& overlay;        ///< Neighbour queries (bootstrap point selection).
+  NodeId self = 0;         ///< This node's id.
+  Round round = 0;         ///< Current gossip round.
+  Round birth_round = 0;   ///< Round the node joined the system (0 = initial).
+  stats::Value attribute;  ///< The node's current attribute value.
+  rng::Rng& rng;           ///< The node's private random stream.
+};
+
+/// Per-node protocol logic. All byte spans are encoded wire messages.
+class NodeAgent {
+ public:
+  virtual ~NodeAgent() = default;
+
+  /// Called once per round before any exchange (TTL bookkeeping, instance
+  /// creation, ...).
+  virtual void on_round_start(AgentContext& /*ctx*/) {}
+
+  /// The agent's gossip request for this round; empty means "stay silent".
+  [[nodiscard]] virtual std::vector<std::byte> make_request(
+      AgentContext& ctx) = 0;
+
+  /// Responder side of an exchange; the returned buffer is delivered back to
+  /// the requester (empty = no response).
+  [[nodiscard]] virtual std::vector<std::byte> handle_request(
+      AgentContext& ctx, std::span<const std::byte> request) = 0;
+
+  /// Requester side: the response to this round's request.
+  virtual void handle_response(AgentContext& /*ctx*/,
+                               std::span<const std::byte> /*response*/) {}
+
+  /// Join-time state transfer: a node entering the system sends one
+  /// bootstrap request to a random neighbour and receives its response
+  /// (§IV: joining nodes are bootstrapped by their initial neighbours).
+  [[nodiscard]] virtual std::vector<std::byte> make_bootstrap_request(
+      AgentContext& /*ctx*/) {
+    return {};
+  }
+  [[nodiscard]] virtual std::vector<std::byte> handle_bootstrap_request(
+      AgentContext& /*ctx*/, std::span<const std::byte> /*request*/) {
+    return {};
+  }
+  /// Returns true when the response satisfied the bootstrap; false lets
+  /// the substrate retry with another neighbour (e.g. the contact had
+  /// nothing to share yet).
+  virtual bool handle_bootstrap_response(AgentContext& /*ctx*/,
+                                         std::span<const std::byte> /*response*/) {
+    return true;
+  }
+};
+
+/// Creates the agent for a (possibly churned-in) node.
+using AgentFactory =
+    std::function<std::unique_ptr<NodeAgent>(const AgentContext&)>;
+
+/// Draws the attribute value of a churned-in node.
+using AttributeSource = std::function<stats::Value(rng::Rng&)>;
+
+}  // namespace adam2::host

@@ -1,0 +1,22 @@
+// Churn arithmetic shared by the simulation substrates (§VII-G model:
+// a fixed fraction of nodes replaced per round/period).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "rng/rng.hpp"
+
+namespace adam2::host {
+
+/// Converts an expected (fractional) replacement count into an integer one:
+/// the floor, plus one more with probability equal to the fractional part,
+/// so the long-run replacement rate matches `expected` exactly.
+[[nodiscard]] inline std::size_t stochastic_count(double expected,
+                                                  rng::Rng& rng) {
+  auto count = static_cast<std::size_t>(expected);
+  if (rng.bernoulli(expected - std::floor(expected))) ++count;
+  return count;
+}
+
+}  // namespace adam2::host

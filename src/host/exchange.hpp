@@ -1,0 +1,64 @@
+// Exchange-atomicity session state shared by the wall-clock runtimes.
+//
+// With real message latency, a node's state could change between sending a
+// request and receiving the matching response, which would permanently
+// create or destroy averaging mass (the well-known atomicity requirement of
+// push-pull gossip). A node with an exchange in flight is therefore *busy*:
+// it initiates nothing and refuses incoming requests (NACKing so the
+// requester frees its own lock) until its response arrives or a
+// worst-case-RTT deadline passes. Responses are matched by token so a stale
+// response — one for an exchange the node already gave up on — is never
+// merged. Cluster::RuntimeNode and UdpPeer both drive this object from
+// their own (single) node thread; it is not itself thread-safe.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace adam2::host {
+
+class ExchangeSession {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// True while a request is outstanding and its deadline has not passed —
+  /// the node must not initiate or answer exchanges (atomicity lock).
+  [[nodiscard]] bool busy() const {
+    return awaiting_ && Clock::now() < deadline_;
+  }
+
+  /// Fresh token to stamp on an outgoing request. Consuming a token does not
+  /// open the session — callers `arm` only once the send succeeded.
+  [[nodiscard]] std::uint64_t next_token() { return ++last_token_; }
+
+  /// Locks the session: a request with `token` is in flight, answered or
+  /// abandoned by `timeout` from now.
+  void arm(std::uint64_t token, Clock::duration timeout) {
+    awaiting_ = true;
+    token_ = token;
+    deadline_ = Clock::now() + timeout;
+  }
+
+  /// Delivers a response (or busy-NACK) token. True when it matches the open
+  /// exchange — the session unlocks and the caller may merge the payload.
+  /// False means stale: the exchange was already abandoned, so merging would
+  /// violate atomicity. A matching response is accepted even after the
+  /// deadline as long as no new exchange was opened meanwhile.
+  [[nodiscard]] bool close_if_current(std::uint64_t token) {
+    if (!awaiting_ || token != token_) return false;
+    awaiting_ = false;
+    return true;
+  }
+
+  /// Drops any expired lock (called from the tick path once `busy()` is
+  /// false: the exchange timed out and nothing was merged).
+  void abandon() { awaiting_ = false; }
+
+ private:
+  bool awaiting_ = false;
+  std::uint64_t token_ = 0;
+  std::uint64_t last_token_ = 0;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace adam2::host

@@ -1,0 +1,54 @@
+// Thread-safe traffic ledger for the threaded runtimes (Cluster, UDP peers),
+// where many node threads record traffic concurrently.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+#include "host/traffic.hpp"
+#include "host/types.hpp"
+
+namespace adam2::host {
+
+class SharedTrafficLedger {
+ public:
+  /// Counts one message of `bytes` bytes as sent and received on `channel`
+  /// (the global view of a point-to-point transfer).
+  void record_message(Channel channel, std::size_t bytes) {
+    std::lock_guard lock(mutex_);
+    totals_.on(channel).add_send(bytes);
+    totals_.on(channel).add_receive(bytes);
+  }
+
+  void count_failed_contact() {
+    std::lock_guard lock(mutex_);
+    ++totals_.failed_contacts;
+  }
+
+  void count_dropped_message() {
+    std::lock_guard lock(mutex_);
+    ++totals_.dropped_messages;
+  }
+
+  void count_busy_rejection() {
+    std::lock_guard lock(mutex_);
+    ++totals_.busy_rejections;
+  }
+
+  /// Merges a batch of per-node counters (e.g. on node shutdown).
+  void merge(const TrafficStats& stats) {
+    std::lock_guard lock(mutex_);
+    totals_ += stats;
+  }
+
+  [[nodiscard]] TrafficStats snapshot() const {
+    std::lock_guard lock(mutex_);
+    return totals_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  TrafficStats totals_;
+};
+
+}  // namespace adam2::host

@@ -1,0 +1,31 @@
+// Pluggable metrics interface shared by all substrates.
+//
+// Engine observers (std::function hooks that receive the full engine) remain
+// the power-user API for experiment scripts; MetricsSink is the narrow,
+// substrate-agnostic channel for dashboards and loggers that only need the
+// per-round aggregates and must work against any engine.
+#pragma once
+
+#include <cstddef>
+
+#include "host/traffic.hpp"
+#include "host/types.hpp"
+
+namespace adam2::host {
+
+/// Aggregate state of a substrate at the end of one round (or maintenance
+/// period, for event-driven substrates).
+struct RoundSnapshot {
+  Round round = 0;
+  std::size_t live_count = 0;
+  std::size_t nodes_ever = 0;
+  const TrafficStats& traffic;  ///< Global totals so far.
+};
+
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void on_round_end(const RoundSnapshot& snapshot) = 0;
+};
+
+}  // namespace adam2::host

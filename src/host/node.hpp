@@ -1,0 +1,46 @@
+// The per-node record every substrate keeps, plus the context builder.
+#pragma once
+
+#include <memory>
+
+#include "host/agent.hpp"
+#include "host/traffic.hpp"
+#include "host/types.hpp"
+#include "rng/rng.hpp"
+#include "stats/cdf.hpp"
+
+namespace adam2::host {
+
+/// One hosted node. Each node carries two decorrelated random streams derived
+/// from the master seed at spawn time:
+///
+///  * `rng`      — the agent stream, consumed only inside agent callbacks
+///                 (restart coin flips, threshold sampling, ...);
+///  * `pick_rng` — the control stream, consumed only by the hosting engine
+///                 (gossip target picks, message-loss draws, bootstrap
+///                 contact picks).
+///
+/// Keeping the two apart is what makes parallel execution bit-identical to
+/// serial execution: an engine can pre-draw every control decision in a plan
+/// phase without perturbing any agent's stream, and each stream is advanced
+/// by exactly one node regardless of how exchanges are scheduled across
+/// threads.
+struct Node {
+  NodeId id = 0;
+  stats::Value attribute = 0;
+  Round birth_round = 0;
+  bool alive = false;
+  TrafficStats traffic;
+  rng::Rng rng{0};       ///< Agent stream.
+  rng::Rng pick_rng{0};  ///< Engine control stream.
+  std::unique_ptr<NodeAgent> agent;
+};
+
+/// Builds the callback context for `node` at `round`.
+[[nodiscard]] inline AgentContext make_context(HostView& host, Overlay& overlay,
+                                               Node& node, Round round) {
+  return AgentContext{host,   overlay,        node.id,  round,
+                      node.birth_round, node.attribute, node.rng};
+}
+
+}  // namespace adam2::host

@@ -1,0 +1,53 @@
+#include "host/pool.hpp"
+
+#include <algorithm>
+
+namespace adam2::host {
+
+WorkerPool::WorkerPool(std::size_t workers) {
+  workers = std::max<std::size_t>(workers, 1);
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(std::size_t)>& task) {
+  std::unique_lock lock(mutex_);
+  task_ = &task;
+  running_ = threads_.size();
+  ++generation_;
+  start_.notify_all();
+  done_.wait(lock, [this] { return running_ == 0; });
+  task_ = nullptr;
+}
+
+void WorkerPool::worker_main(std::size_t index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+    }
+    (*task)(index);
+    {
+      std::lock_guard lock(mutex_);
+      if (--running_ == 0) done_.notify_all();
+    }
+  }
+}
+
+}  // namespace adam2::host

@@ -1,0 +1,47 @@
+// A persistent fork-join worker pool for the parallel cycle engine.
+//
+// Threads are spawned once and reused across rounds (a round has several
+// short parallel phases; re-spawning threads per phase would dominate the
+// runtime at small N). `run` hands every worker the same callable and blocks
+// until all of them return.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adam2::host {
+
+class WorkerPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit WorkerPool(std::size_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs `task(worker_index)` on every worker; returns when all are done.
+  /// Not reentrant; the calling thread does not execute the task.
+  void run(const std::function<void(std::size_t)>& task);
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+ private:
+  void worker_main(std::size_t index);
+
+  std::mutex mutex_;
+  std::condition_variable start_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace adam2::host

@@ -1,0 +1,99 @@
+#include "host/registry.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace adam2::host {
+
+namespace {
+/// Salt decorrelating the control stream's tag from the agent stream's tag
+/// (both are derived from the same master seed via Rng::split).
+constexpr std::uint64_t kPickStreamSalt = 0x9e3779b97f4a7c15ULL;
+}  // namespace
+
+Node& NodeTable::spawn(stats::Value attribute, Round birth_round,
+                       rng::Rng& seed_rng) {
+  const NodeId id = next_id_++;
+  Node node;
+  node.id = id;
+  node.attribute = attribute;
+  node.birth_round = birth_round;
+  node.alive = true;
+  node.rng = seed_rng.split(id);
+  node.pick_rng = seed_rng.split(id ^ kPickStreamSalt);
+  nodes_.push_back(std::move(node));
+  index_[id] = nodes_.size() - 1;
+  live_pos_[id] = live_ids_.size();
+  live_ids_.push_back(id);
+  return nodes_.back();
+}
+
+void NodeTable::kill(NodeId id) {
+  Node& n = at(id);
+  if (!n.alive) return;
+  n.alive = false;
+  n.agent.reset();
+
+  auto it = live_pos_.find(id);
+  assert(it != live_pos_.end());
+  const std::size_t pos = it->second;
+  const NodeId moved = live_ids_.back();
+  live_ids_[pos] = moved;
+  live_ids_.pop_back();
+  live_pos_[moved] = pos;
+  live_pos_.erase(id);
+}
+
+bool NodeTable::is_live(NodeId id) const {
+  auto it = index_.find(id);
+  return it != index_.end() && nodes_[it->second].alive;
+}
+
+Node& NodeTable::at(NodeId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) throw std::out_of_range("unknown node id");
+  return nodes_[it->second];
+}
+
+const Node& NodeTable::at(NodeId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) throw std::out_of_range("unknown node id");
+  return nodes_[it->second];
+}
+
+std::size_t NodeTable::slot_of(NodeId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) throw std::out_of_range("unknown node id");
+  return it->second;
+}
+
+NodeId NodeTable::random_live(rng::Rng& rng) const {
+  if (live_ids_.empty()) throw std::runtime_error("no live nodes");
+  return live_ids_[rng.below(live_ids_.size())];
+}
+
+std::vector<stats::Value> NodeTable::live_attribute_values() const {
+  std::vector<stats::Value> values;
+  values.reserve(live_ids_.size());
+  for (NodeId id : live_ids_) values.push_back(at(id).attribute);
+  return values;
+}
+
+void NodeTable::record_traffic(NodeId sender, NodeId receiver, Channel channel,
+                               std::size_t bytes, TrafficStats& totals) {
+  auto record = [&](NodeId id, auto&& fn) {
+    auto it = index_.find(id);
+    if (it != index_.end()) fn(nodes_[it->second].traffic);
+  };
+  record(sender, [&](TrafficStats& t) { t.on(channel).add_send(bytes); });
+  record(receiver, [&](TrafficStats& t) { t.on(channel).add_receive(bytes); });
+  totals.on(channel).add_send(bytes);
+  totals.on(channel).add_receive(bytes);
+}
+
+void NodeTable::reserve(std::size_t count) {
+  nodes_.reserve(count);
+  live_ids_.reserve(count);
+}
+
+}  // namespace adam2::host

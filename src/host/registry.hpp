@@ -1,0 +1,83 @@
+// NodeTable: the node registry shared by every hosting substrate.
+//
+// Owns the node records and maintains the id -> slot index, the dense
+// live-id vector (O(1) removal via swap-with-back) and the monotonically
+// increasing id counter. Substrates layer their own scheduling (rounds,
+// events, threads) on top; the bookkeeping that used to be duplicated across
+// Engine / AsyncEngine / Cluster lives here exactly once.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "host/node.hpp"
+#include "host/traffic.hpp"
+#include "host/types.hpp"
+#include "rng/rng.hpp"
+#include "stats/cdf.hpp"
+
+namespace adam2::host {
+
+class NodeTable {
+ public:
+  /// Creates a live node with a fresh id and both per-node random streams
+  /// derived from `seed_rng` (which is advanced). The agent is NOT attached —
+  /// the caller builds a context and attaches one. The reference stays valid
+  /// until the next spawn.
+  Node& spawn(stats::Value attribute, Round birth_round, rng::Rng& seed_rng);
+
+  /// Marks `id` dead, destroys its agent (state dies with the node — its
+  /// mass is lost, §VII-G) and removes it from the live set. The caller is
+  /// responsible for overlay removal and any substrate-local cleanup.
+  /// No-op when the node is already dead.
+  void kill(NodeId id);
+
+  [[nodiscard]] bool is_live(NodeId id) const;
+  [[nodiscard]] bool contains(NodeId id) const { return index_.count(id) != 0; }
+
+  /// Node lookup by id; throws std::out_of_range for unknown ids.
+  [[nodiscard]] Node& at(NodeId id);
+  [[nodiscard]] const Node& at(NodeId id) const;
+
+  /// Node lookup by creation slot (0 .. size()-1), including dead nodes.
+  [[nodiscard]] Node& by_slot(std::size_t slot) { return nodes_[slot]; }
+  [[nodiscard]] const Node& by_slot(std::size_t slot) const {
+    return nodes_[slot];
+  }
+  /// Creation slot of `id`; throws std::out_of_range for unknown ids.
+  [[nodiscard]] std::size_t slot_of(NodeId id) const;
+
+  [[nodiscard]] std::span<const NodeId> live_ids() const { return live_ids_; }
+  [[nodiscard]] std::size_t live_count() const { return live_ids_.size(); }
+  /// Count of all nodes ever created (live + departed).
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// A uniformly random live node id; throws std::runtime_error when empty.
+  [[nodiscard]] NodeId random_live(rng::Rng& rng) const;
+
+  [[nodiscard]] stats::Value attribute_of(NodeId id) const {
+    return at(id).attribute;
+  }
+  void set_attribute(NodeId id, stats::Value value) { at(id).attribute = value; }
+
+  /// Attribute values of all live nodes (the ground truth population).
+  [[nodiscard]] std::vector<stats::Value> live_attribute_values() const;
+
+  /// Records one message on the per-node counters of both endpoints (ids
+  /// unknown to the table are skipped) and on `totals`.
+  void record_traffic(NodeId sender, NodeId receiver, Channel channel,
+                      std::size_t bytes, TrafficStats& totals);
+
+  void reserve(std::size_t count);
+
+ private:
+  std::vector<Node> nodes_;                        // Indexed by creation order.
+  std::unordered_map<NodeId, std::size_t> index_;  // id -> nodes_ slot.
+  std::vector<NodeId> live_ids_;
+  std::unordered_map<NodeId, std::size_t> live_pos_;  // id -> live_ids_ slot.
+  NodeId next_id_ = 0;
+};
+
+}  // namespace adam2::host

@@ -1,0 +1,29 @@
+// The narrow interface substrate components may call back into. Every
+// agent-hosting substrate (cycle-driven or event-driven simulator, threaded
+// cluster, UDP peer directory) implements this seam; overlays, agents and the
+// evaluation layer never see anything wider.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "host/types.hpp"
+#include "stats/cdf.hpp"
+
+namespace adam2::host {
+
+class HostView {
+ public:
+  virtual ~HostView() = default;
+
+  [[nodiscard]] virtual bool is_live(NodeId id) const = 0;
+  [[nodiscard]] virtual stats::Value attribute_of(NodeId id) const = 0;
+  [[nodiscard]] virtual Round round() const = 0;
+  [[nodiscard]] virtual std::span<const NodeId> live_ids() const = 0;
+
+  /// Records one message of `bytes` bytes from `sender` to `receiver`.
+  virtual void record_traffic(NodeId sender, NodeId receiver, Channel channel,
+                              std::size_t bytes) = 0;
+};
+
+}  // namespace adam2::host

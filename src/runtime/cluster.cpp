@@ -5,6 +5,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "host/exchange.hpp"
+#include "host/ledger.hpp"
 #include "sim/overlay.hpp"
 
 namespace adam2::runtime {
@@ -12,8 +14,8 @@ namespace adam2::runtime {
 using Clock = std::chrono::steady_clock;
 
 /// HostView bridge the agents see. Membership is static, so liveness and
-/// attribute lookups are lock-free reads; traffic totals take a mutex (low
-/// contention: two short updates per exchange).
+/// attribute lookups are lock-free reads; traffic totals go through the
+/// shared ledger (low contention: two short updates per exchange).
 class Cluster::HostBridge final : public sim::HostView {
  public:
   HostBridge(const std::vector<stats::Value>& attributes,
@@ -34,21 +36,17 @@ class Cluster::HostBridge final : public sim::HostView {
   }
   void record_traffic(sim::NodeId /*sender*/, sim::NodeId /*receiver*/,
                       sim::Channel channel, std::size_t bytes) override {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    traffic_.on(channel).add_send(bytes);
-    traffic_.on(channel).add_receive(bytes);
+    ledger_.record_message(channel, bytes);
   }
 
   [[nodiscard]] sim::TrafficStats snapshot() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return traffic_;
+    return ledger_.snapshot();
   }
 
  private:
   const std::vector<stats::Value>& attributes_;
   const std::vector<sim::NodeId>& ids_;
-  mutable std::mutex mutex_;
-  sim::TrafficStats traffic_;
+  host::SharedTrafficLedger ledger_;
 };
 
 /// One node: an agent, a mailbox, and the thread driving both.
@@ -144,17 +142,13 @@ class Cluster::RuntimeNode {
     }
   }
 
-  [[nodiscard]] bool awaiting_response() const {
-    return awaiting_ && Clock::now() < awaiting_deadline_;
-  }
-
   void tick() {
     ++local_round_;
     sim::AgentContext ctx = make_context();
     agent_->on_round_start(ctx);
 
-    if (awaiting_response()) return;  // Exchange atomicity.
-    awaiting_ = false;
+    if (session_.busy()) return;  // Exchange atomicity.
+    session_.abandon();           // Any previous lock has expired unanswered.
 
     auto request = agent_->make_request(ctx);
     if (request.empty()) return;
@@ -164,13 +158,11 @@ class Cluster::RuntimeNode {
       return;
     }
     traffic_.on(sim::Channel::kAggregation).add_send(request.size());
-    const std::uint64_t token = ++last_token_;
+    const std::uint64_t token = session_.next_token();
     if (cluster_.network_.send(
             *target, Envelope{EnvelopeKind::kGossipRequest, id_, token,
                               std::move(request)})) {
-      awaiting_ = true;
-      awaiting_token_ = token;
-      awaiting_deadline_ = Clock::now() + cluster_.config_.response_timeout;
+      session_.arm(token, cluster_.config_.response_timeout);
     } else {
       ++traffic_.failed_contacts;
     }
@@ -180,7 +172,7 @@ class Cluster::RuntimeNode {
     sim::AgentContext ctx = make_context();
     switch (envelope.kind) {
       case EnvelopeKind::kGossipRequest: {
-        if (awaiting_response()) {
+        if (session_.busy()) {
           // Atomicity: no reply while locked — but NACK so the requester
           // frees its own lock immediately instead of waiting out the
           // response timeout.
@@ -201,13 +193,12 @@ class Cluster::RuntimeNode {
         return;
       }
       case EnvelopeKind::kGossipResponse:
-        if (!awaiting_ || envelope.token != awaiting_token_) {
+        if (!session_.close_if_current(envelope.token)) {
           // Stale: we already gave up on that exchange. Merging it now
           // would violate atomicity (our state moved on meanwhile).
           ++traffic_.dropped_messages;
           return;
         }
-        awaiting_ = false;
         traffic_.on(sim::Channel::kAggregation)
             .add_receive(envelope.payload.size());
         agent_->handle_response(ctx, envelope.payload);
@@ -224,9 +215,8 @@ class Cluster::RuntimeNode {
         (void)agent_->handle_bootstrap_response(ctx, envelope.payload);
         return;
       case EnvelopeKind::kGossipBusy:
-        if (awaiting_ && envelope.token == awaiting_token_) {
-          awaiting_ = false;  // Exchange abandoned; nothing was merged.
-        }
+        // Exchange abandoned; nothing was merged.
+        (void)session_.close_if_current(envelope.token);
         return;
       case EnvelopeKind::kWakeup:
         return;  // drain_tasks at the top of the loop does the work.
@@ -242,10 +232,7 @@ class Cluster::RuntimeNode {
   std::thread thread_;
   std::atomic<bool> stop_{false};
   sim::Round local_round_ = 0;
-  bool awaiting_ = false;
-  std::uint64_t awaiting_token_ = 0;
-  std::uint64_t last_token_ = 0;
-  Clock::time_point awaiting_deadline_{};
+  host::ExchangeSession session_;
   sim::TrafficStats traffic_;
   std::mutex tasks_mutex_;
   std::deque<Cluster::NodeTask> tasks_;

@@ -132,15 +132,10 @@ std::vector<stats::Value> UdpDirectory::known_attribute_values(
 
 void UdpDirectory::record_traffic(sim::NodeId, sim::NodeId,
                                   sim::Channel channel, std::size_t bytes) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  traffic_.on(channel).add_send(bytes);
-  traffic_.on(channel).add_receive(bytes);
+  ledger_.record_message(channel, bytes);
 }
 
-sim::TrafficStats UdpDirectory::traffic() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return traffic_;
-}
+sim::TrafficStats UdpDirectory::traffic() const { return ledger_.snapshot(); }
 
 UdpPeer::UdpPeer(UdpPeerConfig config, sim::NodeId id, UdpDirectory& directory,
                  UdpEndpoint& endpoint, std::unique_ptr<sim::NodeAgent> agent)
@@ -239,8 +234,8 @@ void UdpPeer::run() {
 void UdpPeer::tick(sim::AgentContext& ctx) {
   ++local_round_;
   agent_->on_round_start(ctx);
-  if (awaiting_ && Clock::now() < awaiting_deadline_) return;  // Atomicity.
-  awaiting_ = false;
+  if (session_.busy()) return;  // Atomicity.
+  session_.abandon();           // Any previous lock has expired unanswered.
 
   auto request = agent_->make_request(ctx);
   if (request.empty()) return;
@@ -248,20 +243,18 @@ void UdpPeer::tick(sim::AgentContext& ctx) {
   if (!target) return;
   directory_.record_traffic(id_, *target, sim::Channel::kAggregation,
                             request.size());
-  const std::uint64_t token = ++last_token_;
+  const std::uint64_t token = session_.next_token();
   if (endpoint_.send(directory_.port_of(*target),
                      Envelope{EnvelopeKind::kGossipRequest, id_, token,
                               std::move(request)})) {
-    awaiting_ = true;
-    awaiting_token_ = token;
-    awaiting_deadline_ = Clock::now() + config_.response_timeout;
+    session_.arm(token, config_.response_timeout);
   }
 }
 
 void UdpPeer::handle(sim::AgentContext& ctx, Envelope&& envelope) {
   switch (envelope.kind) {
     case EnvelopeKind::kGossipRequest: {
-      if (awaiting_ && Clock::now() < awaiting_deadline_) {
+      if (session_.busy()) {
         endpoint_.send(directory_.port_of(envelope.from),
                        Envelope{EnvelopeKind::kGossipBusy, id_, envelope.token,
                                 {}});
@@ -277,12 +270,11 @@ void UdpPeer::handle(sim::AgentContext& ctx, Envelope&& envelope) {
       return;
     }
     case EnvelopeKind::kGossipResponse:
-      if (!awaiting_ || envelope.token != awaiting_token_) return;  // Stale.
-      awaiting_ = false;
+      if (!session_.close_if_current(envelope.token)) return;  // Stale.
       agent_->handle_response(ctx, envelope.payload);
       return;
     case EnvelopeKind::kGossipBusy:
-      if (awaiting_ && envelope.token == awaiting_token_) awaiting_ = false;
+      (void)session_.close_if_current(envelope.token);
       return;
     case EnvelopeKind::kBootstrapRequest:
     case EnvelopeKind::kBootstrapResponse:

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "host/exchange.hpp"
+#include "host/ledger.hpp"
 #include "rng/rng.hpp"
 #include "runtime/transport.hpp"
 #include "sim/agent.hpp"
@@ -96,8 +98,7 @@ class UdpDirectory final : public sim::Overlay, public sim::HostView {
   std::vector<stats::Value> attributes_;
   std::vector<std::uint16_t> ports_;
   std::vector<sim::NodeId> ids_;
-  mutable std::mutex mutex_;
-  sim::TrafficStats traffic_;
+  host::SharedTrafficLedger ledger_;
 };
 
 struct UdpPeerConfig {
@@ -138,10 +139,7 @@ class UdpPeer {
   std::thread thread_;
   std::atomic<bool> stop_{false};
   sim::Round local_round_ = 0;
-  bool awaiting_ = false;
-  std::uint64_t awaiting_token_ = 0;
-  std::uint64_t last_token_ = 0;
-  std::chrono::steady_clock::time_point awaiting_deadline_{};
+  host::ExchangeSession session_;
   std::mutex tasks_mutex_;
   std::vector<std::function<void(sim::NodeAgent&, sim::AgentContext&)>> tasks_;
 };

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "host/bootstrap.hpp"
+#include "host/churn.hpp"
+
 namespace adam2::sim {
 
 AsyncEngine::AsyncEngine(AsyncConfig config,
@@ -30,14 +33,14 @@ AsyncEngine::AsyncEngine(AsyncConfig config,
     throw std::invalid_argument("latency bounds inverted");
   }
 
-  nodes_.reserve(initial_attributes.size());
+  table_.reserve(initial_attributes.size());
   for (stats::Value value : initial_attributes) {
     spawn_node(value, /*bootstrap=*/false);
   }
-  overlay_->build_initial(live_ids_, *this, rng_);
+  overlay_->build_initial(table_.live_ids(), *this, rng_);
 
   // Desynchronised start: first ticks are spread over one full period.
-  for (NodeId id : live_ids_) {
+  for (NodeId id : table_.live_ids()) {
     schedule(rng_.uniform(0.0, config_.gossip_period), EventKind::kNodeTick,
              id, id);
   }
@@ -45,47 +48,20 @@ AsyncEngine::AsyncEngine(AsyncConfig config,
 }
 
 void AsyncEngine::spawn_node(stats::Value attribute, bool bootstrap) {
-  const NodeId id = next_id_++;
-  Node node;
-  node.id = id;
-  node.attribute = attribute;
-  node.birth_round = bootstrap ? round() + 1 : round();
-  node.alive = true;
-  node.rng = rng_.split(id);
-  nodes_.push_back(std::move(node));
-  index_[id] = nodes_.size() - 1;
-  live_pos_[id] = live_ids_.size();
-  live_ids_.push_back(id);
-
-  Node& stored = nodes_.back();
+  Node& stored =
+      table_.spawn(attribute, bootstrap ? round() + 1 : round(), rng_);
+  const NodeId id = stored.id;
   AgentContext ctx = context_ref(stored);
   stored.agent = agent_factory_(ctx);
   if (!stored.agent) throw std::runtime_error("agent factory returned null");
 
   if (!bootstrap) return;
 
+  // Join-time state transfer, shared with the cycle-driven engines
+  // (retrying a few neighbours until one has usable state).
   overlay_->add_node(id, *this, rng_);
-  // Join-time state transfer, as in the cycle-driven engine (retrying a few
-  // neighbours until one has usable state).
-  auto request = stored.agent->make_bootstrap_request(ctx);
-  if (!request.empty()) {
-    constexpr int kBootstrapAttempts = 4;
-    for (int attempt = 0; attempt < kBootstrapAttempts; ++attempt) {
-      const auto target = overlay_->pick_gossip_target(id, stored.rng);
-      if (!target || !is_live(*target)) {
-        ++stored.traffic.failed_contacts;
-        ++total_traffic_.failed_contacts;
-        continue;
-      }
-      record_traffic(id, *target, Channel::kBootstrap, request.size());
-      Node& neighbour = node_ref(*target);
-      AgentContext nctx = context_ref(neighbour);
-      auto response = neighbour.agent->handle_bootstrap_request(nctx, request);
-      if (response.empty()) continue;
-      record_traffic(*target, id, Channel::kBootstrap, response.size());
-      if (stored.agent->handle_bootstrap_response(ctx, response)) break;
-    }
-  }
+  host::bootstrap_joiner(stored, table_, *overlay_, *this, round(),
+                         total_traffic_);
   schedule(now_ + next_period(), EventKind::kNodeTick, id, id);
 }
 
@@ -94,57 +70,29 @@ AgentContext AsyncEngine::context_ref(Node& n) {
                       n.birth_round, n.attribute, n.rng};
 }
 
-Node& AsyncEngine::node_ref(NodeId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) throw std::out_of_range("unknown node id");
-  return nodes_[it->second];
-}
-
-const Node& AsyncEngine::node_ref(NodeId id) const {
-  auto it = index_.find(id);
-  if (it == index_.end()) throw std::out_of_range("unknown node id");
-  return nodes_[it->second];
-}
-
-bool AsyncEngine::is_live(NodeId id) const {
-  auto it = index_.find(id);
-  return it != index_.end() && nodes_[it->second].alive;
-}
+bool AsyncEngine::is_live(NodeId id) const { return table_.is_live(id); }
 
 stats::Value AsyncEngine::attribute_of(NodeId id) const {
-  return node_ref(id).attribute;
+  return table_.attribute_of(id);
 }
 
 void AsyncEngine::record_traffic(NodeId sender, NodeId receiver,
                                  Channel channel, std::size_t bytes) {
-  auto record = [&](NodeId id, auto&& fn) {
-    auto it = index_.find(id);
-    if (it != index_.end()) fn(nodes_[it->second].traffic);
-  };
-  record(sender, [&](TrafficStats& t) { t.on(channel).add_send(bytes); });
-  record(receiver, [&](TrafficStats& t) { t.on(channel).add_receive(bytes); });
-  total_traffic_.on(channel).add_send(bytes);
-  total_traffic_.on(channel).add_receive(bytes);
+  table_.record_traffic(sender, receiver, channel, bytes, total_traffic_);
 }
 
-NodeAgent& AsyncEngine::agent(NodeId id) { return *node_ref(id).agent; }
+NodeAgent& AsyncEngine::agent(NodeId id) { return *table_.at(id).agent; }
 
-const Node& AsyncEngine::node(NodeId id) const { return node_ref(id); }
+const Node& AsyncEngine::node(NodeId id) const { return table_.at(id); }
 
-NodeId AsyncEngine::random_live_node() {
-  if (live_ids_.empty()) throw std::runtime_error("no live nodes");
-  return live_ids_[rng_.below(live_ids_.size())];
-}
+NodeId AsyncEngine::random_live_node() { return table_.random_live(rng_); }
 
 std::vector<stats::Value> AsyncEngine::live_attribute_values() const {
-  std::vector<stats::Value> values;
-  values.reserve(live_ids_.size());
-  for (NodeId id : live_ids_) values.push_back(node_ref(id).attribute);
-  return values;
+  return table_.live_attribute_values();
 }
 
 AgentContext AsyncEngine::context_for(NodeId id) {
-  return context_ref(node_ref(id));
+  return context_ref(table_.at(id));
 }
 
 double AsyncEngine::sample_latency() {
@@ -204,7 +152,7 @@ void AsyncEngine::clear_busy(NodeId id) { busy_until_.erase(id); }
 
 void AsyncEngine::on_tick(NodeId id) {
   if (!is_live(id)) return;  // Died while the tick was in flight.
-  Node& n = node_ref(id);
+  Node& n = table_.at(id);
   AgentContext ctx = context_ref(n);
   n.agent->on_round_start(ctx);
 
@@ -212,7 +160,7 @@ void AsyncEngine::on_tick(NodeId id) {
   if (!is_busy(id)) {
     auto request = n.agent->make_request(ctx);
     if (!request.empty()) {
-      const auto target = overlay_->pick_gossip_target(id, n.rng);
+      const auto target = overlay_->pick_gossip_target(id, n.pick_rng);
       if (!target || !is_live(*target) || *target == id) {
         ++n.traffic.failed_contacts;
         ++total_traffic_.failed_contacts;
@@ -234,7 +182,7 @@ void AsyncEngine::on_tick(NodeId id) {
 
 void AsyncEngine::on_request(Event&& event) {
   if (!is_live(event.to)) return;  // Responder died in flight.
-  Node& responder = node_ref(event.to);
+  Node& responder = table_.at(event.to);
   if (is_busy(event.to)) {
     // Atomicity: the responder's state could still change when its own
     // outstanding response arrives, so it must not commit to an answer now.
@@ -257,26 +205,22 @@ void AsyncEngine::on_request(Event&& event) {
 void AsyncEngine::on_response(Event&& event) {
   clear_busy(event.to);
   if (!is_live(event.to)) return;  // Requester died in flight.
-  Node& requester = node_ref(event.to);
+  Node& requester = table_.at(event.to);
   AgentContext ctx = context_ref(requester);
   requester.agent->handle_response(ctx, event.payload);
 }
 
 void AsyncEngine::on_maintenance() {
   overlay_->maintain(*this, rng_);
-  if (config_.churn_per_second > 0.0 && !live_ids_.empty()) {
+  if (config_.churn_per_second > 0.0 && table_.live_count() > 0) {
     const double expected = config_.churn_per_second * config_.gossip_period *
-                            static_cast<double>(live_ids_.size());
-    auto count = static_cast<std::size_t>(expected);
-    if (rng_.bernoulli(expected - std::floor(expected))) ++count;
-    count = std::min(count, live_ids_.size());
+                            static_cast<double>(table_.live_count());
+    std::size_t count =
+        std::min(host::stochastic_count(expected, rng_), table_.live_count());
     for (std::size_t i = 0; i < count; ++i) {
-      const NodeId victim = live_ids_[rng_.below(live_ids_.size())];
-      Node& n = node_ref(victim);
-      n.alive = false;
-      n.agent.reset();
+      const NodeId victim = table_.random_live(rng_);
       overlay_->remove_node(victim);
-      remove_from_live(victim);
+      table_.kill(victim);
       busy_until_.erase(victim);
     }
     for (std::size_t i = 0; i < count; ++i) {
@@ -284,17 +228,6 @@ void AsyncEngine::on_maintenance() {
     }
   }
   schedule(now_ + config_.gossip_period, EventKind::kMaintenance, 0, 0);
-}
-
-void AsyncEngine::remove_from_live(NodeId id) {
-  auto it = live_pos_.find(id);
-  assert(it != live_pos_.end());
-  const std::size_t pos = it->second;
-  const NodeId moved = live_ids_.back();
-  live_ids_[pos] = moved;
-  live_ids_.pop_back();
-  live_pos_[moved] = pos;
-  live_pos_.erase(id);
 }
 
 }  // namespace adam2::sim

@@ -39,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "host/registry.hpp"
 #include "rng/rng.hpp"
 #include "sim/agent.hpp"
 #include "sim/engine.hpp"
@@ -83,13 +84,13 @@ class AsyncEngine final : public HostView {
     return static_cast<Round>(now_ / config_.gossip_period);
   }
   [[nodiscard]] std::span<const NodeId> live_ids() const override {
-    return live_ids_;
+    return table_.live_ids();
   }
   void record_traffic(NodeId sender, NodeId receiver, Channel channel,
                       std::size_t bytes) override;
 
   // -- Introspection -----------------------------------------------------
-  [[nodiscard]] std::size_t live_count() const { return live_ids_.size(); }
+  [[nodiscard]] std::size_t live_count() const { return table_.live_count(); }
   [[nodiscard]] NodeAgent& agent(NodeId id);
   [[nodiscard]] const Node& node(NodeId id) const;
   [[nodiscard]] Overlay& overlay() { return *overlay_; }
@@ -124,8 +125,6 @@ class AsyncEngine final : public HostView {
     }
   };
 
-  Node& node_ref(NodeId id);
-  const Node& node_ref(NodeId id) const;
   void schedule(double time, EventKind kind, NodeId from, NodeId to,
                 std::vector<std::byte> payload = {});
   void handle(Event&& event);
@@ -134,7 +133,6 @@ class AsyncEngine final : public HostView {
   void on_response(Event&& event);
   void on_maintenance();
   void spawn_node(stats::Value attribute, bool bootstrap);
-  void remove_from_live(NodeId id);
   [[nodiscard]] double sample_latency();
   [[nodiscard]] double next_period();
   [[nodiscard]] AgentContext context_ref(Node& n);
@@ -145,17 +143,13 @@ class AsyncEngine final : public HostView {
   AgentFactory agent_factory_;
   AttributeSource attribute_source_;
 
-  std::vector<Node> nodes_;
-  std::unordered_map<NodeId, std::size_t> index_;
+  host::NodeTable table_;
   [[nodiscard]] bool is_busy(NodeId id) const;
   void set_busy(NodeId id);
   void clear_busy(NodeId id);
 
-  std::vector<NodeId> live_ids_;
-  std::unordered_map<NodeId, std::size_t> live_pos_;
   /// Nodes with an exchange in flight: id -> time the lock expires.
   std::unordered_map<NodeId, double> busy_until_;
-  NodeId next_id_ = 0;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   TrafficStats total_traffic_;

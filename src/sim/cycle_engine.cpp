@@ -1,0 +1,128 @@
+#include "sim/cycle_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "host/bootstrap.hpp"
+#include "host/churn.hpp"
+
+namespace adam2::sim {
+
+CycleEngine::CycleEngine(EngineConfig config,
+                         std::vector<stats::Value> initial_attributes,
+                         std::unique_ptr<Overlay> overlay,
+                         AgentFactory agent_factory,
+                         AttributeSource attribute_source)
+    : config_(config),
+      rng_(config.seed),
+      overlay_(std::move(overlay)),
+      agent_factory_(std::move(agent_factory)),
+      attribute_source_(std::move(attribute_source)) {
+  if (!overlay_) throw std::invalid_argument("engine requires an overlay");
+  if (!agent_factory_) {
+    throw std::invalid_argument("engine requires an agent factory");
+  }
+  if (config_.churn_rate > 0.0 && !attribute_source_) {
+    throw std::invalid_argument("churn requires an attribute source");
+  }
+
+  table_.reserve(initial_attributes.size());
+  for (stats::Value value : initial_attributes) {
+    spawn_node(value, /*bootstrap=*/false);
+  }
+  overlay_->build_initial(table_.live_ids(), *this, rng_);
+}
+
+void CycleEngine::record_traffic(NodeId sender, NodeId receiver,
+                                 Channel channel, std::size_t bytes) {
+  table_.record_traffic(sender, receiver, channel, bytes, totals());
+}
+
+void CycleEngine::spawn_node(stats::Value attribute, bool bootstrap) {
+  Node& stored =
+      table_.spawn(attribute, bootstrap ? round_ + 1 : round_, rng_);
+  AgentContext ctx = make_context(*this, *overlay_, stored, round_);
+  stored.agent = agent_factory_(ctx);
+  if (!stored.agent) throw std::runtime_error("agent factory returned null");
+
+  if (!bootstrap) return;
+
+  // Wire the newcomer into the overlay, then run the join-time state
+  // transfer (§IV, DESIGN §1 decision 4).
+  overlay_->add_node(stored.id, *this, rng_);
+  host::bootstrap_joiner(stored, table_, *overlay_, *this, round_,
+                         total_traffic_);
+}
+
+void CycleEngine::exchange_with(Node& initiator,
+                                const std::optional<NodeId>& target) {
+  AgentContext ictx = make_context(*this, *overlay_, initiator, round_);
+  auto request = initiator.agent->make_request(ictx);
+  if (request.empty()) return;
+
+  if (!target || !table_.is_live(*target) || *target == initiator.id) {
+    ++initiator.traffic.failed_contacts;
+    ++totals().failed_contacts;
+    return;
+  }
+
+  record_traffic(initiator.id, *target, Channel::kAggregation, request.size());
+  if (config_.message_loss > 0.0 &&
+      initiator.pick_rng.bernoulli(config_.message_loss)) {
+    ++totals().dropped_messages;
+    return;
+  }
+
+  Node& responder = table_.at(*target);
+  AgentContext rctx = make_context(*this, *overlay_, responder, round_);
+  auto response = responder.agent->handle_request(rctx, request);
+  if (response.empty()) return;
+
+  record_traffic(responder.id, initiator.id, Channel::kAggregation,
+                 response.size());
+  if (config_.message_loss > 0.0 &&
+      initiator.pick_rng.bernoulli(config_.message_loss)) {
+    ++totals().dropped_messages;
+    return;
+  }
+  initiator.agent->handle_response(ictx, response);
+}
+
+void CycleEngine::apply_churn() {
+  if (config_.churn_rate <= 0.0 || table_.live_count() == 0) return;
+  const double expected =
+      config_.churn_rate * static_cast<double>(table_.live_count());
+  churn_nodes(host::stochastic_count(expected, rng_));
+}
+
+void CycleEngine::churn_nodes(std::size_t count) {
+  count = std::min(count, table_.live_count());
+  for (std::size_t i = 0; i < count; ++i) {
+    kill_node(table_.random_live(rng_));
+  }
+  if (!attribute_source_) return;
+  for (std::size_t i = 0; i < count; ++i) {
+    spawn_node(attribute_source_(rng_), /*bootstrap=*/true);
+  }
+}
+
+void CycleEngine::kill_node(NodeId id) {
+  if (!table_.is_live(id)) {
+    (void)table_.at(id);  // Preserve the out_of_range on unknown ids.
+    return;
+  }
+  overlay_->remove_node(id);
+  table_.kill(id);
+}
+
+void CycleEngine::finish_round() {
+  for (const Observer& fn : observers_) fn(*this);
+  if (!sinks_.empty()) {
+    const host::RoundSnapshot snapshot{round_, table_.live_count(),
+                                       table_.size(), total_traffic_};
+    for (host::MetricsSink* sink : sinks_) sink->on_round_end(snapshot);
+  }
+  ++round_;
+}
+
+}  // namespace adam2::sim

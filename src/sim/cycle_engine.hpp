@@ -1,0 +1,171 @@
+// Shared base of the cycle-driven engines (serial Engine, sharded
+// ParallelEngine): node registry, churn, bootstrap, traffic accounting,
+// observers and metrics sinks — everything except the round scheduling
+// itself, which each engine defines in run_round().
+//
+// Random-stream discipline (the key to parallel determinism):
+//
+//  * the global engine stream (`rng_`) is consumed only in serial phases —
+//    overlay maintenance, exchange-order shuffles, churn victim/attribute
+//    draws, node-stream derivation;
+//  * each node's agent stream (`Node::rng`) is consumed only inside that
+//    node's agent callbacks;
+//  * each node's control stream (`Node::pick_rng`) is consumed only for
+//    engine decisions about that node — exactly one gossip-target pick per
+//    live node per round (drawn before make_request, whether or not the
+//    agent stays silent) followed by that initiator's message-loss draws,
+//    plus bootstrap contact picks at join time.
+//
+// Because no stream is shared between nodes inside a round's exchange phase,
+// an engine may evaluate exchanges in any schedule that preserves the
+// per-node plan order and obtain bit-identical results (see ParallelEngine).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "host/metrics.hpp"
+#include "host/node.hpp"
+#include "host/registry.hpp"
+#include "rng/rng.hpp"
+#include "sim/agent.hpp"
+#include "sim/overlay.hpp"
+#include "sim/traffic.hpp"
+#include "sim/types.hpp"
+
+namespace adam2::sim {
+
+using host::make_context;
+using host::Node;
+
+struct EngineConfig {
+  /// Fraction of live nodes replaced per round (0.001 = the paper's typical
+  /// churn of 0.1% per round, §VII-G).
+  double churn_rate = 0.0;
+  /// Probability that any single message (request or response) is lost.
+  double message_loss = 0.0;
+  /// Master seed; every node and subsystem derives its stream from it.
+  std::uint64_t seed = 0xada2;
+};
+
+class CycleEngine : public HostView {
+ public:
+  ~CycleEngine() override = default;
+
+  CycleEngine(const CycleEngine&) = delete;
+  CycleEngine& operator=(const CycleEngine&) = delete;
+
+  /// Advances the simulation by one gossip cycle.
+  virtual void run_round() = 0;
+  void run_rounds(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) run_round();
+  }
+
+  // -- HostView ----------------------------------------------------------
+  [[nodiscard]] bool is_live(NodeId id) const override {
+    return table_.is_live(id);
+  }
+  [[nodiscard]] stats::Value attribute_of(NodeId id) const override {
+    return table_.attribute_of(id);
+  }
+  [[nodiscard]] Round round() const override { return round_; }
+  [[nodiscard]] std::span<const NodeId> live_ids() const override {
+    return table_.live_ids();
+  }
+  void record_traffic(NodeId sender, NodeId receiver, Channel channel,
+                      std::size_t bytes) override;
+
+  // -- Introspection / experiment control --------------------------------
+  [[nodiscard]] std::size_t live_count() const { return table_.live_count(); }
+  [[nodiscard]] NodeAgent& agent(NodeId id) { return *table_.at(id).agent; }
+  [[nodiscard]] const Node& node(NodeId id) const { return table_.at(id); }
+  [[nodiscard]] Node& mutable_node(NodeId id) { return table_.at(id); }
+  [[nodiscard]] Overlay& overlay() { return *overlay_; }
+  [[nodiscard]] rng::Rng& rng() { return rng_; }
+  [[nodiscard]] NodeId random_live_node() { return table_.random_live(rng_); }
+
+  /// Attribute values of all live nodes (the ground truth population).
+  [[nodiscard]] std::vector<stats::Value> live_attribute_values() const {
+    return table_.live_attribute_values();
+  }
+
+  /// Updates a node's attribute (dynamic-attribute scenarios, §VII-F).
+  void set_attribute(NodeId id, stats::Value value) {
+    table_.set_attribute(id, value);
+  }
+
+  /// Global traffic totals (sums over all nodes, including departed ones).
+  [[nodiscard]] const TrafficStats& total_traffic() const {
+    return total_traffic_;
+  }
+
+  /// Count of all nodes ever created (live + departed).
+  [[nodiscard]] std::size_t nodes_ever() const { return table_.size(); }
+
+  /// Runs `fn(*this)` after every round.
+  using Observer = std::function<void(CycleEngine&)>;
+  void add_observer(Observer fn) { observers_.push_back(std::move(fn)); }
+
+  /// Registers a metrics sink notified with aggregate state after every
+  /// round. The sink must outlive the engine (not owned).
+  void add_metrics_sink(host::MetricsSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  /// Builds the context for a direct agent call from experiment drivers
+  /// (e.g. to start a scripted aggregation instance on a chosen node).
+  [[nodiscard]] AgentContext context_for(NodeId id) {
+    return make_context(*this, *overlay_, table_.at(id), round_);
+  }
+
+  /// Immediately replaces `count` random live nodes (manual churn trigger,
+  /// also used by failure-injection tests).
+  void churn_nodes(std::size_t count);
+
+  /// Removes one specific node (targeted failure injection).
+  void kill_node(NodeId id);
+
+ protected:
+  CycleEngine(EngineConfig config, std::vector<stats::Value> initial_attributes,
+              std::unique_ptr<Overlay> overlay, AgentFactory agent_factory,
+              AttributeSource attribute_source);
+
+  /// Creates a node; `bootstrap` runs the join-time state transfer and marks
+  /// the node born next round (churned-in nodes arrive at the end of the
+  /// current round, so instances started this round must not count them).
+  void spawn_node(stats::Value attribute, bool bootstrap);
+
+  /// One full gossip exchange initiated by `initiator` towards the
+  /// pre-picked `target` (request -> response, loss and failed-contact
+  /// accounting). The control-stream draws (loss legs) come from the
+  /// initiator's pick_rng, so the unit is self-contained: it touches only
+  /// the two participants' state plus `totals()`.
+  void exchange_with(Node& initiator, const std::optional<NodeId>& target);
+
+  /// Stochastic churn at config_.churn_rate (serial phase).
+  void apply_churn();
+
+  /// Observers, metrics sinks, round increment.
+  void finish_round();
+
+  /// The traffic accumulator for the calling context. The parallel engine
+  /// overrides this to route global counters into per-worker slots during
+  /// parallel phases (merged — commutatively — at the phase barrier).
+  [[nodiscard]] virtual TrafficStats& totals() { return total_traffic_; }
+
+  EngineConfig config_;
+  rng::Rng rng_;
+  std::unique_ptr<Overlay> overlay_;
+  AgentFactory agent_factory_;
+  AttributeSource attribute_source_;
+  host::NodeTable table_;
+  Round round_ = 0;
+  TrafficStats total_traffic_;
+  std::vector<Observer> observers_;
+  std::vector<host::MetricsSink*> sinks_;
+};
+
+}  // namespace adam2::sim

@@ -1,269 +1,43 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <stdexcept>
-
 namespace adam2::sim {
 
-Engine::Engine(EngineConfig config,
-               std::vector<stats::Value> initial_attributes,
+Engine::Engine(EngineConfig config, std::vector<stats::Value> initial_attributes,
                std::unique_ptr<Overlay> overlay, AgentFactory agent_factory,
                AttributeSource attribute_source)
-    : config_(config),
-      rng_(config.seed),
-      overlay_(std::move(overlay)),
-      agent_factory_(std::move(agent_factory)),
-      attribute_source_(std::move(attribute_source)) {
-  if (!overlay_) throw std::invalid_argument("engine requires an overlay");
-  if (!agent_factory_) throw std::invalid_argument("engine requires an agent factory");
-  if (config_.churn_rate > 0.0 && !attribute_source_) {
-    throw std::invalid_argument("churn requires an attribute source");
-  }
-
-  nodes_.reserve(initial_attributes.size());
-  live_ids_.reserve(initial_attributes.size());
-  for (stats::Value value : initial_attributes) {
-    spawn_node(value, /*bootstrap=*/false);
-  }
-  overlay_->build_initial(live_ids_, *this, rng_);
-}
-
-void Engine::spawn_node(stats::Value attribute, bool bootstrap) {
-  const NodeId id = next_id_++;
-  Node node;
-  node.id = id;
-  node.attribute = attribute;
-  // Churned-in nodes (bootstrap=true) arrive at the end of the current round
-  // and are only present from the next one, so instances started this round
-  // must not count them as participants.
-  node.birth_round = bootstrap ? round_ + 1 : round_;
-  node.alive = true;
-  node.rng = rng_.split(id);
-  nodes_.push_back(std::move(node));
-  index_[id] = nodes_.size() - 1;
-  live_pos_[id] = live_ids_.size();
-  live_ids_.push_back(id);
-
-  Node& stored = nodes_.back();
-  AgentContext ctx{*this, *overlay_, id, round_, stored.birth_round, stored.attribute,
-                   stored.rng};
-  stored.agent = agent_factory_(ctx);
-  if (!stored.agent) throw std::runtime_error("agent factory returned null");
-
-  if (!bootstrap) return;
-
-  // Wire the newcomer into the overlay, then run the join-time state
-  // transfer (§IV: joining nodes are bootstrapped by their initial
-  // neighbours). A joiner keeps asking neighbours until one supplies a
-  // usable state or a few attempts fail — a dead contact or a neighbour
-  // that churned in moments ago and has nothing yet must not leave the
-  // newcomer permanently uninitialised.
-  overlay_->add_node(id, *this, rng_);
-  auto request = stored.agent->make_bootstrap_request(ctx);
-  if (request.empty()) return;
-  constexpr int kBootstrapAttempts = 4;
-  for (int attempt = 0; attempt < kBootstrapAttempts; ++attempt) {
-    const auto target = overlay_->pick_gossip_target(id, stored.rng);
-    if (!target || !is_live(*target)) {
-      ++stored.traffic.failed_contacts;
-      ++total_traffic_.failed_contacts;
-      continue;
-    }
-    record_traffic(id, *target, Channel::kBootstrap, request.size());
-    Node& neighbour = node_ref(*target);
-    AgentContext nctx{*this,
-                      *overlay_,
-                      neighbour.id,
-                      round_,
-                      neighbour.birth_round,
-                      neighbour.attribute,
-                      neighbour.rng};
-    auto response = neighbour.agent->handle_bootstrap_request(nctx, request);
-    if (response.empty()) continue;
-    record_traffic(*target, id, Channel::kBootstrap, response.size());
-    if (stored.agent->handle_bootstrap_response(ctx, response)) break;
-  }
-}
-
-Node& Engine::node_ref(NodeId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) throw std::out_of_range("unknown node id");
-  return nodes_[it->second];
-}
-
-const Node& Engine::node_ref(NodeId id) const {
-  auto it = index_.find(id);
-  if (it == index_.end()) throw std::out_of_range("unknown node id");
-  return nodes_[it->second];
-}
-
-bool Engine::is_live(NodeId id) const {
-  auto it = index_.find(id);
-  return it != index_.end() && nodes_[it->second].alive;
-}
-
-stats::Value Engine::attribute_of(NodeId id) const {
-  return node_ref(id).attribute;
-}
-
-void Engine::record_traffic(NodeId sender, NodeId receiver, Channel channel,
-                            std::size_t bytes) {
-  auto record = [&](NodeId id, auto&& fn) {
-    auto it = index_.find(id);
-    if (it != index_.end()) fn(nodes_[it->second].traffic);
-  };
-  record(sender, [&](TrafficStats& t) { t.on(channel).add_send(bytes); });
-  record(receiver, [&](TrafficStats& t) { t.on(channel).add_receive(bytes); });
-  total_traffic_.on(channel).add_send(bytes);
-  total_traffic_.on(channel).add_receive(bytes);
-}
-
-NodeAgent& Engine::agent(NodeId id) {
-  Node& n = node_ref(id);
-  return *n.agent;
-}
-
-const Node& Engine::node(NodeId id) const { return node_ref(id); }
-
-Node& Engine::mutable_node(NodeId id) { return node_ref(id); }
-
-NodeId Engine::random_live_node() {
-  if (live_ids_.empty()) throw std::runtime_error("no live nodes");
-  return live_ids_[rng_.below(live_ids_.size())];
-}
-
-std::vector<stats::Value> Engine::live_attribute_values() const {
-  std::vector<stats::Value> values;
-  values.reserve(live_ids_.size());
-  for (NodeId id : live_ids_) values.push_back(node_ref(id).attribute);
-  return values;
-}
-
-void Engine::set_attribute(NodeId id, stats::Value value) {
-  node_ref(id).attribute = value;
-}
-
-AgentContext Engine::context_for(NodeId id) {
-  Node& n = node_ref(id);
-  return AgentContext{*this, *overlay_, n.id, round_, n.birth_round, n.attribute, n.rng};
-}
+    : CycleEngine(config, std::move(initial_attributes), std::move(overlay),
+                  std::move(agent_factory), std::move(attribute_source)) {}
 
 void Engine::run_round() {
   // 1. Round start for every live agent.
-  for (NodeId id : live_ids_) {
-    Node& n = node_ref(id);
-    AgentContext ctx{*this, *overlay_, n.id, round_, n.birth_round, n.attribute, n.rng};
+  for (NodeId id : table_.live_ids()) {
+    Node& n = table_.at(id);
+    AgentContext ctx = make_context(*this, *overlay_, n, round_);
     n.agent->on_round_start(ctx);
   }
 
   // 2. Overlay maintenance (peer-sampling shuffles).
   overlay_->maintain(*this, rng_);
 
-  // 3. Gossip exchanges in random order.
-  order_scratch_ = live_ids_;
+  // 3. Gossip exchanges in random order. The target pick comes first and
+  //    from the initiator's control stream — one pick per live node per
+  //    round, silent or not — which is exactly the plan phase of the
+  //    parallel engine run inline.
+  const auto live = table_.live_ids();
+  order_scratch_.assign(live.begin(), live.end());
   rng_.shuffle(order_scratch_);
   for (NodeId id : order_scratch_) {
-    if (!is_live(id)) continue;  // Killed mid-round by a test hook.
-    do_exchange(node_ref(id));
+    if (!table_.is_live(id)) continue;  // Killed mid-round by a test hook.
+    Node& initiator = table_.at(id);
+    exchange_with(initiator,
+                  overlay_->pick_gossip_target(id, initiator.pick_rng));
   }
 
   // 4. Churn.
   apply_churn();
 
-  // 5. Observers.
-  for (const Observer& fn : observers_) fn(*this);
-
-  ++round_;
-}
-
-void Engine::run_rounds(std::size_t count) {
-  for (std::size_t i = 0; i < count; ++i) run_round();
-}
-
-void Engine::do_exchange(Node& initiator) {
-  AgentContext ictx{*this,
-                    *overlay_,
-                    initiator.id,
-                    round_,
-                    initiator.birth_round,
-                    initiator.attribute,
-                    initiator.rng};
-  auto request = initiator.agent->make_request(ictx);
-  if (request.empty()) return;
-
-  const auto target = overlay_->pick_gossip_target(initiator.id, initiator.rng);
-  if (!target || !is_live(*target) || *target == initiator.id) {
-    ++initiator.traffic.failed_contacts;
-    ++total_traffic_.failed_contacts;
-    return;
-  }
-
-  record_traffic(initiator.id, *target, Channel::kAggregation, request.size());
-  if (config_.message_loss > 0.0 && rng_.bernoulli(config_.message_loss)) {
-    ++total_traffic_.dropped_messages;
-    return;
-  }
-
-  Node& responder = node_ref(*target);
-  AgentContext rctx{*this,
-                    *overlay_,
-                    responder.id,
-                    round_,
-                    responder.birth_round,
-                    responder.attribute,
-                    responder.rng};
-  auto response = responder.agent->handle_request(rctx, request);
-  if (response.empty()) return;
-
-  record_traffic(responder.id, initiator.id, Channel::kAggregation,
-                 response.size());
-  if (config_.message_loss > 0.0 && rng_.bernoulli(config_.message_loss)) {
-    ++total_traffic_.dropped_messages;
-    return;
-  }
-  initiator.agent->handle_response(ictx, response);
-}
-
-void Engine::apply_churn() {
-  if (config_.churn_rate <= 0.0 || live_ids_.empty()) return;
-  const double expected = config_.churn_rate * static_cast<double>(live_ids_.size());
-  auto count = static_cast<std::size_t>(expected);
-  if (rng_.bernoulli(expected - std::floor(expected))) ++count;
-  churn_nodes(count);
-}
-
-void Engine::churn_nodes(std::size_t count) {
-  count = std::min(count, live_ids_.size());
-  for (std::size_t i = 0; i < count; ++i) {
-    const NodeId victim = live_ids_[rng_.below(live_ids_.size())];
-    kill_node(victim);
-  }
-  if (!attribute_source_) return;
-  for (std::size_t i = 0; i < count; ++i) {
-    spawn_node(attribute_source_(rng_), /*bootstrap=*/true);
-  }
-}
-
-void Engine::kill_node(NodeId id) {
-  Node& n = node_ref(id);
-  if (!n.alive) return;
-  n.alive = false;
-  n.agent.reset();  // State dies with the node (its mass is lost, §VII-G).
-  overlay_->remove_node(id);
-  remove_from_live(id);
-}
-
-void Engine::remove_from_live(NodeId id) {
-  auto it = live_pos_.find(id);
-  assert(it != live_pos_.end());
-  const std::size_t pos = it->second;
-  const NodeId moved = live_ids_.back();
-  live_ids_[pos] = moved;
-  live_ids_.pop_back();
-  live_pos_[moved] = pos;
-  live_pos_.erase(id);
+  // 5. Observers, metrics sinks.
+  finish_round();
 }
 
 }  // namespace adam2::sim

@@ -10,47 +10,21 @@
 //      contacts; optional message loss can drop either direction;
 //   4. churn replaces a configured fraction of nodes with fresh ones (the
 //      model of §VII-G), each bootstrapped by a live neighbour;
-//   5. registered observers run (metric probes).
+//   5. registered observers and metrics sinks run (metric probes).
 //
-// Everything is deterministic given the config seed.
+// Everything is deterministic given the config seed, and — thanks to the
+// per-node stream discipline documented in cycle_engine.hpp — bit-identical
+// to sim::ParallelEngine at any thread count.
 #pragma once
 
 #include <memory>
-#include <optional>
-#include <span>
-#include <unordered_map>
 #include <vector>
 
-#include "rng/rng.hpp"
-#include "sim/agent.hpp"
-#include "sim/overlay.hpp"
-#include "sim/traffic.hpp"
-#include "sim/types.hpp"
+#include "sim/cycle_engine.hpp"
 
 namespace adam2::sim {
 
-struct EngineConfig {
-  /// Fraction of live nodes replaced per round (0.001 = the paper's typical
-  /// churn of 0.1% per round, §VII-G).
-  double churn_rate = 0.0;
-  /// Probability that any single message (request or response) is lost.
-  double message_loss = 0.0;
-  /// Master seed; every node and subsystem derives its stream from it.
-  std::uint64_t seed = 0xada2;
-};
-
-/// One simulated node.
-struct Node {
-  NodeId id = 0;
-  stats::Value attribute = 0;
-  Round birth_round = 0;
-  bool alive = false;
-  TrafficStats traffic;
-  rng::Rng rng{0};
-  std::unique_ptr<NodeAgent> agent;
-};
-
-class Engine final : public HostView {
+class Engine final : public CycleEngine {
  public:
   /// Creates `initial_attributes.size()` nodes with those attribute values,
   /// builds the overlay over them, and instantiates one agent per node.
@@ -60,81 +34,9 @@ class Engine final : public HostView {
          std::unique_ptr<Overlay> overlay, AgentFactory agent_factory,
          AttributeSource attribute_source);
 
-  Engine(const Engine&) = delete;
-  Engine& operator=(const Engine&) = delete;
-
-  void run_round();
-  void run_rounds(std::size_t count);
-
-  // -- HostView ----------------------------------------------------------
-  [[nodiscard]] bool is_live(NodeId id) const override;
-  [[nodiscard]] stats::Value attribute_of(NodeId id) const override;
-  [[nodiscard]] Round round() const override { return round_; }
-  [[nodiscard]] std::span<const NodeId> live_ids() const override {
-    return live_ids_;
-  }
-  void record_traffic(NodeId sender, NodeId receiver, Channel channel,
-                      std::size_t bytes) override;
-
-  // -- Introspection / experiment control --------------------------------
-  [[nodiscard]] std::size_t live_count() const { return live_ids_.size(); }
-  [[nodiscard]] NodeAgent& agent(NodeId id);
-  [[nodiscard]] const Node& node(NodeId id) const;
-  [[nodiscard]] Node& mutable_node(NodeId id);
-  [[nodiscard]] Overlay& overlay() { return *overlay_; }
-  [[nodiscard]] rng::Rng& rng() { return rng_; }
-  [[nodiscard]] NodeId random_live_node();
-
-  /// Attribute values of all live nodes (the ground truth population).
-  [[nodiscard]] std::vector<stats::Value> live_attribute_values() const;
-
-  /// Updates a node's attribute (dynamic-attribute scenarios, §VII-F).
-  void set_attribute(NodeId id, stats::Value value);
-
-  /// Global traffic totals (sums over all nodes, including departed ones).
-  [[nodiscard]] const TrafficStats& total_traffic() const { return total_traffic_; }
-
-  /// Count of all nodes ever created (live + departed).
-  [[nodiscard]] std::size_t nodes_ever() const { return nodes_.size(); }
-
-  /// Runs `fn(*this)` after every round.
-  using Observer = std::function<void(Engine&)>;
-  void add_observer(Observer fn) { observers_.push_back(std::move(fn)); }
-
-  /// Builds the context for a direct agent call from experiment drivers
-  /// (e.g. to start a scripted aggregation instance on a chosen node).
-  [[nodiscard]] AgentContext context_for(NodeId id);
-
-  /// Immediately replaces `count` random live nodes (manual churn trigger,
-  /// also used by failure-injection tests).
-  void churn_nodes(std::size_t count);
-
-  /// Removes one specific node (targeted failure injection).
-  void kill_node(NodeId id);
+  void run_round() override;
 
  private:
-  Node& node_ref(NodeId id);
-  const Node& node_ref(NodeId id) const;
-
-  void spawn_node(stats::Value attribute, bool bootstrap);
-  void remove_from_live(NodeId id);
-  void do_exchange(Node& initiator);
-  void apply_churn();
-
-  EngineConfig config_;
-  rng::Rng rng_;
-  std::unique_ptr<Overlay> overlay_;
-  AgentFactory agent_factory_;
-  AttributeSource attribute_source_;
-
-  std::vector<Node> nodes_;                       // Indexed by creation order.
-  std::unordered_map<NodeId, std::size_t> index_; // id -> nodes_ slot.
-  std::vector<NodeId> live_ids_;
-  std::unordered_map<NodeId, std::size_t> live_pos_;  // id -> live_ids_ slot.
-  NodeId next_id_ = 0;
-  Round round_ = 0;
-  TrafficStats total_traffic_;
-  std::vector<Observer> observers_;
   std::vector<NodeId> order_scratch_;
 };
 

@@ -5,13 +5,6 @@
 
 namespace adam2::sim {
 
-void Overlay::build_initial(std::span<const NodeId> ids, const HostView& host,
-                            rng::Rng& rng) {
-  for (NodeId id : ids) add_node(id, host, rng);
-}
-
-void Overlay::maintain(HostView& /*host*/, rng::Rng& /*rng*/) {}
-
 StaticRandomOverlay::StaticRandomOverlay(std::size_t degree)
     : degree_(degree) {
   assert(degree_ >= 1);

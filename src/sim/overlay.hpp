@@ -1,14 +1,14 @@
 // Overlay abstraction: who can gossip with whom.
 //
-// The paper's system model (§III) organises peers in a P2P overlay where each
-// peer maintains links to a small number of randomly selected neighbours, and
-// neighbour sets change over time through gossip-based peer sampling [11].
-// Two implementations are provided:
+// The abstract Overlay and the HostView seam live in the host substrate
+// library (host/overlay.hpp, host/view.hpp); the aliases below keep the
+// established sim:: spellings working. Two concrete overlays are provided
+// here, matching the paper's system model (§III):
 //
 //  * StaticRandomOverlay — a fixed random graph (the controlled setting for
 //    convergence experiments without churn);
-//  * CyclonOverlay      — a Cyclon-style peer-sampling service whose
-//    descriptors piggyback attribute values, which also feeds the
+//  * CyclonOverlay (sim/cyclon.hpp) — a Cyclon-style peer-sampling service
+//    whose descriptors piggyback attribute values, which also feeds the
 //    neighbour-based bootstrap of §V/§VII-B.
 #pragma once
 
@@ -17,60 +17,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "host/overlay.hpp"
+#include "host/view.hpp"
 #include "rng/rng.hpp"
 #include "sim/types.hpp"
 #include "stats/cdf.hpp"
 
 namespace adam2::sim {
 
-/// The narrow engine interface substrate components may call back into.
-class HostView {
- public:
-  virtual ~HostView() = default;
-
-  [[nodiscard]] virtual bool is_live(NodeId id) const = 0;
-  [[nodiscard]] virtual stats::Value attribute_of(NodeId id) const = 0;
-  [[nodiscard]] virtual Round round() const = 0;
-  [[nodiscard]] virtual std::span<const NodeId> live_ids() const = 0;
-
-  /// Records one message of `bytes` bytes from `sender` to `receiver`.
-  virtual void record_traffic(NodeId sender, NodeId receiver, Channel channel,
-                              std::size_t bytes) = 0;
-};
-
-class Overlay {
- public:
-  virtual ~Overlay() = default;
-
-  /// Builds the initial topology over `ids`. Default: add nodes one by one.
-  virtual void build_initial(std::span<const NodeId> ids, const HostView& host,
-                             rng::Rng& rng);
-
-  /// Wires a (new) node into the overlay using currently live peers.
-  virtual void add_node(NodeId id, const HostView& host, rng::Rng& rng) = 0;
-
-  /// Tears a departed node out of the overlay (its links become stale).
-  virtual void remove_node(NodeId id) = 0;
-
-  /// A uniformly random current neighbour to gossip with; nullopt when the
-  /// node has no usable neighbour. The returned node may be dead — the engine
-  /// detects that and records a failed contact, as a real system would.
-  [[nodiscard]] virtual std::optional<NodeId> pick_gossip_target(
-      NodeId id, rng::Rng& rng) const = 0;
-
-  /// Current neighbour ids of `id` (for inspection and bootstrap).
-  [[nodiscard]] virtual std::vector<NodeId> neighbors(NodeId id) const = 0;
-
-  /// Attribute values of peers this node has (recently) learned about, used
-  /// by the neighbour-based interpolation-point bootstrap (§V). For static
-  /// overlays these are the direct neighbours' values; Cyclon additionally
-  /// caches values carried by shuffled descriptors.
-  [[nodiscard]] virtual std::vector<stats::Value> known_attribute_values(
-      NodeId id, const HostView& host) const = 0;
-
-  /// Per-round maintenance (e.g. Cyclon view shuffles). Default: none.
-  virtual void maintain(HostView& host, rng::Rng& rng);
-};
+using host::HostView;
+using host::Overlay;
 
 /// Fixed random graph of target degree `degree`. Links are bidirectional;
 /// churned-in nodes link to `degree` random live peers.

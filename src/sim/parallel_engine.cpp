@@ -1,0 +1,234 @@
+#include "sim/parallel_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <mutex>
+
+namespace adam2::sim {
+
+namespace {
+
+/// Per-thread traffic accumulator binding. Workers point this at their slot
+/// for the duration of a parallel phase; the main thread (and every serial
+/// phase) leaves it null and accumulates into the engine's global totals.
+thread_local host::TrafficStats* tls_totals = nullptr;
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(EngineConfig config, std::size_t threads,
+                               std::vector<stats::Value> initial_attributes,
+                               std::unique_ptr<Overlay> overlay,
+                               AgentFactory agent_factory,
+                               AttributeSource attribute_source)
+    : CycleEngine(config, std::move(initial_attributes), std::move(overlay),
+                  std::move(agent_factory), std::move(attribute_source)),
+      threads_(std::max<std::size_t>(threads, 1)) {
+  if (threads_ > 1) {
+    pool_ = std::make_unique<host::WorkerPool>(threads_);
+    worker_totals_.resize(threads_);
+  }
+}
+
+TrafficStats& ParallelEngine::totals() {
+  return tls_totals != nullptr ? *tls_totals : total_traffic_;
+}
+
+void ParallelEngine::parallel_for(std::size_t count,
+                                  const std::function<void(std::size_t)>& fn) {
+  if (!pool_ || count == 0) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const std::size_t chunk =
+      std::max<std::size_t>(1, count / (pool_->size() * 8));
+  pool_->run([&](std::size_t worker) {
+    tls_totals = &worker_totals_[worker];
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= count) break;
+      const std::size_t end = std::min(count, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }
+    tls_totals = nullptr;
+  });
+  merge_worker_totals();
+}
+
+void ParallelEngine::merge_worker_totals() {
+  for (TrafficStats& slot : worker_totals_) {
+    total_traffic_ += slot;
+    slot = TrafficStats{};
+  }
+}
+
+void ParallelEngine::run_round() {
+  // 1. Round start for every live agent — parallel: an agent only mutates
+  //    its own node's state; host and overlay reads are const this phase.
+  {
+    const auto live = table_.live_ids();
+    parallel_for(live.size(), [&](std::size_t i) {
+      Node& n = table_.at(live[i]);
+      AgentContext ctx = make_context(*this, *overlay_, n, round_);
+      n.agent->on_round_start(ctx);
+    });
+  }
+
+  // 2. Overlay maintenance — serial (shuffles mutate shared views).
+  overlay_->maintain(*this, rng_);
+
+  // 3. Plan: initiation order from the global stream (serial, identical to
+  //    the serial engine's shuffle), then every initiator's target from its
+  //    own control stream (parallel, order-free).
+  const auto live = table_.live_ids();
+  order_.assign(live.begin(), live.end());
+  rng_.shuffle(order_);
+  plan_targets();
+
+  // 4. Exchange units in dependency order.
+  run_units();
+
+  // 5. Churn (serial, global stream).
+  apply_churn();
+
+  // 6. Observers, metrics sinks.
+  finish_round();
+}
+
+void ParallelEngine::plan_targets() {
+  targets_.resize(order_.size());
+  parallel_for(order_.size(), [&](std::size_t p) {
+    Node& initiator = table_.at(order_[p]);
+    targets_[p] = overlay_->pick_gossip_target(order_[p], initiator.pick_rng);
+  });
+}
+
+void ParallelEngine::exec_unit(std::uint32_t position) {
+  exchange_with(table_.at(order_[position]), targets_[position]);
+}
+
+void ParallelEngine::run_units() {
+  if (!pool_) {
+    // Plan order trivially respects the dependency order.
+    for (std::uint32_t p = 0; p < order_.size(); ++p) exec_unit(p);
+    return;
+  }
+  run_units_parallel();
+}
+
+void ParallelEngine::run_units_parallel() {
+  const std::size_t unit_count = order_.size();
+  if (unit_count == 0) return;
+  const std::size_t slot_count = table_.size();
+
+  // Participants per unit: the initiator always; the target when the
+  // exchange can actually reach it. (exchange_with re-checks validity, so a
+  // conservative mismatch here could only over-serialise, never diverge —
+  // but liveness is frozen during this phase, so the check is exact.)
+  unit_slots_.assign(2 * unit_count, kNoSlot);
+  std::vector<std::uint32_t> counts(slot_count, 0);
+  for (std::size_t p = 0; p < unit_count; ++p) {
+    const std::uint32_t initiator_slot =
+        static_cast<std::uint32_t>(table_.slot_of(order_[p]));
+    unit_slots_[2 * p] = initiator_slot;
+    ++counts[initiator_slot];
+    const auto& target = targets_[p];
+    if (target && *target != order_[p] && table_.is_live(*target)) {
+      const std::uint32_t target_slot =
+          static_cast<std::uint32_t>(table_.slot_of(*target));
+      unit_slots_[2 * p + 1] = target_slot;
+      ++counts[target_slot];
+    }
+  }
+
+  // Plan-ordered unit list per participant slot (CSR layout). Filling in
+  // ascending p keeps each list sorted by plan position.
+  slot_offsets_.assign(slot_count + 1, 0);
+  for (std::size_t s = 0; s < slot_count; ++s) {
+    slot_offsets_[s + 1] = slot_offsets_[s] + counts[s];
+  }
+  slot_units_.resize(slot_offsets_[slot_count]);
+  slot_cursor_.assign(slot_count, 0);
+  {
+    std::vector<std::uint32_t> fill(slot_offsets_.begin(),
+                                    slot_offsets_.end() - 1);
+    for (std::size_t p = 0; p < unit_count; ++p) {
+      for (int k = 0; k < 2; ++k) {
+        const std::uint32_t s = unit_slots_[2 * p + k];
+        if (s != kNoSlot) slot_units_[fill[s]++] = static_cast<std::uint32_t>(p);
+      }
+    }
+  }
+
+  // A unit is ready when it heads the list of every participant. Start each
+  // unit's gate at its participant count, take one off per list it heads.
+  if (pending_capacity_ < unit_count) {
+    pending_ = std::make_unique<std::atomic<std::uint32_t>[]>(unit_count);
+    pending_capacity_ = unit_count;
+  }
+  for (std::size_t p = 0; p < unit_count; ++p) {
+    const std::uint32_t participants =
+        1 + (unit_slots_[2 * p + 1] != kNoSlot ? 1 : 0);
+    pending_[p].store(participants, std::memory_order_relaxed);
+  }
+  std::vector<std::uint32_t> ready;
+  for (std::size_t s = 0; s < slot_count; ++s) {
+    if (counts[s] == 0) continue;
+    const std::uint32_t head = slot_units_[slot_offsets_[s]];
+    if (pending_[head].fetch_sub(1, std::memory_order_relaxed) == 1) {
+      ready.push_back(head);
+    }
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t completed = 0;
+
+  pool_->run([&](std::size_t worker) {
+    tls_totals = &worker_totals_[worker];
+    for (;;) {
+      std::uint32_t p = 0;
+      {
+        std::unique_lock lock(mutex);
+        cv.wait(lock,
+                [&] { return completed == unit_count || !ready.empty(); });
+        if (completed == unit_count) break;
+        p = ready.back();
+        ready.pop_back();
+      }
+      exec_unit(p);
+
+      // Advance both participants' lists; a successor unit that is now at
+      // the head of all its lists becomes ready. The acq_rel RMW chain on
+      // its gate (plus the queue mutex) publishes every predecessor's
+      // writes to whichever worker picks it up.
+      std::array<std::uint32_t, 2> fresh{};
+      int fresh_count = 0;
+      for (int k = 0; k < 2; ++k) {
+        const std::uint32_t s = unit_slots_[2 * p + k];
+        if (s == kNoSlot) continue;
+        const std::uint32_t pos = ++slot_cursor_[s];
+        if (slot_offsets_[s] + pos < slot_offsets_[s + 1]) {
+          const std::uint32_t next_unit = slot_units_[slot_offsets_[s] + pos];
+          if (pending_[next_unit].fetch_sub(1, std::memory_order_acq_rel) ==
+              1) {
+            fresh[static_cast<std::size_t>(fresh_count++)] = next_unit;
+          }
+        }
+      }
+      {
+        std::lock_guard lock(mutex);
+        ++completed;
+        for (int i = 0; i < fresh_count; ++i) {
+          ready.push_back(fresh[static_cast<std::size_t>(i)]);
+        }
+        cv.notify_all();
+      }
+    }
+    tls_totals = nullptr;
+  });
+  merge_worker_totals();
+}
+
+}  // namespace adam2::sim

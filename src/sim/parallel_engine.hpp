@@ -1,0 +1,97 @@
+// Sharded parallel cycle engine for paper-scale runs (N = 100,000 and up).
+//
+// Runs the exact round structure of the serial Engine, but executes the
+// embarrassingly-parallel phases on a worker pool and the exchange phase
+// under a dependency-ordered scheduler. A given seed produces bit-identical
+// results at any thread count, including thread count 1 and the serial
+// Engine itself (golden replay test in tests/parallel_engine_test.cpp).
+//
+// Round phases:
+//   1. round start   — parallel: agents only touch their own node's state
+//                      and read immutable-for-the-phase host/overlay state;
+//   2. maintenance   — serial: overlay shuffles mutate shared views;
+//   3. plan          — serial shuffle of the initiation order (global
+//                      stream), then parallel: each initiator's gossip
+//                      target is pre-drawn from its own control stream;
+//   4. exchange      — parallel: one *unit* per initiator (make_request,
+//                      loss draw, handle_request, loss draw,
+//                      handle_response — all state it touches belongs to the
+//                      two participants). Units conflict when they share a
+//                      participant; conflicting units must run in plan
+//                      (shuffle) order to match the serial engine, so each
+//                      node keeps the plan-ordered list of units it
+//                      participates in and a unit becomes ready only when it
+//                      is at the head of all its participants' lists. The
+//                      dependency DAG is fixed by the plan (targets are
+//                      pre-drawn), every unit draws randomness only from its
+//                      initiator's control/agent streams, and global traffic
+//                      counters accumulate into per-worker slots merged at
+//                      the phase barrier — so the outcome is independent of
+//                      the actual interleaving;
+//   5. churn         — serial (global stream);
+//   6. observers     — serial.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "host/pool.hpp"
+#include "sim/cycle_engine.hpp"
+
+namespace adam2::sim {
+
+class ParallelEngine final : public CycleEngine {
+ public:
+  /// Same contract as Engine, plus `threads`: worker threads used for the
+  /// parallel phases (0 and 1 both mean single-threaded execution).
+  ParallelEngine(EngineConfig config, std::size_t threads,
+                 std::vector<stats::Value> initial_attributes,
+                 std::unique_ptr<Overlay> overlay, AgentFactory agent_factory,
+                 AttributeSource attribute_source);
+
+  void run_round() override;
+
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+ protected:
+  [[nodiscard]] TrafficStats& totals() override;
+
+ private:
+  /// Runs fn(0..count-1) across the pool (chunked work stealing); inline
+  /// when single-threaded. Worker totals slots are bound for the duration.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+  /// Merges per-worker traffic accumulators into the global totals
+  /// (commutative integer sums — deterministic regardless of which worker
+  /// counted what).
+  void merge_worker_totals();
+
+  void plan_targets();
+  void run_units();
+  void run_units_parallel();
+  void exec_unit(std::uint32_t position);
+
+  std::size_t threads_;
+  std::unique_ptr<host::WorkerPool> pool_;  // Only when threads_ > 1.
+  std::vector<TrafficStats> worker_totals_;
+
+  // Per-round plan: shuffled initiation order and pre-drawn targets.
+  std::vector<NodeId> order_;
+  std::vector<std::optional<NodeId>> targets_;
+
+  // Exchange scheduler scratch, rebuilt each round (indices are *positions*
+  // in order_; node slots are NodeTable creation slots).
+  static constexpr std::uint32_t kNoSlot = 0xffffffffU;
+  std::vector<std::uint32_t> unit_slots_;    // 2 per unit: initiator, target.
+  std::vector<std::uint32_t> slot_offsets_;  // per-slot prefix into slot_units_.
+  std::vector<std::uint32_t> slot_units_;    // plan-ordered unit lists.
+  std::vector<std::uint32_t> slot_cursor_;   // per-slot progress.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> pending_;  // per-unit gate.
+  std::size_t pending_capacity_ = 0;
+};
+
+}  // namespace adam2::sim

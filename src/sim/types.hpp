@@ -1,35 +1,18 @@
 // Basic identifiers shared across the simulator.
+//
+// The definitions live in the host substrate library (host/types.hpp) so the
+// runtime substrates can share them; these aliases keep the established
+// sim:: spellings working.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
+#include "host/types.hpp"
 
 namespace adam2::sim {
 
-/// Stable node identity. Ids are never reused: nodes that churn in get fresh
-/// ids, so an id uniquely names one node lifetime.
-using NodeId = std::uint64_t;
-
-/// Simulation round (gossip cycle) counter.
-using Round = std::uint32_t;
-
-/// Traffic category, so the cost evaluation (§VII-I) can report aggregation
-/// traffic separately from overlay maintenance and bootstrap traffic.
-enum class Channel : std::uint8_t {
-  kAggregation = 0,  ///< Adam2 / baseline gossip exchanges.
-  kOverlay = 1,      ///< Peer-sampling shuffles.
-  kBootstrap = 2,    ///< Join-time state transfer.
-};
-
-inline constexpr std::size_t kChannelCount = 3;
-
-[[nodiscard]] constexpr const char* channel_name(Channel c) noexcept {
-  switch (c) {
-    case Channel::kAggregation: return "aggregation";
-    case Channel::kOverlay: return "overlay";
-    case Channel::kBootstrap: return "bootstrap";
-  }
-  return "unknown";
-}
+using host::Channel;
+using host::channel_name;
+using host::kChannelCount;
+using host::NodeId;
+using host::Round;
 
 }  // namespace adam2::sim

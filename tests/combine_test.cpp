@@ -93,7 +93,7 @@ TEST(CombineTest, EndToEndCombiningReducesError) {
 
   auto run = [&](std::size_t combine) {
     SystemConfig config;
-    config.engine.seed = 9;
+    config.engine.seed = 5;
     config.protocol.lambda = 30;
     config.protocol.heuristic = SelectionHeuristic::kLCut;
     config.protocol.combine_last_instances = combine;
@@ -108,7 +108,7 @@ TEST(CombineTest, EndToEndCombiningReducesError) {
 
 TEST(CombineTest, HistoryIsBounded) {
   SystemConfig config;
-  config.engine.seed = 10;
+  config.engine.seed = 3;
   config.protocol.lambda = 10;
   config.protocol.instance_ttl = 15;
   config.protocol.combine_last_instances = 2;

@@ -106,7 +106,7 @@ TEST(EngineEdgeTest, ObserverSeesConsistentStateDuringChurn) {
   Engine engine(config, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
                 std::make_unique<StaticRandomOverlay>(3), silent_factory(),
                 [](rng::Rng& rng) { return static_cast<stats::Value>(rng.below(50)); });
-  engine.add_observer([](Engine& e) {
+  engine.add_observer([](CycleEngine& e) {
     // Live ids must always reference live nodes with agents.
     for (NodeId id : e.live_ids()) {
       EXPECT_TRUE(e.is_live(id));
@@ -128,6 +128,59 @@ TEST(EngineEdgeTest, CyclonWithMinimalView) {
   for (NodeId id : engine.live_ids()) {
     EXPECT_LE(engine.overlay().neighbors(id).size(), 1u);
   }
+}
+
+TEST(EngineEdgeTest, KillingLastLiveNodeLeavesEmptyEngine) {
+  Engine engine(EngineConfig{}, {7}, std::make_unique<StaticRandomOverlay>(2),
+                silent_factory(), nullptr);
+  engine.kill_node(0);
+  EXPECT_EQ(engine.live_count(), 0u);
+  EXPECT_TRUE(engine.live_ids().empty());
+  EXPECT_THROW((void)engine.random_live_node(), std::runtime_error);
+  // The emptied engine still runs rounds harmlessly.
+  engine.run_rounds(3);
+  EXPECT_EQ(engine.live_count(), 0u);
+}
+
+TEST(EngineEdgeTest, FullChurnReplacesEveryNodeEachRound) {
+  EngineConfig config;
+  config.churn_rate = 1.0;
+  config.seed = 8;
+  Engine engine(config, {1, 2, 3, 4, 5},
+                std::make_unique<StaticRandomOverlay>(2), silent_factory(),
+                [](rng::Rng&) { return stats::Value{77}; });
+  engine.run_rounds(4);
+  // Population size is preserved; every survivor is a replacement.
+  EXPECT_EQ(engine.live_count(), 5u);
+  EXPECT_EQ(engine.nodes_ever(), 5u + 4u * 5u);
+  for (NodeId id : engine.live_ids()) {
+    EXPECT_GE(id, 5u * 4u);  // All original ids churned out long ago.
+    EXPECT_EQ(engine.attribute_of(id), 77);
+  }
+}
+
+TEST(EngineEdgeTest, BootstrapWithAllContactsDeadCountsFailedContacts) {
+  // A replacement node joining an otherwise-dead system finds no live
+  // bootstrap contact: every retry is a failed contact, and the joiner
+  // still becomes a functioning member.
+  core::SystemConfig config;
+  config.overlay = core::OverlayKind::kStaticRandom;
+  config.overlay_degree = 3;
+  core::Adam2System system(config, {1, 2, 3, 4},
+                           [](rng::Rng&) { return stats::Value{5}; });
+  system.run_instance(NodeId{0});  // Give the nodes state worth transferring.
+  while (system.engine().live_count() > 1) {
+    system.engine().kill_node(system.engine().live_ids().front());
+  }
+  const auto failed_before = system.engine().total_traffic().failed_contacts;
+  // Churning the survivor spawns a joiner into an all-dead contact set:
+  // every bootstrap retry fails, yet the joiner is a working member.
+  system.engine().churn_nodes(1);
+  EXPECT_EQ(system.engine().live_count(), 1u);
+  EXPECT_GT(system.engine().total_traffic().failed_contacts, failed_before);
+  const NodeId joiner = system.engine().live_ids().front();
+  // No live contact existed, so no estimate could be inherited.
+  EXPECT_FALSE(system.agent_of(joiner).estimate().has_value());
 }
 
 TEST(EngineEdgeTest, AttributeSourceReceivesWorkingRng) {

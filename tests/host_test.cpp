@@ -1,0 +1,361 @@
+// Unit tests for the shared host substrate: node registry, bootstrap
+// policy, churn arithmetic, the exchange-atomicity session, and the
+// thread-safe traffic ledger.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "host/bootstrap.hpp"
+#include "host/churn.hpp"
+#include "host/exchange.hpp"
+#include "host/ledger.hpp"
+#include "host/registry.hpp"
+
+namespace adam2::host {
+namespace {
+
+// ----------------------------------------------------------------- registry
+
+TEST(NodeTableTest, SpawnAssignsMonotoneIdsAndDistinctStreams) {
+  NodeTable table;
+  rng::Rng seed_rng(7);
+  // spawn() references are invalidated by the next spawn; keep only ids.
+  const NodeId a = table.spawn(1.0, 0, seed_rng).id;
+  const NodeId b = table.spawn(2.0, 0, seed_rng).id;
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(table.live_count(), 2u);
+  EXPECT_EQ(table.size(), 2u);
+  // Agent and control streams must be decorrelated per node.
+  rng::Rng agent = table.at(a).rng;
+  rng::Rng pick = table.at(a).pick_rng;
+  EXPECT_NE(agent(), pick());
+}
+
+TEST(NodeTableTest, KillRemovesFromLiveAndKeepsSlot) {
+  NodeTable table;
+  rng::Rng seed_rng(7);
+  for (int i = 0; i < 4; ++i) table.spawn(i, 0, seed_rng);
+  table.kill(1);
+  EXPECT_EQ(table.live_count(), 3u);
+  EXPECT_FALSE(table.is_live(1));
+  EXPECT_TRUE(table.contains(1));
+  // Remaining live ids are exactly {0, 2, 3}.
+  std::set<NodeId> live(table.live_ids().begin(), table.live_ids().end());
+  EXPECT_EQ(live, (std::set<NodeId>{0, 2, 3}));
+  // Spawning after a kill continues the monotone id sequence.
+  EXPECT_EQ(table.spawn(9, 1, seed_rng).id, 4u);
+}
+
+TEST(NodeTableTest, KillingDeadNodeIsIdempotent) {
+  NodeTable table;
+  rng::Rng seed_rng(7);
+  table.spawn(1, 0, seed_rng);
+  table.kill(0);
+  table.kill(0);
+  EXPECT_EQ(table.live_count(), 0u);
+}
+
+TEST(NodeTableTest, RandomLiveThrowsWhenEmpty) {
+  NodeTable table;
+  rng::Rng rng(1);
+  EXPECT_THROW((void)table.random_live(rng), std::runtime_error);
+}
+
+TEST(NodeTableTest, RandomLiveOnlyReturnsLiveNodes) {
+  NodeTable table;
+  rng::Rng seed_rng(7);
+  for (int i = 0; i < 10; ++i) table.spawn(i, 0, seed_rng);
+  for (NodeId id : {NodeId{2}, NodeId{5}, NodeId{7}}) table.kill(id);
+  rng::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(table.is_live(table.random_live(rng)));
+  }
+}
+
+TEST(NodeTableTest, SlotOfIsStableAcrossKills) {
+  NodeTable table;
+  rng::Rng seed_rng(7);
+  for (int i = 0; i < 5; ++i) table.spawn(i, 0, seed_rng);
+  const std::size_t slot = table.slot_of(4);
+  table.kill(0);
+  table.kill(2);
+  EXPECT_EQ(table.slot_of(4), slot);
+  EXPECT_EQ(table.by_slot(slot).id, 4u);
+}
+
+// -------------------------------------------------------------------- churn
+
+TEST(ChurnTest, StochasticCountIntegerPartIsExact) {
+  rng::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(stochastic_count(3.0, rng), 3u);
+  }
+}
+
+TEST(ChurnTest, StochasticCountFractionAveragesOut) {
+  rng::Rng rng(1);
+  std::size_t total = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) total += stochastic_count(0.25, rng);
+  EXPECT_NEAR(static_cast<double>(total) / kTrials, 0.25, 0.02);
+}
+
+// ---------------------------------------------------------------- exchange
+
+TEST(ExchangeSessionTest, ArmedSessionIsBusyUntilClosed) {
+  ExchangeSession session;
+  EXPECT_FALSE(session.busy());
+  const auto token = session.next_token();
+  session.arm(token, std::chrono::seconds(60));
+  EXPECT_TRUE(session.busy());
+  EXPECT_TRUE(session.close_if_current(token));
+  EXPECT_FALSE(session.busy());
+}
+
+TEST(ExchangeSessionTest, StaleTokenIsRejected) {
+  ExchangeSession session;
+  const auto old_token = session.next_token();
+  session.arm(old_token, std::chrono::seconds(60));
+  const auto new_token = session.next_token();
+  session.arm(new_token, std::chrono::seconds(60));
+  // The old exchange was superseded; merging its response would break
+  // exchange atomicity.
+  EXPECT_FALSE(session.close_if_current(old_token));
+  EXPECT_TRUE(session.busy());
+  EXPECT_TRUE(session.close_if_current(new_token));
+}
+
+TEST(ExchangeSessionTest, DeadlineExpiryUnblocksInitiation) {
+  ExchangeSession session;
+  const auto token = session.next_token();
+  session.arm(token, std::chrono::microseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_FALSE(session.busy());
+  // A late response for the expired exchange still matches until the
+  // session is explicitly abandoned or re-armed.
+  EXPECT_TRUE(session.close_if_current(token));
+}
+
+TEST(ExchangeSessionTest, AbandonDropsTheOpenExchange) {
+  ExchangeSession session;
+  const auto token = session.next_token();
+  session.arm(token, std::chrono::seconds(60));
+  session.abandon();
+  EXPECT_FALSE(session.busy());
+  EXPECT_FALSE(session.close_if_current(token));
+}
+
+// ------------------------------------------------------------------ ledger
+
+TEST(SharedTrafficLedgerTest, CountsMessagesOnBothDirections) {
+  SharedTrafficLedger ledger;
+  ledger.record_message(Channel::kAggregation, 100);
+  ledger.record_message(Channel::kOverlay, 40);
+  ledger.count_failed_contact();
+  ledger.count_dropped_message();
+  ledger.count_busy_rejection();
+  const TrafficStats stats = ledger.snapshot();
+  EXPECT_EQ(stats.on(Channel::kAggregation).messages_sent, 1u);
+  EXPECT_EQ(stats.on(Channel::kAggregation).bytes_sent, 100u);
+  EXPECT_EQ(stats.on(Channel::kAggregation).messages_received, 1u);
+  EXPECT_EQ(stats.on(Channel::kOverlay).bytes_sent, 40u);
+  EXPECT_EQ(stats.failed_contacts, 1u);
+  EXPECT_EQ(stats.dropped_messages, 1u);
+  EXPECT_EQ(stats.busy_rejections, 1u);
+}
+
+TEST(SharedTrafficLedgerTest, ConcurrentRecordsAllLand) {
+  SharedTrafficLedger ledger;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ledger] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ledger.record_message(Channel::kAggregation, 10);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const TrafficStats stats = ledger.snapshot();
+  EXPECT_EQ(stats.on(Channel::kAggregation).messages_sent,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.on(Channel::kAggregation).bytes_sent,
+            static_cast<std::uint64_t>(kThreads) * kPerThread * 10);
+}
+
+TEST(SharedTrafficLedgerTest, MergeFoldsNodeCounters) {
+  SharedTrafficLedger ledger;
+  TrafficStats local;
+  local.on(Channel::kAggregation).add_send(64);
+  ++local.failed_contacts;
+  ledger.merge(local);
+  ledger.merge(local);
+  const TrafficStats stats = ledger.snapshot();
+  EXPECT_EQ(stats.on(Channel::kAggregation).bytes_sent, 128u);
+  EXPECT_EQ(stats.failed_contacts, 2u);
+}
+
+// --------------------------------------------------------------- bootstrap
+
+/// Overlay whose gossip targets are a fixed list, used to steer the
+/// bootstrap retry loop onto dead contacts.
+class FixedTargetOverlay final : public Overlay {
+ public:
+  explicit FixedTargetOverlay(std::vector<NodeId> targets)
+      : targets_(std::move(targets)) {}
+
+  void add_node(NodeId, const HostView&, rng::Rng&) override {}
+  void remove_node(NodeId) override {}
+  [[nodiscard]] std::optional<NodeId> pick_gossip_target(
+      NodeId, rng::Rng& rng) const override {
+    if (targets_.empty()) return std::nullopt;
+    return targets_[rng.below(targets_.size())];
+  }
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId) const override {
+    return targets_;
+  }
+  [[nodiscard]] std::vector<stats::Value> known_attribute_values(
+      NodeId, const HostView&) const override {
+    return {};
+  }
+
+ private:
+  std::vector<NodeId> targets_;
+};
+
+/// HostView over a bare NodeTable, as the engines implement it.
+class TableHost final : public HostView {
+ public:
+  TableHost(NodeTable& table, TrafficStats& totals)
+      : table_(table), totals_(totals) {}
+
+  [[nodiscard]] bool is_live(NodeId id) const override {
+    return table_.is_live(id);
+  }
+  [[nodiscard]] stats::Value attribute_of(NodeId id) const override {
+    return table_.attribute_of(id);
+  }
+  [[nodiscard]] Round round() const override { return 0; }
+  [[nodiscard]] std::span<const NodeId> live_ids() const override {
+    return table_.live_ids();
+  }
+  void record_traffic(NodeId sender, NodeId receiver, Channel channel,
+                      std::size_t bytes) override {
+    table_.record_traffic(sender, receiver, channel, bytes, totals_);
+  }
+
+ private:
+  NodeTable& table_;
+  TrafficStats& totals_;
+};
+
+/// Agent that always wants a bootstrap and shares state when it has any.
+class BootstrappingAgent final : public NodeAgent {
+ public:
+  explicit BootstrappingAgent(bool has_state) : has_state_(has_state) {}
+
+  [[nodiscard]] bool bootstrapped() const { return bootstrapped_; }
+
+  std::vector<std::byte> make_request(AgentContext&) override { return {}; }
+  std::vector<std::byte> handle_request(AgentContext&,
+                                        std::span<const std::byte>) override {
+    return {};
+  }
+  std::vector<std::byte> make_bootstrap_request(AgentContext&) override {
+    return {std::byte{1}};
+  }
+  std::vector<std::byte> handle_bootstrap_request(
+      AgentContext&, std::span<const std::byte>) override {
+    if (!has_state_) return {};
+    return {std::byte{2}, std::byte{3}};
+  }
+  bool handle_bootstrap_response(AgentContext&,
+                                 std::span<const std::byte>) override {
+    bootstrapped_ = true;
+    return true;
+  }
+
+ private:
+  bool has_state_;
+  bool bootstrapped_ = false;
+};
+
+TEST(BootstrapTest, AllContactsDeadCountsEveryAttempt) {
+  NodeTable table;
+  TrafficStats totals;
+  TableHost host(table, totals);
+  rng::Rng seed_rng(5);
+  std::vector<NodeId> contacts;
+  for (int i = 0; i < 4; ++i) {
+    Node& contact = table.spawn(i, 0, seed_rng);
+    contact.agent = std::make_unique<BootstrappingAgent>(true);
+    contacts.push_back(contact.id);
+    table.kill(contact.id);
+  }
+  Node& joiner = table.spawn(9, 1, seed_rng);
+  joiner.agent = std::make_unique<BootstrappingAgent>(false);
+  FixedTargetOverlay overlay(contacts);
+
+  bootstrap_joiner(joiner, table, overlay, host, 1, totals);
+
+  const auto& agent = dynamic_cast<BootstrappingAgent&>(*joiner.agent);
+  EXPECT_FALSE(agent.bootstrapped());
+  // One failed contact per retry, on the joiner and in the totals; no
+  // bootstrap bytes ever moved.
+  EXPECT_EQ(joiner.traffic.failed_contacts, 4u);
+  EXPECT_EQ(totals.failed_contacts, 4u);
+  EXPECT_EQ(totals.on(Channel::kBootstrap).messages_sent, 0u);
+}
+
+TEST(BootstrapTest, LiveContactTransfersStateAndStopsRetrying) {
+  NodeTable table;
+  TrafficStats totals;
+  TableHost host(table, totals);
+  rng::Rng seed_rng(5);
+  table.reserve(2);
+  const NodeId contact = table.spawn(1, 0, seed_rng).id;
+  table.at(contact).agent = std::make_unique<BootstrappingAgent>(true);
+  Node& joiner = table.spawn(9, 1, seed_rng);
+  joiner.agent = std::make_unique<BootstrappingAgent>(false);
+  FixedTargetOverlay overlay({contact});
+
+  bootstrap_joiner(joiner, table, overlay, host, 1, totals);
+
+  const auto& agent = dynamic_cast<BootstrappingAgent&>(*joiner.agent);
+  EXPECT_TRUE(agent.bootstrapped());
+  // Request plus response, both on the bootstrap channel.
+  EXPECT_EQ(totals.on(Channel::kBootstrap).messages_sent, 2u);
+  EXPECT_EQ(totals.on(Channel::kBootstrap).bytes_sent, 3u);
+  EXPECT_EQ(totals.failed_contacts, 0u);
+}
+
+TEST(BootstrapTest, EmptyHandedContactsAreRetriedWithoutFailedContact) {
+  NodeTable table;
+  TrafficStats totals;
+  TableHost host(table, totals);
+  rng::Rng seed_rng(5);
+  table.reserve(2);
+  const NodeId contact = table.spawn(1, 0, seed_rng).id;
+  table.at(contact).agent =
+      std::make_unique<BootstrappingAgent>(/*has_state=*/false);
+  Node& joiner = table.spawn(9, 1, seed_rng);
+  joiner.agent = std::make_unique<BootstrappingAgent>(false);
+  FixedTargetOverlay overlay({contact});
+
+  bootstrap_joiner(joiner, table, overlay, host, 1, totals);
+
+  const auto& agent = dynamic_cast<BootstrappingAgent&>(*joiner.agent);
+  EXPECT_FALSE(agent.bootstrapped());
+  // The contact was reachable (no failed contact) but had nothing to share:
+  // one request per attempt, never a response.
+  EXPECT_EQ(totals.failed_contacts, 0u);
+  EXPECT_EQ(totals.on(Channel::kBootstrap).messages_sent,
+            static_cast<std::uint64_t>(BootstrapPolicy{}.attempts));
+}
+
+}  // namespace
+}  // namespace adam2::host

@@ -1,0 +1,249 @@
+// Golden replay: the sharded ParallelEngine must produce bit-identical
+// results to the serial Engine for every seed at every thread count. The
+// tests replay the same configuration on both engines (and on the parallel
+// engine at several thread counts) and compare the full observable state:
+// live membership, per-agent protocol state, attributes, and traffic
+// totals — all exact equality, no tolerances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/system.hpp"
+#include "sim/cyclon.hpp"
+#include "sim/engine.hpp"
+#include "sim/overlay.hpp"
+#include "sim/parallel_engine.hpp"
+#include "wire/buffer.hpp"
+
+namespace adam2::sim {
+namespace {
+
+/// Push-pull averaging agent: enough state to expose any divergence in
+/// exchange order, loss draws, or churn trajectories.
+class AveragingAgent final : public NodeAgent {
+ public:
+  explicit AveragingAgent(double initial) : value_(initial) {}
+
+  [[nodiscard]] double value() const { return value_; }
+
+  std::vector<std::byte> make_request(AgentContext& ctx) override {
+    // Consume the agent stream so stream separation is exercised too.
+    jitter_ = ctx.rng.uniform(0.0, 1e-12);
+    return encode(value_ + jitter_);
+  }
+
+  std::vector<std::byte> handle_request(AgentContext&,
+                                        std::span<const std::byte> req) override {
+    const double theirs = decode(req);
+    const auto reply = encode(value_);
+    value_ = (value_ + theirs) / 2.0;
+    return reply;
+  }
+
+  void handle_response(AgentContext&, std::span<const std::byte> resp) override {
+    value_ = (value_ + decode(resp)) / 2.0;
+  }
+
+ private:
+  static std::vector<std::byte> encode(double v) {
+    wire::Writer w;
+    w.f64(v);
+    return w.take();
+  }
+  static double decode(std::span<const std::byte> bytes) {
+    wire::Reader r(bytes);
+    return r.f64();
+  }
+
+  double value_ = 0.0;
+  double jitter_ = 0.0;
+};
+
+AgentFactory averaging_factory() {
+  return [](const AgentContext& ctx) {
+    return std::make_unique<AveragingAgent>(static_cast<double>(ctx.attribute));
+  };
+}
+
+std::vector<stats::Value> iota_values(std::size_t n) {
+  std::vector<stats::Value> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<stats::Value>(i);
+  return values;
+}
+
+EngineConfig stress_config() {
+  EngineConfig config;
+  config.seed = 0xfeed;
+  config.churn_rate = 0.02;
+  config.message_loss = 0.05;
+  return config;
+}
+
+std::unique_ptr<Overlay> cyclon(std::size_t view = 8) {
+  CyclonConfig config;
+  config.view_size = view;
+  config.shuffle_size = view / 2;
+  return std::make_unique<CyclonOverlay>(config);
+}
+
+AttributeSource churn_values() {
+  return [](rng::Rng& rng) { return static_cast<stats::Value>(rng.below(1000)); };
+}
+
+void expect_identical(CycleEngine& a, CycleEngine& b) {
+  ASSERT_EQ(a.live_count(), b.live_count());
+  ASSERT_EQ(a.nodes_ever(), b.nodes_ever());
+  const auto live_a = a.live_ids();
+  const auto live_b = b.live_ids();
+  ASSERT_TRUE(std::equal(live_a.begin(), live_a.end(), live_b.begin(),
+                         live_b.end()));
+  for (NodeId id : live_a) {
+    EXPECT_EQ(a.attribute_of(id), b.attribute_of(id));
+    const auto* agent_a = dynamic_cast<AveragingAgent*>(&a.agent(id));
+    const auto* agent_b = dynamic_cast<AveragingAgent*>(&b.agent(id));
+    ASSERT_NE(agent_a, nullptr);
+    ASSERT_NE(agent_b, nullptr);
+    // Bitwise, not approximate: a different exchange order would show up
+    // as a ULP-level difference in the averaged value.
+    EXPECT_EQ(agent_a->value(), agent_b->value()) << "node " << id;
+  }
+  const TrafficStats& ta = a.total_traffic();
+  const TrafficStats& tb = b.total_traffic();
+  for (std::size_t c = 0; c < host::kChannelCount; ++c) {
+    const auto ch = static_cast<Channel>(c);
+    EXPECT_EQ(ta.on(ch).messages_sent, tb.on(ch).messages_sent);
+    EXPECT_EQ(ta.on(ch).bytes_sent, tb.on(ch).bytes_sent);
+    EXPECT_EQ(ta.on(ch).messages_received, tb.on(ch).messages_received);
+  }
+  EXPECT_EQ(ta.failed_contacts, tb.failed_contacts);
+  EXPECT_EQ(ta.dropped_messages, tb.dropped_messages);
+  EXPECT_EQ(ta.busy_rejections, tb.busy_rejections);
+}
+
+TEST(ParallelEngineTest, SingleThreadMatchesSerialEngine) {
+  Engine serial(stress_config(), iota_values(300), cyclon(),
+                averaging_factory(), churn_values());
+  ParallelEngine parallel(stress_config(), 1, iota_values(300), cyclon(),
+                          averaging_factory(), churn_values());
+  serial.run_rounds(25);
+  parallel.run_rounds(25);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelEngineTest, AnyThreadCountMatchesSerialEngine) {
+  Engine serial(stress_config(), iota_values(300), cyclon(),
+                averaging_factory(), churn_values());
+  serial.run_rounds(20);
+  for (std::size_t threads : {2u, 8u}) {
+    ParallelEngine parallel(stress_config(), threads, iota_values(300),
+                            cyclon(), averaging_factory(), churn_values());
+    parallel.run_rounds(20);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelEngineTest, StaticOverlayWithoutChurnMatches) {
+  EngineConfig config;
+  config.seed = 77;
+  Engine serial(config, iota_values(200),
+                std::make_unique<StaticRandomOverlay>(6), averaging_factory(),
+                nullptr);
+  ParallelEngine parallel(config, 4, iota_values(200),
+                          std::make_unique<StaticRandomOverlay>(6),
+                          averaging_factory(), nullptr);
+  serial.run_rounds(30);
+  parallel.run_rounds(30);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelEngineTest, RepeatedParallelRunsAreDeterministic) {
+  ParallelEngine first(stress_config(), 4, iota_values(250), cyclon(),
+                       averaging_factory(), churn_values());
+  ParallelEngine second(stress_config(), 4, iota_values(250), cyclon(),
+                        averaging_factory(), churn_values());
+  first.run_rounds(15);
+  second.run_rounds(15);
+  expect_identical(first, second);
+}
+
+TEST(ParallelEngineTest, EmptyPopulationRunsHarmlessly) {
+  ParallelEngine engine(EngineConfig{}, 4, {},
+                        std::make_unique<StaticRandomOverlay>(4),
+                        averaging_factory(), nullptr);
+  engine.run_rounds(3);
+  EXPECT_EQ(engine.live_count(), 0u);
+}
+
+TEST(ParallelEngineTest, MoreThreadsThanNodes) {
+  EngineConfig config;
+  config.seed = 3;
+  Engine serial(config, iota_values(3),
+                std::make_unique<StaticRandomOverlay>(2), averaging_factory(),
+                nullptr);
+  ParallelEngine parallel(config, 8, iota_values(3),
+                          std::make_unique<StaticRandomOverlay>(2),
+                          averaging_factory(), nullptr);
+  serial.run_rounds(10);
+  parallel.run_rounds(10);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelEngineTest, ZeroThreadsMeansSerialExecution) {
+  ParallelEngine engine(EngineConfig{}, 0, iota_values(10),
+                        std::make_unique<StaticRandomOverlay>(3),
+                        averaging_factory(), nullptr);
+  EXPECT_EQ(engine.threads(), 1u);
+  engine.run_rounds(2);
+  EXPECT_EQ(engine.live_count(), 10u);
+}
+
+TEST(ParallelEngineTest, MetricsSinkSeesEveryRound) {
+  struct Recorder final : host::MetricsSink {
+    std::vector<Round> rounds;
+    std::vector<std::size_t> live;
+    void on_round_end(const host::RoundSnapshot& snapshot) override {
+      rounds.push_back(snapshot.round);
+      live.push_back(snapshot.live_count);
+    }
+  } recorder;
+  ParallelEngine engine(stress_config(), 2, iota_values(50), cyclon(4),
+                        averaging_factory(), churn_values());
+  engine.add_metrics_sink(&recorder);
+  engine.run_rounds(5);
+  ASSERT_EQ(recorder.rounds.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(recorder.rounds[i], i);
+    EXPECT_EQ(recorder.live[i], 50u);
+  }
+}
+
+// Full protocol stack: the Adam2 system must report bit-identical
+// population errors whichever engine hosts it.
+TEST(ParallelEngineTest, Adam2SystemErrorsAreBitIdenticalAcrossEngines) {
+  const auto run = [](std::size_t threads) {
+    core::SystemConfig config;
+    config.engine.seed = 11;
+    config.engine.churn_rate = 0.002;
+    config.protocol.lambda = 20;
+    config.protocol.instance_ttl = 20;
+    config.engine_threads = threads;
+    core::Adam2System system(config, iota_values(400),
+                             churn_values());
+    system.run_instance();
+    return system.errors();
+  };
+  const auto serial = run(0);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    const auto parallel = run(threads);
+    EXPECT_EQ(serial.max_err, parallel.max_err) << threads << " threads";
+    EXPECT_EQ(serial.avg_err, parallel.avg_err) << threads << " threads";
+    EXPECT_EQ(serial.peers, parallel.peers) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace adam2::sim

@@ -280,7 +280,7 @@ TEST(ProtocolTest, ProbabilisticStartsMatchExpectedFrequency) {
   config.protocol.instance_ttl = 5;  // Short-lived to keep the run light.
   Adam2System system(config, iota_values(300));
   std::size_t started = 0;
-  system.engine().add_observer([&](sim::Engine& engine) {
+  system.engine().add_observer([&](sim::CycleEngine& engine) {
     // Count instances by watching initiators' sequence numbers via actives.
     (void)engine;
   });
@@ -473,7 +473,7 @@ TEST(ProtocolTest, ToleratesMessageLoss) {
 
 TEST(ProtocolTest, ResilientToModerateChurn) {
   // §VII-G: at the paper's typical churn (0.1%/round) accuracy remains high.
-  SystemConfig config = small_system(24);
+  SystemConfig config = small_system(26);
   config.engine.churn_rate = 0.001;
   rng::Rng data_rng(7);
   const auto values =

@@ -188,7 +188,7 @@ TEST(EngineTest, ObserverRunsEveryRound) {
                 std::make_unique<StaticRandomOverlay>(4), silent_factory(),
                 nullptr);
   int calls = 0;
-  engine.add_observer([&](Engine&) { ++calls; });
+  engine.add_observer([&](CycleEngine&) { ++calls; });
   engine.run_rounds(5);
   EXPECT_EQ(calls, 5);
 }

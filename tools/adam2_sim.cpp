@@ -49,6 +49,9 @@ substrate:
   --async              use the event-driven engine (jittered periods,
                        real message latencies, exchange atomicity)
   --latency-max MS     max one-way latency in ms for --async (default 100)
+  --threads T          worker threads for the cycle engine; T > 1 selects
+                       the sharded parallel engine, which is bit-identical
+                       to the serial one at any thread count (default 0)
 
 output:
   --format F           table | csv (default table)
@@ -115,6 +118,12 @@ int run(const tools::Flags& flags) {
                        : core::OverlayKind::kCyclon;
   config.overlay_degree =
       static_cast<std::size_t>(flags.get_int("degree", 20));
+  const std::int64_t threads = flags.get_int("threads", 0);
+  if (threads < 0) {
+    throw std::invalid_argument("--threads must be >= 0, got " +
+                                std::to_string(threads));
+  }
+  config.engine_threads = static_cast<std::size_t>(threads);
 
   const auto instances =
       static_cast<std::size_t>(flags.get_int("instances", 3));
