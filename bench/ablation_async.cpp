@@ -9,6 +9,8 @@
 // the protocol does not rely on round synchrony (§VII-F).
 #include <cstdio>
 
+#include <string>
+
 #include "common.hpp"
 #include "core/evaluation.hpp"
 #include "sim/async_engine.hpp"
@@ -17,6 +19,7 @@ using namespace adam2;
 
 int main() {
   const bench::BenchEnv env = bench::bench_env(10000);
+  bench::open_report("ablation_async", env);
   bench::print_banner("Ablation: synchronous vs asynchronous gossip (RAM)",
                       env);
   const auto values = bench::population(data::Attribute::kRamMb, env.n, env.seed);
@@ -80,5 +83,7 @@ int main() {
          static_cast<double>(traffic.busy_rejections) /
              static_cast<double>(env.n)});
   }
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

@@ -6,6 +6,8 @@
 // CDFs.
 #include <cstdio>
 
+#include <string>
+
 #include "common.hpp"
 #include "core/evaluation.hpp"
 
@@ -13,6 +15,7 @@ using namespace adam2;
 
 int main() {
   const bench::BenchEnv env = bench::bench_env(10000);
+  bench::open_report("ablation_combining", env);
   bench::print_banner(
       "Ablation: combining interpolation points over instances (4 instances)",
       env);
@@ -33,5 +36,7 @@ int main() {
     }
     bench::print_row(std::to_string(k), row);
   }
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

@@ -9,6 +9,8 @@
 // the paper's reported 1e-14 convergence requires.
 #include <cstdio>
 
+#include <string>
+
 #include "common.hpp"
 #include "core/evaluation.hpp"
 
@@ -38,6 +40,7 @@ double run_policy(const bench::BenchEnv& env, std::size_t n,
 
 int main() {
   const bench::BenchEnv env = bench::bench_env(10000);
+  bench::open_report("ablation_join_policy", env);
   bench::print_banner(
       "Ablation: join policy (avg error at interpolation points, 1 instance, "
       "ttl=60)",
@@ -51,5 +54,7 @@ int main() {
                      {conserving, literal,
                       conserving > 0 ? literal / conserving : 0.0});
   }
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

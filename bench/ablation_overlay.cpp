@@ -7,6 +7,8 @@
 // reports the overlay-maintenance traffic Cyclon pays for this.
 #include <cstdio>
 
+#include <string>
+
 #include "common.hpp"
 #include "core/evaluation.hpp"
 
@@ -63,6 +65,7 @@ Outcome run_overlay(const bench::BenchEnv& env, core::OverlayKind kind) {
 
 int main() {
   const bench::BenchEnv env = bench::bench_env(10000);
+  bench::open_report("ablation_overlay", env);
   bench::print_banner("Ablation: overlay substrate (RAM attribute)", env);
   bench::print_header("overlay", {"inst1_Errm", "churn1%_Erra",
                                   "overlay_kB/node"});
@@ -74,5 +77,7 @@ int main() {
   bench::print_row("cyclon",
                    {cy.first_instance_errm, cy.churn_erra,
                     cy.overlay_kb_per_node});
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

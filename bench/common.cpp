@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
 
 #include "core/evaluation.hpp"
 
@@ -13,6 +16,45 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   return std::strtoull(raw, nullptr, 10);
+}
+
+/// The mirrored report. Benches are single-threaded mains, so one global
+/// instance with no locking is enough.
+struct Report {
+  bool armed = false;
+  std::string name;
+  BenchEnv env;
+  std::vector<std::pair<std::string, double>> phases;   ///< Accumulated secs.
+  std::vector<std::pair<std::string, double>> metrics;  ///< Accumulated.
+  struct Series {
+    std::string label;
+    std::vector<std::string> columns;
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+  };
+  std::vector<Series> series;
+};
+
+Report g_report;
+
+void accumulate(std::vector<std::pair<std::string, double>>& into,
+                const std::string& key, double value) {
+  for (auto& [k, v] : into) {
+    if (k == key) {
+      v += value;
+      return;
+    }
+  }
+  into.emplace_back(key, value);
+}
+
+void json_string(std::FILE* out, const std::string& s) {
+  std::fputc('"', out);
+  for (char c : s) {
+    if (c == '"' || c == '\\') std::fprintf(out, "\\%c", c);
+    else if (c == '\n') std::fputs("\\n", out);
+    else std::fputc(c, out);
+  }
+  std::fputc('"', out);
 }
 
 }  // namespace
@@ -46,12 +88,105 @@ void print_header(const std::string& label,
   std::printf("%-28s", label.c_str());
   for (const std::string& c : columns) std::printf(" %14s", c.c_str());
   std::printf("\n");
+  if (g_report.armed) {
+    g_report.series.push_back({label, columns, {}});
+  }
 }
 
 void print_row(const std::string& label, const std::vector<double>& values) {
   std::printf("%-28s", label.c_str());
   for (double v : values) std::printf(" %14.6g", v);
   std::printf("\n");
+  if (g_report.armed && !g_report.series.empty()) {
+    g_report.series.back().rows.emplace_back(label, values);
+  }
+}
+
+void open_report(const std::string& name, const BenchEnv& env) {
+  g_report = Report{};
+  g_report.armed = true;
+  g_report.name = name;
+  g_report.env = env;
+}
+
+void report_metric(const std::string& key, double value) {
+  if (g_report.armed) accumulate(g_report.metrics, key, value);
+}
+
+PhaseTimer::PhaseTimer(std::string phase)
+    : phase_(std::move(phase)), start_(std::chrono::steady_clock::now()) {}
+
+PhaseTimer::~PhaseTimer() {
+  if (!g_report.armed) return;
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  accumulate(g_report.phases, phase_, elapsed.count());
+}
+
+std::string emit_json() {
+  if (!g_report.armed) return {};
+  const char* dir = std::getenv("ADAM2_BENCH_JSON");
+  if (dir == nullptr || *dir == '\0') return {};
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path =
+      (std::filesystem::path(dir) / ("BENCH_" + g_report.name + ".json"))
+          .string();
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return {};
+
+  std::fputs("{\n  \"name\": ", out);
+  json_string(out, g_report.name);
+  std::fprintf(out,
+               ",\n  \"nodes\": %zu,\n  \"seed\": %llu,\n"
+               "  \"peer_sample\": %zu,\n  \"threads\": %zu,\n",
+               g_report.env.n,
+               static_cast<unsigned long long>(g_report.env.seed),
+               g_report.env.peer_sample, g_report.env.threads);
+
+  const auto dump_map =
+      [out](const char* key,
+            const std::vector<std::pair<std::string, double>>& entries) {
+        std::fprintf(out, "  \"%s\": {", key);
+        bool first = true;
+        for (const auto& [k, v] : entries) {
+          std::fputs(first ? "\n    " : ",\n    ", out);
+          first = false;
+          json_string(out, k);
+          std::fprintf(out, ": %.17g", v);
+        }
+        std::fputs(entries.empty() ? "},\n" : "\n  },\n", out);
+      };
+  dump_map("phases_seconds", g_report.phases);
+  dump_map("metrics", g_report.metrics);
+
+  std::fputs("  \"series\": [", out);
+  for (std::size_t s = 0; s < g_report.series.size(); ++s) {
+    const Report::Series& series = g_report.series[s];
+    std::fputs(s == 0 ? "\n    {\"label\": " : ",\n    {\"label\": ", out);
+    json_string(out, series.label);
+    std::fputs(", \"columns\": [", out);
+    for (std::size_t c = 0; c < series.columns.size(); ++c) {
+      if (c > 0) std::fputs(", ", out);
+      json_string(out, series.columns[c]);
+    }
+    std::fputs("], \"rows\": [", out);
+    for (std::size_t r = 0; r < series.rows.size(); ++r) {
+      const auto& [label, values] = series.rows[r];
+      std::fputs(r == 0 ? "\n      {\"label\": " : ",\n      {\"label\": ",
+                 out);
+      json_string(out, label);
+      std::fputs(", \"values\": [", out);
+      for (std::size_t v = 0; v < values.size(); ++v) {
+        std::fprintf(out, v > 0 ? ", %.17g" : "%.17g", values[v]);
+      }
+      std::fputs("]}", out);
+    }
+    std::fputs(series.rows.empty() ? "]}" : "\n    ]}", out);
+  }
+  std::fputs(g_report.series.empty() ? "]\n}\n" : "\n  ]\n}\n", out);
+  std::fclose(out);
+  return path;
 }
 
 core::SystemConfig default_system(const BenchEnv& env) {
@@ -83,12 +218,17 @@ std::vector<InstanceResult> run_adam2_series(
 
   core::EvaluationOptions options;
   options.peer_sample = env.peer_sample;
+  options.threads = env.threads;
 
   std::vector<InstanceResult> results;
   results.reserve(instances);
   for (std::size_t i = 0; i < instances; ++i) {
-    system.run_instance();
+    {
+      PhaseTimer timer("gossip");
+      system.run_instance();
+    }
     InstanceResult r;
+    PhaseTimer timer("evaluate");
     // Under churn the truth drifts; evaluate against the current population.
     const stats::EmpiricalCdf current_truth =
         config.engine.churn_rate > 0.0 ? system.truth() : truth;
@@ -100,6 +240,12 @@ std::vector<InstanceResult> run_adam2_series(
     r.at_points = {at_points.max_err, at_points.avg_err};
     results.push_back(r);
   }
+  const auto& traffic = system.engine().total_traffic();
+  report_metric("aggregation_bytes_sent",
+                static_cast<double>(
+                    traffic.on(sim::Channel::kAggregation).bytes_sent));
+  report_metric("total_bytes_sent",
+                static_cast<double>(traffic.total_bytes_sent()));
   return results;
 }
 
@@ -125,14 +271,21 @@ std::vector<InstanceResult> run_equidepth_series(
     const wire::InstanceId phase = agent.start_phase(ctx);
     // Evaluate the bins while the phase is still live (last gossip round),
     // then let it finalise and evaluate the population estimates.
-    sim_engine.run_rounds(config.phase_ttl);
+    {
+      PhaseTimer timer("gossip");
+      sim_engine.run_rounds(config.phase_ttl);
+    }
+    PhaseTimer timer("evaluate");
     const stats::EmpiricalCdf current_truth =
         engine.churn_rate > 0.0
             ? stats::EmpiricalCdf{sim_engine.live_attribute_values()}
             : truth;
     const auto instant = baselines::evaluate_equidepth_phase(
         sim_engine, phase, current_truth, env.peer_sample);
-    sim_engine.run_rounds(1);
+    {
+      PhaseTimer gossip_timer("gossip");
+      sim_engine.run_rounds(1);
+    }
     const auto pop = baselines::evaluate_equidepth(sim_engine, current_truth,
                                                    env.peer_sample);
     InstanceResult r;
@@ -140,6 +293,12 @@ std::vector<InstanceResult> run_equidepth_series(
     r.at_points = instant.at_bins;
     results.push_back(r);
   }
+  const auto& traffic = sim_engine.total_traffic();
+  report_metric("aggregation_bytes_sent",
+                static_cast<double>(
+                    traffic.on(sim::Channel::kAggregation).bytes_sent));
+  report_metric("total_bytes_sent",
+                static_cast<double>(traffic.total_bytes_sent()));
   return results;
 }
 

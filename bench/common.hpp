@@ -4,10 +4,16 @@
 //   ADAM2_BENCH_N=<nodes>     population size (default 20,000)
 //   ADAM2_BENCH_FULL=1        paper scale (100,000 nodes)
 //   ADAM2_BENCH_SEED=<s>      master seed (default 42)
-//   ADAM2_BENCH_THREADS=<t>   cycle-engine worker threads (default serial)
+//   ADAM2_BENCH_THREADS=<t>   worker threads: cycle engine AND sharded
+//                             population evaluation (default serial)
+//   ADAM2_BENCH_JSON=<dir>    also write a machine-readable report to
+//                             <dir>/BENCH_<name>.json — per-phase wall-clock
+//                             seconds, bytes exchanged, and every printed
+//                             series (Errm/Erra columns included)
 // and prints the corresponding figure's series as aligned text columns.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -43,6 +49,40 @@ void print_banner(const std::string& title, const BenchEnv& env);
 void print_row(const std::string& label, const std::vector<double>& values);
 void print_header(const std::string& label,
                   const std::vector<std::string>& columns);
+
+// -- Machine-readable report (ADAM2_BENCH_JSON) -----------------------------
+//
+// open_report(name, env) arms the report; from then on print_header starts a
+// mirrored series and print_row appends to it, so benches get their printed
+// Errm/Erra columns into the JSON for free. PhaseTimer accumulates wall-clock
+// seconds per named phase (the series drivers below time their gossip and
+// evaluation phases automatically), report_metric accumulates named scalars
+// (bytes exchanged, speedups, ...). emit_json() writes
+// $ADAM2_BENCH_JSON/BENCH_<name>.json and is a no-op when the variable is
+// unset, so benches call it unconditionally.
+
+/// Arms the report for this bench run. `name` becomes BENCH_<name>.json.
+void open_report(const std::string& name, const BenchEnv& env);
+
+/// Adds `value` to the named scalar metric (starting from zero).
+void report_metric(const std::string& key, double value);
+
+/// Writes the report if open_report() ran and ADAM2_BENCH_JSON is set.
+/// Returns the path written, or an empty string when disabled.
+std::string emit_json();
+
+/// Accumulates wall-clock seconds into the report's named phase (RAII).
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::string phase);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Result of one Adam2 aggregation instance in a multi-instance series.
 struct InstanceResult {

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include <string>
+
 #include "common.hpp"
 #include "stats/cdf.hpp"
 
@@ -13,6 +15,7 @@ using namespace adam2;
 
 int main() {
   const bench::BenchEnv env = bench::bench_env();
+  bench::open_report("fig04_attribute_cdfs", env);
   bench::print_banner("Figure 4: actual attribute distributions F", env);
 
   for (data::Attribute kind : data::kAllAttributes) {
@@ -33,5 +36,7 @@ int main() {
       bench::print_row(std::to_string(static_cast<long long>(x)), {cdf(x)});
     }
   }
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

@@ -8,12 +8,15 @@
 // the heavily-skewed RAM attribute.
 #include <cstdio>
 
+#include <string>
+
 #include "common.hpp"
 
 using namespace adam2;
 
 int main() {
   const bench::BenchEnv env = bench::bench_env(10000);
+  bench::open_report("fig05_bootstrap", env);
   bench::print_banner("Figure 5: MinMax accuracy vs bootstrap approach", env);
 
   constexpr std::size_t kInstances = 10;
@@ -48,5 +51,7 @@ int main() {
     for (const auto& r : results) row.push_back(r.entire.max_err);
     bench::print_row(s.label, row);
   }
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

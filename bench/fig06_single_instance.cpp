@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "baselines/equidepth.hpp"
+#include <string>
+
 #include "common.hpp"
 #include "core/evaluation.hpp"
 
@@ -81,6 +83,7 @@ void run_equidepth(const bench::BenchEnv& env,
 
 int main() {
   const bench::BenchEnv env = bench::bench_env();
+  bench::open_report("fig06_single_instance", env);
   bench::print_banner(
       "Figure 6: approximation accuracy over one aggregation instance (RAM)",
       env);
@@ -88,5 +91,7 @@ int main() {
   const stats::EmpiricalCdf truth{values};
   run_adam2(env, values, truth);
   run_equidepth(env, values, truth);
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

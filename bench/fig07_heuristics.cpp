@@ -6,12 +6,15 @@
 // Erra (it spends points by arc length); LCut's Errm on RAM is the worst.
 #include <cstdio>
 
+#include <string>
+
 #include "common.hpp"
 
 using namespace adam2;
 
 int main() {
   const bench::BenchEnv env = bench::bench_env(10000);
+  bench::open_report("fig07_heuristics", env);
   bench::print_banner("Figure 7: HCut vs MinMax vs LCut over 5 instances",
                       env);
 
@@ -62,5 +65,7 @@ int main() {
   std::printf("\n## (b) Average distance (Erra)\n");
   bench::print_header("series", columns);
   for (const auto& r : results) bench::print_row(r.label, r.avg_err);
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

@@ -6,12 +6,15 @@
 // stepped RAM CDF — and an order of magnitude worse than LCut on Erra.
 #include <cstdio>
 
+#include <string>
+
 #include "common.hpp"
 
 using namespace adam2;
 
 int main() {
   const bench::BenchEnv env = bench::bench_env(10000);
+  bench::open_report("fig08_equidepth_phases", env);
   bench::print_banner("Figure 8: EquiDepth over multiple phases", env);
 
   constexpr std::size_t kPhases = 5;
@@ -70,5 +73,7 @@ int main() {
   std::printf("\n## (b) Average distance (Erra) — compare *-EquiDepth vs *-LCut\n");
   bench::print_header("series", columns);
   for (const auto& r : results) bench::print_row(r.label, r.avg_err);
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

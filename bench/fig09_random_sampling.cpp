@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "baselines/sampling.hpp"
+#include <string>
+
 #include "common.hpp"
 #include "stats/summary.hpp"
 
@@ -15,6 +17,7 @@ using namespace adam2;
 
 int main() {
   const bench::BenchEnv env = bench::bench_env();
+  bench::open_report("fig09_random_sampling", env);
   bench::print_banner("Figure 9: approximation error for random sampling",
                       env);
 
@@ -47,5 +50,7 @@ int main() {
                      {cpu_max.mean(), cpu_avg.mean(), ram_max.mean(),
                       ram_avg.mean(), static_cast<double>(messages)});
   }
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

@@ -6,12 +6,15 @@
 // budget; ~50 points give Errm ~2% (MinMax) and Erra ~0.1% (LCut).
 #include <cstdio>
 
+#include <string>
+
 #include "common.hpp"
 
 using namespace adam2;
 
 int main() {
   const bench::BenchEnv env = bench::bench_env(5000);
+  bench::open_report("fig10_interpolation_points", env);
   bench::print_banner(
       "Figure 10: influence of the number of interpolation points", env);
 
@@ -62,5 +65,7 @@ int main() {
                      {minmax_em[0], minmax_em[1], lcut_ea[0], lcut_ea[1],
                       ed_em[0], ed_em[1], ed_ea[0], ed_ea[1]});
   }
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

@@ -13,6 +13,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include <string>
+
 #include "common.hpp"
 
 using namespace adam2;
@@ -57,6 +59,7 @@ RowResult run_row(const bench::BenchEnv& sized, std::size_t n,
 
 int main() {
   const bench::BenchEnv env = bench::bench_env();
+  bench::open_report("fig11_scalability", env);
   bench::print_banner("Figure 11: influence of the system size", env);
 
   constexpr std::size_t kInstances = 3;
@@ -93,5 +96,7 @@ int main() {
     if (compare) label += match ? " match" : " MISMATCH";
     bench::print_row(label, values);
   }
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

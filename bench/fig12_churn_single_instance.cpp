@@ -12,6 +12,8 @@
 #include <cstdio>
 
 #include "baselines/equidepth.hpp"
+#include <string>
+
 #include "common.hpp"
 #include "core/evaluation.hpp"
 
@@ -92,10 +94,13 @@ void run_equidepth(const bench::BenchEnv& env,
 
 int main() {
   const bench::BenchEnv env = bench::bench_env();
+  bench::open_report("fig12_churn_single_instance", env);
   bench::print_banner("Figure 12: single-instance accuracy under churn (RAM)",
                       env);
   const auto values = bench::population(data::Attribute::kRamMb, env.n, env.seed);
   run_adam2(env, values);
   run_equidepth(env, values);
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

@@ -10,6 +10,8 @@
 // P2P systems [13]).
 #include <cstdio>
 
+#include <string>
+
 #include "common.hpp"
 #include "core/evaluation.hpp"
 
@@ -17,6 +19,7 @@ using namespace adam2;
 
 int main() {
   const bench::BenchEnv env = bench::bench_env(4000);
+  bench::open_report("fig13_churn_rates", env);
   bench::print_banner("Figure 13: impact of churn rate (8 instances)", env);
 
   constexpr std::size_t kInstances = 8;
@@ -71,5 +74,7 @@ int main() {
                              lcut_ea[1], ed_em[0], ed_em[1], ed_ea[0],
                              ed_ea[1]});
   }
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

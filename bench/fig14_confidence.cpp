@@ -9,6 +9,8 @@
 // proportional traffic overhead (~40% at 20 points over lambda = 50).
 #include <cstdio>
 
+#include <string>
+
 #include "common.hpp"
 #include "core/evaluation.hpp"
 
@@ -39,6 +41,7 @@ double run_confidence(const bench::BenchEnv& env, data::Attribute attribute,
 
 int main() {
   const bench::BenchEnv env = bench::bench_env(10000);
+  bench::open_report("fig14_confidence", env);
   bench::print_banner("Figure 14: accuracy-estimation error for MinMax", env);
 
   bench::print_header("verif_points", {"CPU_Errm_est", "RAM_Errm_est",
@@ -58,5 +61,7 @@ int main() {
                                         points);
     bench::print_row(std::to_string(points), {cpu_m, ram_m, cpu_a, ram_a});
   }
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

@@ -1,13 +1,95 @@
-// Microbenchmarks (google-benchmark) for the hot paths of the library:
+// Microbenchmarks (google-benchmark) for the hot paths of the library —
 // payload merging, wire round-trips, point-selection heuristics, and the
-// closed-form discrete error metrics.
+// closed-form discrete error metrics — plus an always-run acceptance harness
+// for the optimised paths:
+//
+//   * DiscreteErrorEvaluator must be bit-identical to discrete_errors and
+//     at least ~2x faster on a 20,000-node truth (the speedup is recorded in
+//     BENCH_micro_core.json; only bit-mismatches fail the process, since
+//     wall-clock on shared CI runners is noisy).
+//   * A steady-state Adam2 gossip exchange (make_request -> handle_request ->
+//     handle_response between two live agents) must perform zero heap
+//     allocations, verified with a counting global operator new.
+//   * The zero-copy Adam2MessageView must materialize exactly what
+//     Adam2Message::decode produces for builder-encoded bytes.
+//
+// Environment: ADAM2_BENCH_JSON=<dir> writes the acceptance metrics to
+// <dir>/BENCH_micro_core.json; ADAM2_BENCH_MICRO_ACCEPT_ONLY=1 skips the
+// google-benchmark suite (CI smoke runs use this). Any exit code other than
+// zero means an acceptance invariant broke.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "common.hpp"
 #include "core/instance.hpp"
 #include "core/point_selection.hpp"
+#include "core/protocol.hpp"
 #include "data/boinc_synth.hpp"
+#include "host/agent.hpp"
+#include "host/overlay.hpp"
+#include "host/view.hpp"
 #include "stats/error_metrics.hpp"
 #include "wire/messages.hpp"
+
+// -- Allocation counting ----------------------------------------------------
+// Counted global operator new: every successful allocation bumps the counter,
+// so the acceptance harness can assert that warmed-up gossip exchanges are
+// allocation-free. Deltas are what matter; the absolute value includes the
+// benchmark library's own allocations.
+//
+// GCC flags free() inside the replaced operator delete as mismatched with the
+// (also replaced, malloc-backed) operator new at inlined call sites; the pair
+// is consistent by construction.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = nullptr;
+  const std::size_t al =
+      std::max(static_cast<std::size_t>(align), sizeof(void*));
+  if (posix_memalign(&p, al, size) != 0) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -22,6 +104,219 @@ core::InstanceState make_state(std::size_t lambda) {
       {1, 0}, 0, 25, thresholds, {},
       [](double t) { return 300.0 <= t ? 1.0 : 0.0; }, 300.0, 300.0);
 }
+
+stats::PiecewiseLinearCdf synthetic_prev(std::size_t knots,
+                                         std::uint64_t seed = 5) {
+  std::vector<stats::CdfPoint> points;
+  rng::Rng rng(seed);
+  double f = 0.0;
+  for (std::size_t i = 0; i < knots; ++i) {
+    f = std::min(1.0, f + rng.uniform() * 2.0 / static_cast<double>(knots));
+    points.push_back({static_cast<double>(i * 13), f});
+  }
+  points.front().f = 0.0;
+  points.back().f = 1.0;
+  return stats::PiecewiseLinearCdf{std::move(points)};
+}
+
+// -- Acceptance harness -----------------------------------------------------
+
+/// Minimal host for driving two agents directly: everyone is live, traffic
+/// recording is a no-op (the substrate, not the agent, records traffic).
+class PairHostView final : public host::HostView {
+ public:
+  PairHostView() : ids_{0, 1} {}
+  [[nodiscard]] bool is_live(host::NodeId) const override { return true; }
+  [[nodiscard]] stats::Value attribute_of(host::NodeId id) const override {
+    return id == 0 ? 100 : 900;
+  }
+  [[nodiscard]] host::Round round() const override { return 1; }
+  [[nodiscard]] std::span<const host::NodeId> live_ids() const override {
+    return ids_;
+  }
+  void record_traffic(host::NodeId, host::NodeId, host::Channel,
+                      std::size_t) override {}
+
+ private:
+  std::vector<host::NodeId> ids_;
+};
+
+/// Two-node overlay: each node's only neighbour is the other one; the
+/// neighbour-value cache is a fixed spread so bootstrap thresholds exist.
+class PairOverlay final : public host::Overlay {
+ public:
+  void add_node(host::NodeId, const host::HostView&, rng::Rng&) override {}
+  void remove_node(host::NodeId) override {}
+  [[nodiscard]] std::optional<host::NodeId> pick_gossip_target(
+      host::NodeId id, rng::Rng&) const override {
+    return id == 0 ? host::NodeId{1} : host::NodeId{0};
+  }
+  [[nodiscard]] std::vector<host::NodeId> neighbors(
+      host::NodeId id) const override {
+    return {id == 0 ? host::NodeId{1} : host::NodeId{0}};
+  }
+  [[nodiscard]] std::vector<stats::Value> known_attribute_values(
+      host::NodeId, const host::HostView&) const override {
+    std::vector<stats::Value> values;
+    for (stats::Value v = 50; v <= 1000; v += 50) values.push_back(v);
+    return values;
+  }
+};
+
+bool check(bool ok, const char* what, int& failures) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  if (!ok) ++failures;
+  return ok;
+}
+
+/// Bit-match + speedup of DiscreteErrorEvaluator vs discrete_errors on a
+/// 20,000-node RAM truth (the acceptance scale from the optimisation issue).
+void accept_evaluator(const bench::BenchEnv& env, int& failures) {
+  constexpr std::size_t kNodes = 20000;
+  rng::Rng rng(env.seed);
+  const auto values =
+      data::generate_population(data::Attribute::kRamMb, kNodes, rng);
+  const stats::EmpiricalCdf truth{values};
+  const stats::DiscreteErrorEvaluator evaluator(truth);
+
+  std::vector<stats::PiecewiseLinearCdf> approxes;
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    approxes.push_back(synthetic_prev(52, 7 * s + 1));
+  }
+
+  std::size_t mismatches = 0;
+  for (const auto& approx : approxes) {
+    const stats::ErrorPair slow = stats::discrete_errors(truth, approx);
+    const stats::ErrorPair fast = evaluator(approx);
+    if (slow.max_err != fast.max_err || slow.avg_err != fast.avg_err) {
+      ++mismatches;
+    }
+  }
+  check(mismatches == 0, "evaluator bit-identical to discrete_errors",
+        failures);
+  bench::report_metric("evaluator_bit_mismatches",
+                       static_cast<double>(mismatches));
+
+  using clock = std::chrono::steady_clock;
+  const auto time_passes = [&](auto&& fn) {
+    // One warm-up pass, then best-of-3 to shrug off scheduler noise.
+    fn();
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto begin = clock::now();
+      fn();
+      const std::chrono::duration<double> d = clock::now() - begin;
+      best = std::min(best, d.count());
+    }
+    return best;
+  };
+  double sink = 0.0;
+  const double serial_s = time_passes([&] {
+    for (const auto& approx : approxes) {
+      sink += stats::discrete_errors(truth, approx).avg_err;
+    }
+  });
+  const double cached_s = time_passes([&] {
+    for (const auto& approx : approxes) sink += evaluator(approx).avg_err;
+  });
+  benchmark::DoNotOptimize(sink);
+  const double speedup = cached_s > 0.0 ? serial_s / cached_s : 0.0;
+  std::printf("  evaluator: serial %.6fs cached %.6fs speedup %.2fx %s\n",
+              serial_s, cached_s, speedup,
+              speedup >= 2.0 ? "(target >= 2x met)" : "(below 2x target!)");
+  bench::report_metric("evaluator_serial_s", serial_s);
+  bench::report_metric("evaluator_cached_s", cached_s);
+  bench::report_metric("evaluator_speedup_n20000", speedup);
+}
+
+/// Steady-state gossip between two warmed-up agents must not allocate: the
+/// request/reply encode into reused Writer scratch and the decode is the
+/// zero-copy view, so the only allocations happen while instances join.
+void accept_zero_alloc_exchange(int& failures) {
+  PairHostView view;
+  PairOverlay overlay;
+  rng::Rng rng_a(1);
+  rng::Rng rng_b(2);
+  host::AgentContext actx{view, overlay, 0, 1, 0, view.attribute_of(0), rng_a};
+  host::AgentContext bctx{view, overlay, 1, 1, 0, view.attribute_of(1), rng_b};
+
+  core::Adam2Config config;
+  config.lambda = 50;
+  config.instance_ttl = 60000;  // Stay mid-instance for the whole run.
+  core::Adam2Agent a(config);
+  core::Adam2Agent b(config);
+  (void)a.start_instance(actx);
+  (void)a.start_instance(actx);
+
+  const auto exchange = [&] {
+    const auto request = a.make_request(actx);
+    if (!request.empty()) {
+      const auto response = b.handle_request(bctx, request);
+      if (!response.empty()) a.handle_response(actx, response);
+    }
+    const auto back_request = b.make_request(bctx);
+    if (!back_request.empty()) {
+      const auto back_response = a.handle_request(actx, back_request);
+      if (!back_response.empty()) b.handle_response(bctx, back_response);
+    }
+  };
+  // Warm up: b joins both instances and every scratch buffer reaches its
+  // steady-state capacity.
+  for (int i = 0; i < 16; ++i) exchange();
+
+  constexpr int kSteadyIters = 1000;
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < kSteadyIters; ++i) exchange();
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - before;
+
+  char what[96];
+  std::snprintf(what, sizeof what,
+                "steady-state exchange allocation-free (%llu allocs / %d "
+                "exchanges)",
+                static_cast<unsigned long long>(allocs), kSteadyIters);
+  check(allocs == 0, what, failures);
+  bench::report_metric("exchange_steady_allocs", static_cast<double>(allocs));
+  bench::report_metric("exchange_steady_iterations",
+                       static_cast<double>(kSteadyIters));
+  bench::report_metric(
+      "exchange_active_instances",
+      static_cast<double>(a.active_instance_count()));
+}
+
+/// The zero-copy view of builder-encoded bytes must materialize exactly what
+/// the owning decoder produces.
+void accept_wire_view(int& failures) {
+  wire::Adam2Message message;
+  message.type = wire::MessageType::kAdam2Request;
+  message.sender = 7;
+  auto s = make_state(50);
+  message.instances = {s.to_payload()};
+
+  wire::Writer scratch;
+  wire::Adam2MessageBuilder builder(scratch, message.type, message.sender);
+  builder.add(message.instances.front());
+  const auto bytes = builder.finish();
+
+  const wire::Adam2Message owned = wire::Adam2Message::decode(bytes);
+  const wire::Adam2Message viewed =
+      wire::Adam2MessageView::parse(bytes).materialize();
+  check(owned == message && viewed == message,
+        "zero-copy view materializes identically to Adam2Message::decode",
+        failures);
+}
+
+int run_acceptance(const bench::BenchEnv& env) {
+  std::printf("\n## Hot-path acceptance checks\n");
+  int failures = 0;
+  accept_wire_view(failures);
+  accept_zero_alloc_exchange(failures);
+  accept_evaluator(env, failures);
+  bench::report_metric("acceptance_failures", static_cast<double>(failures));
+  return failures == 0 ? 0 : 1;
+}
+
+// -- Microbenchmarks --------------------------------------------------------
 
 void BM_MergeAverage(benchmark::State& state) {
   auto a = make_state(static_cast<std::size_t>(state.range(0)));
@@ -50,18 +345,28 @@ void BM_WireRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_WireRoundTrip)->Arg(10)->Arg(50)->Arg(100);
 
-stats::PiecewiseLinearCdf synthetic_prev(std::size_t knots) {
-  std::vector<stats::CdfPoint> points;
-  rng::Rng rng(5);
-  double f = 0.0;
-  for (std::size_t i = 0; i < knots; ++i) {
-    f = std::min(1.0, f + rng.uniform() * 2.0 / static_cast<double>(knots));
-    points.push_back({static_cast<double>(i * 13), f});
+void BM_WireViewRoundTrip(benchmark::State& state) {
+  auto s = make_state(static_cast<std::size_t>(state.range(0)));
+  const auto payload = s.to_payload();
+  wire::Writer scratch;
+  std::size_t encoded_size = 0;
+  for (auto _ : state) {
+    wire::Adam2MessageBuilder builder(scratch,
+                                      wire::MessageType::kAdam2Request, 7);
+    builder.add(payload);
+    const auto bytes = builder.finish();
+    encoded_size = bytes.size();
+    const auto view = wire::Adam2MessageView::parse(bytes);
+    double sum = 0.0;
+    for (const auto& instance : view) {
+      for (const stats::CdfPoint p : instance.points) sum += p.f;
+    }
+    benchmark::DoNotOptimize(sum);
   }
-  points.front().f = 0.0;
-  points.back().f = 1.0;
-  return stats::PiecewiseLinearCdf{std::move(points)};
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(encoded_size));
 }
+BENCHMARK(BM_WireViewRoundTrip)->Arg(10)->Arg(50)->Arg(100);
 
 void BM_SelectHCut(benchmark::State& state) {
   const auto prev = synthetic_prev(52);
@@ -99,6 +404,19 @@ void BM_DiscreteErrors(benchmark::State& state) {
 }
 BENCHMARK(BM_DiscreteErrors)->Arg(1000)->Arg(10000)->Arg(100000);
 
+void BM_DiscreteErrorEvaluator(benchmark::State& state) {
+  rng::Rng rng(7);
+  const auto values = data::generate_population(
+      data::Attribute::kRamMb, static_cast<std::size_t>(state.range(0)), rng);
+  const stats::EmpiricalCdf truth{values};
+  const stats::DiscreteErrorEvaluator evaluator(truth);
+  const auto approx = synthetic_prev(52);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator(approx));
+  }
+}
+BENCHMARK(BM_DiscreteErrorEvaluator)->Arg(1000)->Arg(10000)->Arg(100000);
+
 void BM_EmpiricalCdfBuild(benchmark::State& state) {
   rng::Rng rng(8);
   const auto values = data::generate_population(
@@ -113,4 +431,24 @@ BENCHMARK(BM_EmpiricalCdfBuild)->Arg(1000)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const adam2::bench::BenchEnv env = adam2::bench::bench_env();
+  adam2::bench::open_report("micro_core", env);
+  adam2::bench::print_banner(
+      "Microbenchmarks and hot-path acceptance checks", env);
+
+  const int rc = run_acceptance(env);
+
+  const char* accept_only = std::getenv("ADAM2_BENCH_MICRO_ACCEPT_ONLY");
+  if (accept_only == nullptr || *accept_only == '\0' ||
+      *accept_only == '0') {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+
+  const std::string json = adam2::bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
+  return rc;
+}

@@ -12,6 +12,8 @@
 #include <cstdio>
 
 #include "baselines/sampling.hpp"
+#include <string>
+
 #include "common.hpp"
 #include "core/evaluation.hpp"
 #include "wire/messages.hpp"
@@ -89,6 +91,7 @@ CostRow equidepth_cost(const bench::BenchEnv& env, std::size_t n,
 
 int main() {
   const bench::BenchEnv env = bench::bench_env(10000);
+  bench::open_report("tab_cost", env);
   bench::print_banner("Section VII-I: cost evaluation", env);
 
   // Message size directly from the wire format.
@@ -144,5 +147,7 @@ int main() {
   const CostRow three = adam2_cost(env, env.n, 3);
   std::printf("time to accurate CDF: ~%d s; upstream bandwidth: %.2f kB/s\n",
               3 * 25, three.sent_kb_per_node * 1024.0 / (3 * 25) / 1024.0);
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
   return 0;
 }

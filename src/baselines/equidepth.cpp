@@ -68,13 +68,16 @@ wire::EquiDepthMessage EquiDepthAgent::message_for(const Phase& phase,
   return msg;
 }
 
-std::vector<std::byte> EquiDepthAgent::make_request(sim::AgentContext& ctx) {
+std::span<const std::byte> EquiDepthAgent::make_request(
+    sim::AgentContext& ctx) {
   if (active_.empty()) return {};
   // One phase per message keeps the format simple; concurrent phases take
   // turns. (The paper's comparison runs one phase at a time.)
   const auto& [id, phase] = *active_.begin();
-  return message_for(phase, wire::MessageType::kEquiDepthRequest, ctx.self)
-      .encode();
+  wire_scratch_ =
+      message_for(phase, wire::MessageType::kEquiDepthRequest, ctx.self)
+          .encode();
+  return wire_scratch_;
 }
 
 EquiDepthAgent::Phase EquiDepthAgent::join_phase(
@@ -115,7 +118,7 @@ void EquiDepthAgent::merge(Phase& phase,
   phase.synopsis = stats::compress_equi_depth(std::move(merged), config_.bins);
 }
 
-std::vector<std::byte> EquiDepthAgent::handle_request(
+std::span<const std::byte> EquiDepthAgent::handle_request(
     sim::AgentContext& ctx, std::span<const std::byte> request) {
   wire::EquiDepthMessage incoming;
   try {
@@ -132,12 +135,14 @@ std::vector<std::byte> EquiDepthAgent::handle_request(
                              ctx.self);
     merge(joined, incoming.synopsis);
     active_.emplace(incoming.phase, std::move(joined));
-    return reply.encode();
+    wire_scratch_ = reply.encode();
+    return wire_scratch_;
   }
   auto reply =
       message_for(it->second, wire::MessageType::kEquiDepthResponse, ctx.self);
   merge(it->second, incoming.synopsis);
-  return reply.encode();
+  wire_scratch_ = reply.encode();
+  return wire_scratch_;
 }
 
 void EquiDepthAgent::handle_response(sim::AgentContext& ctx,
@@ -256,6 +261,7 @@ EquiDepthPopulationErrors evaluate_equidepth(sim::Engine& engine,
                                              bool include_inherited,
                                              bool missing_counts_as_one) {
   EquiDepthPopulationErrors out;
+  const stats::DiscreteErrorEvaluator errors_against_truth(truth);
   stats::RunningStat avg_stat;
   for (sim::NodeId id : sample_peers(engine, peer_sample)) {
     const auto* agent = dynamic_cast<const EquiDepthAgent*>(&engine.agent(id));
@@ -269,7 +275,7 @@ EquiDepthPopulationErrors evaluate_equidepth(sim::Engine& engine,
       avg_stat.add(1.0);
       continue;
     }
-    const stats::ErrorPair errors = stats::discrete_errors(truth, est->cdf);
+    const stats::ErrorPair errors = errors_against_truth(est->cdf);
     out.max_err = std::max(out.max_err, errors.max_err);
     avg_stat.add(errors.avg_err);
   }
@@ -283,6 +289,7 @@ EquiDepthInstantErrors evaluate_equidepth_phase(
     const stats::EmpiricalCdf& truth, std::size_t peer_sample,
     std::optional<sim::Round> born_by) {
   EquiDepthInstantErrors out;
+  const stats::DiscreteErrorEvaluator errors_against_truth(truth);
   stats::RunningStat entire_avg;
   stats::RunningStat bins_avg;
   for (sim::NodeId id : sample_peers(engine, peer_sample)) {
@@ -300,7 +307,7 @@ EquiDepthInstantErrors evaluate_equidepth_phase(
       continue;
     }
     const auto cdf = stats::centroids_to_cdf(synopsis);
-    const stats::ErrorPair entire = stats::discrete_errors(truth, cdf);
+    const stats::ErrorPair entire = errors_against_truth(cdf);
     out.entire.max_err = std::max(out.entire.max_err, entire.max_err);
     entire_avg.add(entire.avg_err);
     const auto knots = cdf.knots();

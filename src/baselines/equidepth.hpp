@@ -48,9 +48,9 @@ class EquiDepthAgent final : public sim::NodeAgent {
   explicit EquiDepthAgent(EquiDepthConfig config);
 
   void on_round_start(sim::AgentContext& ctx) override;
-  [[nodiscard]] std::vector<std::byte> make_request(
+  [[nodiscard]] std::span<const std::byte> make_request(
       sim::AgentContext& ctx) override;
-  [[nodiscard]] std::vector<std::byte> handle_request(
+  [[nodiscard]] std::span<const std::byte> handle_request(
       sim::AgentContext& ctx, std::span<const std::byte> request) override;
   void handle_response(sim::AgentContext& ctx,
                        std::span<const std::byte> response) override;
@@ -99,6 +99,9 @@ class EquiDepthAgent final : public sim::NodeAgent {
   std::unordered_set<wire::InstanceId, wire::InstanceIdHash> finalized_ids_;
   std::deque<wire::InstanceId> finalized_order_;
   static constexpr std::size_t kFinalizedMemory = 128;
+  /// Backs the spans returned by make_request/handle_request (the baseline
+  /// is not a hot path; a reused owning buffer satisfies the agent contract).
+  std::vector<std::byte> wire_scratch_;
 };
 
 /// Population errors of completed EquiDepth estimates (cf. core::evaluate_*).

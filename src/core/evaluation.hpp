@@ -14,11 +14,13 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <optional>
 
 #include "core/protocol.hpp"
+#include "host/pool.hpp"
 #include "sim/engine.hpp"
 #include "stats/error_metrics.hpp"
 #include "stats/summary.hpp"
@@ -40,6 +42,11 @@ struct EvaluationOptions {
   /// Peers without a usable estimate count with the maximum error of one
   /// (the paper's convention while an instance has not reached everyone).
   bool missing_counts_as_one = true;
+
+  /// Worker threads for the per-peer error computation (<= 1 = serial).
+  /// Results are reduced serially in fixed peer order, so the six
+  /// PopulationErrors fields are bit-identical at any thread count.
+  std::size_t threads = 1;
 };
 
 struct PopulationErrors {
@@ -79,16 +86,45 @@ std::vector<sim::NodeId> pick_peers(Host& engine,
 
 /// Core aggregation loop: `errors_of` returns a peer's ErrorPair or nullopt
 /// when the peer has nothing usable.
+///
+/// With options.threads > 1 the per-peer calls — the expensive part, each a
+/// full-domain error sweep — fan out over a WorkerPool. The peer list is
+/// fixed up front and every worker writes only its claimed slots, so the
+/// engine is read concurrently but never mutated; `errors_of` must therefore
+/// be const with respect to engine state (all evaluators are). The reduction
+/// deliberately stays serial and walks the slots in peer order: floating-
+/// point accumulation order is what makes serial and sharded runs
+/// bit-identical, which a parallel RunningStat merge would not be.
 template <typename Host, typename ErrorsOf>
 PopulationErrors aggregate(Host& engine, const EvaluationOptions& options,
                            ErrorsOf&& errors_of) {
-  PopulationErrors out;
-  stats::RunningStat max_stat;
-  stats::RunningStat avg_stat;
+  std::vector<sim::NodeId> peers;
   for (sim::NodeId id : pick_peers(engine, options)) {
     const sim::Node& node = engine.node(id);
     if (options.born_by && node.birth_round > *options.born_by) continue;
-    std::optional<stats::ErrorPair> errors = errors_of(id);
+    peers.push_back(id);
+  }
+
+  std::vector<std::optional<stats::ErrorPair>> results(peers.size());
+  if (options.threads > 1 && peers.size() > 1) {
+    host::WorkerPool pool(std::min(options.threads, peers.size()));
+    std::atomic<std::size_t> next{0};
+    pool.run([&](std::size_t /*worker*/) {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < peers.size(); i = next.fetch_add(1, std::memory_order_relaxed)) {
+        results[i] = errors_of(peers[i]);
+      }
+    });
+  } else {
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      results[i] = errors_of(peers[i]);
+    }
+  }
+
+  PopulationErrors out;
+  stats::RunningStat max_stat;
+  stats::RunningStat avg_stat;
+  for (std::optional<stats::ErrorPair>& errors : results) {
     if (!errors) {
       ++out.missing;
       if (!options.missing_counts_as_one) continue;
@@ -130,11 +166,12 @@ template <typename Host>
 PopulationErrors evaluate_estimates(Host& engine,
                                     const stats::EmpiricalCdf& truth,
                                     const EvaluationOptions& options = {}) {
+  const stats::DiscreteErrorEvaluator errors_against_truth(truth);
   return detail::aggregate(
       engine, options, [&](sim::NodeId id) -> std::optional<stats::ErrorPair> {
         const Estimate* est = detail::usable_estimate(engine, id, options);
         if (est == nullptr) return std::nullopt;
-        return stats::discrete_errors(truth, est->cdf);
+        return errors_against_truth(est->cdf);
       });
 }
 
@@ -157,6 +194,7 @@ template <typename Host>
 PopulationErrors evaluate_instance_cdf(Host& engine, wire::InstanceId id,
                                        const stats::EmpiricalCdf& truth,
                                        const EvaluationOptions& options = {}) {
+  const stats::DiscreteErrorEvaluator errors_against_truth(truth);
   return detail::aggregate(
       engine, options,
       [&](sim::NodeId peer) -> std::optional<stats::ErrorPair> {
@@ -166,7 +204,7 @@ PopulationErrors evaluate_instance_cdf(Host& engine, wire::InstanceId id,
         if (state == nullptr) return std::nullopt;
         const auto cdf = stats::interpolate_with_extremes(
             state->points, state->min_value, state->max_value);
-        return stats::discrete_errors(truth, cdf);
+        return errors_against_truth(cdf);
       });
 }
 
@@ -194,13 +232,14 @@ double confidence_estimation_error(Host& engine,
                                    const stats::EmpiricalCdf& truth,
                                    bool use_max,
                                    const EvaluationOptions& options = {}) {
+  const stats::DiscreteErrorEvaluator errors_against_truth(truth);
   stats::RunningStat relative;
   for (sim::NodeId id : detail::pick_peers(engine, options)) {
     const sim::Node& node = engine.node(id);
     if (options.born_by && node.birth_round > *options.born_by) continue;
     const Estimate* est = detail::usable_estimate(engine, id, options);
     if (est == nullptr || !est->self_assessment) continue;
-    const stats::ErrorPair actual = stats::discrete_errors(truth, est->cdf);
+    const stats::ErrorPair actual = errors_against_truth(est->cdf);
     const double true_err = use_max ? actual.max_err : actual.avg_err;
     const double est_err = use_max ? est->self_assessment->max_err
                                    : est->self_assessment->avg_err;

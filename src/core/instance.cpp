@@ -14,12 +14,14 @@ std::vector<stats::CdfPoint> contribute(const std::vector<double>& thresholds,
   return points;
 }
 
-std::vector<stats::CdfPoint> contribute_at(
-    const std::vector<stats::CdfPoint>& received,
-    const ContributionFn& contribution) {
+// Works for owned vectors and zero-copy wire::PointsView alike; both yield
+// stats::CdfPoint elements.
+template <typename PointRange>
+std::vector<stats::CdfPoint> contribute_at(const PointRange& received,
+                                           const ContributionFn& contribution) {
   std::vector<stats::CdfPoint> points;
   points.reserve(received.size());
-  for (const stats::CdfPoint& p : received) {
+  for (const stats::CdfPoint p : received) {
     points.push_back({p.t, contribution(p.t)});
   }
   return points;
@@ -31,6 +33,17 @@ void average_points(std::vector<stats::CdfPoint>& mine,
   for (std::size_t i = 0; i < mine.size(); ++i) {
     assert(mine[i].t == theirs[i].t);
     mine[i].f = (mine[i].f + theirs[i].f) / 2.0;
+  }
+}
+
+void average_points(std::vector<stats::CdfPoint>& mine,
+                    const wire::PointsView& theirs) {
+  assert(mine.size() == theirs.size());
+  std::size_t i = 0;
+  for (const stats::CdfPoint p : theirs) {
+    assert(mine[i].t == p.t);
+    mine[i].f = (mine[i].f + p.f) / 2.0;
+    ++i;
   }
 }
 
@@ -68,7 +81,31 @@ InstanceState InstanceState::join(const wire::InstancePayload& payload,
   return state;
 }
 
+InstanceState InstanceState::join(const wire::InstancePayloadView& payload,
+                                  const ContributionFn& contribution,
+                                  double local_min, double local_max) {
+  InstanceState state;
+  state.id = payload.id;
+  state.start_round = payload.start_round;
+  state.ttl = payload.ttl;
+  state.weight = 0.0;
+  state.min_value = local_min;
+  state.max_value = local_max;
+  state.points = contribute_at(payload.points, contribution);
+  state.verification = contribute_at(payload.verification, contribution);
+  return state;
+}
+
 void InstanceState::average_with(const wire::InstancePayload& other) {
+  assert(other.id == id);
+  average_points(points, other.points);
+  average_points(verification, other.verification);
+  weight = (weight + other.weight) / 2.0;
+  min_value = std::min(min_value, other.min_value);
+  max_value = std::max(max_value, other.max_value);
+}
+
+void InstanceState::average_with(const wire::InstancePayloadView& other) {
   assert(other.id == id);
   average_points(points, other.points);
   average_points(verification, other.verification);

@@ -41,6 +41,11 @@ struct InstanceState : wire::InstancePayload {
                                           const ContributionFn& contribution,
                                           double local_min, double local_max);
 
+  /// Same, straight from a zero-copy payload view (exchange hot path).
+  [[nodiscard]] static InstanceState join(
+      const wire::InstancePayloadView& payload,
+      const ContributionFn& contribution, double local_min, double local_max);
+
   /// Wire view of the current state (identity — kept for readability).
   [[nodiscard]] const wire::InstancePayload& to_payload() const {
     return *this;
@@ -50,6 +55,16 @@ struct InstanceState : wire::InstancePayload {
   /// weight, min/max of the extremes. The payload must belong to the same
   /// instance and carry identical thresholds.
   void average_with(const wire::InstancePayload& other);
+
+  /// Same merge reading the peer's sequences directly off the wire buffer
+  /// (no materialised vectors — the exchange hot path).
+  void average_with(const wire::InstancePayloadView& other);
+
+  /// Scratch mark used by Adam2Agent::handle_request to remember which
+  /// active instances the current request mentioned, making the
+  /// "instances the requester did not mention" reply pass linear instead of
+  /// O(active x incoming). Not protocol state; never serialised.
+  std::uint64_t touched_epoch = 0;
 };
 
 }  // namespace adam2::core

@@ -29,13 +29,13 @@ std::pair<double, double> Adam2Agent::local_extremes(
 }
 
 bool Adam2Agent::eligible(const sim::AgentContext& ctx,
-                          const wire::InstancePayload& payload) const {
+                          std::uint32_t start_round,
+                          wire::InstanceId id) const {
   // Nodes ignore instances that started before they entered the system
   // (§VII-G), so a partial contribution never distorts a running average —
   // and never rejoin an instance this node already finalised (stragglers'
   // messages can arrive after local termination).
-  return payload.start_round >= ctx.birth_round &&
-         !finalized_ids_.contains(payload.id);
+  return start_round >= ctx.birth_round && !finalized_ids_.contains(id);
 }
 
 void Adam2Agent::on_round_start(sim::AgentContext& ctx) {
@@ -122,29 +122,42 @@ wire::InstanceId Adam2Agent::start_instance(sim::AgentContext& ctx) {
   return id;
 }
 
-std::vector<std::byte> Adam2Agent::make_request(sim::AgentContext& ctx) {
+std::span<const std::byte> Adam2Agent::make_request(sim::AgentContext& ctx) {
   if (active_.empty()) return {};
-  wire::Adam2MessageBuilder builder(wire::MessageType::kAdam2Request,
-                                    ctx.self);
+  wire::Adam2MessageBuilder builder(wire_scratch_,
+                                    wire::MessageType::kAdam2Request, ctx.self);
   for (const auto& [id, state] : active_) builder.add(state);
   return builder.finish();
 }
 
-std::vector<std::byte> Adam2Agent::handle_request(
+std::span<const std::byte> Adam2Agent::handle_request(
     sim::AgentContext& ctx, std::span<const std::byte> request) {
-  wire::Adam2Message incoming;
+  // The reply is encoded into this agent's scratch while the request is
+  // iterated in place; the two must not alias (they never do: the request
+  // lives in the initiator's scratch or in a substrate-owned envelope).
+  assert(request.data() != wire_scratch_.view().data());
+
+  std::optional<wire::Adam2MessageView> parsed;
   try {
-    incoming = wire::Adam2Message::decode(request);
+    parsed = wire::Adam2MessageView::parse(request);
   } catch (const wire::DecodeError&) {
     return {};  // Corrupt or foreign message: drop it, as a deployment would.
   }
+  const wire::Adam2MessageView& incoming = *parsed;
 
-  wire::Adam2MessageBuilder reply(wire::MessageType::kAdam2Response, ctx.self);
+  wire::Adam2MessageBuilder reply(wire_scratch_,
+                                  wire::MessageType::kAdam2Response, ctx.self);
 
-  for (const wire::InstancePayload& payload : incoming.instances) {
-    if ((payload.flags & wire::kFlagEmptySet) != 0) continue;
-    if (!eligible(ctx, payload)) continue;
+  // Every active instance the request mentions — in any payload, even ones
+  // the flag/eligibility skips below ignore — is marked with the current
+  // epoch so the "unmentioned instances" pass stays linear in |active_|.
+  const std::uint64_t epoch = ++request_epoch_;
+
+  for (const wire::InstancePayloadView& payload : incoming) {
     auto it = active_.find(payload.id);
+    if (it != active_.end()) it->second.touched_epoch = epoch;
+    if ((payload.flags & wire::kFlagEmptySet) != 0) continue;
+    if (!eligible(ctx, payload.start_round, payload.id)) continue;
     if (it != active_.end()) {
       // Symmetric exchange: reply with the pre-merge state, then average.
       reply.add(it->second);
@@ -162,18 +175,16 @@ std::vector<std::byte> Adam2Agent::handle_request(
     } else {
       // Figure-1 literal: reply with an empty set, which the requester will
       // ignore. Not mass conserving; kept for the ablation bench.
-      reply.add_empty_set(payload);
+      reply.add_empty_set(joined);
     }
     joined.average_with(payload);
+    joined.touched_epoch = epoch;
     active_.emplace(payload.id, std::move(joined));
   }
 
   // Instances the requester did not mention spread through responses too.
   for (const auto& [id, state] : active_) {
-    const bool requested = std::any_of(
-        incoming.instances.begin(), incoming.instances.end(),
-        [&](const wire::InstancePayload& p) { return p.id == id; });
-    if (!requested) reply.add(state);
+    if (state.touched_epoch != epoch) reply.add(state);
   }
 
   if (reply.count() == 0) return {};
@@ -182,15 +193,15 @@ std::vector<std::byte> Adam2Agent::handle_request(
 
 void Adam2Agent::handle_response(sim::AgentContext& ctx,
                                  std::span<const std::byte> response) {
-  wire::Adam2Message incoming;
+  std::optional<wire::Adam2MessageView> parsed;
   try {
-    incoming = wire::Adam2Message::decode(response);
+    parsed = wire::Adam2MessageView::parse(response);
   } catch (const wire::DecodeError&) {
     return;
   }
-  for (const wire::InstancePayload& payload : incoming.instances) {
+  for (const wire::InstancePayloadView& payload : *parsed) {
     if ((payload.flags & wire::kFlagEmptySet) != 0) continue;
-    if (!eligible(ctx, payload)) continue;
+    if (!eligible(ctx, payload.start_round, payload.id)) continue;
     auto it = active_.find(payload.id);
     if (it != active_.end()) {
       it->second.average_with(payload);

@@ -30,9 +30,9 @@ class Adam2Agent : public sim::NodeAgent {
 
   // -- sim::NodeAgent ------------------------------------------------------
   void on_round_start(sim::AgentContext& ctx) override;
-  [[nodiscard]] std::vector<std::byte> make_request(
+  [[nodiscard]] std::span<const std::byte> make_request(
       sim::AgentContext& ctx) override;
-  [[nodiscard]] std::vector<std::byte> handle_request(
+  [[nodiscard]] std::span<const std::byte> handle_request(
       sim::AgentContext& ctx, std::span<const std::byte> request) override;
   void handle_response(sim::AgentContext& ctx,
                        std::span<const std::byte> response) override;
@@ -91,7 +91,8 @@ class Adam2Agent : public sim::NodeAgent {
 
  private:
   [[nodiscard]] bool eligible(const sim::AgentContext& ctx,
-                              const wire::InstancePayload& payload) const;
+                              std::uint32_t start_round,
+                              wire::InstanceId id) const;
   void finalize(sim::AgentContext& ctx, InstanceState&& state);
   [[nodiscard]] std::vector<double> choose_thresholds(sim::AgentContext& ctx);
   [[nodiscard]] std::vector<double> choose_verification(
@@ -117,6 +118,12 @@ class Adam2Agent : public sim::NodeAgent {
   double n_estimate_ = 0.0;
   std::uint32_t next_seq_ = 0;
   std::size_t completed_ = 0;
+  /// Reusable encode scratch for make_request/handle_request. Grows once to
+  /// the steady-state message size, then exchanges encode allocation-free.
+  wire::Writer wire_scratch_;
+  /// Monotone counter backing InstanceState::touched_epoch (see
+  /// handle_request); bumping it invalidates all marks in O(1).
+  std::uint64_t request_epoch_ = 0;
 };
 
 }  // namespace adam2::core

@@ -37,6 +37,16 @@ struct AgentContext {
 };
 
 /// Per-node protocol logic. All byte spans are encoded wire messages.
+///
+/// Buffer ownership on the exchange hot path: make_request and
+/// handle_request return *views* into agent-owned scratch buffers, valid
+/// until the next callback on the same agent. Substrates either consume the
+/// bytes within the exchange (the cycle engines do — the two participants'
+/// scratches cannot be overwritten while their exchange is in flight, even
+/// under the parallel engine's scheduler, which never runs two units of one
+/// node concurrently) or copy them into an owned envelope (the event-driven
+/// engine and the socket runtimes, whose messages outlive the callback).
+/// This keeps steady-state exchanges free of heap allocations.
 class NodeAgent {
  public:
   virtual ~NodeAgent() = default;
@@ -46,12 +56,14 @@ class NodeAgent {
   virtual void on_round_start(AgentContext& /*ctx*/) {}
 
   /// The agent's gossip request for this round; empty means "stay silent".
-  [[nodiscard]] virtual std::vector<std::byte> make_request(
+  /// The view is valid until the next callback on this agent.
+  [[nodiscard]] virtual std::span<const std::byte> make_request(
       AgentContext& ctx) = 0;
 
   /// Responder side of an exchange; the returned buffer is delivered back to
-  /// the requester (empty = no response).
-  [[nodiscard]] virtual std::vector<std::byte> handle_request(
+  /// the requester (empty = no response). The view is valid until the next
+  /// callback on this agent.
+  [[nodiscard]] virtual std::span<const std::byte> handle_request(
       AgentContext& ctx, std::span<const std::byte> request) = 0;
 
   /// Requester side: the response to this round's request.

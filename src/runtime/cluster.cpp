@@ -159,9 +159,12 @@ class Cluster::RuntimeNode {
     }
     traffic_.on(sim::Channel::kAggregation).add_send(request.size());
     const std::uint64_t token = session_.next_token();
+    // The span aliases the agent's scratch; the envelope outlives the
+    // callback, so copy into an owned payload.
     if (cluster_.network_.send(
-            *target, Envelope{EnvelopeKind::kGossipRequest, id_, token,
-                              std::move(request)})) {
+            *target,
+            Envelope{EnvelopeKind::kGossipRequest, id_, token,
+                     std::vector<std::byte>(request.begin(), request.end())})) {
       session_.arm(token, cluster_.config_.response_timeout);
     } else {
       ++traffic_.failed_contacts;
@@ -188,8 +191,9 @@ class Cluster::RuntimeNode {
         if (response.empty()) return;
         traffic_.on(sim::Channel::kAggregation).add_send(response.size());
         cluster_.network_.send(
-            envelope.from, Envelope{EnvelopeKind::kGossipResponse, id_,
-                                    envelope.token, std::move(response)});
+            envelope.from,
+            Envelope{EnvelopeKind::kGossipResponse, id_, envelope.token,
+                     std::vector<std::byte>(response.begin(), response.end())});
         return;
       }
       case EnvelopeKind::kGossipResponse:

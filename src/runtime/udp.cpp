@@ -244,9 +244,12 @@ void UdpPeer::tick(sim::AgentContext& ctx) {
   directory_.record_traffic(id_, *target, sim::Channel::kAggregation,
                             request.size());
   const std::uint64_t token = session_.next_token();
-  if (endpoint_.send(directory_.port_of(*target),
-                     Envelope{EnvelopeKind::kGossipRequest, id_, token,
-                              std::move(request)})) {
+  // The span aliases the agent's scratch; the envelope outlives the
+  // callback, so copy into an owned payload.
+  if (endpoint_.send(
+          directory_.port_of(*target),
+          Envelope{EnvelopeKind::kGossipRequest, id_, token,
+                   std::vector<std::byte>(request.begin(), request.end())})) {
     session_.arm(token, config_.response_timeout);
   }
 }
@@ -264,9 +267,10 @@ void UdpPeer::handle(sim::AgentContext& ctx, Envelope&& envelope) {
       if (response.empty()) return;
       directory_.record_traffic(id_, envelope.from, sim::Channel::kAggregation,
                                 response.size());
-      endpoint_.send(directory_.port_of(envelope.from),
-                     Envelope{EnvelopeKind::kGossipResponse, id_,
-                              envelope.token, std::move(response)});
+      endpoint_.send(
+          directory_.port_of(envelope.from),
+          Envelope{EnvelopeKind::kGossipResponse, id_, envelope.token,
+                   std::vector<std::byte>(response.begin(), response.end())});
       return;
     }
     case EnvelopeKind::kGossipResponse:

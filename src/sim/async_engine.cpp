@@ -171,8 +171,11 @@ void AsyncEngine::on_tick(NodeId id) {
             rng_.bernoulli(config_.message_loss)) {
           ++total_traffic_.dropped_messages;
         } else {
+          // The span aliases the agent's scratch; the event outlives the
+          // callback, so copy into an owned payload.
           schedule(now_ + sample_latency(), EventKind::kRequestDelivery, id,
-                   *target, std::move(request));
+                   *target,
+                   std::vector<std::byte>(request.begin(), request.end()));
         }
       }
     }
@@ -199,7 +202,8 @@ void AsyncEngine::on_request(Event&& event) {
     return;
   }
   schedule(now_ + sample_latency(), EventKind::kResponseDelivery, event.to,
-           event.from, std::move(response));
+           event.from,
+           std::vector<std::byte>(response.begin(), response.end()));
 }
 
 void AsyncEngine::on_response(Event&& event) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace adam2::stats {
@@ -66,6 +67,95 @@ ErrorPair discrete_errors(const EmpiricalCdf& truth,
     sum += abs_linear_sum(a, b, ha, hb);
   }
   return {max_err, sum / static_cast<double>(big_m - m)};
+}
+
+DiscreteErrorEvaluator::DiscreteErrorEvaluator(const EmpiricalCdf& truth)
+    : distinct_(truth.distinct_values()),
+      cumulative_(truth.cumulative_fractions()),
+      min_(truth.min()),
+      max_(truth.max()) {
+  assert(!truth.empty());
+}
+
+ErrorPair DiscreteErrorEvaluator::operator()(
+    const PiecewiseLinearCdf& approx) const {
+  assert(!distinct_.empty());
+  assert(!approx.empty());
+  if (min_ == max_) {
+    const double err = std::abs(1.0 - approx(static_cast<double>(min_)));
+    return {err, err};
+  }
+
+  const std::span<const CdfPoint> knots = approx.knots();
+  constexpr std::int64_t kNone = std::numeric_limits<std::int64_t>::max();
+
+  // Forward cursor replicating PiecewiseLinearCdf::operator() for the
+  // non-decreasing query sequence a0 <= b0 < a1 <= b1 < ... (each run's
+  // endpoints, in run order). `hi` only ever moves right, so a full call is
+  // one linear walk over the knots instead of a binary search per query.
+  std::size_t hi = 1;
+  const auto approx_at = [&](double x) -> double {
+    if (x <= knots.front().t) return x < knots.front().t ? 0.0 : knots.front().f;
+    if (x >= knots.back().t) return knots.back().f;
+    while (knots[hi].t <= x) ++hi;
+    const CdfPoint& khi = knots[hi];
+    const CdfPoint& klo = knots[hi - 1];
+    const double span = khi.t - klo.t;
+    if (span <= 0.0) return khi.f;
+    const double w = (x - klo.t) / span;
+    return klo.f + w * (khi.f - klo.f);
+  };
+
+  // Knot-derived run starts: ceil(k.t) restricted to (min, max]. The knots
+  // are sorted by t, so these arrive already sorted; peek skips the
+  // out-of-domain prefix/suffix lazily.
+  std::size_t ki = 0;
+  const auto knot_peek = [&]() -> std::int64_t {
+    while (ki < knots.size()) {
+      const auto c = static_cast<std::int64_t>(std::ceil(knots[ki].t));
+      if (c > min_ && c <= max_) return c;
+      ++ki;
+    }
+    return kNone;
+  };
+
+  // Merged sweep: the run sequence is the sorted, deduplicated union of the
+  // truth breakpoints (distinct_[1..]) and the knot starts — exactly the
+  // `starts` vector discrete_errors builds, visited in the same order.
+  std::size_t ti = 1;   ///< Next truth breakpoint to start a run at.
+  std::size_t lvl = 0;  ///< Truth level index for the current run.
+  double max_err = 0.0;
+  double sum = 0.0;
+  std::int64_t a = min_;
+  while (true) {
+    // Truth level at a: largest breakpoint <= a under the same double
+    // comparison truth(x) uses, so rounding behaves identically.
+    const double ax = static_cast<double>(a);
+    while (lvl + 1 < distinct_.size() &&
+           static_cast<double>(distinct_[lvl + 1]) <= ax) {
+      ++lvl;
+    }
+    const double level = cumulative_[lvl];
+
+    const std::int64_t next_truth = ti < distinct_.size()
+                                        ? static_cast<std::int64_t>(distinct_[ti])
+                                        : kNone;
+    const std::int64_t next_knot = knot_peek();
+    const std::int64_t next = std::min(next_truth, next_knot);
+    const std::int64_t b = next == kNone ? max_ : next - 1;
+
+    const double ha = level - approx_at(static_cast<double>(a));
+    const double hb = level - approx_at(static_cast<double>(b));
+    max_err = std::max({max_err, std::abs(ha), std::abs(hb)});
+    sum += abs_linear_sum(a, b, ha, hb);
+
+    if (next == kNone) break;
+    if (next_truth == next) ++ti;
+    while (knot_peek() == next) ++ki;  // Dedup (several knots may round up
+                                       // to the same integer).
+    a = next;
+  }
+  return {max_err, sum / static_cast<double>(max_ - min_)};
 }
 
 ErrorPair discrete_errors_brute(const EmpiricalCdf& truth,

@@ -32,6 +32,37 @@ struct ErrorPair {
 [[nodiscard]] ErrorPair discrete_errors(const EmpiricalCdf& truth,
                                         const PiecewiseLinearCdf& approx);
 
+/// Caches the truth side of `discrete_errors` so the same truth ECDF can be
+/// held against many peer approximations cheaply (the evaluation hot path:
+/// one truth, thousands of peers, every round of every bench).
+///
+/// `discrete_errors` rebuilds, sorts, and deduplicates the full run-start
+/// vector — truth breakpoints plus approximation knots — on every call. The
+/// evaluator instead borrows the truth's distinct values and cumulative
+/// fractions once, and each call merges the (already sorted) truth
+/// breakpoints with the (already sorted) knot ceilings in a single sweep,
+/// walking both curves with forward cursors. No allocation, no sort, no
+/// binary search per call — and bit-identical results: the sweep visits the
+/// exact run sequence of `discrete_errors` and reuses its arithmetic,
+/// including `PiecewiseLinearCdf::operator()`'s branch structure.
+///
+/// Borrows spans from `truth`; the EmpiricalCdf must outlive the evaluator.
+/// operator() is const and keeps all cursors on the stack, so one evaluator
+/// may be shared across threads (the sharded population evaluation does).
+class DiscreteErrorEvaluator {
+ public:
+  explicit DiscreteErrorEvaluator(const EmpiricalCdf& truth);
+
+  /// Exact Errm/Erra of `approx`; equals discrete_errors(truth, approx).
+  [[nodiscard]] ErrorPair operator()(const PiecewiseLinearCdf& approx) const;
+
+ private:
+  std::span<const Value> distinct_;     ///< Truth breakpoints, ascending.
+  std::span<const double> cumulative_;  ///< Level after each breakpoint.
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
 /// Direct integer scan of the same metrics; O(max - min). Test oracle only.
 [[nodiscard]] ErrorPair discrete_errors_brute(const EmpiricalCdf& truth,
                                               const PiecewiseLinearCdf& approx);

@@ -53,6 +53,14 @@ class Writer {
   [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
 
+  /// View of the encoded bytes; invalidated by any further write or clear().
+  [[nodiscard]] std::span<const std::byte> view() const { return buf_; }
+
+  /// Drops the contents but keeps the capacity, so a Writer reused as a
+  /// per-agent scratch buffer stops allocating once it has seen its largest
+  /// message (the exchange hot path's allocation discipline, DESIGN.md §7).
+  void clear() { buf_.clear(); }
+
   /// Pre-allocates for a message whose encoded size is known.
   void reserve(std::size_t bytes) { buf_.reserve(bytes); }
 
@@ -119,7 +127,14 @@ class Reader {
     return n;
   }
 
+  /// Advances past `n` bytes without decoding them (validation walks).
+  void skip(std::size_t n) {
+    need(n);
+    pos_ += n;
+  }
+
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
   [[nodiscard]] bool done() const { return pos_ == data_.size(); }
 
   /// Throws unless the entire buffer was consumed.

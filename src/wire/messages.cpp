@@ -65,10 +65,34 @@ constexpr std::size_t payload_fixed_size() {
   return 12 + 4 + 2 + 1 + 24 + 8;
 }
 
+// Unaligned little-endian loads for the zero-copy views. memcpy keeps the
+// reads well-defined at any offset; the byte-swap branch mirrors Reader.
+template <typename T>
+T load_le(const std::byte* at) {
+  T v = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(&v, at, sizeof(T));
+  } else {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<std::uint8_t>(at[i])) << (8 * i);
+    }
+  }
+  return v;
+}
+
+double load_f64(const std::byte* at) {
+  const std::uint64_t bits = load_le<std::uint64_t>(at);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
 }  // namespace
 
-Adam2MessageBuilder::Adam2MessageBuilder(MessageType type,
-                                         std::uint64_t sender) {
+Adam2MessageBuilder::Adam2MessageBuilder(Writer& scratch, MessageType type,
+                                         std::uint64_t sender)
+    : writer_(scratch) {
+  writer_.clear();
   writer_.u8(static_cast<std::uint8_t>(type));
   writer_.u64(sender);
   writer_.u32(0);  // Payload count, patched in finish().
@@ -89,9 +113,105 @@ void Adam2MessageBuilder::add_empty_set(const InstancePayload& like) {
   ++count_;
 }
 
-std::vector<std::byte> Adam2MessageBuilder::finish() {
+std::span<const std::byte> Adam2MessageBuilder::finish() {
   writer_.patch_u32(1 + 8, count_);
-  return writer_.take();
+  return writer_.view();
+}
+
+stats::CdfPoint PointsView::iterator::operator*() const {
+  return {load_f64(at_), load_f64(at_ + 8)};
+}
+
+stats::CdfPoint PointsView::operator[](std::size_t i) const {
+  assert(i < count_);
+  return {load_f64(data_ + 16 * i), load_f64(data_ + 16 * i + 8)};
+}
+
+std::vector<stats::CdfPoint> PointsView::materialize() const {
+  std::vector<stats::CdfPoint> points;
+  points.reserve(count_);
+  for (const stats::CdfPoint p : *this) points.push_back(p);
+  return points;
+}
+
+InstancePayload InstancePayloadView::materialize() const {
+  InstancePayload p;
+  p.id = id;
+  p.start_round = start_round;
+  p.ttl = ttl;
+  p.flags = flags;
+  p.weight = weight;
+  p.min_value = min_value;
+  p.max_value = max_value;
+  p.points = points.materialize();
+  p.verification = verification.materialize();
+  return p;
+}
+
+Adam2MessageView::iterator::iterator(const std::byte* at, std::size_t index,
+                                     std::size_t count)
+    : at_(at), index_(index), count_(count) {
+  if (index_ < count_) load();
+}
+
+void Adam2MessageView::iterator::load() {
+  // Structure was validated by parse(); decode without re-checking bounds.
+  const std::byte* p = at_;
+  view_.id.initiator = load_le<std::uint64_t>(p);
+  view_.id.seq = load_le<std::uint32_t>(p + 8);
+  view_.start_round = load_le<std::uint32_t>(p + 12);
+  view_.ttl = load_le<std::uint16_t>(p + 16);
+  view_.flags = static_cast<std::uint8_t>(p[18]);
+  view_.weight = load_f64(p + 19);
+  view_.min_value = load_f64(p + 27);
+  view_.max_value = load_f64(p + 35);
+  p += 43;
+  const auto n_points = load_le<std::uint32_t>(p);
+  view_.points = PointsView(p + 4, n_points);
+  p += 4 + 16 * static_cast<std::size_t>(n_points);
+  const auto n_verification = load_le<std::uint32_t>(p);
+  view_.verification = PointsView(p + 4, n_verification);
+}
+
+Adam2MessageView::iterator& Adam2MessageView::iterator::operator++() {
+  at_ += 43 + 4 + 16 * view_.points.size() + 4 + 16 * view_.verification.size();
+  ++index_;
+  if (index_ < count_) load();
+  return *this;
+}
+
+Adam2MessageView Adam2MessageView::parse(std::span<const std::byte> buffer) {
+  // One validation walk with exactly the checks of Adam2Message::decode, so
+  // both reject the same corrupt buffers with the same DecodeError — but
+  // without materialising anything. Iteration afterwards cannot fail.
+  Reader r(buffer);
+  Adam2MessageView view;
+  view.type_ = static_cast<MessageType>(r.u8());
+  check_type(view.type_, MessageType::kAdam2Request,
+             MessageType::kAdam2Response, "Adam2Message");
+  view.sender_ = r.u64();
+  view.count_ = r.length(payload_fixed_size());
+  view.payloads_ = buffer.data() + r.position();
+  for (std::size_t i = 0; i < view.count_; ++i) {
+    r.skip(12 + 4 + 2 + 1 + 24);  // Fixed payload header.
+    const std::size_t n_points = r.length(16);
+    r.skip(16 * n_points);
+    const std::size_t n_verification = r.length(16);
+    r.skip(16 * n_verification);
+  }
+  r.expect_done();
+  return view;
+}
+
+Adam2Message Adam2MessageView::materialize() const {
+  Adam2Message m;
+  m.type = type_;
+  m.sender = sender_;
+  m.instances.reserve(count_);
+  for (const InstancePayloadView& p : *this) {
+    m.instances.push_back(p.materialize());
+  }
+  return m;
 }
 
 MessageType peek_type(std::span<const std::byte> buffer) {

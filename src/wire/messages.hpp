@@ -72,7 +72,9 @@ struct InstancePayload {
       default;
 };
 
-/// A full Adam2 gossip message (request or response).
+/// A full Adam2 gossip message (request or response). This is the *owning*
+/// decoded form, kept for tests, tools, and cold paths; the exchange hot
+/// path decodes with the zero-copy Adam2MessageView below instead.
 struct Adam2Message {
   MessageType type = MessageType::kAdam2Request;
   std::uint64_t sender = 0;
@@ -86,12 +88,146 @@ struct Adam2Message {
   friend bool operator==(const Adam2Message&, const Adam2Message&) = default;
 };
 
+/// Zero-copy view over an encoded point sequence: `count` little-endian
+/// (f64 t, f64 f) records starting at `data`. Iteration decodes on the fly;
+/// nothing is materialised.
+class PointsView {
+ public:
+  class iterator {
+   public:
+    using value_type = stats::CdfPoint;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+    iterator(const std::byte* at) : at_(at) {}
+
+    [[nodiscard]] stats::CdfPoint operator*() const;
+    iterator& operator++() {
+      at_ += 16;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator old = *this;
+      at_ += 16;
+      return old;
+    }
+    friend bool operator==(const iterator&, const iterator&) = default;
+
+   private:
+    const std::byte* at_ = nullptr;
+  };
+
+  PointsView() = default;
+  PointsView(const std::byte* data, std::size_t count)
+      : data_(data), count_(count) {}
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  /// Decodes record `i`. Precondition: i < size().
+  [[nodiscard]] stats::CdfPoint operator[](std::size_t i) const;
+
+  [[nodiscard]] iterator begin() const { return iterator(data_); }
+  [[nodiscard]] iterator end() const { return iterator(data_ + 16 * count_); }
+
+  /// Owning copy (cold paths and tests).
+  [[nodiscard]] std::vector<stats::CdfPoint> materialize() const;
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+/// Zero-copy decoded instance payload: the fixed header is unpacked into
+/// fields, the H and V sequences stay in the underlying buffer as
+/// PointsViews. Valid only while the decoded buffer is alive.
+struct InstancePayloadView {
+  InstanceId id;
+  std::uint32_t start_round = 0;
+  std::uint16_t ttl = 0;
+  std::uint8_t flags = 0;
+  double weight = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  PointsView points;
+  PointsView verification;
+
+  /// Owning copy, byte-identical to what Adam2Message::decode produces.
+  [[nodiscard]] InstancePayload materialize() const;
+};
+
+/// Zero-copy decode of an Adam2 gossip message. parse() validates the whole
+/// buffer up front with exactly the bounds checks of Adam2Message::decode
+/// (same DecodeError on the same corrupt inputs) but allocates nothing;
+/// iteration then unpacks payload headers on the fly. The responder hot path
+/// (Adam2Agent::handle_request) runs entirely off such views, so a
+/// steady-state exchange decodes with zero heap allocations.
+class Adam2MessageView {
+ public:
+  class iterator {
+   public:
+    using value_type = InstancePayloadView;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+    iterator(const std::byte* at, std::size_t index, std::size_t count);
+
+    [[nodiscard]] const InstancePayloadView& operator*() const { return view_; }
+    [[nodiscard]] const InstancePayloadView* operator->() const {
+      return &view_;
+    }
+    iterator& operator++();
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.index_ == b.index_;
+    }
+
+   private:
+    void load();
+
+    const std::byte* at_ = nullptr;  ///< Start of the current payload.
+    std::size_t index_ = 0;
+    std::size_t count_ = 0;
+    InstancePayloadView view_;
+  };
+
+  /// Validates and wraps `buffer`. Throws DecodeError on truncated or
+  /// structurally invalid input — identically to Adam2Message::decode.
+  [[nodiscard]] static Adam2MessageView parse(std::span<const std::byte> buffer);
+
+  [[nodiscard]] MessageType type() const { return type_; }
+  [[nodiscard]] std::uint64_t sender() const { return sender_; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  [[nodiscard]] iterator begin() const {
+    return iterator(payloads_, 0, count_);
+  }
+  [[nodiscard]] iterator end() const {
+    return iterator(nullptr, count_, count_);
+  }
+
+  /// Owning copy (convenience for tests).
+  [[nodiscard]] Adam2Message materialize() const;
+
+ private:
+  Adam2MessageView() = default;
+
+  MessageType type_ = MessageType::kAdam2Request;
+  std::uint64_t sender_ = 0;
+  std::size_t count_ = 0;
+  const std::byte* payloads_ = nullptr;  ///< First payload's first byte.
+};
+
 /// Zero-copy encoder for Adam2 messages: appends payloads straight from the
-/// sender's live state, avoiding the intermediate Adam2Message copies on the
-/// per-exchange hot path. The payload count is patched in at finish().
+/// sender's live state into a *borrowed* Writer, avoiding the intermediate
+/// Adam2Message copies on the per-exchange hot path. Agents keep the Writer
+/// as a reusable scratch buffer, so once its capacity has grown to the
+/// steady-state message size, encoding allocates nothing. The payload count
+/// is patched in at finish().
 class Adam2MessageBuilder {
  public:
-  Adam2MessageBuilder(MessageType type, std::uint64_t sender);
+  /// Clears `scratch` (keeping capacity) and writes the message header.
+  /// The builder borrows the writer; the encoded bytes live in it.
+  Adam2MessageBuilder(Writer& scratch, MessageType type, std::uint64_t sender);
 
   void add(const InstancePayload& payload);
 
@@ -100,11 +236,12 @@ class Adam2MessageBuilder {
 
   [[nodiscard]] std::size_t count() const { return count_; }
 
-  /// Finalises and returns the buffer (the builder is spent afterwards).
-  [[nodiscard]] std::vector<std::byte> finish();
+  /// Finalises and returns a view of the encoded message. The view aliases
+  /// the scratch writer: valid until the writer is next cleared or written.
+  [[nodiscard]] std::span<const std::byte> finish();
 
  private:
-  Writer writer_;
+  Writer& writer_;
   std::uint32_t count_ = 0;
 };
 

@@ -18,15 +18,16 @@ class AveragingAgent final : public NodeAgent {
   explicit AveragingAgent(double initial) : value_(initial) {}
   [[nodiscard]] double value() const { return value_; }
 
-  std::vector<std::byte> make_request(AgentContext&) override {
-    return encode(value_);
+  std::span<const std::byte> make_request(AgentContext&) override {
+    scratch_ = encode(value_);
+    return scratch_;
   }
-  std::vector<std::byte> handle_request(AgentContext&,
-                                        std::span<const std::byte> req) override {
+  std::span<const std::byte> handle_request(
+      AgentContext&, std::span<const std::byte> req) override {
     const double theirs = decode(req);
-    const auto reply = encode(value_);
+    scratch_ = encode(value_);
     value_ = (value_ + theirs) / 2.0;
-    return reply;
+    return scratch_;
   }
   void handle_response(AgentContext&, std::span<const std::byte> resp) override {
     value_ = (value_ + decode(resp)) / 2.0;
@@ -43,6 +44,7 @@ class AveragingAgent final : public NodeAgent {
     return r.f64();
   }
   double value_;
+  std::vector<std::byte> scratch_;  ///< Backs the returned spans.
 };
 
 std::vector<stats::Value> iota_values(std::size_t n) {

@@ -12,9 +12,9 @@ namespace {
 
 class SilentAgent final : public NodeAgent {
  public:
-  std::vector<std::byte> make_request(AgentContext&) override { return {}; }
-  std::vector<std::byte> handle_request(AgentContext&,
-                                        std::span<const std::byte>) override {
+  std::span<const std::byte> make_request(AgentContext&) override { return {}; }
+  std::span<const std::byte> handle_request(AgentContext&,
+                                            std::span<const std::byte>) override {
     return {};
   }
 };

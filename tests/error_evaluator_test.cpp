@@ -1,0 +1,135 @@
+// DiscreteErrorEvaluator must be *bit-identical* to discrete_errors — the
+// sharded population evaluation relies on that to make threaded and serial
+// runs indistinguishable — and both must agree with the brute-force integer
+// scan. The sweeps run over all four synthetic attributes (smooth, stepped,
+// heavy-tailed, jittered) plus adversarial degenerate domains.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "data/attribute.hpp"
+#include "data/boinc_synth.hpp"
+#include "rng/rng.hpp"
+#include "stats/cdf.hpp"
+#include "stats/error_metrics.hpp"
+
+namespace adam2::stats {
+namespace {
+
+/// Random monotone piecewise-linear approximation whose knots may fall
+/// outside [min, max] on either side (join-time estimates do).
+PiecewiseLinearCdf random_approx(rng::Rng& rng, double lo, double hi) {
+  const double span = hi > lo ? hi - lo : 1.0;
+  const std::size_t k = 2 + rng.below(60);
+  std::vector<CdfPoint> knots;
+  knots.reserve(k);
+  double f = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    f = std::min(1.0, f + rng.uniform() * 2.0 / static_cast<double>(k));
+    knots.push_back({rng.uniform(lo - 0.3 * span, hi + 0.3 * span), f});
+  }
+  return PiecewiseLinearCdf{std::move(knots)};
+}
+
+void expect_bit_identical(const EmpiricalCdf& truth,
+                          const PiecewiseLinearCdf& approx) {
+  const DiscreteErrorEvaluator evaluator(truth);
+  const ErrorPair slow = discrete_errors(truth, approx);
+  const ErrorPair fast = evaluator(approx);
+  // Exact equality on purpose: the evaluator replicates the run sequence and
+  // accumulation order of discrete_errors, not just its value up to epsilon.
+  EXPECT_EQ(slow.max_err, fast.max_err);
+  EXPECT_EQ(slow.avg_err, fast.avg_err);
+}
+
+/// attribute_index * 1000 + seed, so one parameter range covers the grid.
+class EvaluatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvaluatorPropertyTest, MatchesDiscreteErrorsAndBruteForce) {
+  const int attribute_index = GetParam() / 1000;
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam() % 1000);
+  const data::Attribute kind = data::kAllAttributes[attribute_index];
+
+  rng::Rng rng(seed * 0x9e3779b9ULL + static_cast<std::uint64_t>(GetParam()));
+  const auto values = data::generate_population(kind, 400, rng);
+  const EmpiricalCdf truth{values};
+  const DiscreteErrorEvaluator evaluator(truth);
+
+  for (int rep = 0; rep < 6; ++rep) {
+    const PiecewiseLinearCdf approx = random_approx(
+        rng, static_cast<double>(truth.min()),
+        static_cast<double>(truth.max()));
+    const ErrorPair slow = discrete_errors(truth, approx);
+    const ErrorPair fast = evaluator(approx);
+    EXPECT_EQ(slow.max_err, fast.max_err);
+    EXPECT_EQ(slow.avg_err, fast.avg_err);
+    // Brute force over every integer is only tractable on modest domains.
+    if (truth.max() - truth.min() <= 2'000'000) {
+      const ErrorPair brute = discrete_errors_brute(truth, approx);
+      EXPECT_NEAR(fast.max_err, brute.max_err, 1e-9);
+      EXPECT_NEAR(fast.avg_err, brute.avg_err, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAttributes, EvaluatorPropertyTest,
+    ::testing::Values(0, 1, 2, 3, 4, 1000, 1001, 1002, 1003, 1004, 2000, 2001,
+                      2002, 2003, 2004, 3000, 3001, 3002, 3003, 3004));
+
+TEST(EvaluatorDegenerateTest, SingleValueDomain) {
+  const EmpiricalCdf truth{{42, 42, 42}};
+  expect_bit_identical(truth, PiecewiseLinearCdf{{{42.0, 1.0}}});
+  expect_bit_identical(truth,
+                       PiecewiseLinearCdf{{{0.0, 0.25}, {100.0, 0.75}}});
+}
+
+TEST(EvaluatorDegenerateTest, TwoValueDomain) {
+  const EmpiricalCdf truth{{5, 9}};
+  expect_bit_identical(truth, PiecewiseLinearCdf{{{5.0, 0.5}, {9.0, 1.0}}});
+  expect_bit_identical(truth, PiecewiseLinearCdf{{{4.5, 0.1}, {9.5, 0.9}}});
+}
+
+TEST(EvaluatorDegenerateTest, AllKnotsBelowDomain) {
+  const EmpiricalCdf truth{{100, 150, 200}};
+  expect_bit_identical(truth,
+                       PiecewiseLinearCdf{{{-10.0, 0.5}, {0.0, 1.0}}});
+}
+
+TEST(EvaluatorDegenerateTest, AllKnotsAboveDomain) {
+  const EmpiricalCdf truth{{100, 150, 200}};
+  expect_bit_identical(truth,
+                       PiecewiseLinearCdf{{{500.0, 0.0}, {600.0, 1.0}}});
+}
+
+TEST(EvaluatorDegenerateTest, KnotsStraddleDomainWithFractionalPositions) {
+  const EmpiricalCdf truth{{10, 11, 11, 13}};
+  expect_bit_identical(
+      truth, PiecewiseLinearCdf{
+                 {{9.5, 0.0}, {10.5, 0.3}, {11.25, 0.6}, {14.75, 1.0}}});
+}
+
+TEST(EvaluatorDegenerateTest, SingleKnotApproximation) {
+  const EmpiricalCdf truth{{1, 2, 3, 4, 5}};
+  expect_bit_identical(truth, PiecewiseLinearCdf{{{3.0, 0.5}}});
+}
+
+TEST(EvaluatorDegenerateTest, EvaluatorIsReusableAcrossCalls) {
+  rng::Rng rng(99);
+  const auto values =
+      data::generate_population(data::Attribute::kRamMb, 300, rng);
+  const EmpiricalCdf truth{values};
+  const DiscreteErrorEvaluator evaluator(truth);
+  const PiecewiseLinearCdf approx = random_approx(
+      rng, static_cast<double>(truth.min()), static_cast<double>(truth.max()));
+  const ErrorPair first = evaluator(approx);
+  for (int i = 0; i < 5; ++i) {
+    const ErrorPair again = evaluator(approx);
+    EXPECT_EQ(first.max_err, again.max_err);
+    EXPECT_EQ(first.avg_err, again.avg_err);
+  }
+}
+
+}  // namespace
+}  // namespace adam2::stats

@@ -1,0 +1,130 @@
+// Sharded population evaluation must be bit-identical to serial evaluation:
+// EvaluationOptions::threads fans the per-peer error sweeps over a worker
+// pool, but the reduction stays serial in fixed peer order, so every one of
+// the six PopulationErrors fields must match the serial run *exactly* — at
+// any thread count, under churn, and with peer sampling active.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/evaluation.hpp"
+#include "core/system.hpp"
+#include "data/boinc_synth.hpp"
+#include "rng/rng.hpp"
+#include "stats/cdf.hpp"
+
+namespace adam2::core {
+namespace {
+
+SystemConfig small_config(std::uint64_t seed, double churn_rate) {
+  SystemConfig config;
+  config.engine.seed = seed;
+  config.engine.churn_rate = churn_rate;
+  config.protocol.lambda = 20;
+  config.protocol.instance_ttl = 20;
+  return config;
+}
+
+std::vector<stats::Value> ram_population(std::size_t n, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  return data::generate_population(data::Attribute::kRamMb, n, rng);
+}
+
+void expect_identical(const PopulationErrors& serial,
+                      const PopulationErrors& sharded) {
+  EXPECT_EQ(serial.max_err, sharded.max_err);
+  EXPECT_EQ(serial.avg_err, sharded.avg_err);
+  EXPECT_EQ(serial.stddev_max, sharded.stddev_max);
+  EXPECT_EQ(serial.stddev_avg, sharded.stddev_avg);
+  EXPECT_EQ(serial.peers, sharded.peers);
+  EXPECT_EQ(serial.missing, sharded.missing);
+}
+
+TEST(EvaluationShardTest, EstimatesBitIdenticalAcrossThreadCounts) {
+  const auto values = ram_population(400, 7);
+  const stats::EmpiricalCdf truth{values};
+  Adam2System system(small_config(7, 0.0), values);
+  system.run_instance();
+
+  EvaluationOptions options;
+  options.peer_sample = 150;
+  options.threads = 1;
+  const PopulationErrors serial =
+      evaluate_estimates(system.engine(), truth, options);
+  ASSERT_GT(serial.peers, 0u);
+  for (std::size_t threads : {2u, 8u}) {
+    options.threads = threads;
+    expect_identical(serial, evaluate_estimates(system.engine(), truth,
+                                                options));
+  }
+}
+
+TEST(EvaluationShardTest, MidInstanceCdfBitIdenticalUnderChurn) {
+  const auto values = ram_population(300, 11);
+  Adam2System system(small_config(11, 0.01), values,
+                     [](rng::Rng& rng) {
+                       return data::sample_attribute(data::Attribute::kRamMb,
+                                                     rng);
+                     });
+  system.run_rounds(3);
+  const wire::InstanceId id = system.start_instance();
+  // Stop mid-instance so some live peers have not joined yet (exercises the
+  // missing-peer path) and churned-in nodes are present.
+  system.run_rounds(6);
+  const stats::EmpiricalCdf truth = system.truth();
+
+  EvaluationOptions options;
+  options.peer_sample = 120;
+  options.threads = 1;
+  const PopulationErrors serial =
+      evaluate_instance_cdf(system.engine(), id, truth, options);
+  for (std::size_t threads : {2u, 8u}) {
+    options.threads = threads;
+    expect_identical(serial, evaluate_instance_cdf(system.engine(), id, truth,
+                                                   options));
+  }
+}
+
+TEST(EvaluationShardTest, PointErrorsAndMissingPolicyBitIdentical) {
+  const auto values = ram_population(250, 13);
+  const stats::EmpiricalCdf truth{values};
+  Adam2System system(small_config(13, 0.005), values,
+                     [](rng::Rng& rng) {
+                       return data::sample_attribute(data::Attribute::kRamMb,
+                                                     rng);
+                     });
+  system.run_instance();
+
+  for (const bool missing_counts : {true, false}) {
+    EvaluationOptions options;
+    options.peer_sample = 0;  // Every live peer.
+    options.missing_counts_as_one = missing_counts;
+    options.threads = 1;
+    const PopulationErrors serial =
+        evaluate_estimate_points(system.engine(), truth, options);
+    for (std::size_t threads : {2u, 8u}) {
+      options.threads = threads;
+      expect_identical(serial, evaluate_estimate_points(system.engine(), truth,
+                                                        options));
+    }
+  }
+}
+
+TEST(EvaluationShardTest, MoreThreadsThanPeersIsSafe) {
+  const auto values = ram_population(40, 17);
+  const stats::EmpiricalCdf truth{values};
+  Adam2System system(small_config(17, 0.0), values);
+  system.run_instance();
+
+  EvaluationOptions options;
+  options.peer_sample = 5;
+  options.threads = 1;
+  const PopulationErrors serial =
+      evaluate_estimates(system.engine(), truth, options);
+  options.threads = 64;
+  expect_identical(serial, evaluate_estimates(system.engine(), truth,
+                                              options));
+}
+
+}  // namespace
+}  // namespace adam2::core

@@ -260,9 +260,9 @@ class BootstrappingAgent final : public NodeAgent {
 
   [[nodiscard]] bool bootstrapped() const { return bootstrapped_; }
 
-  std::vector<std::byte> make_request(AgentContext&) override { return {}; }
-  std::vector<std::byte> handle_request(AgentContext&,
-                                        std::span<const std::byte>) override {
+  std::span<const std::byte> make_request(AgentContext&) override { return {}; }
+  std::span<const std::byte> handle_request(AgentContext&,
+                                            std::span<const std::byte>) override {
     return {};
   }
   std::vector<std::byte> make_bootstrap_request(AgentContext&) override {

@@ -30,18 +30,19 @@ class AveragingAgent final : public NodeAgent {
 
   [[nodiscard]] double value() const { return value_; }
 
-  std::vector<std::byte> make_request(AgentContext& ctx) override {
+  std::span<const std::byte> make_request(AgentContext& ctx) override {
     // Consume the agent stream so stream separation is exercised too.
     jitter_ = ctx.rng.uniform(0.0, 1e-12);
-    return encode(value_ + jitter_);
+    scratch_ = encode(value_ + jitter_);
+    return scratch_;
   }
 
-  std::vector<std::byte> handle_request(AgentContext&,
-                                        std::span<const std::byte> req) override {
+  std::span<const std::byte> handle_request(
+      AgentContext&, std::span<const std::byte> req) override {
     const double theirs = decode(req);
-    const auto reply = encode(value_);
+    scratch_ = encode(value_);
     value_ = (value_ + theirs) / 2.0;
-    return reply;
+    return scratch_;
   }
 
   void handle_response(AgentContext&, std::span<const std::byte> resp) override {
@@ -61,6 +62,7 @@ class AveragingAgent final : public NodeAgent {
 
   double value_ = 0.0;
   double jitter_ = 0.0;
+  std::vector<std::byte> scratch_;  ///< Backs the returned spans.
 };
 
 AgentFactory averaging_factory() {

@@ -26,16 +26,17 @@ class AveragingAgent final : public NodeAgent {
 
   void on_round_start(AgentContext&) override {}
 
-  std::vector<std::byte> make_request(AgentContext&) override {
-    return encode(value_);
+  std::span<const std::byte> make_request(AgentContext&) override {
+    scratch_ = encode(value_);
+    return scratch_;
   }
 
-  std::vector<std::byte> handle_request(AgentContext&,
-                                        std::span<const std::byte> req) override {
+  std::span<const std::byte> handle_request(
+      AgentContext&, std::span<const std::byte> req) override {
     const double theirs = decode(req);
-    const auto reply = encode(value_);  // Pre-merge value (symmetric).
+    scratch_ = encode(value_);  // Pre-merge value (symmetric).
     value_ = (value_ + theirs) / 2.0;
-    return reply;
+    return scratch_;
   }
 
   void handle_response(AgentContext&, std::span<const std::byte> resp) override {
@@ -54,6 +55,7 @@ class AveragingAgent final : public NodeAgent {
   }
 
   double value_;
+  std::vector<std::byte> scratch_;  ///< Backs the returned spans.
 };
 
 AgentFactory averaging_factory() {
@@ -65,9 +67,9 @@ AgentFactory averaging_factory() {
 /// Agent that never gossips; used for pure substrate tests.
 class SilentAgent final : public NodeAgent {
  public:
-  std::vector<std::byte> make_request(AgentContext&) override { return {}; }
-  std::vector<std::byte> handle_request(AgentContext&,
-                                        std::span<const std::byte>) override {
+  std::span<const std::byte> make_request(AgentContext&) override { return {}; }
+  std::span<const std::byte> handle_request(AgentContext&,
+                                            std::span<const std::byte>) override {
     return {};
   }
 };

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "rng/rng.hpp"
 #include "wire/buffer.hpp"
@@ -246,8 +248,125 @@ TEST(ShuffleMessageTest, RoundTrip) {
   EXPECT_EQ(ShuffleMessage::decode(m.encode()), m);
 }
 
+// ---------------------------------------------------- Zero-copy view parity
+
+TEST(Adam2MessageViewTest, MaterializeMatchesDecode) {
+  Adam2Message m;
+  m.type = MessageType::kAdam2Response;
+  m.sender = 1234;
+  m.instances = {sample_payload(1), sample_payload(2)};
+  const auto bytes = m.encode();
+  const Adam2MessageView view = Adam2MessageView::parse(bytes);
+  EXPECT_EQ(view.type(), m.type);
+  EXPECT_EQ(view.sender(), m.sender);
+  EXPECT_EQ(view.size(), m.instances.size());
+  EXPECT_EQ(view.materialize(), Adam2Message::decode(bytes));
+  EXPECT_EQ(view.materialize(), m);
+}
+
+TEST(Adam2MessageViewTest, PayloadFieldsAndPointsDecodeInPlace) {
+  Adam2Message m;
+  m.sender = 9;
+  m.instances = {sample_payload(3)};
+  const auto bytes = m.encode();
+  const Adam2MessageView view = Adam2MessageView::parse(bytes);
+  const InstancePayload& want = m.instances.front();
+  auto it = view.begin();
+  EXPECT_EQ(it->id, want.id);
+  EXPECT_EQ(it->start_round, want.start_round);
+  EXPECT_EQ(it->ttl, want.ttl);
+  EXPECT_EQ(it->flags, want.flags);
+  EXPECT_EQ(it->weight, want.weight);
+  EXPECT_EQ(it->min_value, want.min_value);
+  EXPECT_EQ(it->max_value, want.max_value);
+  ASSERT_EQ(it->points.size(), want.points.size());
+  for (std::size_t i = 0; i < want.points.size(); ++i) {
+    EXPECT_EQ(it->points[i].t, want.points[i].t);
+    EXPECT_EQ(it->points[i].f, want.points[i].f);
+  }
+  EXPECT_EQ(it->points.materialize(), want.points);
+  EXPECT_EQ(it->verification.materialize(), want.verification);
+  ++it;
+  EXPECT_EQ(it, view.end());
+}
+
+TEST(Adam2MessageViewTest, EmptyMessageParses) {
+  Adam2Message m;
+  m.sender = 3;
+  const auto bytes = m.encode();
+  const Adam2MessageView view = Adam2MessageView::parse(bytes);
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.begin(), view.end());
+  EXPECT_EQ(view.materialize(), m);
+}
+
+TEST(Adam2MessageViewTest, RejectsCorruptBuffersLikeDecode) {
+  Adam2Message m;
+  m.instances = {sample_payload()};
+  const auto good = m.encode();
+
+  auto wrong_type = good;
+  wrong_type[0] = static_cast<std::byte>(MessageType::kShuffleRequest);
+  EXPECT_THROW((void)Adam2MessageView::parse(wrong_type), DecodeError);
+
+  auto truncated = good;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW((void)Adam2MessageView::parse(truncated), DecodeError);
+
+  auto trailing = good;
+  trailing.push_back(std::byte{0});
+  EXPECT_THROW((void)Adam2MessageView::parse(trailing), DecodeError);
+
+  EXPECT_THROW((void)Adam2MessageView::parse({}), DecodeError);
+}
+
+TEST(Adam2MessageBuilderTest, BytesAreIdenticalToOwningEncode) {
+  Adam2Message m;
+  m.type = MessageType::kAdam2Request;
+  m.sender = 77;
+  m.instances = {sample_payload(1), sample_payload(2)};
+
+  Writer scratch;
+  Adam2MessageBuilder builder(scratch, m.type, m.sender);
+  for (const InstancePayload& p : m.instances) builder.add(p);
+  const auto built = builder.finish();
+  const auto owned = m.encode();
+  ASSERT_EQ(built.size(), owned.size());
+  EXPECT_TRUE(std::equal(built.begin(), built.end(), owned.begin()));
+}
+
+TEST(Adam2MessageBuilderTest, ScratchIsReusableAndEmptySetMatches) {
+  Writer scratch;
+  {
+    Adam2MessageBuilder builder(scratch, MessageType::kAdam2Request, 1);
+    builder.add(sample_payload());
+    (void)builder.finish();
+  }
+  // Second message on the same scratch: the empty-set marker must encode
+  // exactly what the owning encoder produces for the id/round/ttl-only
+  // payload with the flag set.
+  const InstancePayload like = sample_payload(9);
+  Adam2Message owning;
+  owning.type = MessageType::kAdam2Response;
+  owning.sender = 2;
+  InstancePayload marker;
+  marker.id = like.id;
+  marker.start_round = like.start_round;
+  marker.ttl = like.ttl;
+  marker.flags = kFlagEmptySet;
+  owning.instances = {marker};
+
+  Adam2MessageBuilder builder(scratch, MessageType::kAdam2Response, 2);
+  builder.add_empty_set(like);
+  const auto built = builder.finish();
+  const auto owned = owning.encode();
+  ASSERT_EQ(built.size(), owned.size());
+  EXPECT_TRUE(std::equal(built.begin(), built.end(), owned.begin()));
+}
+
 /// Fuzz: random truncations/corruptions must throw DecodeError, never crash
-/// or hang.
+/// or hang — and the zero-copy view must accept/reject exactly the buffers
+/// the owning decoder does, producing the same message when both accept.
 class WireFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(WireFuzzTest, CorruptedBuffersThrowCleanly) {
@@ -266,11 +385,20 @@ TEST_P(WireFuzzTest, CorruptedBuffersThrowCleanly) {
   if (rng.bernoulli(0.5) && !bytes.empty()) {
     bytes.resize(rng.below(bytes.size()));
   }
+  std::optional<Adam2Message> decoded;
   try {
-    const auto decoded = Adam2Message::decode(bytes);
-    (void)decoded;  // Harmless decode is fine too.
+    decoded = Adam2Message::decode(bytes);
   } catch (const DecodeError&) {
     // Expected for most corruptions.
+  }
+  std::optional<Adam2Message> viewed;
+  try {
+    viewed = Adam2MessageView::parse(bytes).materialize();
+  } catch (const DecodeError&) {
+  }
+  EXPECT_EQ(decoded.has_value(), viewed.has_value());
+  if (decoded && viewed) {
+    EXPECT_EQ(*decoded, *viewed);
   }
 }
 
