@@ -1,0 +1,68 @@
+// Fault tolerance: impact of injected network faults on approximation
+// accuracy (companion to Figure 13's churn sweep; DESIGN.md §8).
+//
+// Sweeps the message drop rate from 0 to 0.6 with the deterministic fault
+// layer — first alone, then combined with duplication, corruption and node
+// crash-restarts ("chaos" column set). Expected shape: push-pull averaging
+// degrades gracefully — losses slow convergence within the fixed TTL rather
+// than corrupting it, so Errm/Erra rise smoothly with the loss rate and no
+// fault mix produces estimates outside [0, 1].
+#include <cstdio>
+
+#include <string>
+
+#include "common.hpp"
+#include "core/evaluation.hpp"
+
+using namespace adam2;
+
+int main() {
+  const bench::BenchEnv env = bench::bench_env(4000);
+  bench::open_report("fig13_faults", env);
+  bench::print_banner("Fault sweep: accuracy under lossy, failing networks",
+                      env);
+
+  constexpr std::size_t kInstances = 4;
+  const double drop_rates[] = {0.0, 0.05, 0.1, 0.2, 0.4, 0.6};
+
+  bench::print_header("drop_rate",
+                      {"CPU_Em", "CPU_Ea", "RAM_Em", "RAM_Ea", "chaos_CPU_Em",
+                       "chaos_CPU_Ea"});
+
+  for (double drop : drop_rates) {
+    double plain[4];
+    int idx = 0;
+    for (data::Attribute attribute :
+         {data::Attribute::kCpuMflops, data::Attribute::kRamMb}) {
+      const auto values = bench::population(attribute, env.n, env.seed);
+      core::SystemConfig config = bench::default_system(env);
+      config.engine.faults.drop_rate = drop;
+      const auto result =
+          bench::run_adam2_series(config, values, kInstances, env);
+      plain[idx * 2] = result.back().entire.max_err;
+      plain[idx * 2 + 1] = result.back().entire.avg_err;
+      ++idx;
+    }
+
+    // Chaos column: the same drop rate with the rest of the taxonomy active.
+    const auto values =
+        bench::population(data::Attribute::kCpuMflops, env.n, env.seed);
+    core::SystemConfig chaos = bench::default_system(env);
+    chaos.engine.faults.drop_rate = drop;
+    chaos.engine.faults.duplicate_rate = 0.1;
+    chaos.engine.faults.corrupt_rate = 0.1;
+    chaos.engine.faults.crash_rate = 0.002;
+    const auto chaotic =
+        bench::run_adam2_series(chaos, values, kInstances, env);
+
+    char label[32];
+    std::snprintf(label, sizeof label, "%g", drop);
+    bench::print_row(label,
+                     {plain[0], plain[1], plain[2], plain[3],
+                      chaotic.back().entire.max_err,
+                      chaotic.back().entire.avg_err});
+  }
+  const std::string json = bench::emit_json();
+  if (!json.empty()) std::printf("# wrote %s\n", json.c_str());
+  return 0;
+}

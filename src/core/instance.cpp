@@ -47,7 +47,31 @@ void average_points(std::vector<stats::CdfPoint>& mine,
   }
 }
 
+// Same element count and bitwise-identical thresholds; works for owned
+// vectors and zero-copy wire::PointsView alike.
+template <typename PointRange>
+bool same_thresholds(const std::vector<stats::CdfPoint>& mine,
+                     const PointRange& theirs) {
+  if (mine.size() != theirs.size()) return false;
+  std::size_t i = 0;
+  for (const stats::CdfPoint p : theirs) {
+    if (mine[i++].t != p.t) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+bool InstanceState::mergeable_with(const wire::InstancePayload& other) const {
+  return other.id == id && same_thresholds(points, other.points) &&
+         same_thresholds(verification, other.verification);
+}
+
+bool InstanceState::mergeable_with(
+    const wire::InstancePayloadView& other) const {
+  return other.id == id && same_thresholds(points, other.points) &&
+         same_thresholds(verification, other.verification);
+}
 
 InstanceState InstanceState::start(
     wire::InstanceId id, sim::Round round, std::uint16_t ttl,

@@ -51,9 +51,19 @@ struct InstanceState : wire::InstancePayload {
     return *this;
   }
 
+  /// Whether `other` can be merged into this state: same instance, same
+  /// number of interpolation and verification points, identical thresholds.
+  /// average_with REQUIRES this. A payload that parsed but fails the check —
+  /// in-flight corruption that survived framing, or a foreign restart of the
+  /// same id — must be dropped by the caller; merging it would read or write
+  /// out of bounds.
+  [[nodiscard]] bool mergeable_with(const wire::InstancePayload& other) const;
+  [[nodiscard]] bool mergeable_with(
+      const wire::InstancePayloadView& other) const;
+
   /// The symmetric merge of §IV: element-wise averaging of every f and the
   /// weight, min/max of the extremes. The payload must belong to the same
-  /// instance and carry identical thresholds.
+  /// instance and carry identical thresholds (see mergeable_with).
   void average_with(const wire::InstancePayload& other);
 
   /// Same merge reading the peer's sequences directly off the wire buffer

@@ -9,6 +9,48 @@
 #include "stats/error_metrics.hpp"
 
 namespace adam2::core {
+namespace {
+
+// A parsed payload can still be hostile: the wire validation walk checks
+// framing, not semantics. Reject values no honest peer can produce — an
+// oversized ttl (a stuck instance that would keep a session alive for up to
+// 65535 rounds), a non-finite or out-of-[0,1] weight, broken extremes, or
+// non-finite threshold/value pairs. f is deliberately NOT bounded above by
+// 1: the multi-value extension (§IV) legitimately exceeds it.
+bool plausible(const wire::InstancePayloadView& payload,
+               std::uint16_t max_ttl) {
+  if (payload.ttl > max_ttl) return false;
+  if (!std::isfinite(payload.weight) || payload.weight < 0.0 ||
+      payload.weight > 1.0) {
+    return false;
+  }
+  if (!std::isfinite(payload.min_value) || !std::isfinite(payload.max_value) ||
+      payload.min_value > payload.max_value) {
+    return false;
+  }
+  // Thresholds may be ±inf (the multi-value size sentinel rides along as
+  // t = +inf), so only NaN is impossible there. Values must be finite and
+  // non-negative; in single-value payloads (no sentinel) they are averages
+  // of 0/1 indicators and so also bounded by 1 — a bound that catches
+  // bit-flips landing in an f mantissa, which framing cannot detect.
+  bool multi_value = false;
+  for (const stats::CdfPoint p : payload.points) {
+    if (std::isnan(p.t) || !std::isfinite(p.f) || p.f < 0.0) return false;
+    if (std::isinf(p.t)) multi_value = true;
+  }
+  if (!multi_value) {
+    for (const stats::CdfPoint p : payload.points) {
+      if (p.f > 1.0) return false;
+    }
+  }
+  for (const stats::CdfPoint p : payload.verification) {
+    if (std::isnan(p.t) || !std::isfinite(p.f) || p.f < 0.0) return false;
+    if (!multi_value && p.f > 1.0) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Adam2Agent::Adam2Agent(Adam2Config config)
     : config_(config), lambda_(config.lambda) {
@@ -158,7 +200,12 @@ std::span<const std::byte> Adam2Agent::handle_request(
     if (it != active_.end()) it->second.touched_epoch = epoch;
     if ((payload.flags & wire::kFlagEmptySet) != 0) continue;
     if (!eligible(ctx, payload.start_round, payload.id)) continue;
+    if (!plausible(payload, config_.instance_ttl)) continue;
     if (it != active_.end()) {
+      // Corruption that survived the framing walk (or a foreign restart of
+      // the same id) must not reach average_with: mismatched point counts
+      // would read/write out of bounds.
+      if (!it->second.mergeable_with(payload)) continue;
       // Symmetric exchange: reply with the pre-merge state, then average.
       reply.add(it->second);
       it->second.average_with(payload);
@@ -202,8 +249,10 @@ void Adam2Agent::handle_response(sim::AgentContext& ctx,
   for (const wire::InstancePayloadView& payload : *parsed) {
     if ((payload.flags & wire::kFlagEmptySet) != 0) continue;
     if (!eligible(ctx, payload.start_round, payload.id)) continue;
+    if (!plausible(payload, config_.instance_ttl)) continue;
     auto it = active_.find(payload.id);
     if (it != active_.end()) {
+      if (!it->second.mergeable_with(payload)) continue;  // See handle_request.
       it->second.average_with(payload);
       continue;
     }
@@ -314,8 +363,18 @@ bool Adam2Agent::handle_bootstrap_response(sim::AgentContext& ctx,
   } catch (const wire::DecodeError&) {
     return false;
   }
-  if (incoming.n_estimate > 0.0) n_estimate_ = incoming.n_estimate;
+  // Same semantic hardening as gossip payloads: framing validated, values
+  // not. A corrupted-but-decodable bootstrap must not seed a NaN estimate.
+  if (std::isfinite(incoming.n_estimate) && incoming.n_estimate > 0.0) {
+    n_estimate_ = incoming.n_estimate;
+  }
   if (incoming.cdf_knots.empty()) return false;  // Neighbour had nothing yet.
+  if (!std::isfinite(incoming.min_value) || !std::isfinite(incoming.max_value)) {
+    return false;
+  }
+  for (const stats::CdfPoint& k : incoming.cdf_knots) {
+    if (!std::isfinite(k.t) || !std::isfinite(k.f)) return false;
+  }
 
   // Joining nodes receive an initial CDF approximation from a neighbour
   // (§VII-G); it is marked inherited so evaluations can distinguish it.

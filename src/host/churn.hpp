@@ -12,6 +12,11 @@ namespace adam2::host {
 /// Converts an expected (fractional) replacement count into an integer one:
 /// the floor, plus one more with probability equal to the fractional part,
 /// so the long-run replacement rate matches `expected` exactly.
+///
+/// The result is NOT bounded by any population size: with replacement rates
+/// >= 1.0, or a node table shrunk since `expected` was computed, it can
+/// exceed the number of live nodes. Callers must clamp to the population
+/// they can actually replace (the engines do).
 [[nodiscard]] inline std::size_t stochastic_count(double expected,
                                                   rng::Rng& rng) {
   auto count = static_cast<std::size_t>(expected);

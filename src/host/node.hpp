@@ -20,6 +20,12 @@ namespace adam2::host {
 ///                 (gossip target picks, message-loss draws, bootstrap
 ///                 contact picks).
 ///
+/// Fault-injecting engines add a third stream, `fault_rng`, seeded
+/// *statelessly* from the fault-plan seed and the node id (never drawn from
+/// an engine stream), consumed only for fault decisions about messages this
+/// node initiates plus its own crash draws. A disabled plan never touches
+/// it, so fault-aware engines replay bit-identically to fault-free ones.
+///
 /// Keeping the two apart is what makes parallel execution bit-identical to
 /// serial execution: an engine can pre-draw every control decision in a plan
 /// phase without perturbing any agent's stream, and each stream is advanced
@@ -31,8 +37,9 @@ struct Node {
   Round birth_round = 0;
   bool alive = false;
   TrafficStats traffic;
-  rng::Rng rng{0};       ///< Agent stream.
-  rng::Rng pick_rng{0};  ///< Engine control stream.
+  rng::Rng rng{0};        ///< Agent stream.
+  rng::Rng pick_rng{0};   ///< Engine control stream.
+  rng::Rng fault_rng{0};  ///< Fault-injection stream (host::FaultInjector).
   std::unique_ptr<NodeAgent> agent;
 };
 

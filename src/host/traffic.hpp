@@ -43,6 +43,17 @@ struct TrafficStats {
   std::uint64_t dropped_messages = 0;  ///< Lost to injected message loss.
   std::uint64_t busy_rejections = 0;   ///< Requests refused mid-exchange
                                        ///< (async atomicity, see AsyncEngine).
+  // Fault-injection and transport-reliability counters (DESIGN.md §8). The
+  // simulated substrates and the real transports feed the same fields, so a
+  // chaos run and a deployment run report one ledger schema.
+  std::uint64_t duplicated_messages = 0;   ///< Delivered twice (injected).
+  std::uint64_t corrupted_messages = 0;    ///< Payload mangled in flight.
+  std::uint64_t partitioned_messages = 0;  ///< Blocked by an overlay partition.
+  std::uint64_t delayed_messages = 0;      ///< Given injected extra latency.
+  std::uint64_t crash_restarts = 0;        ///< Node crash-restart events.
+  std::uint64_t rejected_messages = 0;     ///< Undecodable frames a transport
+                                           ///< discarded (truncated datagrams,
+                                           ///< invalid kind bytes).
 
   [[nodiscard]] ChannelTraffic& on(Channel c) noexcept {
     return channels[static_cast<std::size_t>(c)];
@@ -65,6 +76,12 @@ struct TrafficStats {
     failed_contacts += other.failed_contacts;
     dropped_messages += other.dropped_messages;
     busy_rejections += other.busy_rejections;
+    duplicated_messages += other.duplicated_messages;
+    corrupted_messages += other.corrupted_messages;
+    partitioned_messages += other.partitioned_messages;
+    delayed_messages += other.delayed_messages;
+    crash_restarts += other.crash_restarts;
+    rejected_messages += other.rejected_messages;
     return *this;
   }
 };

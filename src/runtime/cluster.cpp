@@ -54,7 +54,11 @@ class Cluster::RuntimeNode {
  public:
   RuntimeNode(Cluster& cluster, sim::NodeId id, stats::Value attribute,
               rng::Rng rng)
-      : cluster_(cluster), id_(id), attribute_(attribute), rng_(rng) {}
+      : cluster_(cluster),
+        id_(id),
+        attribute_(attribute),
+        rng_(rng),
+        fault_rng_(cluster.faults_.node_stream(id)) {}
 
   void create_agent(const sim::AgentFactory& factory) {
     sim::AgentContext ctx = make_context();
@@ -159,16 +163,41 @@ class Cluster::RuntimeNode {
     }
     traffic_.on(sim::Channel::kAggregation).add_send(request.size());
     const std::uint64_t token = session_.next_token();
-    // The span aliases the agent's scratch; the envelope outlives the
-    // callback, so copy into an owned payload.
-    if (cluster_.network_.send(
-            *target,
-            Envelope{EnvelopeKind::kGossipRequest, id_, token,
-                     std::vector<std::byte>(request.begin(), request.end())})) {
+    if (send_faulty(*target, EnvelopeKind::kGossipRequest, token, request)) {
       session_.arm(token, cluster_.config_.response_timeout);
     } else {
       ++traffic_.failed_contacts;
     }
+  }
+
+  /// Sends one gossip message through the fault plan. Returns whether the
+  /// sender believes the send succeeded: a fault-dropped message still looks
+  /// sent (the sender waits out its timeout exactly as in a deployment);
+  /// only an unroutable destination reports failure. All fault draws come
+  /// from this node's own fault stream, so schedules replay per node.
+  bool send_faulty(sim::NodeId to, EnvelopeKind kind, std::uint64_t token,
+                   std::span<const std::byte> payload) {
+    const host::FaultInjector& faults = cluster_.faults_;
+    const host::MessageFate fate = faults.message_fate(fault_rng_);
+    if (fate == host::MessageFate::kDrop) {
+      ++traffic_.dropped_messages;
+      return true;
+    }
+    // The span aliases the agent's scratch; the envelope outlives the
+    // callback, so copy (or corrupt) into an owned payload.
+    std::vector<std::byte> bytes;
+    if (fate == host::MessageFate::kCorrupt) {
+      bytes = faults.corrupt(payload, fault_rng_);
+      ++traffic_.corrupted_messages;
+    } else {
+      bytes.assign(payload.begin(), payload.end());
+    }
+    if (fate == host::MessageFate::kDuplicate) {
+      ++traffic_.duplicated_messages;
+      cluster_.network_.send(to, Envelope{kind, id_, token, bytes});
+    }
+    return cluster_.network_.send(to,
+                                  Envelope{kind, id_, token, std::move(bytes)});
   }
 
   void handle(Envelope&& envelope) {
@@ -190,10 +219,8 @@ class Cluster::RuntimeNode {
         auto response = agent_->handle_request(ctx, envelope.payload);
         if (response.empty()) return;
         traffic_.on(sim::Channel::kAggregation).add_send(response.size());
-        cluster_.network_.send(
-            envelope.from,
-            Envelope{EnvelopeKind::kGossipResponse, id_, envelope.token,
-                     std::vector<std::byte>(response.begin(), response.end())});
+        send_faulty(envelope.from, EnvelopeKind::kGossipResponse,
+                    envelope.token, response);
         return;
       }
       case EnvelopeKind::kGossipResponse:
@@ -231,6 +258,7 @@ class Cluster::RuntimeNode {
   const sim::NodeId id_;
   const stats::Value attribute_;
   rng::Rng rng_;
+  rng::Rng fault_rng_;
   std::unique_ptr<sim::NodeAgent> agent_;
   Mailbox mailbox_;
   std::thread thread_;
@@ -244,7 +272,9 @@ class Cluster::RuntimeNode {
 
 Cluster::Cluster(ClusterConfig config, std::vector<stats::Value> attributes,
                  sim::AgentFactory agent_factory)
-    : config_(config), attributes_(std::move(attributes)) {
+    : config_(config),
+      faults_(config.faults),
+      attributes_(std::move(attributes)) {
   if (attributes_.empty()) throw std::invalid_argument("empty cluster");
   if (!agent_factory) throw std::invalid_argument("cluster requires a factory");
 

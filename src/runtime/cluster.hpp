@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "host/fault.hpp"
 #include "rng/rng.hpp"
 #include "runtime/transport.hpp"
 #include "sim/agent.hpp"
@@ -36,6 +37,10 @@ struct ClusterConfig {
   std::chrono::microseconds response_timeout{20000};
   std::size_t overlay_degree = 8;
   std::uint64_t seed = 0xc1a5;
+  /// Deterministic fault schedule for gossip messages (drop, duplication,
+  /// corruption). Crash-restart and partitions are simulator-only; delay is
+  /// meaningless here because the wall clock already supplies real latency.
+  host::FaultPlan faults;
 };
 
 class Cluster {
@@ -74,6 +79,7 @@ class Cluster {
   class HostBridge;
 
   ClusterConfig config_;
+  host::FaultInjector faults_;
   std::vector<stats::Value> attributes_;
   std::vector<sim::NodeId> ids_;
   Network network_;

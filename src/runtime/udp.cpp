@@ -74,6 +74,12 @@ bool UdpEndpoint::send(std::uint16_t to_port, const Envelope& envelope) {
 std::optional<Envelope> UdpEndpoint::receive(
     std::chrono::microseconds timeout) {
   if (fd_ < 0) return std::nullopt;
+  // A zero timeval means "block forever" to SO_RCVTIMEO. A caller's
+  // sub-microsecond wait truncates to exactly that, which would wedge the
+  // peer's receive loop (and its stop/join) until a stray datagram arrives.
+  if (timeout <= std::chrono::microseconds::zero()) {
+    timeout = std::chrono::microseconds{1};
+  }
   timeval tv{};
   tv.tv_sec = static_cast<time_t>(timeout.count() / 1'000'000);
   tv.tv_usec = static_cast<suseconds_t>(timeout.count() % 1'000'000);
@@ -82,10 +88,23 @@ std::optional<Envelope> UdpEndpoint::receive(
   }
   std::byte buffer[kMaxDatagram];
   const auto received = ::recv(fd_, buffer, sizeof buffer, 0);
-  if (received < static_cast<ssize_t>(kHeaderBytes)) return std::nullopt;
+  if (received < 0) return std::nullopt;  // Timeout or socket closure.
+  if (received < static_cast<ssize_t>(kHeaderBytes)) {
+    // A datagram arrived but is too short to even frame an envelope: that is
+    // wire truncation, not silence, and must show in the ledger.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const auto kind = static_cast<std::uint8_t>(buffer[0]);
+  if (kind < static_cast<std::uint8_t>(EnvelopeKind::kGossipRequest) ||
+      kind > static_cast<std::uint8_t>(EnvelopeKind::kGossipBusy)) {
+    // Corrupted kind byte: the envelope cannot be dispatched safely.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
 
   Envelope envelope;
-  envelope.kind = static_cast<EnvelopeKind>(buffer[0]);
+  envelope.kind = static_cast<EnvelopeKind>(kind);
   std::memcpy(&envelope.from, buffer + 1, 8);
   std::memcpy(&envelope.token, buffer + 9, 8);
   envelope.payload.assign(buffer + kHeaderBytes, buffer + received);
@@ -144,7 +163,9 @@ UdpPeer::UdpPeer(UdpPeerConfig config, sim::NodeId id, UdpDirectory& directory,
       directory_(directory),
       endpoint_(endpoint),
       agent_(std::move(agent)),
-      rng_(config.seed ^ (id * 0x9e3779b97f4a7c15ULL)) {
+      rng_(config.seed ^ (id * 0x9e3779b97f4a7c15ULL)),
+      faults_(config.faults),
+      fault_rng_(faults_.node_stream(id)) {
   if (!agent_) throw std::invalid_argument("peer requires an agent");
 }
 
@@ -160,6 +181,38 @@ void UdpPeer::stop() {
   if (!thread_.joinable()) return;
   stop_.store(true);
   thread_.join();
+  // Surface this peer's reliability counters through the shared ledger:
+  // fault-injected sends plus every datagram the endpoint rejected as
+  // truncated or undecodable.
+  const std::uint64_t rejected = endpoint_.rejected_datagrams();
+  traffic_.rejected_messages = rejected - rejected_reported_;
+  rejected_reported_ = rejected;
+  directory_.merge_traffic(traffic_);
+  traffic_ = sim::TrafficStats{};
+}
+
+bool UdpPeer::send_faulty(std::uint16_t to_port, EnvelopeKind kind,
+                          std::uint64_t token,
+                          std::span<const std::byte> payload) {
+  const host::MessageFate fate = faults_.message_fate(fault_rng_);
+  if (fate == host::MessageFate::kDrop) {
+    ++traffic_.dropped_messages;
+    return true;  // The sender cannot tell a dropped datagram from a sent one.
+  }
+  // The span aliases the agent's scratch; the envelope outlives the
+  // callback, so copy (or corrupt) into an owned payload.
+  std::vector<std::byte> bytes;
+  if (fate == host::MessageFate::kCorrupt) {
+    bytes = faults_.corrupt(payload, fault_rng_);
+    ++traffic_.corrupted_messages;
+  } else {
+    bytes.assign(payload.begin(), payload.end());
+  }
+  if (fate == host::MessageFate::kDuplicate) {
+    ++traffic_.duplicated_messages;
+    endpoint_.send(to_port, Envelope{kind, id_, token, bytes});
+  }
+  return endpoint_.send(to_port, Envelope{kind, id_, token, std::move(bytes)});
 }
 
 sim::AgentContext UdpPeer::make_context() {
@@ -244,12 +297,8 @@ void UdpPeer::tick(sim::AgentContext& ctx) {
   directory_.record_traffic(id_, *target, sim::Channel::kAggregation,
                             request.size());
   const std::uint64_t token = session_.next_token();
-  // The span aliases the agent's scratch; the envelope outlives the
-  // callback, so copy into an owned payload.
-  if (endpoint_.send(
-          directory_.port_of(*target),
-          Envelope{EnvelopeKind::kGossipRequest, id_, token,
-                   std::vector<std::byte>(request.begin(), request.end())})) {
+  if (send_faulty(directory_.port_of(*target), EnvelopeKind::kGossipRequest,
+                  token, request)) {
     session_.arm(token, config_.response_timeout);
   }
 }
@@ -267,10 +316,8 @@ void UdpPeer::handle(sim::AgentContext& ctx, Envelope&& envelope) {
       if (response.empty()) return;
       directory_.record_traffic(id_, envelope.from, sim::Channel::kAggregation,
                                 response.size());
-      endpoint_.send(
-          directory_.port_of(envelope.from),
-          Envelope{EnvelopeKind::kGossipResponse, id_, envelope.token,
-                   std::vector<std::byte>(response.begin(), response.end())});
+      send_faulty(directory_.port_of(envelope.from),
+                  EnvelopeKind::kGossipResponse, envelope.token, response);
       return;
     }
     case EnvelopeKind::kGossipResponse:

@@ -10,6 +10,7 @@
 // all peers, standing in for whatever membership service a deployment uses.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "host/exchange.hpp"
+#include "host/fault.hpp"
 #include "host/ledger.hpp"
 #include "rng/rng.hpp"
 #include "runtime/transport.hpp"
@@ -44,9 +46,18 @@ class UdpEndpoint {
   bool send(std::uint16_t to_port, const Envelope& envelope);
 
   /// Receives one envelope, waiting at most `timeout`. Returns nullopt on
-  /// timeout, socket closure, or an undecodable datagram.
+  /// timeout, socket closure, or an undecodable datagram — the last case is
+  /// counted in rejected_datagrams(), so truncation on the wire is
+  /// distinguishable from plain silence.
   [[nodiscard]] std::optional<Envelope> receive(
       std::chrono::microseconds timeout);
+
+  /// Datagrams discarded because they were shorter than the envelope header
+  /// or carried an invalid kind byte (truncation/corruption on the wire).
+  /// Safe to read from any thread.
+  [[nodiscard]] std::uint64_t rejected_datagrams() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
 
   /// Unblocks receivers and makes further sends fail.
   void shutdown();
@@ -54,6 +65,7 @@ class UdpEndpoint {
  private:
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  std::atomic<std::uint64_t> rejected_{0};
 };
 
 /// Static membership + address book shared by all peers of one deployment:
@@ -94,6 +106,11 @@ class UdpDirectory final : public sim::Overlay, public sim::HostView {
 
   [[nodiscard]] sim::TrafficStats traffic() const;
 
+  /// Folds a peer's local counters (fault injection, rejected datagrams)
+  /// into the shared ledger, so fault-injection runs and real runs report
+  /// the same fields through host::metrics.
+  void merge_traffic(const sim::TrafficStats& stats) { ledger_.merge(stats); }
+
  private:
   std::vector<stats::Value> attributes_;
   std::vector<std::uint16_t> ports_;
@@ -106,6 +123,10 @@ struct UdpPeerConfig {
   double period_jitter = 0.2;
   std::chrono::microseconds response_timeout{30000};
   std::uint64_t seed = 1;
+  /// Deterministic fault schedule for outgoing gossip datagrams (drop,
+  /// duplication, corruption — exercised against real sockets, so corrupted
+  /// bytes cross the kernel and hit the receiver's validation walk).
+  host::FaultPlan faults;
 };
 
 /// One protocol node over a real socket; owns its agent and thread.
@@ -129,6 +150,8 @@ class UdpPeer {
   void handle(sim::AgentContext& ctx, Envelope&& envelope);
   sim::AgentContext make_context();
   void drain_tasks();
+  bool send_faulty(std::uint16_t to_port, EnvelopeKind kind,
+                   std::uint64_t token, std::span<const std::byte> payload);
 
   UdpPeerConfig config_;
   sim::NodeId id_;
@@ -136,6 +159,14 @@ class UdpPeer {
   UdpEndpoint& endpoint_;
   std::unique_ptr<sim::NodeAgent> agent_;
   rng::Rng rng_;
+  host::FaultInjector faults_;
+  rng::Rng fault_rng_;
+  /// Local fault/reliability counters, merged into the directory ledger at
+  /// stop() so every substrate reports the same schema.
+  sim::TrafficStats traffic_;
+  /// Endpoint rejections already folded into the ledger (stop() reports the
+  /// delta, so repeated start/stop cycles never double-count).
+  std::uint64_t rejected_reported_ = 0;
   std::thread thread_;
   std::atomic<bool> stop_{false};
   sim::Round local_round_ = 0;

@@ -15,6 +15,7 @@ AsyncEngine::AsyncEngine(AsyncConfig config,
                          AgentFactory agent_factory,
                          AttributeSource attribute_source)
     : config_(config),
+      faults_(config.faults),
       rng_(config.seed),
       overlay_(std::move(overlay)),
       agent_factory_(std::move(agent_factory)),
@@ -50,6 +51,8 @@ AsyncEngine::AsyncEngine(AsyncConfig config,
 void AsyncEngine::spawn_node(stats::Value attribute, bool bootstrap) {
   Node& stored =
       table_.spawn(attribute, bootstrap ? round() + 1 : round(), rng_);
+  // Stateless derivation: consumes nothing from rng_ (golden replay).
+  stored.fault_rng = faults_.node_stream(stored.id);
   const NodeId id = stored.id;
   AgentContext ctx = context_ref(stored);
   stored.agent = agent_factory_(ctx);
@@ -171,11 +174,9 @@ void AsyncEngine::on_tick(NodeId id) {
             rng_.bernoulli(config_.message_loss)) {
           ++total_traffic_.dropped_messages;
         } else {
-          // The span aliases the agent's scratch; the event outlives the
-          // callback, so copy into an owned payload.
-          schedule(now_ + sample_latency(), EventKind::kRequestDelivery, id,
-                   *target,
-                   std::vector<std::byte>(request.begin(), request.end()));
+          // The span aliases the agent's scratch; deliveries own copies.
+          schedule_delivery(EventKind::kRequestDelivery, id, *target, request,
+                            n.fault_rng);
         }
       }
     }
@@ -201,9 +202,56 @@ void AsyncEngine::on_request(Event&& event) {
     ++total_traffic_.dropped_messages;
     return;
   }
-  schedule(now_ + sample_latency(), EventKind::kResponseDelivery, event.to,
-           event.from,
-           std::vector<std::byte>(response.begin(), response.end()));
+  schedule_delivery(EventKind::kResponseDelivery, event.to, event.from,
+                    response, responder.fault_rng);
+}
+
+void AsyncEngine::schedule_delivery(EventKind kind, NodeId from, NodeId to,
+                                    std::span<const std::byte> payload,
+                                    rng::Rng& fault_stream) {
+  if (faults_.enabled() && faults_.partitioned(from, to, round())) {
+    ++total_traffic_.partitioned_messages;
+    return;
+  }
+  const host::MessageFate fate = faults_.message_fate(fault_stream);
+  if (fate == host::MessageFate::kDrop) {
+    ++total_traffic_.dropped_messages;
+    return;
+  }
+  std::vector<std::byte> bytes;
+  if (fate == host::MessageFate::kCorrupt) {
+    bytes = faults_.corrupt(payload, fault_stream);
+    ++total_traffic_.corrupted_messages;
+  } else {
+    bytes.assign(payload.begin(), payload.end());
+  }
+  // Injected extra delay: both copies of a duplicated message sample their
+  // own latency, so duplicates genuinely reorder through the event queue.
+  const double extra = faults_.extra_delay(fault_stream);
+  if (extra > 0.0) ++total_traffic_.delayed_messages;
+  if (fate == host::MessageFate::kDuplicate) {
+    ++total_traffic_.duplicated_messages;
+    schedule(now_ + sample_latency() + extra, kind, from, to, bytes);
+  }
+  schedule(now_ + sample_latency() + extra, kind, from, to, std::move(bytes));
+}
+
+void AsyncEngine::apply_crashes() {
+  if (faults_.plan().crash_rate <= 0.0) return;
+  for (NodeId id : table_.live_ids()) {
+    Node& n = table_.at(id);
+    if (!faults_.crashes(n.fault_rng)) continue;
+    // Crash-restart with state loss (see CycleEngine::apply_crashes). The
+    // busy lock dies with the old process; any in-flight response addressed
+    // to it is ignored through the birth_round eligibility guard.
+    n.birth_round = round() + 1;
+    AgentContext ctx = context_ref(n);
+    n.agent = agent_factory_(ctx);
+    if (!n.agent) throw std::runtime_error("agent factory returned null");
+    busy_until_.erase(id);
+    ++n.traffic.crash_restarts;
+    ++total_traffic_.crash_restarts;
+  }
 }
 
 void AsyncEngine::on_response(Event&& event) {
@@ -216,6 +264,7 @@ void AsyncEngine::on_response(Event&& event) {
 
 void AsyncEngine::on_maintenance() {
   overlay_->maintain(*this, rng_);
+  apply_crashes();
   if (config_.churn_per_second > 0.0 && table_.live_count() > 0) {
     const double expected = config_.churn_per_second * config_.gossip_period *
                             static_cast<double>(table_.live_count());

@@ -39,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "host/fault.hpp"
 #include "host/registry.hpp"
 #include "rng/rng.hpp"
 #include "sim/agent.hpp"
@@ -59,6 +60,10 @@ struct AsyncConfig {
   /// the paper's typical churn).
   double churn_per_second = 0.0;
   std::uint64_t seed = 0xa5ada2;
+  /// Deterministic fault schedule. The event-driven engine expresses the
+  /// full taxonomy including bounded extra delay, which reorders deliveries
+  /// through the event queue. Default: no faults, bit-identical replay.
+  host::FaultPlan faults;
 };
 
 class AsyncEngine final : public HostView {
@@ -101,6 +106,9 @@ class AsyncEngine final : public HostView {
     return total_traffic_;
   }
   [[nodiscard]] AgentContext context_for(NodeId id);
+  [[nodiscard]] const host::FaultInjector& fault_injector() const {
+    return faults_;
+  }
 
  private:
   enum class EventKind : std::uint8_t {
@@ -132,12 +140,19 @@ class AsyncEngine final : public HostView {
   void on_request(Event&& event);
   void on_response(Event&& event);
   void on_maintenance();
+  void apply_crashes();
   void spawn_node(stats::Value attribute, bool bootstrap);
+  /// Schedules a message delivery with sampled latency plus any injected
+  /// extra delay drawn from `fault_stream`.
+  void schedule_delivery(EventKind kind, NodeId from, NodeId to,
+                         std::span<const std::byte> payload,
+                         rng::Rng& fault_stream);
   [[nodiscard]] double sample_latency();
   [[nodiscard]] double next_period();
   [[nodiscard]] AgentContext context_ref(Node& n);
 
   AsyncConfig config_;
+  host::FaultInjector faults_;
   rng::Rng rng_;
   std::unique_ptr<Overlay> overlay_;
   AgentFactory agent_factory_;

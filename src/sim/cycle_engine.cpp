@@ -14,6 +14,7 @@ CycleEngine::CycleEngine(EngineConfig config,
                          AgentFactory agent_factory,
                          AttributeSource attribute_source)
     : config_(config),
+      faults_(config.faults),
       rng_(config.seed),
       overlay_(std::move(overlay)),
       agent_factory_(std::move(agent_factory)),
@@ -41,6 +42,9 @@ void CycleEngine::record_traffic(NodeId sender, NodeId receiver,
 void CycleEngine::spawn_node(stats::Value attribute, bool bootstrap) {
   Node& stored =
       table_.spawn(attribute, bootstrap ? round_ + 1 : round_, rng_);
+  // Stateless derivation: consumes nothing from rng_, so seeding the fault
+  // stream preserves bit-identity with pre-fault engines.
+  stored.fault_rng = faults_.node_stream(stored.id);
   AgentContext ctx = make_context(*this, *overlay_, stored, round_);
   stored.agent = agent_factory_(ctx);
   if (!stored.agent) throw std::runtime_error("agent factory returned null");
@@ -72,10 +76,38 @@ void CycleEngine::exchange_with(Node& initiator,
     ++totals().dropped_messages;
     return;
   }
+  // Fault injection. All draws come from the initiator's fault stream, so
+  // the unit stays self-contained (parallel determinism); partition checks
+  // are stateless and consume nothing.
+  if (faults_.enabled() && faults_.partitioned(initiator.id, *target, round_)) {
+    ++totals().partitioned_messages;
+    return;
+  }
+  const host::MessageFate request_fate =
+      faults_.message_fate(initiator.fault_rng);
+  if (request_fate == host::MessageFate::kDrop) {
+    ++totals().dropped_messages;
+    return;
+  }
 
   Node& responder = table_.at(*target);
   AgentContext rctx = make_context(*this, *overlay_, responder, round_);
-  auto response = responder.agent->handle_request(rctx, request);
+  // `request` aliases the initiator's scratch: valid across both deliveries
+  // because nothing calls back into the initiator's agent until the response.
+  std::span<const std::byte> delivered = request;
+  std::vector<std::byte> mangled;
+  if (request_fate == host::MessageFate::kCorrupt) {
+    mangled = faults_.corrupt(request, initiator.fault_rng);
+    delivered = mangled;
+    ++totals().corrupted_messages;
+  } else if (request_fate == host::MessageFate::kDuplicate) {
+    // Retransmitted request: the responder processes both copies; only the
+    // answer to the second one travels back (the earlier reply span is
+    // invalidated by the second handle_request call anyway).
+    (void)responder.agent->handle_request(rctx, delivered);
+    ++totals().duplicated_messages;
+  }
+  auto response = responder.agent->handle_request(rctx, delivered);
   if (response.empty()) return;
 
   record_traffic(responder.id, initiator.id, Channel::kAggregation,
@@ -85,14 +117,55 @@ void CycleEngine::exchange_with(Node& initiator,
     ++totals().dropped_messages;
     return;
   }
-  initiator.agent->handle_response(ictx, response);
+  const host::MessageFate response_fate =
+      faults_.message_fate(initiator.fault_rng);
+  if (response_fate == host::MessageFate::kDrop) {
+    ++totals().dropped_messages;
+    return;
+  }
+  // `response` aliases the responder's scratch: valid across both
+  // handle_response calls because nothing calls the responder in between.
+  std::span<const std::byte> delivered_response = response;
+  std::vector<std::byte> mangled_response;
+  if (response_fate == host::MessageFate::kCorrupt) {
+    mangled_response = faults_.corrupt(response, initiator.fault_rng);
+    delivered_response = mangled_response;
+    ++totals().corrupted_messages;
+  }
+  initiator.agent->handle_response(ictx, delivered_response);
+  if (response_fate == host::MessageFate::kDuplicate) {
+    ++totals().duplicated_messages;
+    initiator.agent->handle_response(ictx, delivered_response);
+  }
+}
+
+void CycleEngine::apply_crashes() {
+  if (faults_.plan().crash_rate <= 0.0) return;
+  for (NodeId id : table_.live_ids()) {
+    Node& n = table_.at(id);
+    if (!faults_.crashes(n.fault_rng)) continue;
+    // Crash-restart with state loss: identity, attribute and overlay links
+    // survive; all protocol state is gone. birth_round moves forward so the
+    // restarted node ignores instances started before the crash (they would
+    // otherwise absorb a partial, state-free contribution).
+    n.birth_round = round_ + 1;
+    AgentContext ctx = make_context(*this, *overlay_, n, round_);
+    n.agent = agent_factory_(ctx);
+    if (!n.agent) throw std::runtime_error("agent factory returned null");
+    ++n.traffic.crash_restarts;
+    ++total_traffic_.crash_restarts;
+  }
 }
 
 void CycleEngine::apply_churn() {
   if (config_.churn_rate <= 0.0 || table_.live_count() == 0) return;
   const double expected =
       config_.churn_rate * static_cast<double>(table_.live_count());
-  churn_nodes(host::stochastic_count(expected, rng_));
+  // stochastic_count rounds its fractional part up probabilistically, so
+  // with churn rates >= 1.0 (or a table shrunk mid-round by kill_node) it
+  // can exceed the live population; never ask for more than exists.
+  churn_nodes(
+      std::min(host::stochastic_count(expected, rng_), table_.live_count()));
 }
 
 void CycleEngine::churn_nodes(std::size_t count) {

@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "host/fault.hpp"
 #include "host/metrics.hpp"
 #include "host/node.hpp"
 #include "host/registry.hpp"
@@ -49,6 +50,10 @@ struct EngineConfig {
   double message_loss = 0.0;
   /// Master seed; every node and subsystem derives its stream from it.
   std::uint64_t seed = 0xada2;
+  /// Deterministic fault schedule (drop/duplicate/corrupt/crash/partition).
+  /// The default all-zero plan draws nothing and changes nothing — runs are
+  /// bit-identical to an engine without fault support.
+  host::FaultPlan faults;
 };
 
 class CycleEngine : public HostView {
@@ -85,6 +90,9 @@ class CycleEngine : public HostView {
   [[nodiscard]] Node& mutable_node(NodeId id) { return table_.at(id); }
   [[nodiscard]] Overlay& overlay() { return *overlay_; }
   [[nodiscard]] rng::Rng& rng() { return rng_; }
+  [[nodiscard]] const host::FaultInjector& fault_injector() const {
+    return faults_;
+  }
   [[nodiscard]] NodeId random_live_node() { return table_.random_live(rng_); }
 
   /// Attribute values of all live nodes (the ground truth population).
@@ -148,6 +156,13 @@ class CycleEngine : public HostView {
   /// Stochastic churn at config_.churn_rate (serial phase).
   void apply_churn();
 
+  /// Fault-plan crash-restarts (serial phase, after the exchanges): each
+  /// crashing node keeps its identity, attribute and overlay links but loses
+  /// all agent state and rejoins next round like a churned-in newcomer. The
+  /// crash draw comes from the node's own fault stream, so the schedule is
+  /// identical across serial and parallel engines.
+  void apply_crashes();
+
   /// Observers, metrics sinks, round increment.
   void finish_round();
 
@@ -157,6 +172,7 @@ class CycleEngine : public HostView {
   [[nodiscard]] virtual TrafficStats& totals() { return total_traffic_; }
 
   EngineConfig config_;
+  host::FaultInjector faults_;
   rng::Rng rng_;
   std::unique_ptr<Overlay> overlay_;
   AgentFactory agent_factory_;

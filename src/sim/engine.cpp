@@ -33,10 +33,13 @@ void Engine::run_round() {
                   overlay_->pick_gossip_target(id, initiator.pick_rng));
   }
 
-  // 4. Churn.
+  // 4. Fault-plan crash-restarts (serial; no-op without a plan).
+  apply_crashes();
+
+  // 5. Churn.
   apply_churn();
 
-  // 5. Observers, metrics sinks.
+  // 6. Observers, metrics sinks.
   finish_round();
 }
 

@@ -89,10 +89,15 @@ void ParallelEngine::run_round() {
   // 4. Exchange units in dependency order.
   run_units();
 
-  // 5. Churn (serial, global stream).
+  // 5. Fault-plan crash-restarts (serial; same table state and per-node
+  //    fault streams as the serial engine at this point, so the same nodes
+  //    crash).
+  apply_crashes();
+
+  // 6. Churn (serial, global stream).
   apply_churn();
 
-  // 6. Observers, metrics sinks.
+  // 7. Observers, metrics sinks.
   finish_round();
 }
 

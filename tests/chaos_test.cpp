@@ -1,0 +1,422 @@
+// Chaos harness: the full Adam2 stack swept across deterministic fault
+// matrices (ISSUE PR5; DESIGN.md §8). Every run asserts the protocol's
+// safety invariants under hostile networks:
+//
+//  * estimates stay finite, inside [0, 1], and monotone;
+//  * no exchange-session leaks — every instance terminates via its TTL and
+//    leaves no active state behind, whatever was dropped, duplicated,
+//    corrupted, partitioned, or crash-restarted mid-flight;
+//  * corrupted wire bytes are rejected by the validation walk, never crash
+//    an agent and are never silently merged (the mutant corpus in wire_test
+//    covers the same property exhaustively at the codec level);
+//  * accuracy (Errm / Erra against ground truth) degrades monotonically as
+//    the loss rate rises — faults hurt, they must not corrupt;
+//  * fault schedules replay bit-identically, serial or sharded;
+//  * an all-zero plan is golden: bit-identical to a run with no fault layer.
+//
+// Tests here carry the `chaos` ctest label so CI can run the matrix under
+// sanitizers: ctest -L chaos.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/system.hpp"
+#include "host/fault.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/udp.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/overlay.hpp"
+
+namespace adam2 {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<stats::Value> iota_values(std::size_t n) {
+  std::vector<stats::Value> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<stats::Value>(i);
+  return values;
+}
+
+sim::AttributeSource churn_source() {
+  return [](rng::Rng& rng) { return static_cast<stats::Value>(rng.below(1000)); };
+}
+
+core::SystemConfig chaos_config(std::size_t threads = 0) {
+  core::SystemConfig config;
+  config.engine.seed = 0xc4a05;
+  config.engine.churn_rate = 0.005;
+  config.protocol.lambda = 16;
+  config.protocol.instance_ttl = 20;
+  config.protocol.verification_points = 8;
+  config.engine_threads = threads;
+  return config;
+}
+
+/// Every completed estimate must be a plausible CDF whatever the network
+/// did: finite knots, fractions inside [0, 1], monotone non-decreasing.
+void expect_sane_estimates(core::Adam2System& system) {
+  const auto live = system.engine().live_ids();
+  const std::vector<sim::NodeId> ids(live.begin(), live.end());
+  std::size_t with_estimate = 0;
+  for (sim::NodeId id : ids) {
+    const auto& estimate = system.agent_of(id).estimate();
+    if (!estimate) continue;
+    ++with_estimate;
+    double prev = 0.0;
+    for (const stats::CdfPoint& knot : estimate->cdf.knots()) {
+      ASSERT_TRUE(std::isfinite(knot.t)) << "node " << id;
+      ASSERT_TRUE(std::isfinite(knot.f)) << "node " << id;
+      ASSERT_GE(knot.f, 0.0) << "node " << id;
+      ASSERT_LE(knot.f, 1.0) << "node " << id;
+      ASSERT_GE(knot.f, prev) << "node " << id << " at t=" << knot.t;
+      prev = knot.f;
+    }
+  }
+  // Faults degrade coverage but must not wipe it out at these rates.
+  EXPECT_GT(with_estimate, ids.size() / 2);
+}
+
+struct ChaosReport {
+  core::PopulationErrors errors;
+  sim::TrafficStats traffic;
+  std::size_t leaked_sessions = 0;
+};
+
+ChaosReport run_chaos(const host::FaultPlan& faults, std::size_t threads = 0) {
+  core::SystemConfig config = chaos_config(threads);
+  config.engine.faults = faults;
+  core::Adam2System system(config, iota_values(350), churn_source());
+  system.run_instance();
+  expect_sane_estimates(system);
+
+  ChaosReport report;
+  report.errors = system.errors();
+  // The TTL is the session-recovery mechanism: by now every node must have
+  // finalised (or crash-lost) the instance. Two slack rounds let stragglers
+  // that joined through a delayed payload burn their remaining TTL copies.
+  system.run_rounds(2);
+  const auto live = system.engine().live_ids();
+  for (sim::NodeId id : std::vector<sim::NodeId>(live.begin(), live.end())) {
+    report.leaked_sessions += system.agent_of(id).active_instance_count();
+  }
+  report.traffic = system.engine().total_traffic();
+  return report;
+}
+
+TEST(ChaosTest, ZeroRatePlanIsGoldenIdenticalToBaseline) {
+  host::FaultPlan zero;
+  zero.seed = 0xdeadbeef;  // A different fault seed must be invisible too.
+  const ChaosReport base = run_chaos(host::FaultPlan{});
+  const ChaosReport zeroed = run_chaos(zero);
+  EXPECT_EQ(base.errors.max_err, zeroed.errors.max_err);
+  EXPECT_EQ(base.errors.avg_err, zeroed.errors.avg_err);
+  EXPECT_EQ(base.errors.peers, zeroed.errors.peers);
+  EXPECT_EQ(base.errors.missing, zeroed.errors.missing);
+  EXPECT_EQ(base.traffic.total_bytes_sent(), zeroed.traffic.total_bytes_sent());
+  EXPECT_EQ(base.traffic.dropped_messages, zeroed.traffic.dropped_messages);
+  EXPECT_EQ(zeroed.traffic.corrupted_messages, 0u);
+  EXPECT_EQ(zeroed.traffic.crash_restarts, 0u);
+}
+
+TEST(ChaosTest, FaultMatrixPreservesInvariants) {
+  struct Case {
+    const char* name;
+    host::FaultPlan plan;
+  };
+  std::vector<Case> cases;
+  {
+    Case c{"drop", {}};
+    c.plan.drop_rate = 0.3;
+    cases.push_back(c);
+  }
+  {
+    Case c{"duplicate", {}};
+    c.plan.duplicate_rate = 0.3;
+    cases.push_back(c);
+  }
+  {
+    Case c{"corrupt", {}};
+    c.plan.corrupt_rate = 0.3;
+    cases.push_back(c);
+  }
+  {
+    Case c{"crash", {}};
+    c.plan.crash_rate = 0.02;
+    cases.push_back(c);
+  }
+  {
+    Case c{"partition", {}};
+    c.plan.partition_count = 2;
+    c.plan.partition_start = 4;
+    c.plan.partition_heal_after = 8;
+    cases.push_back(c);
+  }
+  {
+    Case c{"everything", {}};
+    c.plan.drop_rate = 0.15;
+    c.plan.duplicate_rate = 0.1;
+    c.plan.corrupt_rate = 0.1;
+    c.plan.crash_rate = 0.01;
+    c.plan.partition_count = 2;
+    c.plan.partition_start = 3;
+    c.plan.partition_heal_after = 6;
+    cases.push_back(c);
+  }
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const ChaosReport report = run_chaos(c.plan);
+    EXPECT_TRUE(std::isfinite(report.errors.max_err));
+    EXPECT_GE(report.errors.max_err, 0.0);
+    EXPECT_LE(report.errors.max_err, 1.0);
+    EXPECT_LE(report.errors.avg_err, report.errors.max_err + 1e-12);
+    EXPECT_EQ(report.leaked_sessions, 0u);
+    if (c.plan.drop_rate > 0.0) {
+      EXPECT_GT(report.traffic.dropped_messages, 0u);
+    }
+    if (c.plan.duplicate_rate > 0.0) {
+      EXPECT_GT(report.traffic.duplicated_messages, 0u);
+    }
+    if (c.plan.corrupt_rate > 0.0) {
+      EXPECT_GT(report.traffic.corrupted_messages, 0u);
+    }
+    if (c.plan.crash_rate > 0.0) {
+      EXPECT_GT(report.traffic.crash_restarts, 0u);
+    }
+    if (c.plan.partition_count > 1) {
+      EXPECT_GT(report.traffic.partitioned_messages, 0u);
+    }
+  }
+}
+
+TEST(ChaosTest, FaultScheduleReplaysBitIdentically) {
+  host::FaultPlan plan;
+  plan.drop_rate = 0.2;
+  plan.duplicate_rate = 0.1;
+  plan.corrupt_rate = 0.1;
+  plan.crash_rate = 0.01;
+  const ChaosReport first = run_chaos(plan);
+  const ChaosReport second = run_chaos(plan);
+  EXPECT_EQ(first.errors.max_err, second.errors.max_err);
+  EXPECT_EQ(first.errors.avg_err, second.errors.avg_err);
+  EXPECT_EQ(first.errors.missing, second.errors.missing);
+  EXPECT_EQ(first.traffic.dropped_messages, second.traffic.dropped_messages);
+  EXPECT_EQ(first.traffic.corrupted_messages,
+            second.traffic.corrupted_messages);
+  EXPECT_EQ(first.traffic.crash_restarts, second.traffic.crash_restarts);
+}
+
+// Full-stack parallel determinism under faults: the sharded engine must
+// produce the same population errors as the serial engine round for round.
+// (parallel_engine_test checks the same property at the raw agent level.)
+TEST(ChaosTest, ParallelEngineMatchesSerialUnderFaults) {
+  host::FaultPlan plan;
+  plan.drop_rate = 0.15;
+  plan.duplicate_rate = 0.1;
+  plan.corrupt_rate = 0.1;
+  plan.crash_rate = 0.01;
+  plan.partition_count = 2;
+  plan.partition_start = 5;
+  plan.partition_heal_after = 5;
+  const ChaosReport serial = run_chaos(plan, 0);
+  for (std::size_t threads : {2u, 8u}) {
+    const ChaosReport parallel = run_chaos(plan, threads);
+    EXPECT_EQ(serial.errors.max_err, parallel.errors.max_err) << threads;
+    EXPECT_EQ(serial.errors.avg_err, parallel.errors.avg_err) << threads;
+    EXPECT_EQ(serial.errors.missing, parallel.errors.missing) << threads;
+    EXPECT_EQ(serial.traffic.dropped_messages,
+              parallel.traffic.dropped_messages)
+        << threads;
+    EXPECT_EQ(serial.traffic.crash_restarts, parallel.traffic.crash_restarts)
+        << threads;
+  }
+}
+
+// Faults must hurt accuracy, not corrupt it: Errm/Erra degrade (weakly)
+// monotonically as the drop rate rises. The small slack absorbs the
+// stochastic wobble of individual schedules; the end-to-end spread must be
+// genuine.
+TEST(ChaosTest, AccuracyDegradesMonotonicallyWithLossRate) {
+  std::vector<double> avg_errs;
+  std::vector<double> max_errs;
+  for (double rate : {0.0, 0.3, 0.6}) {
+    host::FaultPlan plan;
+    plan.drop_rate = rate;
+    const ChaosReport report = run_chaos(plan);
+    avg_errs.push_back(report.errors.avg_err);
+    max_errs.push_back(report.errors.max_err);
+  }
+  const double slack = 0.01;
+  EXPECT_LE(avg_errs[0], avg_errs[1] + slack);
+  EXPECT_LE(avg_errs[1], avg_errs[2] + slack);
+  EXPECT_LE(max_errs[0], max_errs[1] + slack);
+  EXPECT_LE(max_errs[1], max_errs[2] + slack);
+  EXPECT_GT(avg_errs[2], avg_errs[0]);
+}
+
+// The event-driven engine expresses the full taxonomy, including bounded
+// extra delay, which reorders deliveries through the event queue. The run
+// must complete with sane estimates and populated fault counters.
+TEST(ChaosTest, AsyncEngineSurvivesTheFullTaxonomy) {
+  sim::AsyncConfig config;
+  config.seed = 0xa5c;
+  config.faults.drop_rate = 0.1;
+  config.faults.duplicate_rate = 0.1;
+  config.faults.corrupt_rate = 0.15;
+  config.faults.delay_rate = 0.3;
+  config.faults.max_delay = 0.5;
+  config.faults.crash_rate = 0.002;
+
+  core::Adam2Config protocol;
+  protocol.lambda = 12;
+  protocol.instance_ttl = 30;
+  auto factory = [protocol](const sim::AgentContext&) {
+    return std::make_unique<core::Adam2Agent>(protocol);
+  };
+  sim::AsyncEngine engine(config, iota_values(128),
+                          std::make_unique<sim::StaticRandomOverlay>(8),
+                          factory, nullptr);
+  {
+    const sim::NodeId initiator = engine.live_ids()[0];
+    auto ctx = engine.context_for(initiator);
+    (void)dynamic_cast<core::Adam2Agent&>(engine.agent(initiator))
+        .start_instance(ctx);
+  }
+  engine.run_until(45.0);
+
+  const sim::TrafficStats& traffic = engine.total_traffic();
+  EXPECT_GT(traffic.dropped_messages, 0u);
+  EXPECT_GT(traffic.duplicated_messages, 0u);
+  EXPECT_GT(traffic.corrupted_messages, 0u);
+  EXPECT_GT(traffic.delayed_messages, 0u);
+  std::size_t with_estimate = 0;
+  for (sim::NodeId id : engine.live_ids()) {
+    const auto& agent = dynamic_cast<core::Adam2Agent&>(engine.agent(id));
+    if (!agent.estimate()) continue;
+    ++with_estimate;
+    double prev = 0.0;
+    for (const stats::CdfPoint& knot : agent.estimate()->cdf.knots()) {
+      ASSERT_TRUE(std::isfinite(knot.f));
+      ASSERT_GE(knot.f, prev - 1e-12);
+      prev = knot.f;
+    }
+  }
+  EXPECT_GT(with_estimate, engine.live_count() / 2);
+}
+
+TEST(ChaosTest, AsyncZeroRatePlanIsGoldenIdentical) {
+  const auto run = [](const host::FaultPlan& faults) {
+    sim::AsyncConfig config;
+    config.seed = 0x9a7;
+    config.message_loss = 0.02;
+    config.faults = faults;
+    core::Adam2Config protocol;
+    protocol.lambda = 10;
+    protocol.instance_ttl = 20;
+    auto factory = [protocol](const sim::AgentContext&) {
+      return std::make_unique<core::Adam2Agent>(protocol);
+    };
+    sim::AsyncEngine engine(config, iota_values(64),
+                            std::make_unique<sim::StaticRandomOverlay>(6),
+                            factory, nullptr);
+    engine.run_until(25.0);
+    return engine.total_traffic();
+  };
+  host::FaultPlan zero;
+  zero.seed = 0x5eed5eed;
+  const sim::TrafficStats base = run(host::FaultPlan{});
+  const sim::TrafficStats zeroed = run(zero);
+  EXPECT_EQ(base.total_bytes_sent(), zeroed.total_bytes_sent());
+  EXPECT_EQ(base.on(sim::Channel::kAggregation).messages_sent,
+            zeroed.on(sim::Channel::kAggregation).messages_sent);
+  EXPECT_EQ(base.dropped_messages, zeroed.dropped_messages);
+  EXPECT_EQ(zeroed.corrupted_messages, 0u);
+}
+
+// Faulty transport against real threads and mailboxes: the cluster must run,
+// count every injected fault, and stop cleanly — corrupted payloads cross a
+// genuine thread boundary before hitting the validation walk.
+TEST(ChaosTest, ClusterSurvivesFaultyTransport) {
+  runtime::ClusterConfig config;
+  config.seed = 21;
+  config.gossip_period = 1ms;
+  config.response_timeout = 20ms;
+  config.faults.drop_rate = 0.2;
+  config.faults.duplicate_rate = 0.2;
+  config.faults.corrupt_rate = 0.2;
+
+  core::Adam2Config protocol;
+  protocol.lambda = 6;
+  protocol.instance_ttl = 60;
+  runtime::Cluster cluster(config, iota_values(12),
+                           [protocol](const sim::AgentContext&) {
+                             return std::make_unique<core::Adam2Agent>(protocol);
+                           });
+  cluster.start();
+  cluster.run_on_node(0, [](sim::NodeAgent& agent, sim::AgentContext& ctx) {
+    (void)dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
+  });
+  std::this_thread::sleep_for(300ms);
+  cluster.stop();
+
+  const sim::TrafficStats traffic = cluster.total_traffic();
+  EXPECT_GT(traffic.dropped_messages, 0u);
+  EXPECT_GT(traffic.duplicated_messages, 0u);
+  EXPECT_GT(traffic.corrupted_messages, 0u);
+}
+
+// Real UDP sockets: corrupted datagrams cross the kernel; whatever survives
+// envelope framing is rejected by the message validation walk, and the
+// injected faults surface in the shared traffic ledger at stop().
+TEST(ChaosTest, UdpPeersSurviveCorruptDatagrams) {
+  constexpr std::size_t kPeers = 6;
+  std::vector<stats::Value> values;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    values.push_back(static_cast<stats::Value>((i + 1) * 10));
+  }
+  std::vector<std::unique_ptr<runtime::UdpEndpoint>> endpoints;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    endpoints.push_back(std::make_unique<runtime::UdpEndpoint>());
+    ports.push_back(endpoints.back()->port());
+  }
+  runtime::UdpDirectory directory(values, ports);
+
+  core::Adam2Config protocol;
+  protocol.lambda = 5;
+  protocol.instance_ttl = 50;
+  runtime::UdpPeerConfig config;
+  config.gossip_period = 2ms;
+  config.response_timeout = 20ms;
+  config.seed = 5;
+  config.faults.drop_rate = 0.1;
+  config.faults.duplicate_rate = 0.2;
+  config.faults.corrupt_rate = 0.4;
+
+  std::vector<std::unique_ptr<runtime::UdpPeer>> peers;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    peers.push_back(std::make_unique<runtime::UdpPeer>(
+        config, static_cast<sim::NodeId>(i), directory, *endpoints[i],
+        std::make_unique<core::Adam2Agent>(protocol)));
+  }
+  for (auto& peer : peers) peer->start();
+  peers[0]->run_on_peer([](sim::NodeAgent& agent, sim::AgentContext& ctx) {
+    (void)dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
+  });
+  std::this_thread::sleep_for(300ms);
+  for (auto& peer : peers) peer->stop();
+
+  const sim::TrafficStats traffic = directory.traffic();
+  EXPECT_GT(traffic.corrupted_messages, 0u);
+  EXPECT_GT(traffic.duplicated_messages, 0u);
+  EXPECT_GT(traffic.dropped_messages, 0u);
+}
+
+}  // namespace
+}  // namespace adam2

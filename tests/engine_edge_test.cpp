@@ -159,6 +159,28 @@ TEST(EngineEdgeTest, FullChurnReplacesEveryNodeEachRound) {
   }
 }
 
+// Regression (ISSUE PR5 satellite): host::stochastic_count is deliberately
+// unbounded — at churn rates >= 1.0 its probabilistic round-up can exceed
+// the live population, and the engines must clamp it at the call site. An
+// unclamped count used to kill the freshly spawned replacements of the same
+// round, shrinking the population.
+TEST(EngineEdgeTest, ChurnRateAboveOneIsClampedToLivePopulation) {
+  EngineConfig config;
+  config.churn_rate = 1.5;  // Expected replacements: 7.5 of 5 live nodes.
+  config.seed = 13;
+  Engine engine(config, {1, 2, 3, 4, 5},
+                std::make_unique<StaticRandomOverlay>(2), silent_factory(),
+                [](rng::Rng&) { return stats::Value{31}; });
+  engine.run_rounds(6);
+  // Clamped to a full replacement per round: the population neither shrinks
+  // nor grows, and exactly live_count() nodes churn each round.
+  EXPECT_EQ(engine.live_count(), 5u);
+  EXPECT_EQ(engine.nodes_ever(), 5u + 6u * 5u);
+  for (NodeId id : engine.live_ids()) {
+    EXPECT_EQ(engine.attribute_of(id), 31);
+  }
+}
+
 TEST(EngineEdgeTest, BootstrapWithAllContactsDeadCountsFailedContacts) {
   // A replacement node joining an otherwise-dead system finds no live
   // bootstrap contact: every retry is a failed contact, and the joiner

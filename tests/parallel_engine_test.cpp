@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/evaluation.hpp"
@@ -65,6 +66,62 @@ class AveragingAgent final : public NodeAgent {
   std::vector<std::byte> scratch_;  ///< Backs the returned spans.
 };
 
+/// Fault-hardened variant: tolerates corrupted/truncated payloads the way a
+/// real protocol agent does — validate, then drop. Values merged under
+/// faults stay finite, so serial/parallel comparisons remain bitwise.
+class HardenedAgent final : public NodeAgent {
+ public:
+  explicit HardenedAgent(double initial) : value_(initial) {}
+
+  [[nodiscard]] double value() const { return value_; }
+
+  std::span<const std::byte> make_request(AgentContext& ctx) override {
+    jitter_ = ctx.rng.uniform(0.0, 1e-12);
+    scratch_ = encode(value_ + jitter_);
+    return scratch_;
+  }
+
+  std::span<const std::byte> handle_request(
+      AgentContext&, std::span<const std::byte> req) override {
+    const auto theirs = decode(req);
+    if (!theirs) return {};  // Corrupted request: no merge, no reply.
+    scratch_ = encode(value_);
+    value_ = (value_ + *theirs) / 2.0;
+    return scratch_;
+  }
+
+  void handle_response(AgentContext&, std::span<const std::byte> resp) override {
+    const auto theirs = decode(resp);
+    if (!theirs) return;
+    value_ = (value_ + *theirs) / 2.0;
+  }
+
+ private:
+  static std::vector<std::byte> encode(double v) {
+    wire::Writer w;
+    w.f64(v);
+    return w.take();
+  }
+  static std::optional<double> decode(std::span<const std::byte> bytes) {
+    if (bytes.size() != sizeof(double)) return std::nullopt;  // Truncated.
+    wire::Reader r(bytes);
+    const double v = r.f64();
+    // Byte flips can produce any bit pattern; cap at the plausible range.
+    if (!std::isfinite(v) || v < 0.0 || v > 2000.0) return std::nullopt;
+    return v;
+  }
+
+  double value_ = 0.0;
+  double jitter_ = 0.0;
+  std::vector<std::byte> scratch_;  ///< Backs the returned spans.
+};
+
+AgentFactory hardened_factory() {
+  return [](const AgentContext& ctx) {
+    return std::make_unique<HardenedAgent>(static_cast<double>(ctx.attribute));
+  };
+}
+
 AgentFactory averaging_factory() {
   return [](const AgentContext& ctx) {
     return std::make_unique<AveragingAgent>(static_cast<double>(ctx.attribute));
@@ -96,6 +153,7 @@ AttributeSource churn_values() {
   return [](rng::Rng& rng) { return static_cast<stats::Value>(rng.below(1000)); };
 }
 
+template <typename AgentT = AveragingAgent>
 void expect_identical(CycleEngine& a, CycleEngine& b) {
   ASSERT_EQ(a.live_count(), b.live_count());
   ASSERT_EQ(a.nodes_ever(), b.nodes_ever());
@@ -105,8 +163,8 @@ void expect_identical(CycleEngine& a, CycleEngine& b) {
                          live_b.end()));
   for (NodeId id : live_a) {
     EXPECT_EQ(a.attribute_of(id), b.attribute_of(id));
-    const auto* agent_a = dynamic_cast<AveragingAgent*>(&a.agent(id));
-    const auto* agent_b = dynamic_cast<AveragingAgent*>(&b.agent(id));
+    const auto* agent_a = dynamic_cast<AgentT*>(&a.agent(id));
+    const auto* agent_b = dynamic_cast<AgentT*>(&b.agent(id));
     ASSERT_NE(agent_a, nullptr);
     ASSERT_NE(agent_b, nullptr);
     // Bitwise, not approximate: a different exchange order would show up
@@ -124,6 +182,10 @@ void expect_identical(CycleEngine& a, CycleEngine& b) {
   EXPECT_EQ(ta.failed_contacts, tb.failed_contacts);
   EXPECT_EQ(ta.dropped_messages, tb.dropped_messages);
   EXPECT_EQ(ta.busy_rejections, tb.busy_rejections);
+  EXPECT_EQ(ta.duplicated_messages, tb.duplicated_messages);
+  EXPECT_EQ(ta.corrupted_messages, tb.corrupted_messages);
+  EXPECT_EQ(ta.partitioned_messages, tb.partitioned_messages);
+  EXPECT_EQ(ta.crash_restarts, tb.crash_restarts);
 }
 
 TEST(ParallelEngineTest, SingleThreadMatchesSerialEngine) {
@@ -220,6 +282,35 @@ TEST(ParallelEngineTest, MetricsSinkSeesEveryRound) {
   for (std::size_t i = 0; i < 5; ++i) {
     EXPECT_EQ(recorder.rounds[i], i);
     EXPECT_EQ(recorder.live[i], 50u);
+  }
+}
+
+// Fault replay (ISSUE PR5 satellite): the same FaultPlan seed must produce
+// the same fault schedule — and therefore bit-identical node state and
+// fault counters — on the serial engine and the sharded engine at any
+// thread count. Fault draws come from per-node streams consumed only inside
+// the owning exchange unit, which is what makes this possible.
+TEST(ParallelEngineTest, FaultScheduleReplaysBitIdenticallyAcrossEngines) {
+  EngineConfig config = stress_config();
+  config.faults.drop_rate = 0.1;
+  config.faults.duplicate_rate = 0.08;
+  config.faults.corrupt_rate = 0.08;
+  config.faults.crash_rate = 0.01;
+  config.faults.partition_count = 2;
+  config.faults.partition_start = 5;
+  config.faults.partition_heal_after = 6;
+  config.faults.seed = 0x5eed;
+
+  Engine serial(config, iota_values(300), cyclon(), hardened_factory(),
+                churn_values());
+  serial.run_rounds(25);
+  EXPECT_GT(serial.total_traffic().corrupted_messages, 0u);
+  EXPECT_GT(serial.total_traffic().crash_restarts, 0u);
+  for (std::size_t threads : {2u, 8u}) {
+    ParallelEngine parallel(config, threads, iota_values(300), cyclon(),
+                            hardened_factory(), churn_values());
+    parallel.run_rounds(25);
+    expect_identical<HardenedAgent>(serial, parallel);
   }
 }
 

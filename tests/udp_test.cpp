@@ -52,6 +52,18 @@ TEST(UdpEndpointTest, ReceiveTimesOut) {
   EXPECT_GE(std::chrono::steady_clock::now() - start, 15ms);
 }
 
+// Regression: SO_RCVTIMEO treats a zero timeval as "block forever", so a
+// sub-microsecond wait (truncated to 0us) used to wedge the receive loop —
+// and UdpPeer::stop() behind it — until a stray datagram arrived. The
+// endpoint must clamp and return promptly.
+TEST(UdpEndpointTest, ZeroTimeoutReceiveReturnsPromptly) {
+  UdpEndpoint receiver;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(receiver.receive(std::chrono::microseconds{0}).has_value());
+  EXPECT_FALSE(receiver.receive(std::chrono::microseconds{-5}).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+}
+
 TEST(UdpDirectoryTest, PickTargetNeverSelf) {
   UdpDirectory directory({1, 2, 3}, {1000, 1001, 1002});
   rng::Rng rng(1);

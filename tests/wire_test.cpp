@@ -405,5 +405,177 @@ TEST_P(WireFuzzTest, CorruptedBuffersThrowCleanly) {
 INSTANTIATE_TEST_SUITE_P(RandomCorruptions, WireFuzzTest,
                          ::testing::Range(0, 50));
 
+// --------------------------------------------------------- Mutant corpus
+//
+// Seeded corpus of >= 10k mutants per wire format (ISSUE PR5 satellite).
+// Every mutant must either throw DecodeError or decode into a value whose
+// canonical re-encoding reproduces the mutant byte for byte — corruption is
+// always rejected or provably harmless, never silently misread. For Adam2
+// messages the zero-copy validation walk must additionally agree with the
+// owning decoder on every single mutant (same accept/reject, same content).
+
+constexpr int kMutantsPerFormat = 10'000;
+
+std::vector<std::byte> mutate(std::vector<std::byte> bytes, rng::Rng& rng) {
+  const auto flip_some = [&rng](std::vector<std::byte>& target) {
+    if (target.empty()) return;
+    for (std::uint64_t i = 1 + rng.below(8); i > 0; --i) {
+      target[rng.below(target.size())] ^=
+          static_cast<std::byte>(1 + rng.below(255));
+    }
+  };
+  switch (rng.below(4)) {
+    case 0:  // Truncate.
+      if (!bytes.empty()) bytes.resize(rng.below(bytes.size()));
+      break;
+    case 1:  // Extend with a random tail.
+      for (std::uint64_t i = 1 + rng.below(8); i > 0; --i) {
+        bytes.push_back(static_cast<std::byte>(rng() & 0xff));
+      }
+      break;
+    case 2:  // Truncate, then flip inside what remains.
+      if (!bytes.empty()) bytes.resize(1 + rng.below(bytes.size()));
+      flip_some(bytes);
+      break;
+    default:  // Flip 1-8 bytes in place.
+      flip_some(bytes);
+      break;
+  }
+  return bytes;
+}
+
+/// Shared accept-or-reject oracle: decoding the mutant must either throw
+/// DecodeError or yield a value that re-encodes to exactly the mutant bytes
+/// (every codec here is canonical: fixed-width little-endian fields and
+/// length-prefixed sequences, so acceptance implies byte-exact round-trip).
+/// Returns whether the mutant was accepted.
+template <typename Message>
+bool rejected_or_canonical(const std::vector<std::byte>& mutant) {
+  std::optional<Message> decoded;
+  try {
+    decoded = Message::decode(mutant);
+  } catch (const DecodeError&) {
+    return false;  // Rejected cleanly — the expected fate of most mutants.
+  }
+  const std::vector<std::byte> reencoded = decoded->encode();
+  EXPECT_EQ(reencoded.size(), mutant.size());
+  EXPECT_TRUE(std::equal(reencoded.begin(), reencoded.end(), mutant.begin()));
+  return true;
+}
+
+template <typename Message, typename MakeSample>
+void run_corpus(std::uint64_t seed, MakeSample&& make_sample) {
+  rng::Rng rng(seed);
+  std::size_t accepted = 0;
+  for (int i = 0; i < kMutantsPerFormat; ++i) {
+    const Message pristine = make_sample(rng);
+    const std::vector<std::byte> mutant = mutate(pristine.encode(), rng);
+    if (rejected_or_canonical<Message>(mutant)) ++accepted;
+  }
+  // The corpus must exercise both fates, or the oracle proves nothing.
+  EXPECT_GT(accepted, 0u);
+  EXPECT_LT(accepted, static_cast<std::size_t>(kMutantsPerFormat));
+}
+
+TEST(WireMutantCorpusTest, Adam2ViewAndDecodeAgreeOnEveryMutant) {
+  rng::Rng rng(0xada2c0de);
+  std::size_t accepted = 0;
+  for (int i = 0; i < kMutantsPerFormat; ++i) {
+    Adam2Message m;
+    m.type = rng.bernoulli(0.5) ? MessageType::kAdam2Request
+                                : MessageType::kAdam2Response;
+    m.sender = rng();
+    const std::size_t count = rng.below(3);
+    for (std::size_t c = 0; c < count; ++c) {
+      m.instances.push_back(
+          sample_payload(static_cast<std::uint32_t>(rng.below(100))));
+    }
+    const std::vector<std::byte> mutant = mutate(m.encode(), rng);
+
+    std::optional<Adam2Message> decoded;
+    try {
+      decoded = Adam2Message::decode(mutant);
+    } catch (const DecodeError&) {
+    }
+    std::optional<Adam2Message> viewed;
+    try {
+      viewed = Adam2MessageView::parse(mutant).materialize();
+    } catch (const DecodeError&) {
+    }
+    // The validation walk and the owning decoder must agree on every mutant.
+    ASSERT_EQ(decoded.has_value(), viewed.has_value()) << "mutant " << i;
+    if (!decoded) continue;
+    ++accepted;
+    // Compare re-encodings, not structs: byte-exact and NaN-proof (a mutant
+    // can legitimately carry NaN doubles, where operator== would lie).
+    const auto bytes_a = decoded->encode();
+    const auto bytes_b = viewed->encode();
+    ASSERT_EQ(bytes_a.size(), bytes_b.size()) << "mutant " << i;
+    ASSERT_TRUE(std::equal(bytes_a.begin(), bytes_a.end(), bytes_b.begin()))
+        << "mutant " << i;
+    ASSERT_EQ(bytes_a.size(), mutant.size()) << "mutant " << i;
+    ASSERT_TRUE(std::equal(bytes_a.begin(), bytes_a.end(), mutant.begin()))
+        << "mutant " << i;
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_LT(accepted, static_cast<std::size_t>(kMutantsPerFormat));
+}
+
+TEST(WireMutantCorpusTest, BootstrapRequestSurvivesCorpus) {
+  run_corpus<BootstrapRequest>(0xb001, [](rng::Rng& rng) {
+    BootstrapRequest m;
+    m.sender = rng();
+    return m;
+  });
+}
+
+TEST(WireMutantCorpusTest, BootstrapResponseSurvivesCorpus) {
+  run_corpus<BootstrapResponse>(0xb002, [](rng::Rng& rng) {
+    BootstrapResponse m;
+    m.sender = rng();
+    m.n_estimate = rng.uniform(0.0, 1e6);
+    m.min_value = rng.uniform(-100.0, 0.0);
+    m.max_value = rng.uniform(0.0, 100.0);
+    const std::size_t knots = rng.below(8);
+    for (std::size_t k = 0; k < knots; ++k) {
+      m.cdf_knots.push_back({rng.uniform(0.0, 100.0), rng.uniform()});
+    }
+    return m;
+  });
+}
+
+TEST(WireMutantCorpusTest, EquiDepthMessageSurvivesCorpus) {
+  run_corpus<EquiDepthMessage>(0xed03, [](rng::Rng& rng) {
+    EquiDepthMessage m;
+    m.type = rng.bernoulli(0.5) ? MessageType::kEquiDepthRequest
+                                : MessageType::kEquiDepthResponse;
+    m.sender = rng();
+    m.phase = {rng(), static_cast<std::uint32_t>(rng.below(100))};
+    m.start_round = static_cast<std::uint32_t>(rng.below(1000));
+    m.ttl = static_cast<std::uint16_t>(rng.below(100));
+    const std::size_t centroids = rng.below(6);
+    for (std::size_t c = 0; c < centroids; ++c) {
+      m.synopsis.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 10.0)});
+    }
+    return m;
+  });
+}
+
+TEST(WireMutantCorpusTest, ShuffleMessageSurvivesCorpus) {
+  run_corpus<ShuffleMessage>(0x5f04, [](rng::Rng& rng) {
+    ShuffleMessage m;
+    m.type = rng.bernoulli(0.5) ? MessageType::kShuffleRequest
+                                : MessageType::kShuffleResponse;
+    m.sender = rng();
+    const std::size_t descriptors = rng.below(6);
+    for (std::size_t d = 0; d < descriptors; ++d) {
+      m.descriptors.push_back({rng(),
+                               static_cast<std::uint32_t>(rng.below(50)),
+                               static_cast<std::int64_t>(rng()) >> 8});
+    }
+    return m;
+  });
+}
+
 }  // namespace
 }  // namespace adam2::wire

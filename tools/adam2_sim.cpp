@@ -18,6 +18,7 @@
 #include "data/boinc_synth.hpp"
 #include "data/trace.hpp"
 #include "flags.hpp"
+#include "host/fault.hpp"
 #include "sim/async_engine.hpp"
 
 using namespace adam2;
@@ -46,6 +47,18 @@ substrate:
   --degree D           overlay degree / view size (default 20)
   --churn C            fraction of nodes replaced per round (default 0)
   --loss P             message loss probability (default 0)
+
+faults (deterministic injection, DESIGN.md §8; all default 0 = off):
+  --fault-drop P       drop each message with probability P
+  --fault-duplicate P  deliver each message twice with probability P
+  --fault-corrupt P    truncate/byte-flip the payload with probability P
+  --fault-crash P      per-node crash-restart (state loss) per round
+  --fault-delay P      extra delivery delay probability (--async only)
+  --fault-max-delay S  max extra delay in seconds (default 0.5)
+  --fault-partitions K split the overlay into K isolated groups
+  --fault-start R      round/second the partition begins (default 0)
+  --fault-heal K       partition heals after K rounds/seconds, 0 = never
+  --fault-seed S       fault-schedule seed, independent of --seed
   --async              use the event-driven engine (jittered periods,
                        real message latencies, exchange atomicity)
   --latency-max MS     max one-way latency in ms for --async (default 100)
@@ -64,6 +77,31 @@ data::Attribute parse_attribute(const std::string& name) {
     if (name == data::attribute_name(a)) return a;
   }
   throw std::invalid_argument("unknown attribute '" + name + "'");
+}
+
+host::FaultPlan parse_fault_plan(const tools::Flags& flags) {
+  host::FaultPlan plan;
+  plan.drop_rate = flags.get_double("fault-drop", 0.0);
+  plan.duplicate_rate = flags.get_double("fault-duplicate", 0.0);
+  plan.corrupt_rate = flags.get_double("fault-corrupt", 0.0);
+  plan.crash_rate = flags.get_double("fault-crash", 0.0);
+  plan.delay_rate = flags.get_double("fault-delay", 0.0);
+  plan.max_delay = flags.get_double("fault-max-delay", 0.5);
+  plan.partition_count =
+      static_cast<std::size_t>(flags.get_int("fault-partitions", 0));
+  plan.partition_start =
+      static_cast<host::Round>(flags.get_int("fault-start", 0));
+  plan.partition_heal_after =
+      static_cast<host::Round>(flags.get_int("fault-heal", 0));
+  plan.seed = static_cast<std::uint64_t>(
+      flags.get_int("fault-seed", static_cast<std::int64_t>(plan.seed)));
+  for (double rate : {plan.drop_rate, plan.duplicate_rate, plan.corrupt_rate,
+                      plan.crash_rate, plan.delay_rate}) {
+    if (rate < 0.0 || rate > 1.0) {
+      throw std::invalid_argument("fault rates must be in [0, 1]");
+    }
+  }
+  return plan;
 }
 
 core::SelectionHeuristic parse_heuristic(const std::string& name) {
@@ -124,6 +162,7 @@ int run(const tools::Flags& flags) {
                                 std::to_string(threads));
   }
   config.engine_threads = static_cast<std::size_t>(threads);
+  config.engine.faults = parse_fault_plan(flags);
 
   const auto instances =
       static_cast<std::size_t>(flags.get_int("instances", 3));
@@ -141,6 +180,7 @@ int run(const tools::Flags& flags) {
     async_config.latency_max = latency_max;
     async_config.churn_per_second = config.engine.churn_rate;
     async_config.message_loss = config.engine.message_loss;
+    async_config.faults = config.engine.faults;
     const core::Adam2Config protocol = config.protocol;
     sim::AsyncEngine engine(
         async_config, values,
