@@ -47,7 +47,7 @@ int main() {
     bench::print_row(
         "cycle_driven",
         {e.avg_err, e.max_err,
-         static_cast<double>(traffic.on(sim::Channel::kAggregation).bytes_sent) /
+         static_cast<double>(traffic.on(host::Channel::kAggregation).bytes_sent) /
              static_cast<double>(env.n) / 1024.0,
          static_cast<double>(traffic.busy_rejections) /
              static_cast<double>(env.n)});
@@ -59,12 +59,12 @@ int main() {
     config.latency_max = latency_max;
     sim::AsyncEngine engine(
         config, values, core::make_overlay(core::OverlayKind::kCyclon, 20),
-        [protocol](const sim::AgentContext&) {
+        [protocol](const host::AgentContext&) {
           return std::make_unique<core::Adam2Agent>(protocol);
         },
         nullptr);
     engine.run_until(5.0);
-    const sim::NodeId initiator = engine.random_live_node();
+    const host::NodeId initiator = engine.random_live_node();
     auto ctx = engine.context_for(initiator);
     dynamic_cast<core::Adam2Agent&>(engine.agent(initiator)).start_instance(ctx);
     // ttl local ticks plus jitter slack for the slowest node.
@@ -78,7 +78,7 @@ int main() {
     bench::print_row(
         label,
         {e.avg_err, e.max_err,
-         static_cast<double>(traffic.on(sim::Channel::kAggregation).bytes_sent) /
+         static_cast<double>(traffic.on(host::Channel::kAggregation).bytes_sent) /
              static_cast<double>(env.n) / 1024.0,
          static_cast<double>(traffic.busy_rejections) /
              static_cast<double>(env.n)});

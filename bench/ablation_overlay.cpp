@@ -54,7 +54,7 @@ Outcome run_overlay(const bench::BenchEnv& env, core::OverlayKind kind) {
         core::evaluate_estimates(system.engine(), system.truth(), options)
             .avg_err;
     const auto& overlay_traffic =
-        system.engine().total_traffic().on(sim::Channel::kOverlay);
+        system.engine().total_traffic().on(host::Channel::kOverlay);
     out.overlay_kb_per_node = static_cast<double>(overlay_traffic.bytes_sent) /
                               static_cast<double>(env.n) / 1024.0;
   }

@@ -202,14 +202,14 @@ core::SystemConfig default_system(const BenchEnv& env) {
   return config;
 }
 
-sim::AttributeSource churn_source(data::Attribute kind) {
+host::AttributeSource churn_source(data::Attribute kind) {
   return [kind](rng::Rng& rng) { return data::sample_attribute(kind, rng); };
 }
 
 std::vector<InstanceResult> run_adam2_series(
     const core::SystemConfig& config, const std::vector<stats::Value>& values,
     std::size_t instances, const BenchEnv& env,
-    sim::AttributeSource churn) {
+    host::AttributeSource churn) {
   core::Adam2System system(config, values, std::move(churn));
   const stats::EmpiricalCdf truth{values};
   // Let the peer-sampling service mix before the first instance, so the
@@ -243,7 +243,7 @@ std::vector<InstanceResult> run_adam2_series(
   const auto& traffic = system.engine().total_traffic();
   report_metric("aggregation_bytes_sent",
                 static_cast<double>(
-                    traffic.on(sim::Channel::kAggregation).bytes_sent));
+                    traffic.on(host::Channel::kAggregation).bytes_sent));
   report_metric("total_bytes_sent",
                 static_cast<double>(traffic.total_bytes_sent()));
   return results;
@@ -252,10 +252,10 @@ std::vector<InstanceResult> run_adam2_series(
 std::vector<InstanceResult> run_equidepth_series(
     const baselines::EquiDepthConfig& config, const sim::EngineConfig& engine,
     const std::vector<stats::Value>& values, std::size_t phases,
-    const BenchEnv& env, sim::AttributeSource churn) {
+    const BenchEnv& env, host::AttributeSource churn) {
   sim::Engine sim_engine(
       engine, values, core::make_overlay(core::OverlayKind::kCyclon, 20),
-      [config](const sim::AgentContext&) {
+      [config](const host::AgentContext&) {
         return std::make_unique<baselines::EquiDepthAgent>(config);
       },
       std::move(churn));
@@ -264,7 +264,7 @@ std::vector<InstanceResult> run_equidepth_series(
   std::vector<InstanceResult> results;
   results.reserve(phases);
   for (std::size_t i = 0; i < phases; ++i) {
-    const sim::NodeId initiator = sim_engine.random_live_node();
+    const host::NodeId initiator = sim_engine.random_live_node();
     auto ctx = sim_engine.context_for(initiator);
     auto& agent =
         dynamic_cast<baselines::EquiDepthAgent&>(sim_engine.agent(initiator));
@@ -296,7 +296,7 @@ std::vector<InstanceResult> run_equidepth_series(
   const auto& traffic = sim_engine.total_traffic();
   report_metric("aggregation_bytes_sent",
                 static_cast<double>(
-                    traffic.on(sim::Channel::kAggregation).bytes_sent));
+                    traffic.on(host::Channel::kAggregation).bytes_sent));
   report_metric("total_bytes_sent",
                 static_cast<double>(traffic.total_bytes_sent()));
   return results;

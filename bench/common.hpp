@@ -96,19 +96,19 @@ struct InstanceResult {
 [[nodiscard]] std::vector<InstanceResult> run_adam2_series(
     const core::SystemConfig& config, const std::vector<stats::Value>& values,
     std::size_t instances, const BenchEnv& env,
-    sim::AttributeSource churn_source = nullptr);
+    host::AttributeSource churn_source = nullptr);
 
 /// Same driver for the EquiDepth baseline phases.
 [[nodiscard]] std::vector<InstanceResult> run_equidepth_series(
     const baselines::EquiDepthConfig& config, const sim::EngineConfig& engine,
     const std::vector<stats::Value>& values, std::size_t phases,
-    const BenchEnv& env, sim::AttributeSource churn_source = nullptr);
+    const BenchEnv& env, host::AttributeSource churn_source = nullptr);
 
 /// Default system configuration shared by the benches (paper defaults:
 /// lambda = 50, ttl = 25, MinMax + neighbour bootstrap, Cyclon overlay).
 [[nodiscard]] core::SystemConfig default_system(const BenchEnv& env);
 
 /// Attribute source drawing fresh values of `kind` (churn replacements).
-[[nodiscard]] sim::AttributeSource churn_source(data::Attribute kind);
+[[nodiscard]] host::AttributeSource churn_source(data::Attribute kind);
 
 }  // namespace adam2::bench

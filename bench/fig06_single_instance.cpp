@@ -55,7 +55,7 @@ void run_equidepth(const bench::BenchEnv& env,
   engine_config.seed = env.seed;
   sim::Engine engine(
       engine_config, values, core::make_overlay(core::OverlayKind::kCyclon, 20),
-      [config](const sim::AgentContext&) {
+      [config](const host::AgentContext&) {
         return std::make_unique<baselines::EquiDepthAgent>(config);
       },
       nullptr);

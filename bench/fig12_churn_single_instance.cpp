@@ -33,7 +33,7 @@ void run_adam2(const bench::BenchEnv& env,
                            bench::churn_source(data::Attribute::kRamMb));
   system.run_rounds(5);
   const auto id = system.start_instance();
-  const sim::Round started = system.engine().round();
+  const host::Round started = system.engine().round();
 
   std::printf("\n## (a) Adam2 under churn %.3g/round, RAM\n", kChurnRate);
   bench::print_header("round", {"max_points", "avg_points", "max_entire",
@@ -64,7 +64,7 @@ void run_equidepth(const bench::BenchEnv& env,
   engine_config.churn_rate = kChurnRate;
   sim::Engine engine(
       engine_config, values, core::make_overlay(core::OverlayKind::kCyclon, 20),
-      [config](const sim::AgentContext&) {
+      [config](const host::AgentContext&) {
         return std::make_unique<baselines::EquiDepthAgent>(config);
       },
       bench::churn_source(data::Attribute::kRamMb));
@@ -74,7 +74,7 @@ void run_equidepth(const bench::BenchEnv& env,
   const auto phase =
       dynamic_cast<baselines::EquiDepthAgent&>(engine.agent(initiator))
           .start_phase(ctx);
-  const sim::Round started = engine.round();
+  const host::Round started = engine.round();
 
   std::printf("\n## (b) EquiDepth under churn %.3g/round, RAM\n", kChurnRate);
   bench::print_header("round",

@@ -39,7 +39,7 @@ CostRow adam2_cost(const bench::BenchEnv& env, std::size_t n,
   core::Adam2System system(config, values);
   for (std::size_t i = 0; i < instances; ++i) system.run_instance();
   const auto& agg =
-      system.engine().total_traffic().on(sim::Channel::kAggregation);
+      system.engine().total_traffic().on(host::Channel::kAggregation);
   CostRow row;
   row.message_bytes = static_cast<double>(agg.bytes_sent) /
                       static_cast<double>(agg.messages_sent);
@@ -63,7 +63,7 @@ CostRow equidepth_cost(const bench::BenchEnv& env, std::size_t n,
   // fresh engine run (the driver owns its engine, so rebuild here).
   sim::Engine engine(
       engine_config, values, core::make_overlay(core::OverlayKind::kCyclon, 20),
-      [config](const sim::AgentContext&) {
+      [config](const host::AgentContext&) {
         return std::make_unique<baselines::EquiDepthAgent>(config);
       },
       nullptr);
@@ -74,7 +74,7 @@ CostRow equidepth_cost(const bench::BenchEnv& env, std::size_t n,
         .start_phase(ctx);
     engine.run_rounds(config.phase_ttl + 1u);
   }
-  const auto& agg = engine.total_traffic().on(sim::Channel::kAggregation);
+  const auto& agg = engine.total_traffic().on(host::Channel::kAggregation);
   CostRow row;
   row.message_bytes = static_cast<double>(agg.bytes_sent) /
                       static_cast<double>(agg.messages_sent);

@@ -61,7 +61,7 @@ int main() {
   std::printf("self-tuned configuration after 4 instances "
               "(target EstErra = 0.002):\n");
   for (std::size_t i = 0; i < systems.size(); ++i) {
-    const sim::NodeId node = systems[i]->engine().live_ids().front();
+    const host::NodeId node = systems[i]->engine().live_ids().front();
     const auto& agent = systems[i]->agent_of(node);
     std::printf("  %-14s lambda: 20 -> %-3zu  (self-assessed avg err %.5f)\n",
                 std::string(data::attribute_name(attributes[i])).c_str(),
@@ -76,7 +76,7 @@ int main() {
       {"memory-heavy", 2000, 3500, 50},
       {"archival", 800, 512, 400},
   };
-  const sim::NodeId observer = systems[0]->engine().live_ids().front();
+  const host::NodeId observer = systems[0]->engine().live_ids().front();
   std::printf("\ncapacity report computed locally at node %llu:\n",
               static_cast<unsigned long long>(observer));
   std::printf("  %-14s %10s %10s %10s %12s\n", "job class", "cpu_ok",

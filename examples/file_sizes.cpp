@@ -52,7 +52,7 @@ int main() {
   sim::Engine engine(
       engine_config, engine_attributes,
       core::make_overlay(core::OverlayKind::kCyclon, 20),
-      [shared_sets, protocol](const sim::AgentContext& ctx) {
+      [shared_sets, protocol](const host::AgentContext& ctx) {
         return std::make_unique<core::MultiValueAdam2Agent>(
             protocol, (*shared_sets)[static_cast<std::size_t>(ctx.self)]);
       },
@@ -60,14 +60,14 @@ int main() {
 
   // Two instances: bootstrap, then LCut refinement over the union range.
   for (int i = 0; i < 2; ++i) {
-    const sim::NodeId initiator = engine.random_live_node();
+    const host::NodeId initiator = engine.random_live_node();
     auto ctx = engine.context_for(initiator);
     dynamic_cast<core::Adam2Agent&>(engine.agent(initiator)).start_instance(ctx);
     engine.run_rounds(protocol.instance_ttl + 1u);
   }
 
   const stats::EmpiricalCdf truth{all_files};
-  const sim::NodeId observer = engine.live_ids().front();
+  const host::NodeId observer = engine.live_ids().front();
   const auto& estimate =
       *dynamic_cast<core::Adam2Agent&>(engine.agent(observer)).estimate();
 

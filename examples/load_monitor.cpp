@@ -20,7 +20,7 @@ using namespace adam2;
 namespace {
 
 /// What one node concludes from its own estimate, with no global knowledge.
-void report_from_node(core::Adam2System& system, sim::NodeId node) {
+void report_from_node(core::Adam2System& system, host::NodeId node) {
   const core::Adam2Agent& agent = system.agent_of(node);
   if (!agent.estimate()) {
     std::printf("node %llu has no estimate yet\n",
@@ -82,7 +82,7 @@ int main() {
   // Era 2: a hot partition appears — 15% of nodes take 10x the load.
   // Attributes change *between* instances; nodes re-evaluate them when the
   // next aggregation instance starts (§VII-F).
-  for (sim::NodeId id : system.engine().live_ids()) {
+  for (host::NodeId id : system.engine().live_ids()) {
     if (rng.bernoulli(0.15)) {
       system.engine().set_attribute(
           id, static_cast<stats::Value>(rng.normal(1000.0, 150.0)));

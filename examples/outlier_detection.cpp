@@ -81,7 +81,7 @@ int main() {
               true_defective, kNodes,
               100.0 * static_cast<double>(true_defective) / kNodes);
   int shown = 0;
-  for (sim::NodeId node : system.engine().live_ids()) {
+  for (host::NodeId node : system.engine().live_ids()) {
     if (shown++ >= 3) break;
     const core::Adam2Agent& agent = system.agent_of(node);
     const core::Estimate& est = *agent.estimate();

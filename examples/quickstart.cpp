@@ -32,7 +32,7 @@ int main() {
   for (int i = 0; i < 3; ++i) system.run_instance();
 
   // 4. Every node now holds (nearly identical) estimates. Inspect one.
-  const sim::NodeId node = system.engine().live_ids().front();
+  const host::NodeId node = system.engine().live_ids().front();
   const core::Adam2Agent& agent = system.agent_of(node);
   const core::Estimate& estimate = *agent.estimate();
 

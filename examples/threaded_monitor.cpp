@@ -39,7 +39,7 @@ int main() {
   config.response_timeout = 40ms;
   config.seed = 77;
 
-  runtime::Cluster cluster(config, values, [protocol](const sim::AgentContext&) {
+  runtime::Cluster cluster(config, values, [protocol](const host::AgentContext&) {
     return std::make_unique<core::Adam2Agent>(protocol);
   });
   cluster.start();
@@ -48,7 +48,7 @@ int main() {
 
   for (int poll = 1; poll <= 6; ++poll) {
     std::this_thread::sleep_for(400ms);
-    cluster.run_on_node(0, [&](sim::NodeAgent& agent, sim::AgentContext&) {
+    cluster.run_on_node(0, [&](host::NodeAgent& agent, host::AgentContext&) {
       const auto& a2 = dynamic_cast<const core::Adam2Agent&>(agent);
       if (!a2.estimate()) {
         std::printf("poll %d: no estimate yet (%zu instances active)\n", poll,
@@ -68,9 +68,9 @@ int main() {
   std::printf("\nstopped. aggregation traffic: %llu messages, %.1f kB; "
               "busy rejections: %llu\n",
               static_cast<unsigned long long>(
-                  traffic.on(sim::Channel::kAggregation).messages_sent),
+                  traffic.on(host::Channel::kAggregation).messages_sent),
               static_cast<double>(
-                  traffic.on(sim::Channel::kAggregation).bytes_sent) /
+                  traffic.on(host::Channel::kAggregation).bytes_sent) /
                   1024.0,
               static_cast<unsigned long long>(traffic.busy_rejections));
   return 0;

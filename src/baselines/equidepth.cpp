@@ -12,13 +12,13 @@ EquiDepthAgent::EquiDepthAgent(EquiDepthConfig config) : config_(config) {
   assert(config_.phase_ttl >= 1);
 }
 
-bool EquiDepthAgent::eligible(const sim::AgentContext& ctx,
+bool EquiDepthAgent::eligible(const host::AgentContext& ctx,
                               const wire::EquiDepthMessage& msg) const {
   return msg.start_round >= ctx.birth_round &&
          !finalized_ids_.contains(msg.phase);
 }
 
-void EquiDepthAgent::on_round_start(sim::AgentContext& ctx) {
+void EquiDepthAgent::on_round_start(host::AgentContext& ctx) {
   std::vector<wire::InstanceId> finished;
   for (auto& [id, phase] : active_) {
     if (phase.ttl == 0) {
@@ -44,7 +44,7 @@ void EquiDepthAgent::on_round_start(sim::AgentContext& ctx) {
   }
 }
 
-wire::InstanceId EquiDepthAgent::start_phase(sim::AgentContext& ctx) {
+wire::InstanceId EquiDepthAgent::start_phase(host::AgentContext& ctx) {
   Phase phase;
   phase.id = wire::InstanceId{ctx.self, next_seq_++};
   phase.start_round = ctx.round;
@@ -57,7 +57,7 @@ wire::InstanceId EquiDepthAgent::start_phase(sim::AgentContext& ctx) {
 
 wire::EquiDepthMessage EquiDepthAgent::message_for(const Phase& phase,
                                                    wire::MessageType type,
-                                                   sim::NodeId self) const {
+                                                   host::NodeId self) const {
   wire::EquiDepthMessage msg;
   msg.type = type;
   msg.sender = self;
@@ -69,7 +69,7 @@ wire::EquiDepthMessage EquiDepthAgent::message_for(const Phase& phase,
 }
 
 std::span<const std::byte> EquiDepthAgent::make_request(
-    sim::AgentContext& ctx) {
+    host::AgentContext& ctx) {
   if (active_.empty()) return {};
   // One phase per message keeps the format simple; concurrent phases take
   // turns. (The paper's comparison runs one phase at a time.)
@@ -81,7 +81,7 @@ std::span<const std::byte> EquiDepthAgent::make_request(
 }
 
 EquiDepthAgent::Phase EquiDepthAgent::join_phase(
-    const sim::AgentContext& ctx, const wire::EquiDepthMessage& msg) const {
+    const host::AgentContext& ctx, const wire::EquiDepthMessage& msg) const {
   Phase phase;
   phase.id = msg.phase;
   phase.start_round = msg.start_round;
@@ -119,7 +119,7 @@ void EquiDepthAgent::merge(Phase& phase,
 }
 
 std::span<const std::byte> EquiDepthAgent::handle_request(
-    sim::AgentContext& ctx, std::span<const std::byte> request) {
+    host::AgentContext& ctx, std::span<const std::byte> request) {
   wire::EquiDepthMessage incoming;
   try {
     incoming = wire::EquiDepthMessage::decode(request);
@@ -145,7 +145,7 @@ std::span<const std::byte> EquiDepthAgent::handle_request(
   return wire_scratch_;
 }
 
-void EquiDepthAgent::handle_response(sim::AgentContext& ctx,
+void EquiDepthAgent::handle_response(host::AgentContext& ctx,
                                      std::span<const std::byte> response) {
   wire::EquiDepthMessage incoming;
   try {
@@ -190,12 +190,12 @@ std::vector<stats::WeightedValue> EquiDepthAgent::phase_synopsis(
 }
 
 std::vector<std::byte> EquiDepthAgent::make_bootstrap_request(
-    sim::AgentContext& ctx) {
+    host::AgentContext& ctx) {
   return wire::BootstrapRequest{ctx.self}.encode();
 }
 
 std::vector<std::byte> EquiDepthAgent::handle_bootstrap_request(
-    sim::AgentContext& ctx, std::span<const std::byte> request) {
+    host::AgentContext& ctx, std::span<const std::byte> request) {
   try {
     (void)wire::BootstrapRequest::decode(request);
   } catch (const wire::DecodeError&) {
@@ -214,7 +214,7 @@ std::vector<std::byte> EquiDepthAgent::handle_bootstrap_request(
 }
 
 bool EquiDepthAgent::handle_bootstrap_response(
-    sim::AgentContext& ctx, std::span<const std::byte> response) {
+    host::AgentContext& ctx, std::span<const std::byte> response) {
   wire::BootstrapResponse incoming;
   try {
     incoming = wire::BootstrapResponse::decode(response);
@@ -233,16 +233,16 @@ bool EquiDepthAgent::handle_bootstrap_response(
 
 namespace {
 
-std::vector<sim::NodeId> sample_peers(sim::Engine& engine,
+std::vector<host::NodeId> sample_peers(sim::Engine& engine,
                                       std::size_t peer_sample) {
   const auto live = engine.live_ids();
-  std::vector<sim::NodeId> peers(live.begin(), live.end());
+  std::vector<host::NodeId> peers(live.begin(), live.end());
   if (peer_sample > 0 && peers.size() > peer_sample) {
     // Private stream per round: evaluating never perturbs the protocol.
     rng::Rng sampler(0xE7A10001ULL ^
                      (static_cast<std::uint64_t>(engine.round()) + 1) *
                          0x9e3779b97f4a7c15ULL);
-    std::vector<sim::NodeId> sampled;
+    std::vector<host::NodeId> sampled;
     sampled.reserve(peer_sample);
     for (std::size_t idx :
          sampler.sample_indices(peers.size(), peer_sample)) {
@@ -263,7 +263,7 @@ EquiDepthPopulationErrors evaluate_equidepth(sim::Engine& engine,
   EquiDepthPopulationErrors out;
   const stats::DiscreteErrorEvaluator errors_against_truth(truth);
   stats::RunningStat avg_stat;
-  for (sim::NodeId id : sample_peers(engine, peer_sample)) {
+  for (host::NodeId id : sample_peers(engine, peer_sample)) {
     const auto* agent = dynamic_cast<const EquiDepthAgent*>(&engine.agent(id));
     const EquiDepthEstimate* est =
         (agent != nullptr && agent->estimate()) ? &*agent->estimate() : nullptr;
@@ -287,12 +287,12 @@ EquiDepthPopulationErrors evaluate_equidepth(sim::Engine& engine,
 EquiDepthInstantErrors evaluate_equidepth_phase(
     sim::Engine& engine, wire::InstanceId phase,
     const stats::EmpiricalCdf& truth, std::size_t peer_sample,
-    std::optional<sim::Round> born_by) {
+    std::optional<host::Round> born_by) {
   EquiDepthInstantErrors out;
   const stats::DiscreteErrorEvaluator errors_against_truth(truth);
   stats::RunningStat entire_avg;
   stats::RunningStat bins_avg;
-  for (sim::NodeId id : sample_peers(engine, peer_sample)) {
+  for (host::NodeId id : sample_peers(engine, peer_sample)) {
     if (born_by && engine.node(id).birth_round > *born_by) continue;
     const auto* agent = dynamic_cast<const EquiDepthAgent*>(&engine.agent(id));
     const auto synopsis =

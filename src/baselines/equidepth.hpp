@@ -18,7 +18,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "sim/agent.hpp"
+#include "host/agent.hpp"
 #include "sim/engine.hpp"
 #include "stats/cdf.hpp"
 #include "stats/error_metrics.hpp"
@@ -37,32 +37,32 @@ struct EquiDepthConfig {
 /// A completed phase's outcome at one node.
 struct EquiDepthEstimate {
   wire::InstanceId phase;
-  sim::Round completed_round = 0;
+  host::Round completed_round = 0;
   stats::PiecewiseLinearCdf cdf;
   std::vector<stats::WeightedValue> synopsis;
   bool inherited = false;
 };
 
-class EquiDepthAgent final : public sim::NodeAgent {
+class EquiDepthAgent final : public host::NodeAgent {
  public:
   explicit EquiDepthAgent(EquiDepthConfig config);
 
-  void on_round_start(sim::AgentContext& ctx) override;
+  void on_round_start(host::AgentContext& ctx) override;
   [[nodiscard]] std::span<const std::byte> make_request(
-      sim::AgentContext& ctx) override;
+      host::AgentContext& ctx) override;
   [[nodiscard]] std::span<const std::byte> handle_request(
-      sim::AgentContext& ctx, std::span<const std::byte> request) override;
-  void handle_response(sim::AgentContext& ctx,
+      host::AgentContext& ctx, std::span<const std::byte> request) override;
+  void handle_response(host::AgentContext& ctx,
                        std::span<const std::byte> response) override;
   [[nodiscard]] std::vector<std::byte> make_bootstrap_request(
-      sim::AgentContext& ctx) override;
+      host::AgentContext& ctx) override;
   [[nodiscard]] std::vector<std::byte> handle_bootstrap_request(
-      sim::AgentContext& ctx, std::span<const std::byte> request) override;
-  bool handle_bootstrap_response(sim::AgentContext& ctx,
+      host::AgentContext& ctx, std::span<const std::byte> request) override;
+  bool handle_bootstrap_response(host::AgentContext& ctx,
                                  std::span<const std::byte> response) override;
 
   /// Starts a phase on this node (scripted mode).
-  wire::InstanceId start_phase(sim::AgentContext& ctx);
+  wire::InstanceId start_phase(host::AgentContext& ctx);
 
   [[nodiscard]] const std::optional<EquiDepthEstimate>& estimate() const {
     return estimate_;
@@ -76,19 +76,19 @@ class EquiDepthAgent final : public sim::NodeAgent {
  private:
   struct Phase {
     wire::InstanceId id;
-    sim::Round start_round = 0;
+    host::Round start_round = 0;
     std::uint16_t ttl = 0;
     std::vector<stats::WeightedValue> synopsis;
   };
 
-  [[nodiscard]] bool eligible(const sim::AgentContext& ctx,
+  [[nodiscard]] bool eligible(const host::AgentContext& ctx,
                               const wire::EquiDepthMessage& msg) const;
-  [[nodiscard]] Phase join_phase(const sim::AgentContext& ctx,
+  [[nodiscard]] Phase join_phase(const host::AgentContext& ctx,
                                  const wire::EquiDepthMessage& msg) const;
   void merge(Phase& phase, const std::vector<stats::WeightedValue>& other);
   void finalize(Phase&& phase);
   [[nodiscard]] wire::EquiDepthMessage message_for(
-      const Phase& phase, wire::MessageType type, sim::NodeId self) const;
+      const Phase& phase, wire::MessageType type, host::NodeId self) const;
 
   EquiDepthConfig config_;
   std::unordered_map<wire::InstanceId, Phase, wire::InstanceIdHash> active_;
@@ -130,6 +130,6 @@ struct EquiDepthInstantErrors {
 [[nodiscard]] EquiDepthInstantErrors evaluate_equidepth_phase(
     sim::Engine& engine, wire::InstanceId phase,
     const stats::EmpiricalCdf& truth, std::size_t peer_sample = 0,
-    std::optional<sim::Round> born_by = {});
+    std::optional<host::Round> born_by = {});
 
 }  // namespace adam2::baselines

@@ -7,7 +7,7 @@
 #include <optional>
 #include <vector>
 
-#include "sim/types.hpp"
+#include "host/types.hpp"
 #include "stats/cdf.hpp"
 #include "stats/error_metrics.hpp"
 #include "wire/messages.hpp"
@@ -16,7 +16,7 @@ namespace adam2::core {
 
 struct Estimate {
   wire::InstanceId instance;
-  sim::Round completed_round = 0;
+  host::Round completed_round = 0;
 
   /// The interpolated CDF approximation Fp.
   stats::PiecewiseLinearCdf cdf;

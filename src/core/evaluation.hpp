@@ -37,7 +37,7 @@ struct EvaluationOptions {
 
   /// Only evaluate peers born at or before this round (excludes nodes that
   /// joined during the instance under evaluation, §VII-G).
-  std::optional<sim::Round> born_by;
+  std::optional<host::Round> born_by;
 
   /// Peers without a usable estimate count with the maximum error of one
   /// (the paper's convention while an instance has not reached everyone).
@@ -65,15 +65,15 @@ namespace detail {
 /// the system never perturbs the protocol's randomness (evaluating or not
 /// evaluating leaves every later round bit-identical).
 template <typename Host>
-std::vector<sim::NodeId> pick_peers(Host& engine,
+std::vector<host::NodeId> pick_peers(Host& engine,
                                     const EvaluationOptions& options) {
   const auto live = engine.live_ids();
-  std::vector<sim::NodeId> peers(live.begin(), live.end());
+  std::vector<host::NodeId> peers(live.begin(), live.end());
   if (options.peer_sample > 0 && peers.size() > options.peer_sample) {
     rng::Rng sampler(0xE7A10000ULL ^
                      (static_cast<std::uint64_t>(engine.round()) + 1) *
                          0x9e3779b97f4a7c15ULL);
-    std::vector<sim::NodeId> sampled;
+    std::vector<host::NodeId> sampled;
     sampled.reserve(options.peer_sample);
     for (std::size_t idx :
          sampler.sample_indices(peers.size(), options.peer_sample)) {
@@ -98,9 +98,9 @@ std::vector<sim::NodeId> pick_peers(Host& engine,
 template <typename Host, typename ErrorsOf>
 PopulationErrors aggregate(Host& engine, const EvaluationOptions& options,
                            ErrorsOf&& errors_of) {
-  std::vector<sim::NodeId> peers;
-  for (sim::NodeId id : pick_peers(engine, options)) {
-    const sim::Node& node = engine.node(id);
+  std::vector<host::NodeId> peers;
+  for (host::NodeId id : pick_peers(engine, options)) {
+    const host::Node& node = engine.node(id);
     if (options.born_by && node.birth_round > *options.born_by) continue;
     peers.push_back(id);
   }
@@ -144,12 +144,12 @@ PopulationErrors aggregate(Host& engine, const EvaluationOptions& options,
 }
 
 template <typename Host>
-const Adam2Agent* adam2_agent(Host& engine, sim::NodeId id) {
+const Adam2Agent* adam2_agent(Host& engine, host::NodeId id) {
   return dynamic_cast<const Adam2Agent*>(&engine.agent(id));
 }
 
 template <typename Host>
-const Estimate* usable_estimate(Host& engine, sim::NodeId id,
+const Estimate* usable_estimate(Host& engine, host::NodeId id,
                                 const EvaluationOptions& options) {
   const Adam2Agent* agent = adam2_agent(engine, id);
   if (agent == nullptr || !agent->estimate()) return nullptr;
@@ -168,7 +168,7 @@ PopulationErrors evaluate_estimates(Host& engine,
                                     const EvaluationOptions& options = {}) {
   const stats::DiscreteErrorEvaluator errors_against_truth(truth);
   return detail::aggregate(
-      engine, options, [&](sim::NodeId id) -> std::optional<stats::ErrorPair> {
+      engine, options, [&](host::NodeId id) -> std::optional<stats::ErrorPair> {
         const Estimate* est = detail::usable_estimate(engine, id, options);
         if (est == nullptr) return std::nullopt;
         return errors_against_truth(est->cdf);
@@ -181,7 +181,7 @@ PopulationErrors evaluate_estimate_points(
     Host& engine, const stats::EmpiricalCdf& truth,
     const EvaluationOptions& options = {}) {
   return detail::aggregate(
-      engine, options, [&](sim::NodeId id) -> std::optional<stats::ErrorPair> {
+      engine, options, [&](host::NodeId id) -> std::optional<stats::ErrorPair> {
         const Estimate* est = detail::usable_estimate(engine, id, options);
         if (est == nullptr || est->points.empty()) return std::nullopt;
         return stats::point_errors(truth, est->points);
@@ -197,7 +197,7 @@ PopulationErrors evaluate_instance_cdf(Host& engine, wire::InstanceId id,
   const stats::DiscreteErrorEvaluator errors_against_truth(truth);
   return detail::aggregate(
       engine, options,
-      [&](sim::NodeId peer) -> std::optional<stats::ErrorPair> {
+      [&](host::NodeId peer) -> std::optional<stats::ErrorPair> {
         const Adam2Agent* agent = detail::adam2_agent(engine, peer);
         if (agent == nullptr) return std::nullopt;
         const InstanceState* state = agent->instance(id);
@@ -215,7 +215,7 @@ PopulationErrors evaluate_instance_points(
     const EvaluationOptions& options = {}) {
   return detail::aggregate(
       engine, options,
-      [&](sim::NodeId peer) -> std::optional<stats::ErrorPair> {
+      [&](host::NodeId peer) -> std::optional<stats::ErrorPair> {
         const Adam2Agent* agent = detail::adam2_agent(engine, peer);
         if (agent == nullptr) return std::nullopt;
         const InstanceState* state = agent->instance(id);
@@ -234,8 +234,8 @@ double confidence_estimation_error(Host& engine,
                                    const EvaluationOptions& options = {}) {
   const stats::DiscreteErrorEvaluator errors_against_truth(truth);
   stats::RunningStat relative;
-  for (sim::NodeId id : detail::pick_peers(engine, options)) {
-    const sim::Node& node = engine.node(id);
+  for (host::NodeId id : detail::pick_peers(engine, options)) {
+    const host::Node& node = engine.node(id);
     if (options.born_by && node.birth_round > *options.born_by) continue;
     const Estimate* est = detail::usable_estimate(engine, id, options);
     if (est == nullptr || !est->self_assessment) continue;

@@ -11,7 +11,7 @@
 #include <functional>
 #include <vector>
 
-#include "sim/types.hpp"
+#include "host/types.hpp"
 #include "stats/cdf.hpp"
 #include "wire/messages.hpp"
 
@@ -30,7 +30,7 @@ struct InstanceState : wire::InstancePayload {
   /// Initiator-side construction: weight 1, own contributions at the chosen
   /// thresholds, own extremes.
   [[nodiscard]] static InstanceState start(
-      wire::InstanceId id, sim::Round round, std::uint16_t ttl,
+      wire::InstanceId id, host::Round round, std::uint16_t ttl,
       const std::vector<double>& thresholds,
       const std::vector<double>& verification_thresholds,
       const ContributionFn& contribution, double local_min, double local_max);

@@ -33,7 +33,7 @@ MultiValueAdam2Agent::MultiValueAdam2Agent(Adam2Config config,
 }
 
 ContributionFn MultiValueAdam2Agent::contribution_fn(
-    const sim::AgentContext& /*ctx*/) const {
+    const host::AgentContext& /*ctx*/) const {
   // Copy the sorted values so the closure stays valid even if the agent is
   // destroyed mid-instance (churn).
   return [values = values_](double t) {
@@ -46,7 +46,7 @@ ContributionFn MultiValueAdam2Agent::contribution_fn(
 }
 
 std::pair<double, double> MultiValueAdam2Agent::local_extremes(
-    const sim::AgentContext& /*ctx*/) const {
+    const host::AgentContext& /*ctx*/) const {
   return {static_cast<double>(values_.front()),
           static_cast<double>(values_.back())};
 }

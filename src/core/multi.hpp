@@ -29,9 +29,9 @@ class MultiValueAdam2Agent final : public Adam2Agent {
 
  protected:
   [[nodiscard]] ContributionFn contribution_fn(
-      const sim::AgentContext& ctx) const override;
+      const host::AgentContext& ctx) const override;
   [[nodiscard]] std::pair<double, double> local_extremes(
-      const sim::AgentContext& ctx) const override;
+      const host::AgentContext& ctx) const override;
   void augment_thresholds(std::vector<double>& thresholds) const override;
   void finalize_points(std::vector<stats::CdfPoint>& points,
                        std::vector<stats::CdfPoint>& verification)

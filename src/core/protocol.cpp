@@ -59,18 +59,18 @@ Adam2Agent::Adam2Agent(Adam2Config config)
 }
 
 ContributionFn Adam2Agent::contribution_fn(
-    const sim::AgentContext& ctx) const {
+    const host::AgentContext& ctx) const {
   const double attribute = static_cast<double>(ctx.attribute);
   return [attribute](double t) { return attribute <= t ? 1.0 : 0.0; };
 }
 
 std::pair<double, double> Adam2Agent::local_extremes(
-    const sim::AgentContext& ctx) const {
+    const host::AgentContext& ctx) const {
   const double attribute = static_cast<double>(ctx.attribute);
   return {attribute, attribute};
 }
 
-bool Adam2Agent::eligible(const sim::AgentContext& ctx,
+bool Adam2Agent::eligible(const host::AgentContext& ctx,
                           std::uint32_t start_round,
                           wire::InstanceId id) const {
   // Nodes ignore instances that started before they entered the system
@@ -80,7 +80,7 @@ bool Adam2Agent::eligible(const sim::AgentContext& ctx,
   return start_round >= ctx.birth_round && !finalized_ids_.contains(id);
 }
 
-void Adam2Agent::on_round_start(sim::AgentContext& ctx) {
+void Adam2Agent::on_round_start(host::AgentContext& ctx) {
   // TTL bookkeeping first. An instance with ttl == 0 has already gossiped
   // through its full ttl's worth of rounds and terminates now; the others
   // burn one round. (Finalising before decrementing gives an instance with
@@ -111,7 +111,7 @@ void Adam2Agent::on_round_start(sim::AgentContext& ctx) {
   }
 }
 
-std::vector<double> Adam2Agent::choose_thresholds(sim::AgentContext& ctx) {
+std::vector<double> Adam2Agent::choose_thresholds(host::AgentContext& ctx) {
   if (estimate_ && !estimate_->cdf.empty()) {
     return select_points(estimate_->cdf, lambda_, config_.heuristic);
   }
@@ -127,7 +127,7 @@ std::vector<double> Adam2Agent::choose_thresholds(sim::AgentContext& ctx) {
                             static_cast<double>(*hi_it), lambda_);
 }
 
-std::vector<double> Adam2Agent::choose_verification(sim::AgentContext& ctx,
+std::vector<double> Adam2Agent::choose_verification(host::AgentContext& ctx,
                                                     double lo, double hi) {
   if (config_.verification_points == 0) return {};
   if (config_.verification_mode == VerificationMode::kBisection && estimate_ &&
@@ -140,7 +140,7 @@ std::vector<double> Adam2Agent::choose_verification(sim::AgentContext& ctx,
   return uniform_thresholds(lo, hi, config_.verification_points);
 }
 
-wire::InstanceId Adam2Agent::start_instance(sim::AgentContext& ctx) {
+wire::InstanceId Adam2Agent::start_instance(host::AgentContext& ctx) {
   const wire::InstanceId id{ctx.self, next_seq_++};
   std::vector<double> thresholds = choose_thresholds(ctx);
 
@@ -164,7 +164,7 @@ wire::InstanceId Adam2Agent::start_instance(sim::AgentContext& ctx) {
   return id;
 }
 
-std::span<const std::byte> Adam2Agent::make_request(sim::AgentContext& ctx) {
+std::span<const std::byte> Adam2Agent::make_request(host::AgentContext& ctx) {
   if (active_.empty()) return {};
   wire::Adam2MessageBuilder builder(wire_scratch_,
                                     wire::MessageType::kAdam2Request, ctx.self);
@@ -173,7 +173,7 @@ std::span<const std::byte> Adam2Agent::make_request(sim::AgentContext& ctx) {
 }
 
 std::span<const std::byte> Adam2Agent::handle_request(
-    sim::AgentContext& ctx, std::span<const std::byte> request) {
+    host::AgentContext& ctx, std::span<const std::byte> request) {
   // The reply is encoded into this agent's scratch while the request is
   // iterated in place; the two must not alias (they never do: the request
   // lives in the initiator's scratch or in a substrate-owned envelope).
@@ -238,7 +238,7 @@ std::span<const std::byte> Adam2Agent::handle_request(
   return reply.finish();
 }
 
-void Adam2Agent::handle_response(sim::AgentContext& ctx,
+void Adam2Agent::handle_response(host::AgentContext& ctx,
                                  std::span<const std::byte> response) {
   std::optional<wire::Adam2MessageView> parsed;
   try {
@@ -269,7 +269,7 @@ void Adam2Agent::handle_response(sim::AgentContext& ctx,
   }
 }
 
-void Adam2Agent::finalize(sim::AgentContext& /*ctx*/, InstanceState&& state) {
+void Adam2Agent::finalize(host::AgentContext& /*ctx*/, InstanceState&& state) {
   finalized_ids_.insert(state.id);
   finalized_order_.push_back(state.id);
   while (finalized_order_.size() > kFinalizedMemory) {
@@ -332,12 +332,12 @@ const InstanceState* Adam2Agent::instance(wire::InstanceId id) const {
 }
 
 std::vector<std::byte> Adam2Agent::make_bootstrap_request(
-    sim::AgentContext& ctx) {
+    host::AgentContext& ctx) {
   return wire::BootstrapRequest{ctx.self}.encode();
 }
 
 std::vector<std::byte> Adam2Agent::handle_bootstrap_request(
-    sim::AgentContext& ctx, std::span<const std::byte> request) {
+    host::AgentContext& ctx, std::span<const std::byte> request) {
   try {
     (void)wire::BootstrapRequest::decode(request);
   } catch (const wire::DecodeError&) {
@@ -355,7 +355,7 @@ std::vector<std::byte> Adam2Agent::handle_bootstrap_request(
   return response.encode();
 }
 
-bool Adam2Agent::handle_bootstrap_response(sim::AgentContext& ctx,
+bool Adam2Agent::handle_bootstrap_response(host::AgentContext& ctx,
                                            std::span<const std::byte> response) {
   wire::BootstrapResponse incoming;
   try {

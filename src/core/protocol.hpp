@@ -20,34 +20,34 @@
 #include "core/config.hpp"
 #include "core/estimate.hpp"
 #include "core/instance.hpp"
-#include "sim/agent.hpp"
+#include "host/agent.hpp"
 
 namespace adam2::core {
 
-class Adam2Agent : public sim::NodeAgent {
+class Adam2Agent : public host::NodeAgent {
  public:
   explicit Adam2Agent(Adam2Config config);
 
-  // -- sim::NodeAgent ------------------------------------------------------
-  void on_round_start(sim::AgentContext& ctx) override;
+  // -- host::NodeAgent ------------------------------------------------------
+  void on_round_start(host::AgentContext& ctx) override;
   [[nodiscard]] std::span<const std::byte> make_request(
-      sim::AgentContext& ctx) override;
+      host::AgentContext& ctx) override;
   [[nodiscard]] std::span<const std::byte> handle_request(
-      sim::AgentContext& ctx, std::span<const std::byte> request) override;
-  void handle_response(sim::AgentContext& ctx,
+      host::AgentContext& ctx, std::span<const std::byte> request) override;
+  void handle_response(host::AgentContext& ctx,
                        std::span<const std::byte> response) override;
   [[nodiscard]] std::vector<std::byte> make_bootstrap_request(
-      sim::AgentContext& ctx) override;
+      host::AgentContext& ctx) override;
   [[nodiscard]] std::vector<std::byte> handle_bootstrap_request(
-      sim::AgentContext& ctx, std::span<const std::byte> request) override;
-  bool handle_bootstrap_response(sim::AgentContext& ctx,
+      host::AgentContext& ctx, std::span<const std::byte> request) override;
+  bool handle_bootstrap_response(host::AgentContext& ctx,
                                  std::span<const std::byte> response) override;
 
   // -- Experiment control / introspection ----------------------------------
 
   /// Starts a new aggregation instance on this node (scripted experiments;
   /// probabilistic mode calls this internally). Returns the new instance id.
-  wire::InstanceId start_instance(sim::AgentContext& ctx);
+  wire::InstanceId start_instance(host::AgentContext& ctx);
 
   /// The node's most recent CDF estimate, if any.
   [[nodiscard]] const std::optional<Estimate>& estimate() const {
@@ -75,11 +75,11 @@ class Adam2Agent : public sim::NodeAgent {
 
   /// This node's initial contribution for a threshold t.
   [[nodiscard]] virtual ContributionFn contribution_fn(
-      const sim::AgentContext& ctx) const;
+      const host::AgentContext& ctx) const;
 
   /// This node's local extreme attribute values.
   [[nodiscard]] virtual std::pair<double, double> local_extremes(
-      const sim::AgentContext& ctx) const;
+      const host::AgentContext& ctx) const;
 
   /// Lets extensions add bookkeeping thresholds before an instance starts.
   virtual void augment_thresholds(std::vector<double>& /*thresholds*/) const {}
@@ -90,13 +90,13 @@ class Adam2Agent : public sim::NodeAgent {
       const {}
 
  private:
-  [[nodiscard]] bool eligible(const sim::AgentContext& ctx,
+  [[nodiscard]] bool eligible(const host::AgentContext& ctx,
                               std::uint32_t start_round,
                               wire::InstanceId id) const;
-  void finalize(sim::AgentContext& ctx, InstanceState&& state);
-  [[nodiscard]] std::vector<double> choose_thresholds(sim::AgentContext& ctx);
+  void finalize(host::AgentContext& ctx, InstanceState&& state);
+  [[nodiscard]] std::vector<double> choose_thresholds(host::AgentContext& ctx);
   [[nodiscard]] std::vector<double> choose_verification(
-      sim::AgentContext& ctx, double lo, double hi);
+      host::AgentContext& ctx, double lo, double hi);
   void apply_adaptive_tuning(const stats::ErrorPair& assessment);
 
   Adam2Config config_;

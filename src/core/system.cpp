@@ -6,7 +6,7 @@
 
 namespace adam2::core {
 
-std::unique_ptr<sim::Overlay> make_overlay(OverlayKind kind,
+std::unique_ptr<host::Overlay> make_overlay(OverlayKind kind,
                                            std::size_t degree) {
   switch (kind) {
     case OverlayKind::kStaticRandom:
@@ -23,10 +23,10 @@ std::unique_ptr<sim::Overlay> make_overlay(OverlayKind kind,
 
 Adam2System::Adam2System(SystemConfig config,
                          std::vector<stats::Value> attributes,
-                         sim::AttributeSource churn_source)
+                         host::AttributeSource churn_source)
     : config_(config) {
   const Adam2Config protocol = config_.protocol;
-  auto factory = [protocol](const sim::AgentContext&) {
+  auto factory = [protocol](const host::AgentContext&) {
     return std::make_unique<Adam2Agent>(protocol);
   };
   auto overlay = make_overlay(config_.overlay, config_.overlay_degree);
@@ -41,7 +41,7 @@ Adam2System::Adam2System(SystemConfig config,
   }
 }
 
-Adam2Agent& Adam2System::agent_of(sim::NodeId id) {
+Adam2Agent& Adam2System::agent_of(host::NodeId id) {
   auto* agent = dynamic_cast<Adam2Agent*>(&engine_->agent(id));
   if (agent == nullptr) throw std::logic_error("node is not running Adam2");
   return *agent;
@@ -52,14 +52,14 @@ stats::EmpiricalCdf Adam2System::truth() const {
 }
 
 wire::InstanceId Adam2System::start_instance(
-    std::optional<sim::NodeId> initiator) {
-  const sim::NodeId node = initiator.value_or(engine_->random_live_node());
+    std::optional<host::NodeId> initiator) {
+  const host::NodeId node = initiator.value_or(engine_->random_live_node());
   auto ctx = engine_->context_for(node);
   return agent_of(node).start_instance(ctx);
 }
 
 wire::InstanceId Adam2System::run_instance(
-    std::optional<sim::NodeId> initiator) {
+    std::optional<host::NodeId> initiator) {
   const wire::InstanceId id = start_instance(initiator);
   // ttl exchange rounds plus the round whose round-start finalises it.
   engine_->run_rounds(config_.protocol.instance_ttl + 1u);

@@ -42,23 +42,23 @@ class Adam2System {
   /// `churn_source` provides attribute values for churned-in nodes (required
   /// when engine.churn_rate > 0, unused otherwise).
   Adam2System(SystemConfig config, std::vector<stats::Value> attributes,
-              sim::AttributeSource churn_source = nullptr);
+              host::AttributeSource churn_source = nullptr);
 
   [[nodiscard]] sim::CycleEngine& engine() { return *engine_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
   /// The Adam2 agent running on `id`.
-  [[nodiscard]] Adam2Agent& agent_of(sim::NodeId id);
+  [[nodiscard]] Adam2Agent& agent_of(host::NodeId id);
 
   /// Ground-truth CDF of the current live population.
   [[nodiscard]] stats::EmpiricalCdf truth() const;
 
   /// Starts an aggregation instance on `initiator` (default: random node).
-  wire::InstanceId start_instance(std::optional<sim::NodeId> initiator = {});
+  wire::InstanceId start_instance(std::optional<host::NodeId> initiator = {});
 
   /// Starts an instance and runs rounds until it has terminated everywhere;
   /// afterwards every participating node holds a fresh Estimate.
-  wire::InstanceId run_instance(std::optional<sim::NodeId> initiator = {});
+  wire::InstanceId run_instance(std::optional<host::NodeId> initiator = {});
 
   void run_rounds(std::size_t count) { engine_->run_rounds(count); }
 
@@ -72,7 +72,7 @@ class Adam2System {
 };
 
 /// Builds the overlay for `kind` (shared with the baselines' drivers).
-[[nodiscard]] std::unique_ptr<sim::Overlay> make_overlay(OverlayKind kind,
+[[nodiscard]] std::unique_ptr<host::Overlay> make_overlay(OverlayKind kind,
                                                          std::size_t degree);
 
 }  // namespace adam2::core

@@ -1,0 +1,197 @@
+// The ONE translation unit that decides message fates. Engines schedule and
+// deliver; everything that can go wrong to a message in flight is resolved
+// here (see exchange.hpp and DESIGN.md §9).
+#include "host/exchange.hpp"
+
+namespace adam2::host {
+
+Conduit::Delivery Conduit::resolve(const Leg& leg,
+                                   std::span<const std::byte> payload,
+                                   std::vector<std::byte>& scratch,
+                                   TrafficStats& counters) const {
+  Delivery delivery;
+  delivery.payload = payload;
+
+  // Stage order (and therefore draw order) is exactly what the engines
+  // always did: legacy loss from the control stream, then the stateless
+  // partition check, then the fault-plan draws from the fault stream.
+  if (message_loss_ > 0.0 && leg.loss_stream != nullptr &&
+      leg.loss_stream->bernoulli(message_loss_)) {
+    ++counters.dropped_messages;
+    return delivery;  // copies == 0: lost.
+  }
+  if (leg.partition_check && faults_.enabled() &&
+      faults_.partitioned(leg.from, leg.to, leg.round)) {
+    ++counters.partitioned_messages;
+    return delivery;
+  }
+  const MessageFate fate = leg.fault_stream != nullptr
+                               ? faults_.message_fate(*leg.fault_stream)
+                               : MessageFate::kDeliver;
+  if (fate == MessageFate::kDrop) {
+    ++counters.dropped_messages;
+    return delivery;
+  }
+
+  delivery.copies = 1;
+  switch (fate) {
+    case MessageFate::kCorrupt:
+      scratch = faults_.corrupt(payload, *leg.fault_stream);
+      delivery.payload = scratch;
+      ++counters.corrupted_messages;
+      break;
+    case MessageFate::kDuplicate:
+      delivery.copies = 2;
+      ++counters.duplicated_messages;
+      break;
+    case MessageFate::kDeliver:
+    case MessageFate::kDrop:
+      break;
+  }
+
+  // Injected extra delay: drawn last, only for event-driven substrates.
+  if (leg.draw_delay && leg.fault_stream != nullptr) {
+    delivery.extra_delay = faults_.extra_delay(*leg.fault_stream);
+    if (delivery.extra_delay > 0.0) ++counters.delayed_messages;
+  }
+  return delivery;
+}
+
+void Conduit::run_cycle_exchange(HostView& host, Overlay& overlay,
+                                 NodeTable& table, Round round,
+                                 Node& initiator,
+                                 const std::optional<NodeId>& target,
+                                 TrafficStats& counters) const {
+  AgentContext ictx = make_context(host, overlay, initiator, round);
+  auto request = initiator.agent->make_request(ictx);
+  if (request.empty()) return;
+
+  if (!target || !table.is_live(*target) || *target == initiator.id) {
+    ++initiator.traffic.failed_contacts;
+    ++counters.failed_contacts;
+    return;
+  }
+
+  host.record_traffic(initiator.id, *target, Channel::kAggregation,
+                      request.size());
+  // All draws come from the initiator's streams (loss legs from its control
+  // stream, faults from its fault stream), so the unit is self-contained and
+  // the sharded engine replays bit-identically to the serial one. The
+  // partition check applies to the request leg only: a blocked request means
+  // no response ever exists.
+  std::vector<std::byte> request_scratch;
+  const Delivery request_delivery =
+      resolve(Leg{initiator.id, *target, round, &initiator.pick_rng,
+                  &initiator.fault_rng, /*partition_check=*/true,
+                  /*draw_delay=*/false},
+              request, request_scratch, counters);
+  if (request_delivery.copies == 0) return;
+
+  Node& responder = table.at(*target);
+  AgentContext rctx = make_context(host, overlay, responder, round);
+  // The payload aliases the initiator's scratch (or the corruption scratch):
+  // valid across every delivery because nothing calls back into the
+  // initiator's agent until the response. A duplicated (retransmitted)
+  // request is processed once per copy, and only the reply to the LAST copy
+  // travels back — the earlier reply span is invalidated by the later
+  // handle_request call anyway.
+  std::span<const std::byte> response;
+  for (unsigned copy = 0; copy < request_delivery.copies; ++copy) {
+    response = responder.agent->handle_request(rctx, request_delivery.payload);
+  }
+  if (response.empty()) return;
+
+  host.record_traffic(responder.id, initiator.id, Channel::kAggregation,
+                      response.size());
+  std::vector<std::byte> response_scratch;
+  const Delivery response_delivery =
+      resolve(Leg{responder.id, initiator.id, round, &initiator.pick_rng,
+                  &initiator.fault_rng, /*partition_check=*/false,
+                  /*draw_delay=*/false},
+              response, response_scratch, counters);
+  // The response aliases the responder's scratch: valid across both
+  // handle_response calls because nothing calls the responder in between.
+  for (unsigned copy = 0; copy < response_delivery.copies; ++copy) {
+    initiator.agent->handle_response(ictx, response_delivery.payload);
+  }
+}
+
+SessionedPort::Initiate SessionedPort::initiate(
+    NodeAgent& agent, AgentContext& ctx,
+    const std::function<std::optional<NodeId>()>& pick_target,
+    ExchangeSession::Clock::duration timeout) {
+  if (session_.busy()) return Initiate::kLocked;  // Exchange atomicity.
+  session_.abandon();  // Any previous lock has expired unanswered.
+
+  auto request = agent.make_request(ctx);
+  if (request.empty()) return Initiate::kSilent;
+  const auto target = pick_target();
+  if (!target) return Initiate::kNoTarget;
+  transport_.record_gossip_sent(*target, request.size());
+  const std::uint64_t token = session_.next_token();
+  if (!send_copies(/*is_request=*/true, *target, token, request)) {
+    return Initiate::kSendFailed;
+  }
+  session_.arm(token, timeout);
+  return Initiate::kSent;
+}
+
+bool SessionedPort::on_request(NodeAgent& agent, AgentContext& ctx,
+                               NodeId from, std::uint64_t token,
+                               std::span<const std::byte> payload) {
+  if (session_.busy()) {
+    // Atomicity: our state could still change when our own outstanding
+    // response arrives, so we must not commit to an answer now — but NACK
+    // so the requester frees its own lock immediately instead of waiting
+    // out its response timeout.
+    ++counters_.busy_rejections;
+    transport_.send_busy(from, token);
+    return false;
+  }
+  transport_.record_gossip_received(from, payload.size());
+  auto response = agent.handle_request(ctx, payload);
+  if (response.empty()) return true;
+  transport_.record_gossip_sent(from, response.size());
+  send_copies(/*is_request=*/false, from, token, response);
+  return true;
+}
+
+bool SessionedPort::on_response(NodeAgent& agent, AgentContext& ctx,
+                                NodeId from, std::uint64_t token,
+                                std::span<const std::byte> payload) {
+  if (!session_.close_if_current(token)) {
+    // Stale: we already gave up on that exchange. Merging it now would
+    // violate atomicity (our state moved on meanwhile).
+    ++counters_.dropped_messages;
+    return false;
+  }
+  transport_.record_gossip_received(from, payload.size());
+  agent.handle_response(ctx, payload);
+  return true;
+}
+
+bool SessionedPort::send_copies(bool is_request, NodeId to,
+                                std::uint64_t token,
+                                std::span<const std::byte> payload) {
+  // Wall-clock runtimes have no legacy loss knob, no simulated partitions
+  // and no injected delay (real latency supplies itself): only the
+  // fault-plan draws apply.
+  std::vector<std::byte> scratch;
+  const Conduit::Delivery delivery = conduit_.resolve(
+      Conduit::Leg{/*from=*/0, to, /*round=*/0, /*loss_stream=*/nullptr,
+                   &fault_stream_, /*partition_check=*/false,
+                   /*draw_delay=*/false},
+      payload, scratch, counters_);
+  if (delivery.copies == 0) {
+    return true;  // The sender cannot tell a dropped message from a sent one.
+  }
+  bool sent = false;
+  for (unsigned copy = 0; copy < delivery.copies; ++copy) {
+    sent = is_request
+               ? transport_.send_request(to, token, delivery.payload)
+               : transport_.send_response(to, token, delivery.payload);
+  }
+  return sent;
+}
+
+}  // namespace adam2::host

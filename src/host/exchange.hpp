@@ -1,19 +1,51 @@
-// Exchange-atomicity session state shared by the wall-clock runtimes.
+// The transport-agnostic exchange fabric shared by every execution substrate
+// (DESIGN.md §9).
 //
-// With real message latency, a node's state could change between sending a
-// request and receiving the matching response, which would permanently
-// create or destroy averaging mass (the well-known atomicity requirement of
-// push-pull gossip). A node with an exchange in flight is therefore *busy*:
-// it initiates nothing and refuses incoming requests (NACKing so the
-// requester frees its own lock) until its response arrives or a
-// worst-case-RTT deadline passes. Responses are matched by token so a stale
-// response — one for an exchange the node already gave up on — is never
-// merged. Cluster::RuntimeNode and UdpPeer both drive this object from
-// their own (single) node thread; it is not itself thread-safe.
+// Every engine used to re-implement the same per-message pipeline — legacy
+// loss draw, partition check, fault-fate draw, corruption mangling, duplicate
+// delivery, traffic counters — five times, with five chances to diverge. The
+// fabric centralises it:
+//
+//  * `Conduit` owns per-leg fate resolution. `resolve()` is the ONLY place
+//    in the codebase that switches on `MessageFate`: it folds the legacy
+//    `message_loss` knob and the fault plan's `drop_rate` into one pipeline
+//    while drawing from exactly the streams (and in exactly the order) the
+//    engines always used, so golden replay stays bit-identical. Engines
+//    receive back a `Delivery` — how many copies to hand over, pointing at
+//    which bytes, after how much extra delay — and do scheduling only.
+//  * `Conduit::run_cycle_exchange()` is the full in-round request→response
+//    state machine of the cycle engines (serial and sharded), including the
+//    "reply to the second copy wins" duplicate rule. Payload spans alias
+//    agent scratch end to end: the steady-state exchange allocates nothing
+//    (bench/micro_core pins this).
+//  * `SessionedPort` is the request→response state machine of the wall-clock
+//    runtimes: busy lock, NACK, token matching, stale-response rejection,
+//    faulty multi-copy sends — parameterised by a `Transport` adapter that
+//    knows only how to move an envelope and record gossip bytes. Adding a
+//    transport (e.g. TCP) means implementing that adapter, nothing else.
+//
+// `ExchangeSession` (below) is the raw atomicity lock `SessionedPort` builds
+// on; the event-driven simulator keeps its own virtual-time busy set but
+// shares `Conduit` for everything per-message.
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "host/agent.hpp"
+#include "host/fault.hpp"
+#include "host/node.hpp"
+#include "host/overlay.hpp"
+#include "host/registry.hpp"
+#include "host/traffic.hpp"
+#include "host/types.hpp"
+#include "host/view.hpp"
+#include "rng/rng.hpp"
 
 namespace adam2::host {
 
@@ -59,6 +91,158 @@ class ExchangeSession {
   std::uint64_t token_ = 0;
   std::uint64_t last_token_ = 0;
   Clock::time_point deadline_{};
+};
+
+/// The per-message delivery pipeline: legacy loss, partitions, and the fault
+/// plan, resolved in one place for every substrate.
+class Conduit {
+ public:
+  Conduit() = default;  ///< No loss, no faults: every leg delivers one copy.
+  explicit Conduit(const FaultPlan& plan, double message_loss = 0.0)
+      : faults_(plan), message_loss_(message_loss) {}
+
+  [[nodiscard]] const FaultInjector& faults() const noexcept { return faults_; }
+  [[nodiscard]] double message_loss() const noexcept { return message_loss_; }
+
+  /// One direction of one message: who is sending to whom, at which round,
+  /// and from which random streams the pipeline may draw. Null streams skip
+  /// the corresponding stage (e.g. the runtimes have no legacy loss knob, so
+  /// they pass no loss stream).
+  struct Leg {
+    NodeId from = 0;
+    NodeId to = 0;
+    Round round = 0;
+    /// Stream for the legacy `message_loss` draw (the engines' control
+    /// stream). The draw happens exactly when `message_loss > 0` and a
+    /// stream is supplied — same condition, same stream, same position as
+    /// the pre-fabric engines.
+    rng::Rng* loss_stream = nullptr;
+    /// Stream for the fault-plan draws (fate, corruption bytes, delay).
+    rng::Rng* fault_stream = nullptr;
+    /// Whether this leg can be blocked by an overlay partition (stateless
+    /// check, consumes no draws). The cycle engines check the request leg
+    /// only; the event-driven engine checks both.
+    bool partition_check = false;
+    /// Whether to draw injected extra delay (event-driven substrates only).
+    bool draw_delay = false;
+  };
+
+  /// What the transport must now do with the message.
+  struct Delivery {
+    /// 0 = the message never arrives (lost / dropped / partitioned);
+    /// 1 = deliver once; 2 = deliver twice (duplication fault).
+    unsigned copies = 0;
+    /// The bytes to deliver — the caller's payload, or `scratch` when the
+    /// leg was corrupted. Valid as long as both stay alive and unmodified.
+    std::span<const std::byte> payload;
+    /// Injected extra delay in seconds (only when `leg.draw_delay`). Both
+    /// copies of a duplicated message share it; transports add their own
+    /// per-copy latency on top.
+    double extra_delay = 0.0;
+  };
+
+  /// Resolves the fate of one leg: draws loss → partition → fate → mangling
+  /// → delay in the engines' historical stream order, bumps the matching
+  /// `counters`, and rebinds the payload to `scratch` when corrupted.
+  /// Allocates only on corruption — the steady-state path is allocation-free.
+  Delivery resolve(const Leg& leg, std::span<const std::byte> payload,
+                   std::vector<std::byte>& scratch,
+                   TrafficStats& counters) const;
+
+  /// The cycle engines' whole exchange: make_request, failed-contact
+  /// accounting, both legs through `resolve`, duplicate-copy delivery with
+  /// the "reply to the second copy wins" rule, and traffic recording through
+  /// `host` (so sharded engines can reroute totals per worker). Draws only
+  /// from the initiator's control/agent/fault streams and touches only the
+  /// two participants plus `counters` — the unit stays parallel-safe.
+  void run_cycle_exchange(HostView& host, Overlay& overlay, NodeTable& table,
+                          Round round, Node& initiator,
+                          const std::optional<NodeId>& target,
+                          TrafficStats& counters) const;
+
+ private:
+  FaultInjector faults_;
+  double message_loss_ = 0.0;
+};
+
+/// The wall-clock runtimes' request→response state machine, shared by the
+/// threaded Cluster and the UDP peers. Owns the busy lock, token discipline,
+/// NACKs, stale-response rejection and faulty multi-copy sends; a `Transport`
+/// adapter supplies the envelope moves and gossip-byte recording.
+///
+/// Driven from the owning node's (single) thread; not itself thread-safe.
+class SessionedPort {
+ public:
+  /// What a transport must provide. Send methods return false only when the
+  /// destination is unroutable — a fault-dropped message still looks sent
+  /// (the sender waits out its timeout exactly as in a deployment).
+  class Transport {
+   public:
+    virtual ~Transport() = default;
+    virtual bool send_request(NodeId to, std::uint64_t token,
+                              std::span<const std::byte> payload) = 0;
+    virtual bool send_response(NodeId to, std::uint64_t token,
+                               std::span<const std::byte> payload) = 0;
+    virtual void send_busy(NodeId to, std::uint64_t token) = 0;
+    /// Gossip-byte accounting hooks (per-node counters or a shared ledger —
+    /// the port does not care which).
+    virtual void record_gossip_sent(NodeId peer, std::size_t bytes) = 0;
+    virtual void record_gossip_received(NodeId peer, std::size_t bytes) = 0;
+  };
+
+  /// `conduit`, `transport`, `fault_stream` and `counters` must outlive the
+  /// port (they live in the owning node).
+  SessionedPort(const Conduit& conduit, Transport& transport,
+                rng::Rng& fault_stream, TrafficStats& counters)
+      : conduit_(conduit),
+        transport_(transport),
+        fault_stream_(fault_stream),
+        counters_(counters) {}
+
+  enum class Initiate : std::uint8_t {
+    kLocked,      ///< An exchange is still in flight; nothing happened.
+    kSilent,      ///< The agent had nothing to send.
+    kNoTarget,    ///< No usable gossip target.
+    kSendFailed,  ///< The transport could not route the request.
+    kSent,        ///< Request away; session armed until `timeout`.
+  };
+
+  /// One tick-path initiation attempt: busy check, expired-lock reclaim,
+  /// make_request, target pick, send (through the fault pipeline), arm.
+  Initiate initiate(NodeAgent& agent, AgentContext& ctx,
+                    const std::function<std::optional<NodeId>()>& pick_target,
+                    ExchangeSession::Clock::duration timeout);
+
+  /// Handles an incoming gossip request. While locked the port NACKs (so the
+  /// requester frees its own lock immediately) and returns false; otherwise
+  /// the agent answers and the response goes back through the fault
+  /// pipeline.
+  bool on_request(NodeAgent& agent, AgentContext& ctx, NodeId from,
+                  std::uint64_t token, std::span<const std::byte> payload);
+
+  /// Handles an incoming gossip response. False when stale (the exchange was
+  /// already abandoned — merging would violate atomicity; counted as a
+  /// dropped message). Duplicated responses merge once: the first copy
+  /// closes the session, the second is stale by construction.
+  bool on_response(NodeAgent& agent, AgentContext& ctx, NodeId from,
+                   std::uint64_t token, std::span<const std::byte> payload);
+
+  /// Handles a busy-NACK: unlocks if it answers the open exchange.
+  void on_busy(std::uint64_t token) { (void)session_.close_if_current(token); }
+
+  [[nodiscard]] ExchangeSession& session() { return session_; }
+
+ private:
+  /// Sends `copies` of a payload as resolved by the conduit. True when the
+  /// sender believes the send succeeded (including fault-dropped messages).
+  bool send_copies(bool is_request, NodeId to, std::uint64_t token,
+                   std::span<const std::byte> payload);
+
+  const Conduit& conduit_;
+  Transport& transport_;
+  rng::Rng& fault_stream_;
+  TrafficStats& counters_;
+  ExchangeSession session_;
 };
 
 }  // namespace adam2::host

@@ -16,52 +16,57 @@ using Clock = std::chrono::steady_clock;
 /// HostView bridge the agents see. Membership is static, so liveness and
 /// attribute lookups are lock-free reads; traffic totals go through the
 /// shared ledger (low contention: two short updates per exchange).
-class Cluster::HostBridge final : public sim::HostView {
+class Cluster::HostBridge final : public host::HostView {
  public:
   HostBridge(const std::vector<stats::Value>& attributes,
-             const std::vector<sim::NodeId>& ids)
+             const std::vector<host::NodeId>& ids)
       : attributes_(attributes), ids_(ids) {}
 
-  [[nodiscard]] bool is_live(sim::NodeId id) const override {
+  [[nodiscard]] bool is_live(host::NodeId id) const override {
     return id < attributes_.size();
   }
-  [[nodiscard]] stats::Value attribute_of(sim::NodeId id) const override {
+  [[nodiscard]] stats::Value attribute_of(host::NodeId id) const override {
     return attributes_[static_cast<std::size_t>(id)];
   }
-  [[nodiscard]] sim::Round round() const override {
+  [[nodiscard]] host::Round round() const override {
     return 0;  // Wall-clock runtime has no global round; agents use ctx.round.
   }
-  [[nodiscard]] std::span<const sim::NodeId> live_ids() const override {
+  [[nodiscard]] std::span<const host::NodeId> live_ids() const override {
     return ids_;
   }
-  void record_traffic(sim::NodeId /*sender*/, sim::NodeId /*receiver*/,
-                      sim::Channel channel, std::size_t bytes) override {
+  void record_traffic(host::NodeId /*sender*/, host::NodeId /*receiver*/,
+                      host::Channel channel, std::size_t bytes) override {
     ledger_.record_message(channel, bytes);
   }
 
-  [[nodiscard]] sim::TrafficStats snapshot() const {
+  [[nodiscard]] host::TrafficStats snapshot() const {
     return ledger_.snapshot();
   }
 
  private:
   const std::vector<stats::Value>& attributes_;
-  const std::vector<sim::NodeId>& ids_;
+  const std::vector<host::NodeId>& ids_;
   host::SharedTrafficLedger ledger_;
 };
 
-/// One node: an agent, a mailbox, and the thread driving both.
-class Cluster::RuntimeNode {
+/// One node: an agent, a mailbox, and the thread driving both. The
+/// request→response state machine (busy lock, NACK, stale-token rejection,
+/// faulty sends) lives in the shared host::SessionedPort; this class is the
+/// port's Transport adapter over the in-process Network plus the thread and
+/// task plumbing.
+class Cluster::RuntimeNode final : private host::SessionedPort::Transport {
  public:
-  RuntimeNode(Cluster& cluster, sim::NodeId id, stats::Value attribute,
+  RuntimeNode(Cluster& cluster, host::NodeId id, stats::Value attribute,
               rng::Rng rng)
       : cluster_(cluster),
         id_(id),
         attribute_(attribute),
         rng_(rng),
-        fault_rng_(cluster.faults_.node_stream(id)) {}
+        fault_rng_(cluster.conduit_.faults().node_stream(id)),
+        port_(cluster.conduit_, *this, fault_rng_, traffic_) {}
 
-  void create_agent(const sim::AgentFactory& factory) {
-    sim::AgentContext ctx = make_context();
+  void create_agent(const host::AgentFactory& factory) {
+    host::AgentContext ctx = make_context();
     agent_ = factory(ctx);
     if (!agent_) throw std::runtime_error("agent factory returned null");
   }
@@ -93,15 +98,15 @@ class Cluster::RuntimeNode {
   /// Runs the task inline; only valid when the thread is not running
   /// (before start / after join).
   void run_inline(const Cluster::NodeTask& task) {
-    sim::AgentContext ctx = make_context();
+    host::AgentContext ctx = make_context();
     task(*agent_, ctx);
   }
 
-  [[nodiscard]] const sim::TrafficStats& traffic() const { return traffic_; }
+  [[nodiscard]] const host::TrafficStats& traffic() const { return traffic_; }
 
  private:
-  sim::AgentContext make_context() {
-    return sim::AgentContext{*cluster_.host_, *cluster_.overlay_,
+  host::AgentContext make_context() {
+    return host::AgentContext{*cluster_.host_, *cluster_.overlay_,
                              id_,            local_round_,
                              0,              attribute_,
                              rng_};
@@ -141,98 +146,70 @@ class Cluster::RuntimeNode {
         task = std::move(tasks_.front());
         tasks_.pop_front();
       }
-      sim::AgentContext ctx = make_context();
+      host::AgentContext ctx = make_context();
       task(*agent_, ctx);
     }
   }
 
   void tick() {
     ++local_round_;
-    sim::AgentContext ctx = make_context();
+    host::AgentContext ctx = make_context();
     agent_->on_round_start(ctx);
 
-    if (session_.busy()) return;  // Exchange atomicity.
-    session_.abandon();           // Any previous lock has expired unanswered.
-
-    auto request = agent_->make_request(ctx);
-    if (request.empty()) return;
-    const auto target = cluster_.overlay_->pick_gossip_target(id_, rng_);
-    if (!target || *target == id_) {
-      ++traffic_.failed_contacts;
-      return;
-    }
-    traffic_.on(sim::Channel::kAggregation).add_send(request.size());
-    const std::uint64_t token = session_.next_token();
-    if (send_faulty(*target, EnvelopeKind::kGossipRequest, token, request)) {
-      session_.arm(token, cluster_.config_.response_timeout);
-    } else {
+    const auto outcome = port_.initiate(
+        *agent_, ctx,
+        [this]() -> std::optional<host::NodeId> {
+          const auto target = cluster_.overlay_->pick_gossip_target(id_, rng_);
+          if (!target || *target == id_) return std::nullopt;
+          return target;
+        },
+        cluster_.config_.response_timeout);
+    if (outcome == host::SessionedPort::Initiate::kNoTarget ||
+        outcome == host::SessionedPort::Initiate::kSendFailed) {
       ++traffic_.failed_contacts;
     }
   }
 
-  /// Sends one gossip message through the fault plan. Returns whether the
-  /// sender believes the send succeeded: a fault-dropped message still looks
-  /// sent (the sender waits out its timeout exactly as in a deployment);
-  /// only an unroutable destination reports failure. All fault draws come
-  /// from this node's own fault stream, so schedules replay per node.
-  bool send_faulty(sim::NodeId to, EnvelopeKind kind, std::uint64_t token,
-                   std::span<const std::byte> payload) {
-    const host::FaultInjector& faults = cluster_.faults_;
-    const host::MessageFate fate = faults.message_fate(fault_rng_);
-    if (fate == host::MessageFate::kDrop) {
-      ++traffic_.dropped_messages;
-      return true;
-    }
-    // The span aliases the agent's scratch; the envelope outlives the
-    // callback, so copy (or corrupt) into an owned payload.
-    std::vector<std::byte> bytes;
-    if (fate == host::MessageFate::kCorrupt) {
-      bytes = faults.corrupt(payload, fault_rng_);
-      ++traffic_.corrupted_messages;
-    } else {
-      bytes.assign(payload.begin(), payload.end());
-    }
-    if (fate == host::MessageFate::kDuplicate) {
-      ++traffic_.duplicated_messages;
-      cluster_.network_.send(to, Envelope{kind, id_, token, bytes});
-    }
-    return cluster_.network_.send(to,
-                                  Envelope{kind, id_, token, std::move(bytes)});
+  // -- host::SessionedPort::Transport (in-process Network adapter) ---------
+  bool send_request(host::NodeId to, std::uint64_t token,
+                    std::span<const std::byte> payload) override {
+    return send_envelope(to, EnvelopeKind::kGossipRequest, token, payload);
+  }
+  bool send_response(host::NodeId to, std::uint64_t token,
+                     std::span<const std::byte> payload) override {
+    return send_envelope(to, EnvelopeKind::kGossipResponse, token, payload);
+  }
+  void send_busy(host::NodeId to, std::uint64_t token) override {
+    cluster_.network_.send(to,
+                           Envelope{EnvelopeKind::kGossipBusy, id_, token, {}});
+  }
+  void record_gossip_sent(host::NodeId /*peer*/, std::size_t bytes) override {
+    traffic_.on(host::Channel::kAggregation).add_send(bytes);
+  }
+  void record_gossip_received(host::NodeId /*peer*/,
+                              std::size_t bytes) override {
+    traffic_.on(host::Channel::kAggregation).add_receive(bytes);
+  }
+
+  bool send_envelope(host::NodeId to, EnvelopeKind kind, std::uint64_t token,
+                     std::span<const std::byte> payload) {
+    // The span aliases the agent's (or the conduit's corruption) scratch;
+    // the envelope outlives the callback, so copy into an owned payload.
+    return cluster_.network_.send(
+        to, Envelope{kind, id_, token,
+                     std::vector<std::byte>(payload.begin(), payload.end())});
   }
 
   void handle(Envelope&& envelope) {
-    sim::AgentContext ctx = make_context();
+    host::AgentContext ctx = make_context();
     switch (envelope.kind) {
-      case EnvelopeKind::kGossipRequest: {
-        if (session_.busy()) {
-          // Atomicity: no reply while locked — but NACK so the requester
-          // frees its own lock immediately instead of waiting out the
-          // response timeout.
-          ++traffic_.busy_rejections;
-          cluster_.network_.send(envelope.from,
-                                 Envelope{EnvelopeKind::kGossipBusy, id_,
-                                          envelope.token, {}});
-          return;
-        }
-        traffic_.on(sim::Channel::kAggregation)
-            .add_receive(envelope.payload.size());
-        auto response = agent_->handle_request(ctx, envelope.payload);
-        if (response.empty()) return;
-        traffic_.on(sim::Channel::kAggregation).add_send(response.size());
-        send_faulty(envelope.from, EnvelopeKind::kGossipResponse,
-                    envelope.token, response);
+      case EnvelopeKind::kGossipRequest:
+        port_.on_request(*agent_, ctx, envelope.from, envelope.token,
+                         envelope.payload);
         return;
-      }
       case EnvelopeKind::kGossipResponse:
-        if (!session_.close_if_current(envelope.token)) {
-          // Stale: we already gave up on that exchange. Merging it now
-          // would violate atomicity (our state moved on meanwhile).
-          ++traffic_.dropped_messages;
-          return;
-        }
-        traffic_.on(sim::Channel::kAggregation)
-            .add_receive(envelope.payload.size());
-        agent_->handle_response(ctx, envelope.payload);
+        port_.on_response(*agent_, ctx, envelope.from, envelope.token,
+                          envelope.payload);
         return;
       case EnvelopeKind::kBootstrapRequest: {
         auto response = agent_->handle_bootstrap_request(ctx, envelope.payload);
@@ -247,7 +224,7 @@ class Cluster::RuntimeNode {
         return;
       case EnvelopeKind::kGossipBusy:
         // Exchange abandoned; nothing was merged.
-        (void)session_.close_if_current(envelope.token);
+        port_.on_busy(envelope.token);
         return;
       case EnvelopeKind::kWakeup:
         return;  // drain_tasks at the top of the loop does the work.
@@ -255,32 +232,33 @@ class Cluster::RuntimeNode {
   }
 
   Cluster& cluster_;
-  const sim::NodeId id_;
+  const host::NodeId id_;
   const stats::Value attribute_;
   rng::Rng rng_;
   rng::Rng fault_rng_;
-  std::unique_ptr<sim::NodeAgent> agent_;
+  std::unique_ptr<host::NodeAgent> agent_;
   Mailbox mailbox_;
   std::thread thread_;
   std::atomic<bool> stop_{false};
-  sim::Round local_round_ = 0;
-  host::ExchangeSession session_;
-  sim::TrafficStats traffic_;
+  host::Round local_round_ = 0;
+  host::TrafficStats traffic_;
+  /// Declared after fault_rng_ and traffic_ (it holds references to both).
+  host::SessionedPort port_;
   std::mutex tasks_mutex_;
   std::deque<Cluster::NodeTask> tasks_;
 };
 
 Cluster::Cluster(ClusterConfig config, std::vector<stats::Value> attributes,
-                 sim::AgentFactory agent_factory)
+                 host::AgentFactory agent_factory)
     : config_(config),
-      faults_(config.faults),
+      conduit_(config.faults),
       attributes_(std::move(attributes)) {
   if (attributes_.empty()) throw std::invalid_argument("empty cluster");
   if (!agent_factory) throw std::invalid_argument("cluster requires a factory");
 
   ids_.resize(attributes_.size());
   for (std::size_t i = 0; i < ids_.size(); ++i) {
-    ids_[i] = static_cast<sim::NodeId>(i);
+    ids_[i] = static_cast<host::NodeId>(i);
   }
   host_ = std::make_unique<HostBridge>(attributes_, ids_);
 
@@ -289,7 +267,7 @@ Cluster::Cluster(ClusterConfig config, std::vector<stats::Value> attributes,
   overlay_->build_initial(ids_, *host_, rng);
 
   nodes_.reserve(ids_.size());
-  for (sim::NodeId id : ids_) {
+  for (host::NodeId id : ids_) {
     nodes_.push_back(std::make_unique<RuntimeNode>(
         *this, id, attributes_[static_cast<std::size_t>(id)], rng.split(id)));
     network_.attach(id, &nodes_.back()->mailbox());
@@ -314,7 +292,7 @@ void Cluster::stop() {
   for (auto& node : nodes_) node->join();
 }
 
-void Cluster::run_on_node(sim::NodeId id, NodeTask fn) {
+void Cluster::run_on_node(host::NodeId id, NodeTask fn) {
   auto& node = *nodes_.at(static_cast<std::size_t>(id));
   if (!running_) {
     node.run_inline(fn);
@@ -322,15 +300,15 @@ void Cluster::run_on_node(sim::NodeId id, NodeTask fn) {
   }
   std::promise<void> done;
   auto future = done.get_future();
-  node.post([&fn, &done](sim::NodeAgent& agent, sim::AgentContext& ctx) {
+  node.post([&fn, &done](host::NodeAgent& agent, host::AgentContext& ctx) {
     fn(agent, ctx);
     done.set_value();
   });
   future.wait();
 }
 
-sim::TrafficStats Cluster::total_traffic() const {
-  sim::TrafficStats total = host_->snapshot();
+host::TrafficStats Cluster::total_traffic() const {
+  host::TrafficStats total = host_->snapshot();
   for (const auto& node : nodes_) total += node->traffic();
   return total;
 }

@@ -20,12 +20,13 @@
 #include <thread>
 #include <vector>
 
+#include "host/exchange.hpp"
 #include "host/fault.hpp"
 #include "rng/rng.hpp"
 #include "runtime/transport.hpp"
-#include "sim/agent.hpp"
+#include "host/agent.hpp"
 #include "sim/overlay.hpp"
-#include "sim/traffic.hpp"
+#include "host/traffic.hpp"
 
 namespace adam2::runtime {
 
@@ -47,7 +48,7 @@ class Cluster {
  public:
   /// Builds (but does not start) a cluster of `attributes.size()` nodes.
   Cluster(ClusterConfig config, std::vector<stats::Value> attributes,
-          sim::AgentFactory agent_factory);
+          host::AgentFactory agent_factory);
   ~Cluster();
 
   Cluster(const Cluster&) = delete;
@@ -65,12 +66,12 @@ class Cluster {
   /// Executes `fn(agent, ctx)` on the node's own thread and blocks until it
   /// completes — the only safe way to touch an agent while the cluster runs
   /// (e.g. to start an aggregation instance or copy an estimate out).
-  using NodeTask = std::function<void(sim::NodeAgent&, sim::AgentContext&)>;
-  void run_on_node(sim::NodeId id, NodeTask fn);
+  using NodeTask = std::function<void(host::NodeAgent&, host::AgentContext&)>;
+  void run_on_node(host::NodeId id, NodeTask fn);
 
   /// Aggregate traffic across all nodes (safe any time; counters are only
   /// approximate while threads are running).
-  [[nodiscard]] sim::TrafficStats total_traffic() const;
+  [[nodiscard]] host::TrafficStats total_traffic() const;
 
   [[nodiscard]] const Network& network() const { return network_; }
 
@@ -79,11 +80,13 @@ class Cluster {
   class HostBridge;
 
   ClusterConfig config_;
-  host::FaultInjector faults_;
+  /// The shared exchange fabric (no legacy loss knob here: real message
+  /// transfer either works or does not).
+  host::Conduit conduit_;
   std::vector<stats::Value> attributes_;
-  std::vector<sim::NodeId> ids_;
+  std::vector<host::NodeId> ids_;
   Network network_;
-  std::unique_ptr<sim::Overlay> overlay_;
+  std::unique_ptr<host::Overlay> overlay_;
   std::unique_ptr<HostBridge> host_;
   std::vector<std::unique_ptr<RuntimeNode>> nodes_;
   std::atomic<bool> running_{false};

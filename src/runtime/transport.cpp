@@ -45,17 +45,17 @@ std::size_t Mailbox::size() const {
   return queue_.size();
 }
 
-void Network::attach(sim::NodeId id, Mailbox* mailbox) {
+void Network::attach(host::NodeId id, Mailbox* mailbox) {
   const std::lock_guard<std::mutex> lock(mutex_);
   endpoints_[id] = mailbox;
 }
 
-void Network::detach(sim::NodeId id) {
+void Network::detach(host::NodeId id) {
   const std::lock_guard<std::mutex> lock(mutex_);
   endpoints_.erase(id);
 }
 
-bool Network::send(sim::NodeId to, Envelope envelope) {
+bool Network::send(host::NodeId to, Envelope envelope) {
   Mailbox* mailbox = nullptr;
   {
     const std::lock_guard<std::mutex> lock(mutex_);

@@ -15,7 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "sim/types.hpp"
+#include "host/types.hpp"
 
 namespace adam2::runtime {
 
@@ -30,7 +30,7 @@ enum class EnvelopeKind : std::uint8_t {
 
 struct Envelope {
   EnvelopeKind kind = EnvelopeKind::kGossipRequest;
-  sim::NodeId from = 0;
+  host::NodeId from = 0;
   /// Exchange token: stamped on requests, echoed on responses, so a
   /// requester can discard responses to exchanges it already timed out of
   /// (merging a stale response would break exchange atomicity).
@@ -71,12 +71,12 @@ class Network {
  public:
   /// Registers `mailbox` as the endpoint for `id`. The mailbox must outlive
   /// the network or be deregistered first.
-  void attach(sim::NodeId id, Mailbox* mailbox);
-  void detach(sim::NodeId id);
+  void attach(host::NodeId id, Mailbox* mailbox);
+  void detach(host::NodeId id);
 
   /// Routes an envelope; returns false (and drops it) when the destination
   /// is not attached.
-  bool send(sim::NodeId to, Envelope envelope);
+  bool send(host::NodeId to, Envelope envelope);
 
   [[nodiscard]] std::uint64_t messages_routed() const;
   [[nodiscard]] std::uint64_t bytes_routed() const;
@@ -84,7 +84,7 @@ class Network {
 
  private:
   mutable std::mutex mutex_;
-  std::unordered_map<sim::NodeId, Mailbox*> endpoints_;
+  std::unordered_map<host::NodeId, Mailbox*> endpoints_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t drops_ = 0;

@@ -117,55 +117,56 @@ UdpDirectory::UdpDirectory(std::vector<stats::Value> attributes,
   assert(attributes_.size() == ports_.size());
   ids_.resize(attributes_.size());
   for (std::size_t i = 0; i < ids_.size(); ++i) {
-    ids_[i] = static_cast<sim::NodeId>(i);
+    ids_[i] = static_cast<host::NodeId>(i);
   }
 }
 
-std::optional<sim::NodeId> UdpDirectory::pick_gossip_target(
-    sim::NodeId id, rng::Rng& rng) const {
+std::optional<host::NodeId> UdpDirectory::pick_gossip_target(
+    host::NodeId id, rng::Rng& rng) const {
   if (ids_.size() < 2) return std::nullopt;
   for (;;) {
-    const sim::NodeId candidate = ids_[rng.below(ids_.size())];
+    const host::NodeId candidate = ids_[rng.below(ids_.size())];
     if (candidate != id) return candidate;
   }
 }
 
-std::vector<sim::NodeId> UdpDirectory::neighbors(sim::NodeId id) const {
-  std::vector<sim::NodeId> out;
+std::vector<host::NodeId> UdpDirectory::neighbors(host::NodeId id) const {
+  std::vector<host::NodeId> out;
   out.reserve(ids_.size() - 1);
-  for (sim::NodeId other : ids_) {
+  for (host::NodeId other : ids_) {
     if (other != id) out.push_back(other);
   }
   return out;
 }
 
 std::vector<stats::Value> UdpDirectory::known_attribute_values(
-    sim::NodeId id, const sim::HostView& /*host*/) const {
+    host::NodeId id, const host::HostView& /*host*/) const {
   std::vector<stats::Value> values;
   values.reserve(attributes_.size() - 1);
   for (std::size_t i = 0; i < attributes_.size(); ++i) {
-    if (static_cast<sim::NodeId>(i) != id) values.push_back(attributes_[i]);
+    if (static_cast<host::NodeId>(i) != id) values.push_back(attributes_[i]);
   }
   return values;
 }
 
-void UdpDirectory::record_traffic(sim::NodeId, sim::NodeId,
-                                  sim::Channel channel, std::size_t bytes) {
+void UdpDirectory::record_traffic(host::NodeId, host::NodeId,
+                                  host::Channel channel, std::size_t bytes) {
   ledger_.record_message(channel, bytes);
 }
 
-sim::TrafficStats UdpDirectory::traffic() const { return ledger_.snapshot(); }
+host::TrafficStats UdpDirectory::traffic() const { return ledger_.snapshot(); }
 
-UdpPeer::UdpPeer(UdpPeerConfig config, sim::NodeId id, UdpDirectory& directory,
-                 UdpEndpoint& endpoint, std::unique_ptr<sim::NodeAgent> agent)
+UdpPeer::UdpPeer(UdpPeerConfig config, host::NodeId id, UdpDirectory& directory,
+                 UdpEndpoint& endpoint, std::unique_ptr<host::NodeAgent> agent)
     : config_(config),
       id_(id),
       directory_(directory),
       endpoint_(endpoint),
       agent_(std::move(agent)),
       rng_(config.seed ^ (id * 0x9e3779b97f4a7c15ULL)),
-      faults_(config.faults),
-      fault_rng_(faults_.node_stream(id)) {
+      conduit_(config.faults),
+      fault_rng_(conduit_.faults().node_stream(id)),
+      port_(conduit_, *this, fault_rng_, traffic_) {
   if (!agent_) throw std::invalid_argument("peer requires an agent");
 }
 
@@ -188,43 +189,56 @@ void UdpPeer::stop() {
   traffic_.rejected_messages = rejected - rejected_reported_;
   rejected_reported_ = rejected;
   directory_.merge_traffic(traffic_);
-  traffic_ = sim::TrafficStats{};
+  traffic_ = host::TrafficStats{};
 }
 
-bool UdpPeer::send_faulty(std::uint16_t to_port, EnvelopeKind kind,
-                          std::uint64_t token,
-                          std::span<const std::byte> payload) {
-  const host::MessageFate fate = faults_.message_fate(fault_rng_);
-  if (fate == host::MessageFate::kDrop) {
-    ++traffic_.dropped_messages;
-    return true;  // The sender cannot tell a dropped datagram from a sent one.
-  }
-  // The span aliases the agent's scratch; the envelope outlives the
-  // callback, so copy (or corrupt) into an owned payload.
-  std::vector<std::byte> bytes;
-  if (fate == host::MessageFate::kCorrupt) {
-    bytes = faults_.corrupt(payload, fault_rng_);
-    ++traffic_.corrupted_messages;
-  } else {
-    bytes.assign(payload.begin(), payload.end());
-  }
-  if (fate == host::MessageFate::kDuplicate) {
-    ++traffic_.duplicated_messages;
-    endpoint_.send(to_port, Envelope{kind, id_, token, bytes});
-  }
-  return endpoint_.send(to_port, Envelope{kind, id_, token, std::move(bytes)});
+bool UdpPeer::send_request(host::NodeId to, std::uint64_t token,
+                           std::span<const std::byte> payload) {
+  return send_envelope(to, EnvelopeKind::kGossipRequest, token, payload);
 }
 
-sim::AgentContext UdpPeer::make_context() {
-  return sim::AgentContext{directory_, directory_, id_,
+bool UdpPeer::send_response(host::NodeId to, std::uint64_t token,
+                            std::span<const std::byte> payload) {
+  return send_envelope(to, EnvelopeKind::kGossipResponse, token, payload);
+}
+
+void UdpPeer::send_busy(host::NodeId to, std::uint64_t token) {
+  endpoint_.send(directory_.port_of(to),
+                 Envelope{EnvelopeKind::kGossipBusy, id_, token, {}});
+}
+
+void UdpPeer::record_gossip_sent(host::NodeId peer, std::size_t bytes) {
+  directory_.record_traffic(id_, peer, host::Channel::kAggregation, bytes);
+}
+
+void UdpPeer::record_gossip_received(host::NodeId /*peer*/,
+                                     std::size_t /*bytes*/) {
+  // The shared ledger counts each recorded message as both sent and
+  // received (the global view of a point-to-point transfer), so a separate
+  // receive-side record would double-count.
+}
+
+bool UdpPeer::send_envelope(host::NodeId to, EnvelopeKind kind,
+                            std::uint64_t token,
+                            std::span<const std::byte> payload) {
+  // The span aliases the agent's (or the conduit's corruption) scratch; the
+  // envelope outlives the callback, so copy into an owned payload.
+  return endpoint_.send(
+      directory_.port_of(to),
+      Envelope{kind, id_, token,
+               std::vector<std::byte>(payload.begin(), payload.end())});
+}
+
+host::AgentContext UdpPeer::make_context() {
+  return host::AgentContext{directory_, directory_, id_,
                            local_round_, 0,         directory_.attribute_of(id_),
                            rng_};
 }
 
 void UdpPeer::run_on_peer(
-    const std::function<void(sim::NodeAgent&, sim::AgentContext&)>& fn) {
+    const std::function<void(host::NodeAgent&, host::AgentContext&)>& fn) {
   if (!thread_.joinable()) {
-    sim::AgentContext ctx = make_context();
+    host::AgentContext ctx = make_context();
     fn(*agent_, ctx);
     return;
   }
@@ -232,8 +246,8 @@ void UdpPeer::run_on_peer(
   auto future = done.get_future();
   {
     const std::lock_guard<std::mutex> lock(tasks_mutex_);
-    tasks_.push_back([&fn, &done](sim::NodeAgent& agent,
-                                  sim::AgentContext& ctx) {
+    tasks_.push_back([&fn, &done](host::NodeAgent& agent,
+                                  host::AgentContext& ctx) {
       fn(agent, ctx);
       done.set_value();
     });
@@ -243,14 +257,14 @@ void UdpPeer::run_on_peer(
 
 void UdpPeer::drain_tasks() {
   for (;;) {
-    std::function<void(sim::NodeAgent&, sim::AgentContext&)> task;
+    std::function<void(host::NodeAgent&, host::AgentContext&)> task;
     {
       const std::lock_guard<std::mutex> lock(tasks_mutex_);
       if (tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.erase(tasks_.begin());
     }
-    sim::AgentContext ctx = make_context();
+    host::AgentContext ctx = make_context();
     task(*agent_, ctx);
   }
 }
@@ -267,7 +281,7 @@ void UdpPeer::run() {
     drain_tasks();
     const auto now = Clock::now();
     if (now >= next_tick) {
-      sim::AgentContext ctx = make_context();
+      host::AgentContext ctx = make_context();
       tick(ctx);
       next_tick += jittered();
       continue;
@@ -277,55 +291,36 @@ void UdpPeer::run() {
         std::chrono::microseconds(2000));  // Bounded so tasks stay responsive.
     auto envelope = endpoint_.receive(wait);
     if (envelope) {
-      sim::AgentContext ctx = make_context();
+      host::AgentContext ctx = make_context();
       handle(ctx, std::move(*envelope));
     }
   }
   drain_tasks();
 }
 
-void UdpPeer::tick(sim::AgentContext& ctx) {
+void UdpPeer::tick(host::AgentContext& ctx) {
   ++local_round_;
   agent_->on_round_start(ctx);
-  if (session_.busy()) return;  // Atomicity.
-  session_.abandon();           // Any previous lock has expired unanswered.
-
-  auto request = agent_->make_request(ctx);
-  if (request.empty()) return;
-  const auto target = directory_.pick_gossip_target(id_, rng_);
-  if (!target) return;
-  directory_.record_traffic(id_, *target, sim::Channel::kAggregation,
-                            request.size());
-  const std::uint64_t token = session_.next_token();
-  if (send_faulty(directory_.port_of(*target), EnvelopeKind::kGossipRequest,
-                  token, request)) {
-    session_.arm(token, config_.response_timeout);
-  }
+  // The directory always yields a target (static full membership), so a
+  // failed initiation here is only the port declining (locked or silent) or
+  // a socket-level send failure — nothing to count.
+  (void)port_.initiate(
+      *agent_, ctx, [this] { return directory_.pick_gossip_target(id_, rng_); },
+      config_.response_timeout);
 }
 
-void UdpPeer::handle(sim::AgentContext& ctx, Envelope&& envelope) {
+void UdpPeer::handle(host::AgentContext& ctx, Envelope&& envelope) {
   switch (envelope.kind) {
-    case EnvelopeKind::kGossipRequest: {
-      if (session_.busy()) {
-        endpoint_.send(directory_.port_of(envelope.from),
-                       Envelope{EnvelopeKind::kGossipBusy, id_, envelope.token,
-                                {}});
-        return;
-      }
-      auto response = agent_->handle_request(ctx, envelope.payload);
-      if (response.empty()) return;
-      directory_.record_traffic(id_, envelope.from, sim::Channel::kAggregation,
-                                response.size());
-      send_faulty(directory_.port_of(envelope.from),
-                  EnvelopeKind::kGossipResponse, envelope.token, response);
+    case EnvelopeKind::kGossipRequest:
+      port_.on_request(*agent_, ctx, envelope.from, envelope.token,
+                       envelope.payload);
       return;
-    }
     case EnvelopeKind::kGossipResponse:
-      if (!session_.close_if_current(envelope.token)) return;  // Stale.
-      agent_->handle_response(ctx, envelope.payload);
+      port_.on_response(*agent_, ctx, envelope.from, envelope.token,
+                        envelope.payload);
       return;
     case EnvelopeKind::kGossipBusy:
-      (void)session_.close_if_current(envelope.token);
+      port_.on_busy(envelope.token);
       return;
     case EnvelopeKind::kBootstrapRequest:
     case EnvelopeKind::kBootstrapResponse:

@@ -24,9 +24,9 @@
 #include "host/ledger.hpp"
 #include "rng/rng.hpp"
 #include "runtime/transport.hpp"
-#include "sim/agent.hpp"
+#include "host/agent.hpp"
 #include "sim/overlay.hpp"
-#include "sim/traffic.hpp"
+#include "host/traffic.hpp"
 
 namespace adam2::runtime {
 
@@ -70,51 +70,51 @@ class UdpEndpoint {
 
 /// Static membership + address book shared by all peers of one deployment:
 /// node id -> UDP port, plus the attribute directory that stands in for the
-/// peer-sampling value cache. Doubles as the sim::Overlay and sim::HostView
+/// peer-sampling value cache. Doubles as the host::Overlay and host::HostView
 /// the agents see.
-class UdpDirectory final : public sim::Overlay, public sim::HostView {
+class UdpDirectory final : public host::Overlay, public host::HostView {
  public:
   UdpDirectory(std::vector<stats::Value> attributes,
                std::vector<std::uint16_t> ports);
 
-  [[nodiscard]] std::uint16_t port_of(sim::NodeId id) const {
+  [[nodiscard]] std::uint16_t port_of(host::NodeId id) const {
     return ports_[static_cast<std::size_t>(id)];
   }
 
-  // -- sim::Overlay (full random membership) -----------------------------
-  void add_node(sim::NodeId, const sim::HostView&, rng::Rng&) override {}
-  void remove_node(sim::NodeId) override {}
-  [[nodiscard]] std::optional<sim::NodeId> pick_gossip_target(
-      sim::NodeId id, rng::Rng& rng) const override;
-  [[nodiscard]] std::vector<sim::NodeId> neighbors(sim::NodeId id) const override;
+  // -- host::Overlay (full random membership) -----------------------------
+  void add_node(host::NodeId, const host::HostView&, rng::Rng&) override {}
+  void remove_node(host::NodeId) override {}
+  [[nodiscard]] std::optional<host::NodeId> pick_gossip_target(
+      host::NodeId id, rng::Rng& rng) const override;
+  [[nodiscard]] std::vector<host::NodeId> neighbors(host::NodeId id) const override;
   [[nodiscard]] std::vector<stats::Value> known_attribute_values(
-      sim::NodeId id, const sim::HostView& host) const override;
+      host::NodeId id, const host::HostView& host) const override;
 
-  // -- sim::HostView ------------------------------------------------------
-  [[nodiscard]] bool is_live(sim::NodeId id) const override {
+  // -- host::HostView ------------------------------------------------------
+  [[nodiscard]] bool is_live(host::NodeId id) const override {
     return id < attributes_.size();
   }
-  [[nodiscard]] stats::Value attribute_of(sim::NodeId id) const override {
+  [[nodiscard]] stats::Value attribute_of(host::NodeId id) const override {
     return attributes_[static_cast<std::size_t>(id)];
   }
-  [[nodiscard]] sim::Round round() const override { return 0; }
-  [[nodiscard]] std::span<const sim::NodeId> live_ids() const override {
+  [[nodiscard]] host::Round round() const override { return 0; }
+  [[nodiscard]] std::span<const host::NodeId> live_ids() const override {
     return ids_;
   }
-  void record_traffic(sim::NodeId, sim::NodeId, sim::Channel channel,
+  void record_traffic(host::NodeId, host::NodeId, host::Channel channel,
                       std::size_t bytes) override;
 
-  [[nodiscard]] sim::TrafficStats traffic() const;
+  [[nodiscard]] host::TrafficStats traffic() const;
 
   /// Folds a peer's local counters (fault injection, rejected datagrams)
   /// into the shared ledger, so fault-injection runs and real runs report
   /// the same fields through host::metrics.
-  void merge_traffic(const sim::TrafficStats& stats) { ledger_.merge(stats); }
+  void merge_traffic(const host::TrafficStats& stats) { ledger_.merge(stats); }
 
  private:
   std::vector<stats::Value> attributes_;
   std::vector<std::uint16_t> ports_;
-  std::vector<sim::NodeId> ids_;
+  std::vector<host::NodeId> ids_;
   host::SharedTrafficLedger ledger_;
 };
 
@@ -129,11 +129,14 @@ struct UdpPeerConfig {
   host::FaultPlan faults;
 };
 
-/// One protocol node over a real socket; owns its agent and thread.
-class UdpPeer {
+/// One protocol node over a real socket; owns its agent and thread. The
+/// request→response state machine (busy lock, NACK, stale-token rejection,
+/// faulty sends) lives in the shared host::SessionedPort; this class is the
+/// port's Transport adapter over the UDP endpoint plus the thread plumbing.
+class UdpPeer final : private host::SessionedPort::Transport {
  public:
-  UdpPeer(UdpPeerConfig config, sim::NodeId id, UdpDirectory& directory,
-          UdpEndpoint& endpoint, std::unique_ptr<sim::NodeAgent> agent);
+  UdpPeer(UdpPeerConfig config, host::NodeId id, UdpDirectory& directory,
+          UdpEndpoint& endpoint, std::unique_ptr<host::NodeAgent> agent);
   ~UdpPeer();
 
   void start();
@@ -141,38 +144,51 @@ class UdpPeer {
 
   /// Executes `fn(agent, ctx)` on the peer's thread (blocking), as
   /// Cluster::run_on_node does.
-  void run_on_peer(const std::function<void(sim::NodeAgent&,
-                                            sim::AgentContext&)>& fn);
+  void run_on_peer(const std::function<void(host::NodeAgent&,
+                                            host::AgentContext&)>& fn);
 
  private:
   void run();
-  void tick(sim::AgentContext& ctx);
-  void handle(sim::AgentContext& ctx, Envelope&& envelope);
-  sim::AgentContext make_context();
+  void tick(host::AgentContext& ctx);
+  void handle(host::AgentContext& ctx, Envelope&& envelope);
+  host::AgentContext make_context();
   void drain_tasks();
-  bool send_faulty(std::uint16_t to_port, EnvelopeKind kind,
-                   std::uint64_t token, std::span<const std::byte> payload);
+
+  // -- host::SessionedPort::Transport (loopback-datagram adapter) ----------
+  bool send_request(host::NodeId to, std::uint64_t token,
+                    std::span<const std::byte> payload) override;
+  bool send_response(host::NodeId to, std::uint64_t token,
+                     std::span<const std::byte> payload) override;
+  void send_busy(host::NodeId to, std::uint64_t token) override;
+  void record_gossip_sent(host::NodeId peer, std::size_t bytes) override;
+  void record_gossip_received(host::NodeId peer, std::size_t bytes) override;
+  bool send_envelope(host::NodeId to, EnvelopeKind kind, std::uint64_t token,
+                     std::span<const std::byte> payload);
 
   UdpPeerConfig config_;
-  sim::NodeId id_;
+  host::NodeId id_;
   UdpDirectory& directory_;
   UdpEndpoint& endpoint_;
-  std::unique_ptr<sim::NodeAgent> agent_;
+  std::unique_ptr<host::NodeAgent> agent_;
   rng::Rng rng_;
-  host::FaultInjector faults_;
+  /// The shared exchange fabric (fault plan only: loss, latency and
+  /// reordering come for free from real datagram semantics).
+  host::Conduit conduit_;
   rng::Rng fault_rng_;
   /// Local fault/reliability counters, merged into the directory ledger at
   /// stop() so every substrate reports the same schema.
-  sim::TrafficStats traffic_;
+  host::TrafficStats traffic_;
   /// Endpoint rejections already folded into the ledger (stop() reports the
   /// delta, so repeated start/stop cycles never double-count).
   std::uint64_t rejected_reported_ = 0;
   std::thread thread_;
   std::atomic<bool> stop_{false};
-  sim::Round local_round_ = 0;
-  host::ExchangeSession session_;
+  host::Round local_round_ = 0;
+  /// Declared after conduit_, fault_rng_ and traffic_ (it references all
+  /// three).
+  host::SessionedPort port_;
   std::mutex tasks_mutex_;
-  std::vector<std::function<void(sim::NodeAgent&, sim::AgentContext&)>> tasks_;
+  std::vector<std::function<void(host::NodeAgent&, host::AgentContext&)>> tasks_;
 };
 
 }  // namespace adam2::runtime

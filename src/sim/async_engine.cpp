@@ -15,7 +15,7 @@ AsyncEngine::AsyncEngine(AsyncConfig config,
                          AgentFactory agent_factory,
                          AttributeSource attribute_source)
     : config_(config),
-      faults_(config.faults),
+      conduit_(config.faults, config.message_loss),
       rng_(config.seed),
       overlay_(std::move(overlay)),
       agent_factory_(std::move(agent_factory)),
@@ -52,7 +52,7 @@ void AsyncEngine::spawn_node(stats::Value attribute, bool bootstrap) {
   Node& stored =
       table_.spawn(attribute, bootstrap ? round() + 1 : round(), rng_);
   // Stateless derivation: consumes nothing from rng_ (golden replay).
-  stored.fault_rng = faults_.node_stream(stored.id);
+  stored.fault_rng = conduit_.faults().node_stream(stored.id);
   const NodeId id = stored.id;
   AgentContext ctx = context_ref(stored);
   stored.agent = agent_factory_(ctx);
@@ -169,15 +169,12 @@ void AsyncEngine::on_tick(NodeId id) {
         ++total_traffic_.failed_contacts;
       } else {
         record_traffic(id, *target, Channel::kAggregation, request.size());
+        // The busy lock opens whether or not the request survives the
+        // pipeline: a lost request frees the node at its timeout, exactly as
+        // in a deployment.
         set_busy(id);
-        if (config_.message_loss > 0.0 &&
-            rng_.bernoulli(config_.message_loss)) {
-          ++total_traffic_.dropped_messages;
-        } else {
-          // The span aliases the agent's scratch; deliveries own copies.
-          schedule_delivery(EventKind::kRequestDelivery, id, *target, request,
-                            n.fault_rng);
-        }
+        deliver(EventKind::kRequestDelivery, id, *target, request,
+                n.fault_rng);
       }
     }
   }
@@ -198,49 +195,35 @@ void AsyncEngine::on_request(Event&& event) {
   auto response = responder.agent->handle_request(ctx, event.payload);
   if (response.empty()) return;
   record_traffic(event.to, event.from, Channel::kAggregation, response.size());
-  if (config_.message_loss > 0.0 && rng_.bernoulli(config_.message_loss)) {
-    ++total_traffic_.dropped_messages;
-    return;
-  }
-  schedule_delivery(EventKind::kResponseDelivery, event.to, event.from,
-                    response, responder.fault_rng);
+  deliver(EventKind::kResponseDelivery, event.to, event.from, response,
+          responder.fault_rng);
 }
 
-void AsyncEngine::schedule_delivery(EventKind kind, NodeId from, NodeId to,
-                                    std::span<const std::byte> payload,
-                                    rng::Rng& fault_stream) {
-  if (faults_.enabled() && faults_.partitioned(from, to, round())) {
-    ++total_traffic_.partitioned_messages;
-    return;
+void AsyncEngine::deliver(EventKind kind, NodeId from, NodeId to,
+                          std::span<const std::byte> payload,
+                          rng::Rng& fault_stream) {
+  // The fabric resolves loss (legacy knob, global engine stream — matching
+  // the pre-fabric draw position), partitions, fate and extra delay; this
+  // engine turns the surviving copies into events. Each copy samples its own
+  // latency, so duplicates genuinely reorder through the event queue.
+  std::vector<std::byte> scratch;
+  const host::Conduit::Delivery delivery = conduit_.resolve(
+      host::Conduit::Leg{from, to, round(), &rng_, &fault_stream,
+                         /*partition_check=*/true, /*draw_delay=*/true},
+      payload, scratch, total_traffic_);
+  for (unsigned copy = 0; copy < delivery.copies; ++copy) {
+    // The span aliases agent (or corruption) scratch; events own copies.
+    schedule(now_ + sample_latency() + delivery.extra_delay, kind, from, to,
+             std::vector<std::byte>(delivery.payload.begin(),
+                                    delivery.payload.end()));
   }
-  const host::MessageFate fate = faults_.message_fate(fault_stream);
-  if (fate == host::MessageFate::kDrop) {
-    ++total_traffic_.dropped_messages;
-    return;
-  }
-  std::vector<std::byte> bytes;
-  if (fate == host::MessageFate::kCorrupt) {
-    bytes = faults_.corrupt(payload, fault_stream);
-    ++total_traffic_.corrupted_messages;
-  } else {
-    bytes.assign(payload.begin(), payload.end());
-  }
-  // Injected extra delay: both copies of a duplicated message sample their
-  // own latency, so duplicates genuinely reorder through the event queue.
-  const double extra = faults_.extra_delay(fault_stream);
-  if (extra > 0.0) ++total_traffic_.delayed_messages;
-  if (fate == host::MessageFate::kDuplicate) {
-    ++total_traffic_.duplicated_messages;
-    schedule(now_ + sample_latency() + extra, kind, from, to, bytes);
-  }
-  schedule(now_ + sample_latency() + extra, kind, from, to, std::move(bytes));
 }
 
 void AsyncEngine::apply_crashes() {
-  if (faults_.plan().crash_rate <= 0.0) return;
+  if (conduit_.faults().plan().crash_rate <= 0.0) return;
   for (NodeId id : table_.live_ids()) {
     Node& n = table_.at(id);
-    if (!faults_.crashes(n.fault_rng)) continue;
+    if (!conduit_.faults().crashes(n.fault_rng)) continue;
     // Crash-restart with state loss (see CycleEngine::apply_crashes). The
     // busy lock dies with the old process; any in-flight response addressed
     // to it is ignored through the birth_round eligibility guard.

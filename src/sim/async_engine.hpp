@@ -39,14 +39,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "host/exchange.hpp"
 #include "host/fault.hpp"
 #include "host/registry.hpp"
 #include "rng/rng.hpp"
-#include "sim/agent.hpp"
+#include "host/agent.hpp"
 #include "sim/engine.hpp"
 #include "sim/overlay.hpp"
-#include "sim/traffic.hpp"
-#include "sim/types.hpp"
+#include "host/traffic.hpp"
+#include "host/types.hpp"
 
 namespace adam2::sim {
 
@@ -107,7 +108,7 @@ class AsyncEngine final : public HostView {
   }
   [[nodiscard]] AgentContext context_for(NodeId id);
   [[nodiscard]] const host::FaultInjector& fault_injector() const {
-    return faults_;
+    return conduit_.faults();
   }
 
  private:
@@ -142,17 +143,19 @@ class AsyncEngine final : public HostView {
   void on_maintenance();
   void apply_crashes();
   void spawn_node(stats::Value attribute, bool bootstrap);
-  /// Schedules a message delivery with sampled latency plus any injected
-  /// extra delay drawn from `fault_stream`.
-  void schedule_delivery(EventKind kind, NodeId from, NodeId to,
-                         std::span<const std::byte> payload,
-                         rng::Rng& fault_stream);
+  /// Runs one leg through the exchange fabric (loss, partitions, fates,
+  /// injected delay) and schedules each surviving copy with its own sampled
+  /// latency, so duplicates genuinely reorder through the event queue.
+  void deliver(EventKind kind, NodeId from, NodeId to,
+               std::span<const std::byte> payload, rng::Rng& fault_stream);
   [[nodiscard]] double sample_latency();
   [[nodiscard]] double next_period();
   [[nodiscard]] AgentContext context_ref(Node& n);
 
   AsyncConfig config_;
-  host::FaultInjector faults_;
+  /// The shared exchange fabric (host/exchange.hpp): this engine schedules
+  /// deliveries, the conduit decides their fate.
+  host::Conduit conduit_;
   rng::Rng rng_;
   std::unique_ptr<Overlay> overlay_;
   AgentFactory agent_factory_;

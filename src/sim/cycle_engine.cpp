@@ -14,7 +14,7 @@ CycleEngine::CycleEngine(EngineConfig config,
                          AgentFactory agent_factory,
                          AttributeSource attribute_source)
     : config_(config),
-      faults_(config.faults),
+      conduit_(config.faults, config.message_loss),
       rng_(config.seed),
       overlay_(std::move(overlay)),
       agent_factory_(std::move(agent_factory)),
@@ -44,7 +44,7 @@ void CycleEngine::spawn_node(stats::Value attribute, bool bootstrap) {
       table_.spawn(attribute, bootstrap ? round_ + 1 : round_, rng_);
   // Stateless derivation: consumes nothing from rng_, so seeding the fault
   // stream preserves bit-identity with pre-fault engines.
-  stored.fault_rng = faults_.node_stream(stored.id);
+  stored.fault_rng = conduit_.faults().node_stream(stored.id);
   AgentContext ctx = make_context(*this, *overlay_, stored, round_);
   stored.agent = agent_factory_(ctx);
   if (!stored.agent) throw std::runtime_error("agent factory returned null");
@@ -60,90 +60,18 @@ void CycleEngine::spawn_node(stats::Value attribute, bool bootstrap) {
 
 void CycleEngine::exchange_with(Node& initiator,
                                 const std::optional<NodeId>& target) {
-  AgentContext ictx = make_context(*this, *overlay_, initiator, round_);
-  auto request = initiator.agent->make_request(ictx);
-  if (request.empty()) return;
-
-  if (!target || !table_.is_live(*target) || *target == initiator.id) {
-    ++initiator.traffic.failed_contacts;
-    ++totals().failed_contacts;
-    return;
-  }
-
-  record_traffic(initiator.id, *target, Channel::kAggregation, request.size());
-  if (config_.message_loss > 0.0 &&
-      initiator.pick_rng.bernoulli(config_.message_loss)) {
-    ++totals().dropped_messages;
-    return;
-  }
-  // Fault injection. All draws come from the initiator's fault stream, so
-  // the unit stays self-contained (parallel determinism); partition checks
-  // are stateless and consume nothing.
-  if (faults_.enabled() && faults_.partitioned(initiator.id, *target, round_)) {
-    ++totals().partitioned_messages;
-    return;
-  }
-  const host::MessageFate request_fate =
-      faults_.message_fate(initiator.fault_rng);
-  if (request_fate == host::MessageFate::kDrop) {
-    ++totals().dropped_messages;
-    return;
-  }
-
-  Node& responder = table_.at(*target);
-  AgentContext rctx = make_context(*this, *overlay_, responder, round_);
-  // `request` aliases the initiator's scratch: valid across both deliveries
-  // because nothing calls back into the initiator's agent until the response.
-  std::span<const std::byte> delivered = request;
-  std::vector<std::byte> mangled;
-  if (request_fate == host::MessageFate::kCorrupt) {
-    mangled = faults_.corrupt(request, initiator.fault_rng);
-    delivered = mangled;
-    ++totals().corrupted_messages;
-  } else if (request_fate == host::MessageFate::kDuplicate) {
-    // Retransmitted request: the responder processes both copies; only the
-    // answer to the second one travels back (the earlier reply span is
-    // invalidated by the second handle_request call anyway).
-    (void)responder.agent->handle_request(rctx, delivered);
-    ++totals().duplicated_messages;
-  }
-  auto response = responder.agent->handle_request(rctx, delivered);
-  if (response.empty()) return;
-
-  record_traffic(responder.id, initiator.id, Channel::kAggregation,
-                 response.size());
-  if (config_.message_loss > 0.0 &&
-      initiator.pick_rng.bernoulli(config_.message_loss)) {
-    ++totals().dropped_messages;
-    return;
-  }
-  const host::MessageFate response_fate =
-      faults_.message_fate(initiator.fault_rng);
-  if (response_fate == host::MessageFate::kDrop) {
-    ++totals().dropped_messages;
-    return;
-  }
-  // `response` aliases the responder's scratch: valid across both
-  // handle_response calls because nothing calls the responder in between.
-  std::span<const std::byte> delivered_response = response;
-  std::vector<std::byte> mangled_response;
-  if (response_fate == host::MessageFate::kCorrupt) {
-    mangled_response = faults_.corrupt(response, initiator.fault_rng);
-    delivered_response = mangled_response;
-    ++totals().corrupted_messages;
-  }
-  initiator.agent->handle_response(ictx, delivered_response);
-  if (response_fate == host::MessageFate::kDuplicate) {
-    ++totals().duplicated_messages;
-    initiator.agent->handle_response(ictx, delivered_response);
-  }
+  // The fabric owns the whole pipeline (legacy loss, partitions, fates,
+  // duplicate-delivery policy); this engine contributes only the traffic
+  // accumulator, which the sharded subclass reroutes per worker.
+  conduit_.run_cycle_exchange(*this, *overlay_, table_, round_, initiator,
+                              target, totals());
 }
 
 void CycleEngine::apply_crashes() {
-  if (faults_.plan().crash_rate <= 0.0) return;
+  if (conduit_.faults().plan().crash_rate <= 0.0) return;
   for (NodeId id : table_.live_ids()) {
     Node& n = table_.at(id);
-    if (!faults_.crashes(n.fault_rng)) continue;
+    if (!conduit_.faults().crashes(n.fault_rng)) continue;
     // Crash-restart with state loss: identity, attribute and overlay links
     // survive; all protocol state is gone. birth_round moves forward so the
     // restarted node ignores instances started before the crash (they would

@@ -27,20 +27,35 @@
 #include <optional>
 #include <vector>
 
+#include "host/exchange.hpp"
 #include "host/fault.hpp"
 #include "host/metrics.hpp"
 #include "host/node.hpp"
 #include "host/registry.hpp"
 #include "rng/rng.hpp"
-#include "sim/agent.hpp"
+#include "host/agent.hpp"
 #include "sim/overlay.hpp"
-#include "sim/traffic.hpp"
-#include "sim/types.hpp"
+#include "host/traffic.hpp"
+#include "host/types.hpp"
 
 namespace adam2::sim {
 
+// The sim vocabulary: these are the host substrate's types, re-exported so
+// the simulator's established spellings stay valid for engine code and
+// experiment drivers written against `namespace adam2::sim`.
+using host::AgentContext;
+using host::AgentFactory;
+using host::AttributeSource;
+using host::Channel;
+using host::channel_name;
+using host::ChannelTraffic;
+using host::kChannelCount;
 using host::make_context;
 using host::Node;
+using host::NodeAgent;
+using host::NodeId;
+using host::Round;
+using host::TrafficStats;
 
 struct EngineConfig {
   /// Fraction of live nodes replaced per round (0.001 = the paper's typical
@@ -91,7 +106,7 @@ class CycleEngine : public HostView {
   [[nodiscard]] Overlay& overlay() { return *overlay_; }
   [[nodiscard]] rng::Rng& rng() { return rng_; }
   [[nodiscard]] const host::FaultInjector& fault_injector() const {
-    return faults_;
+    return conduit_.faults();
   }
   [[nodiscard]] NodeId random_live_node() { return table_.random_live(rng_); }
 
@@ -172,7 +187,9 @@ class CycleEngine : public HostView {
   [[nodiscard]] virtual TrafficStats& totals() { return total_traffic_; }
 
   EngineConfig config_;
-  host::FaultInjector faults_;
+  /// The shared exchange fabric: owns legacy loss, partitions and the whole
+  /// fault-fate pipeline (host/exchange.hpp). Engines only schedule.
+  host::Conduit conduit_;
   rng::Rng rng_;
   std::unique_ptr<Overlay> overlay_;
   AgentFactory agent_factory_;

@@ -20,13 +20,16 @@
 #include "host/overlay.hpp"
 #include "host/view.hpp"
 #include "rng/rng.hpp"
-#include "sim/types.hpp"
+#include "host/types.hpp"
 #include "stats/cdf.hpp"
 
 namespace adam2::sim {
 
+using host::Channel;
 using host::HostView;
+using host::NodeId;
 using host::Overlay;
+using host::Round;
 
 /// Fixed random graph of target degree `degree`. Links are bidirectional;
 /// churned-in nodes link to `degree` random live peers.

@@ -25,21 +25,21 @@ sim::Engine make_equidepth_engine(const EquiDepthConfig& config,
                                   std::vector<stats::Value> values,
                                   std::uint64_t seed = 1,
                                   double churn = 0.0,
-                                  sim::AttributeSource source = nullptr) {
+                                  host::AttributeSource source = nullptr) {
   sim::EngineConfig engine_config;
   engine_config.seed = seed;
   engine_config.churn_rate = churn;
   return sim::Engine(
       engine_config, std::move(values),
       std::make_unique<sim::StaticRandomOverlay>(8),
-      [config](const sim::AgentContext&) {
+      [config](const host::AgentContext&) {
         return std::make_unique<EquiDepthAgent>(config);
       },
       std::move(source));
 }
 
 wire::InstanceId run_phase(sim::Engine& engine, const EquiDepthConfig& config,
-                           sim::NodeId initiator = 0) {
+                           host::NodeId initiator = 0) {
   auto ctx = engine.context_for(initiator);
   auto& agent = dynamic_cast<EquiDepthAgent&>(engine.agent(initiator));
   const auto id = agent.start_phase(ctx);
@@ -56,7 +56,7 @@ TEST(EquiDepthTest, PhaseSpreadsToAllNodes) {
   auto engine = make_equidepth_engine(config, iota_values(200));
   run_phase(engine, config);
   std::size_t with_estimate = 0;
-  for (sim::NodeId id : engine.live_ids()) {
+  for (host::NodeId id : engine.live_ids()) {
     const auto& agent = dynamic_cast<const EquiDepthAgent&>(engine.agent(id));
     with_estimate += agent.estimate().has_value() ? 1u : 0u;
   }
@@ -73,7 +73,7 @@ TEST(EquiDepthTest, SynopsisRespectsBinBudget) {
   const auto id = agent.start_phase(ctx);
   for (int round = 0; round < 30; ++round) {
     engine.run_rounds(1);
-    for (sim::NodeId node : engine.live_ids()) {
+    for (host::NodeId node : engine.live_ids()) {
       const auto& a = dynamic_cast<const EquiDepthAgent&>(engine.agent(node));
       EXPECT_LE(a.phase_synopsis(id).size(), 16u);
     }
@@ -182,7 +182,7 @@ TEST(EquiDepthTest, LateJoinersIgnoreRunningPhases) {
   auto& agent = dynamic_cast<EquiDepthAgent&>(engine.agent(0));
   const auto id = agent.start_phase(ctx);
   engine.run_rounds(15);
-  for (sim::NodeId node : engine.live_ids()) {
+  for (host::NodeId node : engine.live_ids()) {
     if (engine.node(node).birth_round > 0) {
       const auto& a = dynamic_cast<const EquiDepthAgent&>(engine.agent(node));
       EXPECT_TRUE(a.phase_synopsis(id).empty());
@@ -196,7 +196,7 @@ TEST(EquiDepthTest, MessageBudgetComparableToAdam2) {
   config.bins = 50;
   auto engine = make_equidepth_engine(config, iota_values(500), 9);
   run_phase(engine, config);
-  const auto& traffic = engine.total_traffic().on(sim::Channel::kAggregation);
+  const auto& traffic = engine.total_traffic().on(host::Channel::kAggregation);
   ASSERT_GT(traffic.messages_sent, 0u);
   const double avg_size = static_cast<double>(traffic.bytes_sent) /
                           static_cast<double>(traffic.messages_sent);

@@ -43,7 +43,7 @@ std::vector<stats::Value> iota_values(std::size_t n) {
   return values;
 }
 
-sim::AttributeSource churn_source() {
+host::AttributeSource churn_source() {
   return [](rng::Rng& rng) { return static_cast<stats::Value>(rng.below(1000)); };
 }
 
@@ -62,9 +62,9 @@ core::SystemConfig chaos_config(std::size_t threads = 0) {
 /// did: finite knots, fractions inside [0, 1], monotone non-decreasing.
 void expect_sane_estimates(core::Adam2System& system) {
   const auto live = system.engine().live_ids();
-  const std::vector<sim::NodeId> ids(live.begin(), live.end());
+  const std::vector<host::NodeId> ids(live.begin(), live.end());
   std::size_t with_estimate = 0;
-  for (sim::NodeId id : ids) {
+  for (host::NodeId id : ids) {
     const auto& estimate = system.agent_of(id).estimate();
     if (!estimate) continue;
     ++with_estimate;
@@ -84,7 +84,7 @@ void expect_sane_estimates(core::Adam2System& system) {
 
 struct ChaosReport {
   core::PopulationErrors errors;
-  sim::TrafficStats traffic;
+  host::TrafficStats traffic;
   std::size_t leaked_sessions = 0;
 };
 
@@ -102,7 +102,7 @@ ChaosReport run_chaos(const host::FaultPlan& faults, std::size_t threads = 0) {
   // that joined through a delayed payload burn their remaining TTL copies.
   system.run_rounds(2);
   const auto live = system.engine().live_ids();
-  for (sim::NodeId id : std::vector<sim::NodeId>(live.begin(), live.end())) {
+  for (host::NodeId id : std::vector<host::NodeId>(live.begin(), live.end())) {
     report.leaked_sessions += system.agent_of(id).active_instance_count();
   }
   report.traffic = system.engine().total_traffic();
@@ -276,27 +276,27 @@ TEST(ChaosTest, AsyncEngineSurvivesTheFullTaxonomy) {
   core::Adam2Config protocol;
   protocol.lambda = 12;
   protocol.instance_ttl = 30;
-  auto factory = [protocol](const sim::AgentContext&) {
+  auto factory = [protocol](const host::AgentContext&) {
     return std::make_unique<core::Adam2Agent>(protocol);
   };
   sim::AsyncEngine engine(config, iota_values(128),
                           std::make_unique<sim::StaticRandomOverlay>(8),
                           factory, nullptr);
   {
-    const sim::NodeId initiator = engine.live_ids()[0];
+    const host::NodeId initiator = engine.live_ids()[0];
     auto ctx = engine.context_for(initiator);
     (void)dynamic_cast<core::Adam2Agent&>(engine.agent(initiator))
         .start_instance(ctx);
   }
   engine.run_until(45.0);
 
-  const sim::TrafficStats& traffic = engine.total_traffic();
+  const host::TrafficStats& traffic = engine.total_traffic();
   EXPECT_GT(traffic.dropped_messages, 0u);
   EXPECT_GT(traffic.duplicated_messages, 0u);
   EXPECT_GT(traffic.corrupted_messages, 0u);
   EXPECT_GT(traffic.delayed_messages, 0u);
   std::size_t with_estimate = 0;
-  for (sim::NodeId id : engine.live_ids()) {
+  for (host::NodeId id : engine.live_ids()) {
     const auto& agent = dynamic_cast<core::Adam2Agent&>(engine.agent(id));
     if (!agent.estimate()) continue;
     ++with_estimate;
@@ -319,7 +319,7 @@ TEST(ChaosTest, AsyncZeroRatePlanIsGoldenIdentical) {
     core::Adam2Config protocol;
     protocol.lambda = 10;
     protocol.instance_ttl = 20;
-    auto factory = [protocol](const sim::AgentContext&) {
+    auto factory = [protocol](const host::AgentContext&) {
       return std::make_unique<core::Adam2Agent>(protocol);
     };
     sim::AsyncEngine engine(config, iota_values(64),
@@ -330,11 +330,11 @@ TEST(ChaosTest, AsyncZeroRatePlanIsGoldenIdentical) {
   };
   host::FaultPlan zero;
   zero.seed = 0x5eed5eed;
-  const sim::TrafficStats base = run(host::FaultPlan{});
-  const sim::TrafficStats zeroed = run(zero);
+  const host::TrafficStats base = run(host::FaultPlan{});
+  const host::TrafficStats zeroed = run(zero);
   EXPECT_EQ(base.total_bytes_sent(), zeroed.total_bytes_sent());
-  EXPECT_EQ(base.on(sim::Channel::kAggregation).messages_sent,
-            zeroed.on(sim::Channel::kAggregation).messages_sent);
+  EXPECT_EQ(base.on(host::Channel::kAggregation).messages_sent,
+            zeroed.on(host::Channel::kAggregation).messages_sent);
   EXPECT_EQ(base.dropped_messages, zeroed.dropped_messages);
   EXPECT_EQ(zeroed.corrupted_messages, 0u);
 }
@@ -355,17 +355,17 @@ TEST(ChaosTest, ClusterSurvivesFaultyTransport) {
   protocol.lambda = 6;
   protocol.instance_ttl = 60;
   runtime::Cluster cluster(config, iota_values(12),
-                           [protocol](const sim::AgentContext&) {
+                           [protocol](const host::AgentContext&) {
                              return std::make_unique<core::Adam2Agent>(protocol);
                            });
   cluster.start();
-  cluster.run_on_node(0, [](sim::NodeAgent& agent, sim::AgentContext& ctx) {
+  cluster.run_on_node(0, [](host::NodeAgent& agent, host::AgentContext& ctx) {
     (void)dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
   });
   std::this_thread::sleep_for(300ms);
   cluster.stop();
 
-  const sim::TrafficStats traffic = cluster.total_traffic();
+  const host::TrafficStats traffic = cluster.total_traffic();
   EXPECT_GT(traffic.dropped_messages, 0u);
   EXPECT_GT(traffic.duplicated_messages, 0u);
   EXPECT_GT(traffic.corrupted_messages, 0u);
@@ -402,17 +402,17 @@ TEST(ChaosTest, UdpPeersSurviveCorruptDatagrams) {
   std::vector<std::unique_ptr<runtime::UdpPeer>> peers;
   for (std::size_t i = 0; i < kPeers; ++i) {
     peers.push_back(std::make_unique<runtime::UdpPeer>(
-        config, static_cast<sim::NodeId>(i), directory, *endpoints[i],
+        config, static_cast<host::NodeId>(i), directory, *endpoints[i],
         std::make_unique<core::Adam2Agent>(protocol)));
   }
   for (auto& peer : peers) peer->start();
-  peers[0]->run_on_peer([](sim::NodeAgent& agent, sim::AgentContext& ctx) {
+  peers[0]->run_on_peer([](host::NodeAgent& agent, host::AgentContext& ctx) {
     (void)dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
   });
   std::this_thread::sleep_for(300ms);
   for (auto& peer : peers) peer->stop();
 
-  const sim::TrafficStats traffic = directory.traffic();
+  const host::TrafficStats traffic = directory.traffic();
   EXPECT_GT(traffic.corrupted_messages, 0u);
   EXPECT_GT(traffic.duplicated_messages, 0u);
   EXPECT_GT(traffic.dropped_messages, 0u);

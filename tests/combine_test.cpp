@@ -9,7 +9,7 @@ namespace adam2::core {
 namespace {
 
 Estimate make_estimate(std::vector<stats::CdfPoint> points, double min_v,
-                       double max_v, sim::Round round) {
+                       double max_v, host::Round round) {
   Estimate est;
   est.completed_round = round;
   est.points = std::move(points);

@@ -1,0 +1,246 @@
+// Golden determinism fixtures: seeded small-N runs whose end-state digest
+// (agent bytes + per-node and global traffic totals) is pinned to constants
+// checked in here. The digests were captured from the pre-exchange-fabric
+// engines, so any refactor that silently perturbs draw order, stream
+// assignment, or exchange semantics fails these tests loudly instead of only
+// showing up in replay-pair comparisons (which would drift together).
+//
+// The digest covers everything the replay-pair tests compare — live
+// membership, attributes, bitwise agent state, per-node traffic, global
+// counters — folded through FNV-1a so a single u64 mismatch pinpoints a
+// divergence. Scenarios cover the serial engine, the sharded engine at 1 and
+// 8 threads, and the event-driven engine, each with faults disabled and
+// under a non-trivial fault plan.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/async_engine.hpp"
+#include "sim/cyclon.hpp"
+#include "sim/engine.hpp"
+#include "sim/overlay.hpp"
+#include "sim/parallel_engine.hpp"
+#include "wire/buffer.hpp"
+
+namespace adam2::sim {
+namespace {
+
+// -- Digest ------------------------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void mix(std::uint64_t& h, double v) { mix(h, std::bit_cast<std::uint64_t>(v)); }
+
+void mix_traffic(std::uint64_t& h, const TrafficStats& t) {
+  for (std::size_t c = 0; c < host::kChannelCount; ++c) {
+    const auto& ch = t.channels[c];
+    mix(h, ch.messages_sent);
+    mix(h, ch.bytes_sent);
+    mix(h, ch.messages_received);
+    mix(h, ch.bytes_received);
+  }
+  mix(h, t.failed_contacts);
+  mix(h, t.dropped_messages);
+  mix(h, t.busy_rejections);
+  mix(h, t.duplicated_messages);
+  mix(h, t.corrupted_messages);
+  mix(h, t.partitioned_messages);
+  mix(h, t.delayed_messages);
+  mix(h, t.crash_restarts);
+  mix(h, t.rejected_messages);
+}
+
+// -- Test agents (identical shape to the replay-pair tests) ------------------
+
+/// Fault-tolerant push-pull averaging agent: validates payloads before
+/// merging, so digests stay finite under corruption while still exposing any
+/// divergence in exchange order, loss draws, or churn trajectories.
+class DigestAgent final : public NodeAgent {
+ public:
+  explicit DigestAgent(double initial) : value_(initial) {}
+
+  [[nodiscard]] double value() const { return value_; }
+
+  std::span<const std::byte> make_request(AgentContext& ctx) override {
+    jitter_ = ctx.rng.uniform(0.0, 1e-12);  // Exercises the agent stream.
+    scratch_ = encode(value_ + jitter_);
+    return scratch_;
+  }
+
+  std::span<const std::byte> handle_request(
+      AgentContext&, std::span<const std::byte> req) override {
+    const auto theirs = decode(req);
+    if (!theirs) return {};  // Corrupted request: no merge, no reply.
+    scratch_ = encode(value_);
+    value_ = (value_ + *theirs) / 2.0;
+    return scratch_;
+  }
+
+  void handle_response(AgentContext&, std::span<const std::byte> resp) override {
+    const auto theirs = decode(resp);
+    if (!theirs) return;
+    value_ = (value_ + *theirs) / 2.0;
+  }
+
+ private:
+  static std::vector<std::byte> encode(double v) {
+    wire::Writer w;
+    w.f64(v);
+    return w.take();
+  }
+  static std::optional<double> decode(std::span<const std::byte> bytes) {
+    if (bytes.size() != sizeof(double)) return std::nullopt;  // Truncated.
+    wire::Reader r(bytes);
+    const double v = r.f64();
+    if (!std::isfinite(v) || v < 0.0 || v > 2000.0) return std::nullopt;
+    return v;
+  }
+
+  double value_ = 0.0;
+  double jitter_ = 0.0;
+  std::vector<std::byte> scratch_;  ///< Backs the returned spans.
+};
+
+AgentFactory digest_factory() {
+  return [](const AgentContext& ctx) {
+    return std::make_unique<DigestAgent>(static_cast<double>(ctx.attribute));
+  };
+}
+
+AttributeSource churn_values() {
+  return [](rng::Rng& rng) { return static_cast<stats::Value>(rng.below(1000)); };
+}
+
+std::vector<stats::Value> iota_values(std::size_t n) {
+  std::vector<stats::Value> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<stats::Value>(i);
+  return values;
+}
+
+std::unique_ptr<Overlay> cyclon() {
+  CyclonConfig config;
+  config.view_size = 8;
+  config.shuffle_size = 4;
+  return std::make_unique<CyclonOverlay>(config);
+}
+
+host::FaultPlan nontrivial_plan() {
+  host::FaultPlan plan;
+  plan.drop_rate = 0.1;
+  plan.duplicate_rate = 0.08;
+  plan.corrupt_rate = 0.08;
+  plan.crash_rate = 0.01;
+  plan.partition_count = 2;
+  plan.partition_start = 4;
+  plan.partition_heal_after = 5;
+  plan.seed = 0x90de;
+  return plan;
+}
+
+/// Folds the full observable end state of a host (any engine) into one u64.
+template <typename EngineT>
+std::uint64_t digest(EngineT& engine) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(engine.live_count()));
+  for (NodeId id : engine.live_ids()) {
+    const Node& node = engine.node(id);
+    mix(h, static_cast<std::uint64_t>(id));
+    mix(h, static_cast<double>(node.attribute));
+    const auto* agent = dynamic_cast<const DigestAgent*>(node.agent.get());
+    mix(h, agent != nullptr ? agent->value() : 0.0);
+    mix_traffic(h, node.traffic);
+  }
+  mix_traffic(h, engine.total_traffic());
+  return h;
+}
+
+EngineConfig cycle_config(bool faults) {
+  EngineConfig config;
+  config.seed = 0x90de;
+  config.churn_rate = 0.02;
+  config.message_loss = 0.05;
+  if (faults) config.faults = nontrivial_plan();
+  return config;
+}
+
+std::uint64_t run_cycle(std::size_t threads, bool faults) {
+  if (threads == 0) {
+    Engine engine(cycle_config(faults), iota_values(64), cyclon(),
+                  digest_factory(), churn_values());
+    engine.run_rounds(12);
+    return digest(engine);
+  }
+  ParallelEngine engine(cycle_config(faults), threads, iota_values(64),
+                        cyclon(), digest_factory(), churn_values());
+  engine.run_rounds(12);
+  return digest(engine);
+}
+
+std::uint64_t run_async(bool faults) {
+  AsyncConfig config;
+  config.seed = 0x90de;
+  config.message_loss = 0.02;
+  config.churn_per_second = 0.005;
+  if (faults) {
+    config.faults = nontrivial_plan();
+    config.faults.delay_rate = 0.2;
+    config.faults.max_delay = 0.3;
+  }
+  AsyncEngine engine(config, iota_values(48),
+                     std::make_unique<StaticRandomOverlay>(6),
+                     digest_factory(), churn_values());
+  engine.run_until(20.0);
+  return digest(engine);
+}
+
+// -- Fixtures ----------------------------------------------------------------
+// Captured from the pre-exchange-fabric engines (PR 5 tree). A mismatch means
+// the exchange pipeline consumed different draws, from different streams, or
+// delivered differently — NOT a harmless implementation detail.
+
+constexpr std::uint64_t kCycleGolden = 17558608976957334404ULL;
+constexpr std::uint64_t kCycleFaultsGolden = 18320294890855426988ULL;
+constexpr std::uint64_t kAsyncGolden = 16779096996820981177ULL;
+constexpr std::uint64_t kAsyncFaultsGolden = 1727619430864257484ULL;
+
+TEST(GoldenReplayTest, SerialEngineMatchesCheckedInDigest) {
+  EXPECT_EQ(run_cycle(0, false), kCycleGolden);
+}
+
+TEST(GoldenReplayTest, SerialEngineUnderFaultPlanMatchesCheckedInDigest) {
+  EXPECT_EQ(run_cycle(0, true), kCycleFaultsGolden);
+}
+
+TEST(GoldenReplayTest, ParallelEngineMatchesCheckedInDigest) {
+  EXPECT_EQ(run_cycle(1, false), kCycleGolden);
+  EXPECT_EQ(run_cycle(8, false), kCycleGolden);
+}
+
+TEST(GoldenReplayTest, ParallelEngineUnderFaultPlanMatchesCheckedInDigest) {
+  EXPECT_EQ(run_cycle(1, true), kCycleFaultsGolden);
+  EXPECT_EQ(run_cycle(8, true), kCycleFaultsGolden);
+}
+
+TEST(GoldenReplayTest, AsyncEngineMatchesCheckedInDigest) {
+  EXPECT_EQ(run_async(false), kAsyncGolden);
+}
+
+TEST(GoldenReplayTest, AsyncEngineUnderFaultPlanMatchesCheckedInDigest) {
+  EXPECT_EQ(run_async(true), kAsyncFaultsGolden);
+}
+
+}  // namespace
+}  // namespace adam2::sim

@@ -117,7 +117,7 @@ TEST(IntegrationTest, Adam2OutperformsEquiDepthByAnOrderOfMagnitude) {
   engine_config.seed = 5;
   sim::Engine ed_engine(
       engine_config, values, core::make_overlay(core::OverlayKind::kCyclon, 20),
-      [ed_config](const sim::AgentContext&) {
+      [ed_config](const host::AgentContext&) {
         return std::make_unique<baselines::EquiDepthAgent>(ed_config);
       },
       nullptr);
@@ -184,7 +184,7 @@ TEST(IntegrationTest, PerInstanceTrafficMatchesCostModel) {
   system.run_instance();
 
   const auto& agg =
-      system.engine().total_traffic().on(sim::Channel::kAggregation);
+      system.engine().total_traffic().on(host::Channel::kAggregation);
   const double sent_per_node =
       static_cast<double>(agg.bytes_sent) / 1000.0;
   EXPECT_GT(sent_per_node, 20.0 * 1024);
@@ -199,7 +199,7 @@ TEST(IntegrationTest, TrafficPerNodeIndependentOfSystemSize) {
     core::Adam2System system(paper_config(9), values);
     system.run_instance();
     const auto& agg =
-        system.engine().total_traffic().on(sim::Channel::kAggregation);
+        system.engine().total_traffic().on(host::Channel::kAggregation);
     per_node[i] =
         static_cast<double>(agg.bytes_sent) / static_cast<double>(sizes[i]);
   }

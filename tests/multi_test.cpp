@@ -25,7 +25,7 @@ sim::Engine make_multi_engine(std::vector<std::vector<stats::Value>> sets,
   return sim::Engine(
       engine_config, std::move(attributes),
       std::make_unique<sim::StaticRandomOverlay>(8),
-      [shared, config](const sim::AgentContext& ctx) {
+      [shared, config](const host::AgentContext& ctx) {
         return std::make_unique<MultiValueAdam2Agent>(
             config, (*shared)[static_cast<std::size_t>(ctx.self)]);
       },
@@ -60,7 +60,7 @@ TEST(MultiValueTest, EstimatesUnionDistribution) {
   dynamic_cast<Adam2Agent&>(engine.agent(1)).start_instance(ctx2);
   engine.run_rounds(61);
 
-  for (sim::NodeId node : engine.live_ids()) {
+  for (host::NodeId node : engine.live_ids()) {
     const auto& agent = dynamic_cast<const Adam2Agent&>(engine.agent(node));
     const auto& est = agent.estimate();
     ASSERT_TRUE(est.has_value());

@@ -55,7 +55,7 @@ TEST_P(ProtocolPropertyTest, InstanceInvariantsHoldForAllSeeds) {
   core::Adam2System system(config, values);
   system.run_instance();
 
-  for (sim::NodeId node : system.engine().live_ids()) {
+  for (host::NodeId node : system.engine().live_ids()) {
     const auto& est = system.agent_of(node).estimate();
     ASSERT_TRUE(est.has_value()) << "node " << node;
     // Extremes are exact (min/max merge converges to the global extremes).
@@ -104,7 +104,7 @@ TEST_P(ChurnPropertyTest, StructuralInvariantsUnderChurn) {
   for (int i = 0; i < 3; ++i) system.run_instance();
 
   EXPECT_EQ(system.engine().live_count(), n);
-  for (sim::NodeId node : system.engine().live_ids()) {
+  for (host::NodeId node : system.engine().live_ids()) {
     const auto& est = system.agent_of(node).estimate();
     if (!est) continue;  // Recently churned in, bootstrap found nothing yet.
     EXPECT_TRUE(est->cdf.is_monotone());
@@ -141,26 +141,26 @@ TEST_P(TrafficPropertyTest, AccountingIsConsistent) {
   system.run_rounds(3);
   EXPECT_EQ(system.engine()
                 .total_traffic()
-                .on(sim::Channel::kAggregation)
+                .on(host::Channel::kAggregation)
                 .messages_sent,
             0u);
 
   system.run_instance();
   const auto& total = system.engine().total_traffic();
-  for (sim::Channel channel :
-       {sim::Channel::kAggregation, sim::Channel::kOverlay,
-        sim::Channel::kBootstrap}) {
+  for (host::Channel channel :
+       {host::Channel::kAggregation, host::Channel::kOverlay,
+        host::Channel::kBootstrap}) {
     const auto& t = total.on(channel);
     EXPECT_EQ(t.bytes_sent, t.bytes_received) << channel_name(channel);
     EXPECT_EQ(t.messages_sent, t.messages_received);
 
     std::uint64_t node_bytes = 0;
-    for (sim::NodeId id : system.engine().live_ids()) {
+    for (host::NodeId id : system.engine().live_ids()) {
       node_bytes += system.engine().node(id).traffic.on(channel).bytes_sent;
     }
     EXPECT_EQ(node_bytes, t.bytes_sent) << channel_name(channel);
   }
-  EXPECT_GT(total.on(sim::Channel::kAggregation).messages_sent, 0u);
+  EXPECT_GT(total.on(host::Channel::kAggregation).messages_sent, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TrafficPropertyTest, ::testing::Range(0, 8));

@@ -36,10 +36,10 @@ TEST(ProtocolTest, FractionsConvergeToExactValuesAtPoints) {
   SystemConfig config = small_system();
   config.protocol.instance_ttl = 60;
   Adam2System system(config, iota_values(200));
-  const auto id = system.start_instance(sim::NodeId{0});
+  const auto id = system.start_instance(host::NodeId{0});
   system.run_rounds(61);
 
-  for (sim::NodeId node : system.engine().live_ids()) {
+  for (host::NodeId node : system.engine().live_ids()) {
     const auto& estimate = system.agent_of(node).estimate();
     ASSERT_TRUE(estimate.has_value());
     EXPECT_EQ(estimate->instance, id);
@@ -88,7 +88,7 @@ TEST(ProtocolTest, SystemSizeEstimateIsAccurate) {
     config.protocol.instance_ttl = 60;
     Adam2System system(config, iota_values(n));
     system.run_instance();
-    for (sim::NodeId node : system.engine().live_ids()) {
+    for (host::NodeId node : system.engine().live_ids()) {
       const auto& estimate = system.agent_of(node).estimate();
       ASSERT_TRUE(estimate.has_value());
       EXPECT_NEAR(estimate->n_estimate, static_cast<double>(n),
@@ -103,7 +103,7 @@ TEST(ProtocolTest, GlobalExtremesPropagateToAllPeers) {
   values[42] = 123456;
   Adam2System system(small_system(5), values);
   system.run_instance();
-  for (sim::NodeId node : system.engine().live_ids()) {
+  for (host::NodeId node : system.engine().live_ids()) {
     const auto& estimate = system.agent_of(node).estimate();
     ASSERT_TRUE(estimate.has_value());
     EXPECT_DOUBLE_EQ(estimate->min_value, -5000.0);
@@ -125,7 +125,7 @@ TEST(ProtocolTest, EstimatedCdfApproximatesTruth) {
 
 TEST(ProtocolTest, InstanceTerminatesAfterTtlRounds) {
   Adam2System system(small_system(7), iota_values(100));
-  const auto id = system.start_instance(sim::NodeId{0});
+  const auto id = system.start_instance(host::NodeId{0});
   auto& initiator = system.agent_of(0);
   EXPECT_EQ(initiator.active_instance_count(), 1u);
 
@@ -139,11 +139,11 @@ TEST(ProtocolTest, InstanceTerminatesAfterTtlRounds) {
 
 TEST(ProtocolTest, JoinersAdoptRemainingTtl) {
   Adam2System system(small_system(8), iota_values(100));
-  system.start_instance(sim::NodeId{0});
+  system.start_instance(host::NodeId{0});
   system.run_rounds(system.config().protocol.instance_ttl + 1u);
   // Every peer finalised in the same round despite joining late.
   std::size_t with_estimate = 0;
-  for (sim::NodeId node : system.engine().live_ids()) {
+  for (host::NodeId node : system.engine().live_ids()) {
     with_estimate += system.agent_of(node).estimate().has_value() ? 1u : 0u;
     EXPECT_EQ(system.agent_of(node).active_instance_count(), 0u);
   }
@@ -154,15 +154,15 @@ TEST(ProtocolTest, JoinersAdoptRemainingTtl) {
 
 TEST(ProtocolTest, ConcurrentInstancesStayIsolated) {
   Adam2System system(small_system(9), iota_values(200));
-  const auto id1 = system.start_instance(sim::NodeId{0});
+  const auto id1 = system.start_instance(host::NodeId{0});
   system.run_rounds(5);
-  const auto id2 = system.start_instance(sim::NodeId{1});
+  const auto id2 = system.start_instance(host::NodeId{1});
   EXPECT_NE(id1, id2);
   system.run_rounds(10);
 
   // Both instances are running on (nearly) all nodes simultaneously.
   std::size_t both = 0;
-  for (sim::NodeId node : system.engine().live_ids()) {
+  for (host::NodeId node : system.engine().live_ids()) {
     const auto& agent = system.agent_of(node);
     if (agent.instance(id1) != nullptr && agent.instance(id2) != nullptr) {
       ++both;
@@ -179,8 +179,8 @@ TEST(ProtocolTest, ConcurrentInstancesStayIsolated) {
 
 TEST(ProtocolTest, InstanceIdsAreUniquePerInitiator) {
   Adam2System system(small_system(10), iota_values(50));
-  const auto a = system.start_instance(sim::NodeId{3});
-  const auto b = system.start_instance(sim::NodeId{3});
+  const auto a = system.start_instance(host::NodeId{3});
+  const auto b = system.start_instance(host::NodeId{3});
   EXPECT_EQ(a.initiator, 3u);
   EXPECT_EQ(b.initiator, 3u);
   EXPECT_NE(a.seq, b.seq);
@@ -191,7 +191,7 @@ TEST(ProtocolTest, InstanceIdsAreUniquePerInitiator) {
 double instance_mass(Adam2System& system, wire::InstanceId id,
                      std::size_t point_index) {
   double sum = 0.0;
-  for (sim::NodeId node : system.engine().live_ids()) {
+  for (host::NodeId node : system.engine().live_ids()) {
     const InstanceState* state = system.agent_of(node).instance(id);
     if (state != nullptr) sum += state->points[point_index].f;
   }
@@ -205,13 +205,13 @@ TEST(ProtocolTest, MassConservingJoinKeepsTotalsExact) {
   SystemConfig config = small_system(11);
   config.protocol.join_policy = JoinPolicy::kMassConserving;
   Adam2System system(config, iota_values(100));
-  const auto id = system.start_instance(sim::NodeId{0});
+  const auto id = system.start_instance(host::NodeId{0});
 
   for (int round = 0; round < 20; ++round) {
     system.run_rounds(1);
     double weight_mass = 0.0;
     double joined_below = 0.0;
-    for (sim::NodeId node : system.engine().live_ids()) {
+    for (host::NodeId node : system.engine().live_ids()) {
       const InstanceState* state = system.agent_of(node).instance(id);
       if (state == nullptr) continue;
       weight_mass += state->weight;
@@ -233,7 +233,7 @@ TEST(ProtocolTest, PaperLiteralJoinBiasesTheEstimate) {
     config.protocol.join_policy = policy;
     config.protocol.instance_ttl = 80;
     Adam2System system(config, iota_values(64));
-    system.run_instance(sim::NodeId{0});
+    system.run_instance(host::NodeId{0});
     const auto& est = system.agent_of(0).estimate();
     double worst = 0.0;
     for (const stats::CdfPoint& p : est->points) {
@@ -257,10 +257,10 @@ TEST(ProtocolTest, LateJoinersIgnoreOldInstances) {
                      [](rng::Rng& rng) {
                        return static_cast<stats::Value>(rng.below(200) + 1);
                      });
-  const auto id = system.start_instance(sim::NodeId{0});
+  const auto id = system.start_instance(host::NodeId{0});
   system.run_rounds(15);
-  for (sim::NodeId node : system.engine().live_ids()) {
-    const sim::Node& n = system.engine().node(node);
+  for (host::NodeId node : system.engine().live_ids()) {
+    const host::Node& n = system.engine().node(node);
     if (n.birth_round > 0) {
       EXPECT_EQ(system.agent_of(node).instance(id), nullptr)
           << "node born in round " << n.birth_round
@@ -287,7 +287,7 @@ TEST(ProtocolTest, ProbabilisticStartsMatchExpectedFrequency) {
   // Count completed+active instance creations through agent introspection:
   // run 200 rounds, then sum sequence numbers (each start bumps one).
   system.run_rounds(200);
-  for (sim::NodeId node : system.engine().live_ids()) {
+  for (host::NodeId node : system.engine().live_ids()) {
     started += system.agent_of(node).completed_instances();
   }
   // Each completed instance is counted once per participant (~N times);
@@ -309,7 +309,7 @@ TEST(ProtocolTest, ChurnedInNodesInheritEstimates) {
   // Trigger manual churn after the instance completed.
   system.engine().churn_nodes(15);
   std::size_t inherited = 0;
-  for (sim::NodeId node : system.engine().live_ids()) {
+  for (host::NodeId node : system.engine().live_ids()) {
     if (node >= 150) {
       const auto& est = system.agent_of(node).estimate();
       if (est && est->inherited) ++inherited;
@@ -393,7 +393,7 @@ TEST(ProtocolTest, SelfAssessmentTracksTrueError) {
   const stats::EmpiricalCdf truth{values};
   for (int i = 0; i < 2; ++i) system.run_instance();
 
-  const sim::NodeId node = system.engine().live_ids().front();
+  const host::NodeId node = system.engine().live_ids().front();
   const auto& est = system.agent_of(node).estimate();
   ASSERT_TRUE(est.has_value());
   ASSERT_TRUE(est->self_assessment.has_value());
@@ -416,7 +416,7 @@ TEST(ProtocolTest, AdaptiveTuningGrowsLambdaWhenInaccurate) {
   const auto values =
       data::generate_population(data::Attribute::kRamMb, 1000, data_rng);
   Adam2System system(config, values);
-  const sim::NodeId node = system.engine().live_ids().front();
+  const host::NodeId node = system.engine().live_ids().front();
   const std::size_t before = system.agent_of(node).current_lambda();
   system.run_instance();
   const std::size_t after = system.agent_of(node).current_lambda();
@@ -432,7 +432,7 @@ TEST(ProtocolTest, AdaptiveTuningShrinksLambdaWhenOverAccurate) {
   config.protocol.adaptive = tuning;
 
   Adam2System system(config, iota_values(500));
-  const sim::NodeId node = system.engine().live_ids().front();
+  const host::NodeId node = system.engine().live_ids().front();
   const std::size_t before = system.agent_of(node).current_lambda();
   system.run_instance();
   EXPECT_LT(system.agent_of(node).current_lambda(), before);
@@ -442,7 +442,7 @@ TEST(ProtocolTest, AdaptiveTuningShrinksLambdaWhenOverAccurate) {
 
 TEST(ProtocolTest, SurvivesInitiatorDeath) {
   Adam2System system(small_system(22), iota_values(200));
-  const auto id = system.start_instance(sim::NodeId{0});
+  const auto id = system.start_instance(host::NodeId{0});
   system.run_rounds(5);
   system.engine().kill_node(0);
   system.run_rounds(system.config().protocol.instance_ttl);
@@ -451,7 +451,7 @@ TEST(ProtocolTest, SurvivesInitiatorDeath) {
   // initiator) may be partly lost, so N can be overestimated, but the
   // fractions stay usable.
   std::size_t with_estimate = 0;
-  for (sim::NodeId node : system.engine().live_ids()) {
+  for (host::NodeId node : system.engine().live_ids()) {
     const auto& est = system.agent_of(node).estimate();
     if (est && est->instance == id) ++with_estimate;
   }
@@ -518,7 +518,7 @@ TEST(EvaluationTest, PeerSamplingEvaluatesSubset) {
 TEST(EvaluationTest, InstancePointErrorsBeforeSpreadAreOne) {
   Adam2System system(small_system(27), iota_values(100));
   const stats::EmpiricalCdf truth{iota_values(100)};
-  const auto id = system.start_instance(sim::NodeId{0});
+  const auto id = system.start_instance(host::NodeId{0});
   // Before any round, only the initiator has the instance.
   const auto errors = evaluate_instance_points(system.engine(), id, truth);
   EXPECT_EQ(errors.missing, 99u);
@@ -541,7 +541,7 @@ TEST(ProtocolTest, DynamicAttributesAreReEvaluatedPerInstance) {
   const double before = system.agent_of(0).estimate()->cdf(1000.0);
   EXPECT_NEAR(before, 1.0, 1e-6);  // All values are <= 200.
 
-  for (sim::NodeId id : system.engine().live_ids()) {
+  for (host::NodeId id : system.engine().live_ids()) {
     system.engine().set_attribute(
         id, system.engine().node(id).attribute + 10000);
   }
@@ -557,11 +557,11 @@ TEST(ProtocolTest, MidInstanceAttributeChangeDoesNotDistortRunningAverage) {
   SystemConfig config = small_system(31);
   config.protocol.instance_ttl = 40;
   Adam2System system(config, iota_values(100));
-  system.start_instance(sim::NodeId{0});
+  system.start_instance(host::NodeId{0});
   // Let the instance reach everyone first: peers contribute the value they
   // hold when they *join* (nodes joining after a change use the new value).
   system.run_rounds(15);
-  for (sim::NodeId id : system.engine().live_ids()) {
+  for (host::NodeId id : system.engine().live_ids()) {
     system.engine().set_attribute(id, 999999);
   }
   system.run_rounds(26);
@@ -585,7 +585,7 @@ TEST(EvaluationTest, ObservationDoesNotPerturbTheProtocol) {
     SystemConfig config = small_system(33);
     Adam2System system(config, iota_values(300));
     const stats::EmpiricalCdf truth{iota_values(300)};
-    system.start_instance(sim::NodeId{0});
+    system.start_instance(host::NodeId{0});
     EvaluationOptions options;
     options.peer_sample = 20;
     for (int round = 0; round < 31; ++round) {
@@ -595,7 +595,7 @@ TEST(EvaluationTest, ObservationDoesNotPerturbTheProtocol) {
       }
     }
     std::vector<double> fingerprint;
-    for (sim::NodeId id : system.engine().live_ids()) {
+    for (host::NodeId id : system.engine().live_ids()) {
       const auto& est = system.agent_of(id).estimate();
       if (est) {
         for (const stats::CdfPoint& p : est->points) {

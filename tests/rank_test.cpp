@@ -88,7 +88,7 @@ TEST(RankTest, EndToEndRanksMatchTrueOrdering) {
   std::sort(sorted.begin(), sorted.end());
 
   double worst = 0.0;
-  for (sim::NodeId id : system.engine().live_ids()) {
+  for (host::NodeId id : system.engine().live_ids()) {
     const auto& est = *system.agent_of(id).estimate();
     const double own =
         static_cast<double>(system.engine().node(id).attribute);
@@ -115,7 +115,7 @@ TEST(RankTest, EndToEndSlicesAreBalanced) {
   for (int i = 0; i < 2; ++i) system.run_instance();
 
   std::map<std::size_t, int> counts;
-  for (sim::NodeId id : system.engine().live_ids()) {
+  for (host::NodeId id : system.engine().live_ids()) {
     const auto& est = *system.agent_of(id).estimate();
     const double own =
         static_cast<double>(system.engine().node(id).attribute);

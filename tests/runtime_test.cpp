@@ -119,8 +119,8 @@ ClusterConfig fast_config(std::uint64_t seed) {
   return config;
 }
 
-sim::AgentFactory adam2_factory(core::Adam2Config protocol) {
-  return [protocol](const sim::AgentContext&) {
+host::AgentFactory adam2_factory(core::Adam2Config protocol) {
+  return [protocol](const host::AgentContext&) {
     return std::make_unique<core::Adam2Agent>(protocol);
   };
 }
@@ -151,7 +151,7 @@ TEST(ClusterTest, RunOnNodeExecutesOnOwningThread) {
   cluster.start();
   std::atomic<int> calls{0};
   const auto main_thread = std::this_thread::get_id();
-  cluster.run_on_node(2, [&](sim::NodeAgent&, sim::AgentContext& ctx) {
+  cluster.run_on_node(2, [&](host::NodeAgent&, host::AgentContext& ctx) {
     EXPECT_EQ(ctx.self, 2u);
     EXPECT_NE(std::this_thread::get_id(), main_thread);
     ++calls;
@@ -164,7 +164,7 @@ TEST(ClusterTest, RunOnNodeWorksInlineWhenStopped) {
   core::Adam2Config protocol;
   Cluster cluster(fast_config(5), iota_values(4), adam2_factory(protocol));
   bool called = false;
-  cluster.run_on_node(1, [&](sim::NodeAgent&, sim::AgentContext& ctx) {
+  cluster.run_on_node(1, [&](host::NodeAgent&, host::AgentContext& ctx) {
     EXPECT_EQ(ctx.self, 1u);
     called = true;
   });
@@ -186,7 +186,7 @@ TEST(ClusterTest, Adam2ConvergesOnRealThreads) {
   Cluster cluster(config, iota_values(n), adam2_factory(protocol));
   cluster.start();
 
-  cluster.run_on_node(0, [](sim::NodeAgent& agent, sim::AgentContext& ctx) {
+  cluster.run_on_node(0, [](host::NodeAgent& agent, host::AgentContext& ctx) {
     dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
   });
 
@@ -198,8 +198,8 @@ TEST(ClusterTest, Adam2ConvergesOnRealThreads) {
   while (std::chrono::steady_clock::now() < deadline) {
     with_estimate = 0;
     estimates.clear();
-    for (sim::NodeId id = 0; id < n; ++id) {
-      cluster.run_on_node(id, [&](sim::NodeAgent& agent, sim::AgentContext&) {
+    for (host::NodeId id = 0; id < n; ++id) {
+      cluster.run_on_node(id, [&](host::NodeAgent& agent, host::AgentContext&) {
         const auto& a2 = dynamic_cast<core::Adam2Agent&>(agent);
         if (a2.estimate()) {
           ++with_estimate;
@@ -232,13 +232,13 @@ TEST(ClusterTest, TrafficIsAccounted) {
   protocol.instance_ttl = 20;
   Cluster cluster(fast_config(6), iota_values(16), adam2_factory(protocol));
   cluster.start();
-  cluster.run_on_node(0, [](sim::NodeAgent& agent, sim::AgentContext& ctx) {
+  cluster.run_on_node(0, [](host::NodeAgent& agent, host::AgentContext& ctx) {
     dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
   });
   std::this_thread::sleep_for(100ms);
   cluster.stop();
   const auto traffic = cluster.total_traffic();
-  EXPECT_GT(traffic.on(sim::Channel::kAggregation).messages_sent, 10u);
+  EXPECT_GT(traffic.on(host::Channel::kAggregation).messages_sent, 10u);
   EXPECT_GT(cluster.network().messages_routed(), 10u);
 }
 

@@ -108,12 +108,12 @@ TEST(UdpPeerTest, Adam2ConvergesOverRealSockets) {
   std::vector<std::unique_ptr<UdpPeer>> peers;
   for (std::size_t i = 0; i < kPeers; ++i) {
     peers.push_back(std::make_unique<UdpPeer>(
-        config, static_cast<sim::NodeId>(i), directory, *endpoints[i],
+        config, static_cast<host::NodeId>(i), directory, *endpoints[i],
         std::make_unique<core::Adam2Agent>(protocol)));
   }
   for (auto& peer : peers) peer->start();
 
-  peers[0]->run_on_peer([](sim::NodeAgent& agent, sim::AgentContext& ctx) {
+  peers[0]->run_on_peer([](host::NodeAgent& agent, host::AgentContext& ctx) {
     dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
   });
 
@@ -125,7 +125,7 @@ TEST(UdpPeerTest, Adam2ConvergesOverRealSockets) {
     with_estimate = 0;
     estimates.clear();
     for (auto& peer : peers) {
-      peer->run_on_peer([&](sim::NodeAgent& agent, sim::AgentContext&) {
+      peer->run_on_peer([&](host::NodeAgent& agent, host::AgentContext&) {
         const auto& a2 = dynamic_cast<core::Adam2Agent&>(agent);
         if (a2.estimate()) {
           ++with_estimate;
@@ -149,7 +149,7 @@ TEST(UdpPeerTest, Adam2ConvergesOverRealSockets) {
       EXPECT_NEAR(p.f, truth(p.t), 0.15) << "at t=" << p.t;
     }
   }
-  EXPECT_GT(directory.traffic().on(sim::Channel::kAggregation).messages_sent,
+  EXPECT_GT(directory.traffic().on(host::Channel::kAggregation).messages_sent,
             100u);
 }
 

@@ -185,14 +185,14 @@ int run(const tools::Flags& flags) {
     sim::AsyncEngine engine(
         async_config, values,
         core::make_overlay(config.overlay, config.overlay_degree),
-        [protocol](const sim::AgentContext&) {
+        [protocol](const host::AgentContext&) {
           return std::make_unique<core::Adam2Agent>(protocol);
         },
         config.engine.churn_rate > 0.0
-            ? sim::AttributeSource([attribute](rng::Rng& rng) {
+            ? host::AttributeSource([attribute](rng::Rng& rng) {
                 return data::sample_attribute(attribute, rng);
               })
-            : sim::AttributeSource{});
+            : host::AttributeSource{});
     engine.run_until(5.0);
     if (csv) {
       std::printf("instance,errm,erra,points_errm,points_erra\n");
@@ -225,10 +225,10 @@ int run(const tools::Flags& flags) {
   core::Adam2System system(
       config, values,
       config.engine.churn_rate > 0.0
-          ? sim::AttributeSource([attribute](rng::Rng& rng) {
+          ? host::AttributeSource([attribute](rng::Rng& rng) {
               return data::sample_attribute(attribute, rng);
             })
-          : sim::AttributeSource{});
+          : host::AttributeSource{});
   system.run_rounds(5);  // Warm up the peer-sampling descriptor caches.
 
   if (csv) {
@@ -255,7 +255,7 @@ int run(const tools::Flags& flags) {
     const double sent_kb =
         static_cast<double>(system.engine()
                                 .total_traffic()
-                                .on(sim::Channel::kAggregation)
+                                .on(host::Channel::kAggregation)
                                 .bytes_sent) /
         static_cast<double>(system.engine().live_count()) / 1024.0;
     if (csv) {
