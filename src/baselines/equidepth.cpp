@@ -20,7 +20,8 @@ bool EquiDepthAgent::eligible(const host::AgentContext& ctx,
 
 void EquiDepthAgent::on_round_start(host::AgentContext& ctx) {
   std::vector<wire::InstanceId> finished;
-  for (auto& [id, phase] : active_) {
+  for (const wire::InstanceId id : active_order_) {
+    Phase& phase = active_.find(id)->second;
     if (phase.ttl == 0) {
       finished.push_back(id);
       continue;
@@ -31,6 +32,7 @@ void EquiDepthAgent::on_round_start(host::AgentContext& ctx) {
     auto it = active_.find(id);
     Phase phase = std::move(it->second);
     active_.erase(it);
+    std::erase(active_order_, id);
     finalize(std::move(phase));
   }
 
@@ -52,6 +54,7 @@ wire::InstanceId EquiDepthAgent::start_phase(host::AgentContext& ctx) {
   phase.synopsis = {{static_cast<double>(ctx.attribute), 1.0}};
   const wire::InstanceId id = phase.id;
   active_.emplace(id, std::move(phase));
+  active_order_.push_back(id);
   return id;
 }
 
@@ -72,8 +75,10 @@ std::span<const std::byte> EquiDepthAgent::make_request(
     host::AgentContext& ctx) {
   if (active_.empty()) return {};
   // One phase per message keeps the format simple; concurrent phases take
-  // turns. (The paper's comparison runs one phase at a time.)
-  const auto& [id, phase] = *active_.begin();
+  // turns. (The paper's comparison runs one phase at a time.) The oldest
+  // active phase gossips: a deterministic pick, where *active_.begin() would
+  // let the hash table's bucket layout choose the wire content.
+  const Phase& phase = active_.find(active_order_.front())->second;
   wire_scratch_ =
       message_for(phase, wire::MessageType::kEquiDepthRequest, ctx.self)
           .encode();
@@ -135,6 +140,7 @@ std::span<const std::byte> EquiDepthAgent::handle_request(
                              ctx.self);
     merge(joined, incoming.synopsis);
     active_.emplace(incoming.phase, std::move(joined));
+    active_order_.push_back(incoming.phase);
     wire_scratch_ = reply.encode();
     return wire_scratch_;
   }
@@ -159,6 +165,7 @@ void EquiDepthAgent::handle_response(host::AgentContext& ctx,
     Phase joined = join_phase(ctx, incoming);
     merge(joined, incoming.synopsis);
     active_.emplace(incoming.phase, std::move(joined));
+    active_order_.push_back(incoming.phase);
     return;
   }
   merge(it->second, incoming.synopsis);

@@ -92,6 +92,10 @@ class EquiDepthAgent final : public host::NodeAgent {
 
   EquiDepthConfig config_;
   std::unordered_map<wire::InstanceId, Phase, wire::InstanceIdHash> active_;
+  /// Join/start order of the keys in active_. Traversals (TTL pass, the
+  /// which-phase-gossips-now pick) walk this vector so gossip content never
+  /// depends on hash-bucket layout (adam2_lint rule `unordered-iter`).
+  std::vector<wire::InstanceId> active_order_;
   std::optional<EquiDepthEstimate> estimate_;
   double n_estimate_ = 0.0;
   std::uint32_t next_seq_ = 0;

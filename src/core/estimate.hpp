@@ -7,16 +7,16 @@
 #include <optional>
 #include <vector>
 
-#include "host/types.hpp"
 #include "stats/cdf.hpp"
 #include "stats/error_metrics.hpp"
+#include "wire/ids.hpp"
 #include "wire/messages.hpp"
 
 namespace adam2::core {
 
 struct Estimate {
   wire::InstanceId instance;
-  host::Round completed_round = 0;
+  wire::Round completed_round = 0;
 
   /// The interpolated CDF approximation Fp.
   stats::PiecewiseLinearCdf cdf;

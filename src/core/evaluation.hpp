@@ -14,14 +14,16 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <optional>
 
 #include "core/protocol.hpp"
-#include "host/pool.hpp"
-#include "sim/engine.hpp"
+// WorkerPool is the substrates' fork-join pool; the sharded evaluation mode
+// borrows it so the claiming counter and all synchronisation stay inside
+// host/. Documented layering exception (DESIGN.md §10): observer-side
+// tooling, no protocol state crosses the boundary.
+#include "host/pool.hpp"  // adam2-lint: allow(layering)
 #include "stats/error_metrics.hpp"
 #include "stats/summary.hpp"
 
@@ -37,7 +39,7 @@ struct EvaluationOptions {
 
   /// Only evaluate peers born at or before this round (excludes nodes that
   /// joined during the instance under evaluation, §VII-G).
-  std::optional<host::Round> born_by;
+  std::optional<wire::Round> born_by;
 
   /// Peers without a usable estimate count with the maximum error of one
   /// (the paper's convention while an instance has not reached everyone).
@@ -65,15 +67,15 @@ namespace detail {
 /// the system never perturbs the protocol's randomness (evaluating or not
 /// evaluating leaves every later round bit-identical).
 template <typename Host>
-std::vector<host::NodeId> pick_peers(Host& engine,
+std::vector<wire::NodeId> pick_peers(Host& engine,
                                     const EvaluationOptions& options) {
   const auto live = engine.live_ids();
-  std::vector<host::NodeId> peers(live.begin(), live.end());
+  std::vector<wire::NodeId> peers(live.begin(), live.end());
   if (options.peer_sample > 0 && peers.size() > options.peer_sample) {
     rng::Rng sampler(0xE7A10000ULL ^
                      (static_cast<std::uint64_t>(engine.round()) + 1) *
                          0x9e3779b97f4a7c15ULL);
-    std::vector<host::NodeId> sampled;
+    std::vector<wire::NodeId> sampled;
     sampled.reserve(options.peer_sample);
     for (std::size_t idx :
          sampler.sample_indices(peers.size(), options.peer_sample)) {
@@ -98,9 +100,9 @@ std::vector<host::NodeId> pick_peers(Host& engine,
 template <typename Host, typename ErrorsOf>
 PopulationErrors aggregate(Host& engine, const EvaluationOptions& options,
                            ErrorsOf&& errors_of) {
-  std::vector<host::NodeId> peers;
-  for (host::NodeId id : pick_peers(engine, options)) {
-    const host::Node& node = engine.node(id);
+  std::vector<wire::NodeId> peers;
+  for (wire::NodeId id : pick_peers(engine, options)) {
+    const auto& node = engine.node(id);
     if (options.born_by && node.birth_round > *options.born_by) continue;
     peers.push_back(id);
   }
@@ -108,13 +110,8 @@ PopulationErrors aggregate(Host& engine, const EvaluationOptions& options,
   std::vector<std::optional<stats::ErrorPair>> results(peers.size());
   if (options.threads > 1 && peers.size() > 1) {
     host::WorkerPool pool(std::min(options.threads, peers.size()));
-    std::atomic<std::size_t> next{0};
-    pool.run([&](std::size_t /*worker*/) {
-      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-           i < peers.size(); i = next.fetch_add(1, std::memory_order_relaxed)) {
-        results[i] = errors_of(peers[i]);
-      }
-    });
+    pool.run_indexed(peers.size(),
+                     [&](std::size_t i) { results[i] = errors_of(peers[i]); });
   } else {
     for (std::size_t i = 0; i < peers.size(); ++i) {
       results[i] = errors_of(peers[i]);
@@ -144,12 +141,12 @@ PopulationErrors aggregate(Host& engine, const EvaluationOptions& options,
 }
 
 template <typename Host>
-const Adam2Agent* adam2_agent(Host& engine, host::NodeId id) {
+const Adam2Agent* adam2_agent(Host& engine, wire::NodeId id) {
   return dynamic_cast<const Adam2Agent*>(&engine.agent(id));
 }
 
 template <typename Host>
-const Estimate* usable_estimate(Host& engine, host::NodeId id,
+const Estimate* usable_estimate(Host& engine, wire::NodeId id,
                                 const EvaluationOptions& options) {
   const Adam2Agent* agent = adam2_agent(engine, id);
   if (agent == nullptr || !agent->estimate()) return nullptr;
@@ -168,7 +165,7 @@ PopulationErrors evaluate_estimates(Host& engine,
                                     const EvaluationOptions& options = {}) {
   const stats::DiscreteErrorEvaluator errors_against_truth(truth);
   return detail::aggregate(
-      engine, options, [&](host::NodeId id) -> std::optional<stats::ErrorPair> {
+      engine, options, [&](wire::NodeId id) -> std::optional<stats::ErrorPair> {
         const Estimate* est = detail::usable_estimate(engine, id, options);
         if (est == nullptr) return std::nullopt;
         return errors_against_truth(est->cdf);
@@ -181,7 +178,7 @@ PopulationErrors evaluate_estimate_points(
     Host& engine, const stats::EmpiricalCdf& truth,
     const EvaluationOptions& options = {}) {
   return detail::aggregate(
-      engine, options, [&](host::NodeId id) -> std::optional<stats::ErrorPair> {
+      engine, options, [&](wire::NodeId id) -> std::optional<stats::ErrorPair> {
         const Estimate* est = detail::usable_estimate(engine, id, options);
         if (est == nullptr || est->points.empty()) return std::nullopt;
         return stats::point_errors(truth, est->points);
@@ -197,7 +194,7 @@ PopulationErrors evaluate_instance_cdf(Host& engine, wire::InstanceId id,
   const stats::DiscreteErrorEvaluator errors_against_truth(truth);
   return detail::aggregate(
       engine, options,
-      [&](host::NodeId peer) -> std::optional<stats::ErrorPair> {
+      [&](wire::NodeId peer) -> std::optional<stats::ErrorPair> {
         const Adam2Agent* agent = detail::adam2_agent(engine, peer);
         if (agent == nullptr) return std::nullopt;
         const InstanceState* state = agent->instance(id);
@@ -215,7 +212,7 @@ PopulationErrors evaluate_instance_points(
     const EvaluationOptions& options = {}) {
   return detail::aggregate(
       engine, options,
-      [&](host::NodeId peer) -> std::optional<stats::ErrorPair> {
+      [&](wire::NodeId peer) -> std::optional<stats::ErrorPair> {
         const Adam2Agent* agent = detail::adam2_agent(engine, peer);
         if (agent == nullptr) return std::nullopt;
         const InstanceState* state = agent->instance(id);
@@ -234,8 +231,8 @@ double confidence_estimation_error(Host& engine,
                                    const EvaluationOptions& options = {}) {
   const stats::DiscreteErrorEvaluator errors_against_truth(truth);
   stats::RunningStat relative;
-  for (host::NodeId id : detail::pick_peers(engine, options)) {
-    const host::Node& node = engine.node(id);
+  for (wire::NodeId id : detail::pick_peers(engine, options)) {
+    const auto& node = engine.node(id);
     if (options.born_by && node.birth_round > *options.born_by) continue;
     const Estimate* est = detail::usable_estimate(engine, id, options);
     if (est == nullptr || !est->self_assessment) continue;

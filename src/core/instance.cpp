@@ -74,7 +74,7 @@ bool InstanceState::mergeable_with(
 }
 
 InstanceState InstanceState::start(
-    wire::InstanceId id, host::Round round, std::uint16_t ttl,
+    wire::InstanceId id, wire::Round round, std::uint16_t ttl,
     const std::vector<double>& thresholds,
     const std::vector<double>& verification_thresholds,
     const ContributionFn& contribution, double local_min, double local_max) {

@@ -11,8 +11,8 @@
 #include <functional>
 #include <vector>
 
-#include "host/types.hpp"
 #include "stats/cdf.hpp"
+#include "wire/ids.hpp"
 #include "wire/messages.hpp"
 
 namespace adam2::core {
@@ -30,7 +30,7 @@ struct InstanceState : wire::InstancePayload {
   /// Initiator-side construction: weight 1, own contributions at the chosen
   /// thresholds, own extremes.
   [[nodiscard]] static InstanceState start(
-      wire::InstanceId id, host::Round round, std::uint16_t ttl,
+      wire::InstanceId id, wire::Round round, std::uint16_t ttl,
       const std::vector<double>& thresholds,
       const std::vector<double>& verification_thresholds,
       const ContributionFn& contribution, double local_min, double local_max);

@@ -86,7 +86,8 @@ void Adam2Agent::on_round_start(host::AgentContext& ctx) {
   // burn one round. (Finalising before decrementing gives an instance with
   // ttl = T exactly T exchange rounds.)
   std::vector<wire::InstanceId> finished;
-  for (auto& [id, state] : active_) {
+  for (const wire::InstanceId id : active_order_) {
+    InstanceState& state = active_.find(id)->second;
     if (state.ttl == 0) {
       finished.push_back(id);
       continue;
@@ -97,6 +98,7 @@ void Adam2Agent::on_round_start(host::AgentContext& ctx) {
     auto it = active_.find(id);
     InstanceState state = std::move(it->second);
     active_.erase(it);
+    std::erase(active_order_, id);
     finalize(ctx, std::move(state));
   }
 
@@ -161,6 +163,7 @@ wire::InstanceId Adam2Agent::start_instance(host::AgentContext& ctx) {
       id, ctx.round, config_.instance_ttl, thresholds, verification,
       contribution_fn(ctx), local_min, local_max);
   active_.emplace(id, std::move(state));
+  active_order_.push_back(id);
   return id;
 }
 
@@ -168,7 +171,11 @@ std::span<const std::byte> Adam2Agent::make_request(host::AgentContext& ctx) {
   if (active_.empty()) return {};
   wire::Adam2MessageBuilder builder(wire_scratch_,
                                     wire::MessageType::kAdam2Request, ctx.self);
-  for (const auto& [id, state] : active_) builder.add(state);
+  // Payloads travel in join/start order: wire bytes must be a function of
+  // protocol history, not of active_'s bucket layout.
+  for (const wire::InstanceId id : active_order_) {
+    builder.add(active_.find(id)->second);
+  }
   return builder.finish();
 }
 
@@ -227,10 +234,14 @@ std::span<const std::byte> Adam2Agent::handle_request(
     joined.average_with(payload);
     joined.touched_epoch = epoch;
     active_.emplace(payload.id, std::move(joined));
+    active_order_.push_back(payload.id);
   }
 
-  // Instances the requester did not mention spread through responses too.
-  for (const auto& [id, state] : active_) {
+  // Instances the requester did not mention spread through responses too —
+  // again in join/start order, for the same replay-stability reason as
+  // make_request.
+  for (const wire::InstanceId id : active_order_) {
+    const InstanceState& state = active_.find(id)->second;
     if (state.touched_epoch != epoch) reply.add(state);
   }
 
@@ -266,6 +277,7 @@ void Adam2Agent::handle_response(host::AgentContext& ctx,
     // learn our initial values within this exchange, so averaging here would
     // create mass out of nothing.
     active_.emplace(payload.id, std::move(joined));
+    active_order_.push_back(payload.id);
   }
 }
 

@@ -20,7 +20,12 @@
 #include "core/config.hpp"
 #include "core/estimate.hpp"
 #include "core/instance.hpp"
-#include "host/agent.hpp"
+// The NodeAgent contract is the protocol <-> substrate boundary: host/
+// defines the interface, core/ implements it. Inverting the edge would drag
+// the whole contract cluster (agent, view, overlay) below core/ for no
+// behavioural gain. Documented layering exception (DESIGN.md §10) — the
+// only host/ surface core/ may touch is the abstract agent contract.
+#include "host/agent.hpp"  // adam2-lint: allow(layering)
 
 namespace adam2::core {
 
@@ -103,6 +108,12 @@ class Adam2Agent : public host::NodeAgent {
   std::size_t lambda_;  ///< Live lambda (config_.lambda + adaptive tuning).
   std::unordered_map<wire::InstanceId, InstanceState, wire::InstanceIdHash>
       active_;
+  /// Join/start order of the keys in active_. Every traversal (TTL pass,
+  /// wire emission, the unmentioned-instances reply pass) walks this vector,
+  /// never the hash map: emitted payload order is part of the replay
+  /// contract and must not depend on a hash table's bucket layout
+  /// (adam2_lint rule `unordered-iter`).
+  std::vector<wire::InstanceId> active_order_;
   std::optional<Estimate> estimate_;
   /// Raw per-instance estimates kept for point combining (§VII-D); bounded
   /// by config_.combine_last_instances.

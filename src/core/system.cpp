@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
-#include "sim/overlay.hpp"
+// Facade TU: builds the concrete overlay for the engine it assembles.
+// Documented layering exception (DESIGN.md §10), same as system.hpp.
+#include "sim/overlay.hpp"  // adam2-lint: allow(layering)
 
 namespace adam2::core {
 

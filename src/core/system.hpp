@@ -13,9 +13,14 @@
 #include "core/config.hpp"
 #include "core/evaluation.hpp"
 #include "core/protocol.hpp"
-#include "sim/cyclon.hpp"
-#include "sim/engine.hpp"
-#include "sim/parallel_engine.hpp"
+// Adam2System is the convenience facade that *assembles* a simulator around
+// the protocol; it deliberately sits on top of sim/ and is kept in core:: so
+// the examples' and experiments' entry point stays `core::Adam2System`.
+// Documented layering exception (DESIGN.md §10): nothing else in core/ may
+// name a concrete engine.
+#include "sim/cyclon.hpp"           // adam2-lint: allow(layering)
+#include "sim/engine.hpp"           // adam2-lint: allow(layering)
+#include "sim/parallel_engine.hpp"  // adam2-lint: allow(layering)
 
 namespace adam2::core {
 

@@ -1,6 +1,7 @@
 #include "host/pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace adam2::host {
 
@@ -29,6 +30,17 @@ void WorkerPool::run(const std::function<void(std::size_t)>& task) {
   start_.notify_all();
   done_.wait(lock, [this] { return running_ == 0; });
   task_ = nullptr;
+}
+
+void WorkerPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& task) {
+  std::atomic<std::size_t> next{0};
+  run([&](std::size_t /*worker*/) {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      task(i);
+    }
+  });
 }
 
 void WorkerPool::worker_main(std::size_t index) {

@@ -29,6 +29,13 @@ class WorkerPool {
   /// Not reentrant; the calling thread does not execute the task.
   void run(const std::function<void(std::size_t)>& task);
 
+  /// Runs `task(i)` once for every i in [0, count), claimed dynamically by
+  /// the workers; returns when all indices are done. The claiming counter
+  /// lives here so callers above the host layer (e.g. the sharded population
+  /// evaluation in core/) need no concurrency primitives of their own.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& task);
+
   [[nodiscard]] std::size_t size() const { return threads_.size(); }
 
  private:

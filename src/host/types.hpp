@@ -1,36 +1,20 @@
 // Basic identifiers shared by every agent-hosting substrate (cycle-driven
 // and event-driven simulators, threaded cluster, UDP peers).
+//
+// The definitions live in wire/ids.hpp — the lowest layer that names nodes
+// and rounds — so that core/ (below host/ in the DESIGN.md layer DAG) can
+// use them without an upward include. This header re-exports them into
+// adam2::host for the substrates and their consumers.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
+#include "wire/ids.hpp"
 
 namespace adam2::host {
 
-/// Stable node identity. Ids are never reused: nodes that churn in get fresh
-/// ids, so an id uniquely names one node lifetime.
-using NodeId = std::uint64_t;
-
-/// Simulation round (gossip cycle) counter.
-using Round = std::uint32_t;
-
-/// Traffic category, so the cost evaluation (§VII-I) can report aggregation
-/// traffic separately from overlay maintenance and bootstrap traffic.
-enum class Channel : std::uint8_t {
-  kAggregation = 0,  ///< Adam2 / baseline gossip exchanges.
-  kOverlay = 1,      ///< Peer-sampling shuffles.
-  kBootstrap = 2,    ///< Join-time state transfer.
-};
-
-inline constexpr std::size_t kChannelCount = 3;
-
-[[nodiscard]] constexpr const char* channel_name(Channel c) noexcept {
-  switch (c) {
-    case Channel::kAggregation: return "aggregation";
-    case Channel::kOverlay: return "overlay";
-    case Channel::kBootstrap: return "bootstrap";
-  }
-  return "unknown";
-}
+using wire::Channel;
+using wire::channel_name;
+using wire::kChannelCount;
+using wire::NodeId;
+using wire::Round;
 
 }  // namespace adam2::host

@@ -56,8 +56,12 @@ class Cluster::HostBridge final : public host::HostView {
 /// task plumbing.
 class Cluster::RuntimeNode final : private host::SessionedPort::Transport {
  public:
+  // The stream arrives by rvalue reference: this is an ownership transfer of
+  // a freshly split stream, and rng::Rng is never passed by value anywhere
+  // (a silent copy would fork the stream and diverge replay — adam2_lint
+  // rule `rng-copy`).
   RuntimeNode(Cluster& cluster, host::NodeId id, stats::Value attribute,
-              rng::Rng rng)
+              rng::Rng&& rng)
       : cluster_(cluster),
         id_(id),
         attribute_(attribute),

@@ -1,3 +1,5 @@
+// Sharded substrate TU — see the exception note in parallel_engine.hpp.
+// adam2-lint: allow-file(confinement)
 #include "sim/parallel_engine.hpp"
 
 #include <algorithm>

@@ -30,6 +30,12 @@
 //                      the actual interleaving;
 //   5. churn         — serial (global stream);
 //   6. observers     — serial.
+//
+// Concurrency primitives normally live in host/ and runtime/ only
+// (adam2_lint rule `confinement`); this engine is the sanctioned third
+// place — it IS the sharded substrate, and its unit gates (atomics) are
+// the mechanism behind the bit-identical-at-any-thread-count guarantee.
+// adam2-lint: allow-file(confinement)
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,42 @@
+// Identity vocabulary shared by the wire formats, the protocol layer
+// (core/), and every agent-hosting substrate (host/, sim/, runtime/).
+//
+// It lives at the wire layer — the lowest layer that speaks about nodes,
+// rounds, and traffic channels — so the DESIGN.md layer DAG
+// (rng ← stats ← data/wire ← core ← host ← sim/runtime) holds without
+// core/ reaching up into host/ for a typedef. host/types.hpp re-exports
+// these names into adam2::host for the substrates and their consumers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adam2::wire {
+
+/// Stable node identity. Ids are never reused: nodes that churn in get fresh
+/// ids, so an id uniquely names one node lifetime.
+using NodeId = std::uint64_t;
+
+/// Simulation round (gossip cycle) counter.
+using Round = std::uint32_t;
+
+/// Traffic category, so the cost evaluation (§VII-I) can report aggregation
+/// traffic separately from overlay maintenance and bootstrap traffic.
+enum class Channel : std::uint8_t {
+  kAggregation = 0,  ///< Adam2 / baseline gossip exchanges.
+  kOverlay = 1,      ///< Peer-sampling shuffles.
+  kBootstrap = 2,    ///< Join-time state transfer.
+};
+
+inline constexpr std::size_t kChannelCount = 3;
+
+[[nodiscard]] constexpr const char* channel_name(Channel c) noexcept {
+  switch (c) {
+    case Channel::kAggregation: return "aggregation";
+    case Channel::kOverlay: return "overlay";
+    case Channel::kBootstrap: return "bootstrap";
+  }
+  return "unknown";
+}
+
+}  // namespace adam2::wire

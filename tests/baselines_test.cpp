@@ -272,5 +272,36 @@ TEST(SamplingTest, SkewedCdfNeedsMoreSamplesThanSmooth) {
   EXPECT_GT(skewed_err, smooth_err);
 }
 
+TEST(EquiDepthTest, GossipsTheOldestActivePhase) {
+  // Regression for the adam2_lint `unordered-iter` fix: when a node carries
+  // several concurrent phases it gossips the *oldest* one (first joined or
+  // started), not whichever `active_.begin()` lands on in the hash table's
+  // bucket order. One node joins phases from many scattered initiators and
+  // must keep gossiping the first arrival.
+  EquiDepthConfig config;
+  config.bins = 8;
+  config.phase_ttl = 40;
+  auto engine = make_equidepth_engine(config, iota_values(32));
+  const host::NodeId joiner = 0;
+
+  std::vector<wire::InstanceId> arrival;
+  for (host::NodeId initiator : {5, 17, 3, 29, 11, 23, 7, 13}) {
+    auto ictx = engine.context_for(initiator);
+    auto& agent = dynamic_cast<EquiDepthAgent&>(engine.agent(initiator));
+    arrival.push_back(agent.start_phase(ictx));
+    const auto request = agent.make_request(ictx);
+    auto jctx = engine.context_for(joiner);
+    (void)dynamic_cast<EquiDepthAgent&>(engine.agent(joiner))
+        .handle_request(jctx, request);
+  }
+
+  auto& agent = dynamic_cast<EquiDepthAgent&>(engine.agent(joiner));
+  ASSERT_EQ(agent.active_phase_count(), arrival.size());
+  auto jctx = engine.context_for(joiner);
+  const auto request = agent.make_request(jctx);
+  const wire::EquiDepthMessage decoded = wire::EquiDepthMessage::decode(request);
+  EXPECT_EQ(decoded.phase, arrival.front());
+}
+
 }  // namespace
 }  // namespace adam2::baselines

@@ -1,0 +1,42 @@
+// Fixture: R2 (rng-copy) triggers and the legitimate shapes that must not
+// fire. Line numbers are asserted in tests/lint_test.cpp.
+#include <cstdint>
+
+namespace rng {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  Rng split(std::uint64_t key) { return Rng(state_ ^ key); }
+  std::uint64_t next() { return ++state_; }
+
+ private:
+  std::uint64_t state_;
+};
+}  // namespace rng
+
+namespace fixture {
+
+double bad_by_value(rng::Rng rng) {          // line 19: by-value parameter
+  return static_cast<double>(rng.next());
+}
+
+void bad_unnamed(rng::Rng, int);             // line 23: unnamed by-value
+
+double bad_copy_local(rng::Rng& source) {
+  rng::Rng fork = source;                    // line 26: copy-initialised fork
+  return static_cast<double>(fork.next());
+}
+
+// Negative controls.
+double ok_reference(rng::Rng& rng) { return static_cast<double>(rng.next()); }
+double ok_move(rng::Rng&& rng) { return static_cast<double>(rng.next()); }
+double ok_pointer(rng::Rng* rng) { return static_cast<double>(rng->next()); }
+double ok_factory(rng::Rng& rng) {
+  rng::Rng child = rng.split(7);  // fresh stream from a factory call
+  return static_cast<double>(child.next());
+}
+struct Owner {
+  rng::Rng stream{11};  // owning member
+};
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: R3 (layering). A src/core/ header reaching up the DAG into sim/
+// and host/. Downward and same-layer includes are the negative controls.
+#pragma once
+
+#include "sim/engine.hpp"     // line 5: core (3) -> sim (5): violation
+#include "host/agent.hpp"     // line 6: core (3) -> host (4): violation
+#include "stats/sketch.hpp"   // core (3) -> stats (1): fine
+#include "core/estimate.hpp"  // core (3) -> core (3): fine
+#include <vector>             // system include: never a layering edge

@@ -1,0 +1,43 @@
+// Fixture: R4 (unordered-iter) triggers plus ordered-container controls.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Wire {
+  std::unordered_map<std::uint64_t, double> active;
+  std::unordered_set<std::uint64_t> seen;
+  std::map<std::uint64_t, double> ordered;
+  std::vector<double> series;
+
+  double bad_range_for() const {
+    double sum = 0.0;
+    for (const auto& [id, value] : active) {  // line 18: bucket order
+      sum += value;
+    }
+    return sum;
+  }
+
+  std::uint64_t bad_begin() const {
+    return *seen.begin();  // line 25: bucket order via begin()
+  }
+
+  double ok_ordered() const {
+    double sum = 0.0;
+    for (const auto& [id, value] : ordered) {  // std::map: deterministic
+      sum += value;
+    }
+    for (double v : series) sum += v;  // vector: insertion order
+    return sum;
+  }
+
+  double ok_lookup(std::uint64_t id) const {
+    auto it = active.find(id);  // point lookup, not iteration
+    return it == active.end() ? 0.0 : it->second;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: R5 (confinement) triggers — I/O and concurrency in what the
+// linter classifies as a src/core/ library TU.
+#include <cstdio>
+#include <iostream>
+#include <mutex>  // line 5: concurrency header in core
+
+namespace fixture {
+
+std::mutex guard;  // line 9: concurrency primitive in core
+
+void bad_io(double value) {
+  std::cout << value << "\n";   // line 12: library writes to stdout
+  std::printf("%f\n", value);   // line 13
+}
+
+void bad_lock() {
+  std::lock_guard lock(guard);  // line 17
+}
+
+}  // namespace fixture

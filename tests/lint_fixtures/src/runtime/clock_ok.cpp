@@ -1,0 +1,12 @@
+// Fixture: the R1 wall-clock whitelist. Files classified under src/runtime/
+// host real deployments and may read real time; *_clock::now() must NOT fire
+// here. (Entropy is still banned everywhere — negative control at the end.)
+#include <chrono>
+
+namespace fixture {
+
+long whitelisted_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // ok
+}
+
+}  // namespace fixture

@@ -608,5 +608,78 @@ TEST(EvaluationTest, ObservationDoesNotPerturbTheProtocol) {
   EXPECT_EQ(run(false), run(true));
 }
 
+// ------------------------------------------------- wire payload ordering
+
+TEST(ProtocolTest, RequestPayloadsFollowJoinOrderNotBucketOrder) {
+  // Regression for the adam2_lint `unordered-iter` fix: active instances are
+  // keyed by an unordered_map, but the wire payload sequence must be a
+  // function of protocol history (join/start order), never of the hash
+  // table's bucket layout. One node joins instances started by many distinct
+  // initiators — whose InstanceIdHash values scatter across buckets — and
+  // its own gossip request must still list them in exact arrival order.
+  SystemConfig config = small_system();
+  config.protocol.instance_ttl = 50;
+  Adam2System system(config, iota_values(32));
+  auto& engine = system.engine();
+  const host::NodeId joiner = 31;
+
+  std::vector<wire::InstanceId> arrival;
+  for (host::NodeId initiator : {5, 17, 3, 29, 11, 23, 7, 13, 2, 19, 28, 9}) {
+    auto ictx = engine.context_for(initiator);
+    auto& agent = system.agent_of(initiator);
+    arrival.push_back(agent.start_instance(ictx));
+    const auto request = agent.make_request(ictx);
+    auto jctx = engine.context_for(joiner);
+    (void)system.agent_of(joiner).handle_request(jctx, request);
+  }
+
+  auto jctx = engine.context_for(joiner);
+  const auto request = system.agent_of(joiner).make_request(jctx);
+  const wire::Adam2Message decoded = wire::Adam2Message::decode(request);
+  ASSERT_EQ(decoded.instances.size(), arrival.size());
+  for (std::size_t i = 0; i < arrival.size(); ++i) {
+    EXPECT_EQ(decoded.instances[i].id, arrival[i]) << "payload " << i;
+  }
+}
+
+TEST(ProtocolTest, PayloadOrderSurvivesMidLifeFinalisation) {
+  // Finalising an instance from the middle of the active set must not
+  // perturb the relative order of the survivors.
+  SystemConfig config = small_system();
+  config.protocol.instance_ttl = 6;
+  Adam2System system(config, iota_values(32));
+  auto& engine = system.engine();
+  const host::NodeId node = 0;
+
+  auto& agent = system.agent_of(node);
+  const auto first = [&] {
+    auto ctx = engine.context_for(node);
+    return agent.start_instance(ctx);
+  }();
+  system.run_rounds(3);  // `first` burns 3 of its 6 TTL rounds.
+  const auto second = [&] {
+    auto ctx = engine.context_for(node);
+    return agent.start_instance(ctx);
+  }();
+  const auto third = [&] {
+    auto ctx = engine.context_for(node);
+    return agent.start_instance(ctx);
+  }();
+  system.run_rounds(4);  // `first` finalises; second/third stay active.
+  ASSERT_EQ(agent.instance(first), nullptr);
+  ASSERT_NE(agent.instance(second), nullptr);
+  ASSERT_NE(agent.instance(third), nullptr);
+
+  auto late_ctx = engine.context_for(node);
+  const auto late = agent.start_instance(late_ctx);
+  const auto request = agent.make_request(late_ctx);
+  const wire::Adam2Message decoded = wire::Adam2Message::decode(request);
+
+  std::vector<wire::InstanceId> ids;
+  for (const auto& payload : decoded.instances) ids.push_back(payload.id);
+  const std::vector<wire::InstanceId> expected = {second, third, late};
+  EXPECT_EQ(ids, expected);
+}
+
 }  // namespace
 }  // namespace adam2::core

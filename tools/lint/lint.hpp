@@ -1,0 +1,109 @@
+// adam2_lint: a token-level static checker for the project's written-but-
+// otherwise-unchecked invariants (DESIGN.md §10 "Checked invariants").
+//
+// The runtime test suite guards determinism *behaviourally* (golden replay,
+// draw-contract tests); this tool guards it *structurally*, before a run
+// ever happens. It is deliberately a token scanner, not a compiler plugin:
+// the rules are about names and shapes (`std::random_device`, a by-value
+// `rng::Rng`, an `#include` that jumps up the layer DAG), which a lexer sees
+// exactly as well as an AST would — with no libclang dependency and a
+// sub-second walk of the whole tree.
+//
+// Rules (each suppressible per line with `// adam2-lint: allow(<rule>)`,
+// per file with `// adam2-lint: allow-file(<rule>)`):
+//
+//   nondeterminism  (R1)  std::random_device, rand()/srand(), time(),
+//                         clock_gettime/gettimeofday anywhere; *_clock::now()
+//                         outside the wall-clock whitelist (src/runtime/,
+//                         bench/, tests/). Protects: seeded replay.
+//   rng-copy        (R2)  rng::Rng by-value parameters and copy-initialised
+//                         locals. A copied generator silently forks the
+//                         stream: both copies replay the same tail and the
+//                         original's draw positions shift. Owning members
+//                         and factory returns (`node_stream(id)`) are fine.
+//   layering        (R3)  #include edges must respect the DESIGN.md DAG
+//                         rng < stats < data/wire < core < host <
+//                         sim/runtime < baselines; tools/bench/tests/examples
+//                         sit on top. Protects: substrate-agnostic agents.
+//   unordered-iter  (R4)  iteration (`for (x : m)`, `m.begin()`) over
+//                         unordered_map/unordered_set in library TUs.
+//                         Bucket order is not part of any contract; letting
+//                         it reach wire payloads, metrics, or evaluation
+//                         series makes replay hostage to the hash table.
+//   confinement     (R5)  no std::cout/printf/puts in src/ libraries; no
+//                         std:: concurrency primitives (mutex/atomic/thread/
+//                         condition_variable/...) outside src/host/ and
+//                         src/runtime/.
+//
+// The library half (this header) is what the unit tests drive over the
+// fixture corpus; the CLI (tools/lint/main.cpp) wraps lint_tree for CI.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adam2::lint {
+
+struct Diagnostic {
+  std::string file;     ///< Path as given to the linter.
+  int line = 0;         ///< 1-based.
+  std::string rule;     ///< One of rule_names().
+  std::string message;  ///< Human-readable explanation.
+};
+
+/// All rule identifiers, in R1..R5 order.
+[[nodiscard]] const std::vector<std::string>& rule_names();
+
+struct Options {
+  /// Enabled rules; defaults to all of rule_names().
+  std::set<std::string> rules;
+
+  /// Layer rank per top-level src/ directory; an include may only point at a
+  /// rank <= the includer's. Directories absent from the map (and files not
+  /// under src/) rank as "top" and may include anything.
+  std::map<std::string, int> layers = {
+      {"rng", 0},  {"stats", 1},   {"data", 2}, {"wire", 2},    {"core", 3},
+      {"host", 4}, {"sim", 5},     {"runtime", 5}, {"baselines", 6},
+  };
+
+  /// Logical-path prefixes whose files may call *_clock::now() (wall-clock
+  /// substrates and timing harnesses).
+  std::vector<std::string> clock_whitelist = {"src/runtime/", "bench/",
+                                              "tests/"};
+
+  /// Logical-path prefixes whose files may use std:: concurrency primitives.
+  std::vector<std::string> concurrency_whitelist = {"src/host/",
+                                                    "src/runtime/"};
+
+  Options();
+};
+
+/// Classifies a path into its logical project-relative form: the suffix
+/// starting at the *last* occurrence of src/, tools/, bench/, tests/ or
+/// examples/ ("/repo/tests/lint_fixtures/src/core/x.cpp" -> "src/core/x.cpp",
+/// which is what lets the fixture corpus exercise src/-scoped rules).
+/// Returns the path unchanged when no marker occurs.
+[[nodiscard]] std::string logical_path(std::string_view path);
+
+/// Lints one in-memory source. `path` is used for classification (layering,
+/// whitelists) and for Diagnostic::file.
+[[nodiscard]] std::vector<Diagnostic> lint_source(std::string_view path,
+                                                  std::string_view text,
+                                                  const Options& options = {});
+
+/// Lints one file on disk.
+[[nodiscard]] std::vector<Diagnostic> lint_file(
+    const std::filesystem::path& path, const Options& options = {});
+
+/// Recursively lints every .hpp/.h/.cpp/.cc under each root (a root may also
+/// be a single file). Skips directories named "build*", ".git", and
+/// "lint_fixtures". Diagnostics are sorted by file, then line.
+[[nodiscard]] std::vector<Diagnostic> lint_tree(
+    const std::vector<std::filesystem::path>& roots,
+    const Options& options = {});
+
+}  // namespace adam2::lint
