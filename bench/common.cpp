@@ -1,22 +1,19 @@
 #include "common.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "core/evaluation.hpp"
+#include "obs/export.hpp"
+#include "options.hpp"
 
 namespace adam2::bench {
 namespace {
-
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  return std::strtoull(raw, nullptr, 10);
-}
 
 /// The mirrored report. Benches are single-threaded mains, so one global
 /// instance with no locking is enough.
@@ -32,6 +29,9 @@ struct Report {
     std::vector<std::pair<std::string, std::vector<double>>> rows;
   };
   std::vector<Series> series;
+  /// Observability recorder shared by every engine a series driver builds
+  /// during this report (pointer: Recorder is intentionally non-copyable).
+  std::unique_ptr<obs::Recorder> recorder;
 };
 
 Report g_report;
@@ -47,26 +47,33 @@ void accumulate(std::vector<std::pair<std::string, double>>& into,
   into.emplace_back(key, value);
 }
 
-void json_string(std::FILE* out, const std::string& s) {
-  std::fputc('"', out);
-  for (char c : s) {
-    if (c == '"' || c == '\\') std::fprintf(out, "\\%c", c);
-    else if (c == '\n') std::fputs("\\n", out);
-    else std::fputc(c, out);
-  }
-  std::fputc('"', out);
+void json_string(std::string& out, const std::string& s) {
+  out += '"';
+  out += obs::json_escape(s);
+  out += '"';
+}
+
+void json_double(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
 }
 
 }  // namespace
 
 BenchEnv bench_env(std::size_t default_n) {
+  // Same ADAM2_BENCH_* names as ever, parsed through the shared typed
+  // option helper the CLI tools use (tools/options.hpp).
+  const tools::Options vars = tools::Options::from_env("ADAM2_BENCH");
   BenchEnv env;
   env.n = default_n;
-  if (env_u64("ADAM2_BENCH_FULL", 0) != 0) env.n = 100000;
-  env.n = env_u64("ADAM2_BENCH_N", env.n);
-  env.seed = env_u64("ADAM2_BENCH_SEED", 42);
-  env.peer_sample = env_u64("ADAM2_BENCH_PEERS", 400);
-  env.threads = env_u64("ADAM2_BENCH_THREADS", 0);
+  if (vars.get_int("full", 0) != 0) env.n = 100000;
+  env.n = static_cast<std::size_t>(
+      vars.get_int("n", static_cast<std::int64_t>(env.n)));
+  env.seed = static_cast<std::uint64_t>(vars.get_int("seed", 42));
+  env.peer_sample = static_cast<std::size_t>(vars.get_int("peers", 400));
+  env.threads = static_cast<std::size_t>(vars.get_int("threads", 0));
+  env.faults = tools::parse_fault_plan(vars);
   return env;
 }
 
@@ -107,6 +114,17 @@ void open_report(const std::string& name, const BenchEnv& env) {
   g_report.armed = true;
   g_report.name = name;
   g_report.env = env;
+  g_report.recorder = std::make_unique<obs::Recorder>();
+  obs::RunManifest& manifest = g_report.recorder->manifest();
+  manifest.name = name;
+  manifest.seed = env.seed;
+  manifest.threads = std::max<std::size_t>(env.threads, 1);
+  manifest.set("nodes", static_cast<std::uint64_t>(env.n));
+  manifest.set("peer_sample", static_cast<std::uint64_t>(env.peer_sample));
+}
+
+obs::Recorder* report_recorder() {
+  return g_report.armed ? g_report.recorder.get() : nullptr;
 }
 
 void report_metric(const std::string& key, double value) {
@@ -127,65 +145,78 @@ std::string emit_json() {
   if (!g_report.armed) return {};
   const char* dir = std::getenv("ADAM2_BENCH_JSON");
   if (dir == nullptr || *dir == '\0') return {};
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
   const std::string path =
       (std::filesystem::path(dir) / ("BENCH_" + g_report.name + ".json"))
           .string();
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) return {};
 
-  std::fputs("{\n  \"name\": ", out);
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"name\": ";
   json_string(out, g_report.name);
-  std::fprintf(out,
-               ",\n  \"nodes\": %zu,\n  \"seed\": %llu,\n"
-               "  \"peer_sample\": %zu,\n  \"threads\": %zu,\n",
-               g_report.env.n,
-               static_cast<unsigned long long>(g_report.env.seed),
-               g_report.env.peer_sample, g_report.env.threads);
+  out += ",\n  \"nodes\": " + std::to_string(g_report.env.n);
+  out += ",\n  \"seed\": " + std::to_string(g_report.env.seed);
+  out += ",\n  \"peer_sample\": " + std::to_string(g_report.env.peer_sample);
+  out += ",\n  \"threads\": " + std::to_string(g_report.env.threads) + ",\n";
 
   const auto dump_map =
-      [out](const char* key,
-            const std::vector<std::pair<std::string, double>>& entries) {
-        std::fprintf(out, "  \"%s\": {", key);
+      [&out](const char* key,
+             const std::vector<std::pair<std::string, double>>& entries) {
+        out += "  \"";
+        out += key;
+        out += "\": {";
         bool first = true;
         for (const auto& [k, v] : entries) {
-          std::fputs(first ? "\n    " : ",\n    ", out);
+          out += first ? "\n    " : ",\n    ";
           first = false;
           json_string(out, k);
-          std::fprintf(out, ": %.17g", v);
+          out += ": ";
+          json_double(out, v);
         }
-        std::fputs(entries.empty() ? "},\n" : "\n  },\n", out);
+        out += entries.empty() ? "},\n" : "\n  },\n";
       };
   dump_map("phases_seconds", g_report.phases);
   dump_map("metrics", g_report.metrics);
 
-  std::fputs("  \"series\": [", out);
+  out += "  \"series\": [";
   for (std::size_t s = 0; s < g_report.series.size(); ++s) {
     const Report::Series& series = g_report.series[s];
-    std::fputs(s == 0 ? "\n    {\"label\": " : ",\n    {\"label\": ", out);
+    out += s == 0 ? "\n    {\"label\": " : ",\n    {\"label\": ";
     json_string(out, series.label);
-    std::fputs(", \"columns\": [", out);
+    out += ", \"columns\": [";
     for (std::size_t c = 0; c < series.columns.size(); ++c) {
-      if (c > 0) std::fputs(", ", out);
+      if (c > 0) out += ", ";
       json_string(out, series.columns[c]);
     }
-    std::fputs("], \"rows\": [", out);
+    out += "], \"rows\": [";
     for (std::size_t r = 0; r < series.rows.size(); ++r) {
       const auto& [label, values] = series.rows[r];
-      std::fputs(r == 0 ? "\n      {\"label\": " : ",\n      {\"label\": ",
-                 out);
+      out += r == 0 ? "\n      {\"label\": " : ",\n      {\"label\": ";
       json_string(out, label);
-      std::fputs(", \"values\": [", out);
+      out += ", \"values\": [";
       for (std::size_t v = 0; v < values.size(); ++v) {
-        std::fprintf(out, v > 0 ? ", %.17g" : "%.17g", values[v]);
+        if (v > 0) out += ", ";
+        json_double(out, values[v]);
       }
-      std::fputs("]}", out);
+      out += "]}";
     }
-    std::fputs(series.rows.empty() ? "]}" : "\n    ]}", out);
+    out += series.rows.empty() ? "]}" : "\n    ]}";
   }
-  std::fputs(g_report.series.empty() ? "]\n}\n" : "\n  ]\n}\n", out);
-  std::fclose(out);
+  out += g_report.series.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+  // Atomic publication (write temp, fsync, rename): a crashed bench or a
+  // racing artifact collector never sees a truncated BENCH_*.json.
+  if (!obs::atomic_write_file(path, out)) return {};
+
+  // The run manifest and metrics snapshot ride alongside every report.
+  if (g_report.recorder != nullptr) {
+    const std::filesystem::path base{dir};
+    obs::write_manifest_json(
+        (base / ("MANIFEST_" + g_report.name + ".json")).string(),
+        g_report.recorder->manifest());
+    obs::write_metrics_json(
+        (base / ("METRICS_" + g_report.name + ".json")).string(),
+        g_report.recorder->metrics());
+  }
   return path;
 }
 
@@ -199,6 +230,7 @@ core::SystemConfig default_system(const BenchEnv& env) {
   config.overlay = core::OverlayKind::kCyclon;
   config.overlay_degree = 20;
   config.engine_threads = env.threads;
+  config.engine.faults = env.faults;
   return config;
 }
 
@@ -211,6 +243,7 @@ std::vector<InstanceResult> run_adam2_series(
     std::size_t instances, const BenchEnv& env,
     host::AttributeSource churn) {
   core::Adam2System system(config, values, std::move(churn));
+  system.attach_recorder(report_recorder());
   const stats::EmpiricalCdf truth{values};
   // Let the peer-sampling service mix before the first instance, so the
   // neighbour-based bootstrap draws from a warm descriptor cache.
@@ -259,6 +292,10 @@ std::vector<InstanceResult> run_equidepth_series(
         return std::make_unique<baselines::EquiDepthAgent>(config);
       },
       std::move(churn));
+  if (obs::Recorder* recorder = report_recorder(); recorder != nullptr) {
+    sim_engine.set_recorder(recorder);
+    recorder->engine_start("serial", 0, values.size());
+  }
   const stats::EmpiricalCdf truth{values};
 
   std::vector<InstanceResult> results;

@@ -21,6 +21,8 @@
 #include "baselines/equidepth.hpp"
 #include "core/system.hpp"
 #include "data/boinc_synth.hpp"
+#include "host/fault.hpp"
+#include "obs/recorder.hpp"
 #include "stats/cdf.hpp"
 
 namespace adam2::bench {
@@ -32,6 +34,10 @@ struct BenchEnv {
   std::size_t peer_sample = 400;
   /// Cycle-engine worker threads (0/1 = serial Engine; >1 = ParallelEngine).
   std::size_t threads = 0;
+  /// Deterministic fault schedule from ADAM2_BENCH_FAULT_* (same names as
+  /// adam2_sim's --fault-* flags; default all-zero = off). Applied by
+  /// default_system().
+  host::FaultPlan faults;
 };
 
 /// Parses the ADAM2_BENCH_* environment variables.
@@ -68,8 +74,18 @@ void open_report(const std::string& name, const BenchEnv& env);
 void report_metric(const std::string& key, double value);
 
 /// Writes the report if open_report() ran and ADAM2_BENCH_JSON is set.
-/// Returns the path written, or an empty string when disabled.
+/// Also writes the run manifest (MANIFEST_<name>.json) and a metrics
+/// snapshot (METRICS_<name>.json) next to it. Every file is written to a
+/// temp name, fsynced and atomically renamed into place, so a crashed or
+/// interrupted bench never leaves a truncated report behind.
+/// Returns the BENCH_<name>.json path written, or empty when disabled.
 std::string emit_json();
+
+/// The report's observability recorder: armed by open_report(), attached to
+/// the engines the series drivers below build, exported by emit_json().
+/// Null before open_report() — benches that drive engines directly can
+/// attach it themselves.
+[[nodiscard]] obs::Recorder* report_recorder();
 
 /// Accumulates wall-clock seconds into the report's named phase (RAII).
 class PhaseTimer {

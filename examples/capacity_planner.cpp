@@ -9,9 +9,7 @@
 // for the smooth CPU curve.
 #include <cstdio>
 
-#include "core/system.hpp"
-#include "data/boinc_synth.hpp"
-#include "data/trace.hpp"
+#include "adam2.hpp"
 
 using namespace adam2;
 

@@ -8,9 +8,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/multi.hpp"
-#include "core/system.hpp"
-#include "sim/overlay.hpp"
+#include "adam2.hpp"
 
 using namespace adam2;
 

@@ -12,8 +12,7 @@
 // detects the change, quantifies it, and identifies its own rank.
 #include <cstdio>
 
-#include "core/system.hpp"
-#include "rng/rng.hpp"
+#include "adam2.hpp"
 
 using namespace adam2;
 

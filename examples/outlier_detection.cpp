@@ -12,8 +12,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/system.hpp"
-#include "rng/rng.hpp"
+#include "adam2.hpp"
 
 using namespace adam2;
 

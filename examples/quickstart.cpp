@@ -5,8 +5,7 @@
 // prints the estimated CDF of one node next to the ground truth.
 #include <cstdio>
 
-#include "core/system.hpp"
-#include "data/boinc_synth.hpp"
+#include "adam2.hpp"
 
 using namespace adam2;
 

@@ -10,9 +10,7 @@
 #include <cstdio>
 #include <thread>
 
-#include "core/protocol.hpp"
-#include "data/boinc_synth.hpp"
-#include "runtime/cluster.hpp"
+#include "adam2.hpp"
 
 using namespace adam2;
 using namespace std::chrono_literals;

@@ -1,5 +1,6 @@
 #include "core/system.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 // Facade TU: builds the concrete overlay for the engine it assembles.
@@ -43,6 +44,27 @@ Adam2System::Adam2System(SystemConfig config,
   }
 }
 
+void Adam2System::attach_recorder(obs::Recorder* recorder) {
+  engine_->set_recorder(recorder);
+  if (recorder == nullptr) return;
+  recorder->engine_start(config_.engine_threads > 1 ? "parallel" : "serial",
+                         engine_->round(), engine_->live_count());
+  obs::RunManifest& manifest = recorder->manifest();
+  manifest.seed = config_.engine.seed;
+  manifest.threads = std::max<std::size_t>(config_.engine_threads, 1);
+  manifest.set("nodes", static_cast<std::uint64_t>(engine_->live_count()));
+  manifest.set("churn_rate", config_.engine.churn_rate);
+  manifest.set("message_loss", config_.engine.message_loss);
+  manifest.set("overlay", config_.overlay == OverlayKind::kCyclon
+                              ? "cyclon"
+                              : "static_random");
+  manifest.set("overlay_degree",
+               static_cast<std::uint64_t>(config_.overlay_degree));
+  manifest.set("lambda", static_cast<std::uint64_t>(config_.protocol.lambda));
+  manifest.set("instance_ttl",
+               static_cast<std::uint64_t>(config_.protocol.instance_ttl));
+}
+
 Adam2Agent& Adam2System::agent_of(host::NodeId id) {
   auto* agent = dynamic_cast<Adam2Agent*>(&engine_->agent(id));
   if (agent == nullptr) throw std::logic_error("node is not running Adam2");
@@ -53,18 +75,34 @@ stats::EmpiricalCdf Adam2System::truth() const {
   return stats::EmpiricalCdf{engine_->live_attribute_values()};
 }
 
-wire::InstanceId Adam2System::start_instance(
+std::pair<host::NodeId, wire::InstanceId> Adam2System::start_instance_on(
     std::optional<host::NodeId> initiator) {
+  // value_or draws eagerly, so every start consumes exactly one global draw
+  // whether or not an initiator was supplied (golden-replay stability).
   const host::NodeId node = initiator.value_or(engine_->random_live_node());
   auto ctx = engine_->context_for(node);
-  return agent_of(node).start_instance(ctx);
+  const wire::InstanceId id = agent_of(node).start_instance(ctx);
+  if (obs::Recorder* recorder = engine_->recorder(); recorder != nullptr) {
+    // InstanceId = {initiator, seq}; the event's node field carries the
+    // initiator, so the sequence number alone identifies the instance.
+    recorder->instance_start(engine_->round(), node, id.seq);
+  }
+  return {node, id};
+}
+
+wire::InstanceId Adam2System::start_instance(
+    std::optional<host::NodeId> initiator) {
+  return start_instance_on(initiator).second;
 }
 
 wire::InstanceId Adam2System::run_instance(
     std::optional<host::NodeId> initiator) {
-  const wire::InstanceId id = start_instance(initiator);
+  const auto [node, id] = start_instance_on(initiator);
   // ttl exchange rounds plus the round whose round-start finalises it.
   engine_->run_rounds(config_.protocol.instance_ttl + 1u);
+  if (obs::Recorder* recorder = engine_->recorder(); recorder != nullptr) {
+    recorder->instance_end(engine_->round(), node, id.seq);
+  }
   return id;
 }
 

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "core/config.hpp"
 #include "core/evaluation.hpp"
@@ -21,6 +22,9 @@
 #include "sim/cyclon.hpp"           // adam2-lint: allow(layering)
 #include "sim/engine.hpp"           // adam2-lint: allow(layering)
 #include "sim/parallel_engine.hpp"  // adam2-lint: allow(layering)
+// Same documented exception: the facade wires the recorder into the engine
+// it assembled and echoes its config into the run manifest.
+#include "obs/recorder.hpp"  // adam2-lint: allow(layering)
 
 namespace adam2::core {
 
@@ -52,6 +56,13 @@ class Adam2System {
   [[nodiscard]] sim::CycleEngine& engine() { return *engine_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
+  /// Attaches `recorder` to the underlying engine, records the engine-start
+  /// event, and echoes the effective configuration into the recorder's run
+  /// manifest (seed, engine kind, protocol and overlay parameters). The
+  /// facade also traces instance transitions through it. Pass nullptr to
+  /// detach. The recorder is not owned and must outlive the system.
+  void attach_recorder(obs::Recorder* recorder);
+
   /// The Adam2 agent running on `id`.
   [[nodiscard]] Adam2Agent& agent_of(host::NodeId id);
 
@@ -72,6 +83,11 @@ class Adam2System {
       const EvaluationOptions& options = {}) const;
 
  private:
+  /// Shared start path returning the resolved initiator alongside the id
+  /// (run_instance needs it for the instance-end trace event).
+  std::pair<host::NodeId, wire::InstanceId> start_instance_on(
+      std::optional<host::NodeId> initiator);
+
   SystemConfig config_;
   std::unique_ptr<sim::CycleEngine> engine_;
 };

@@ -18,11 +18,13 @@ Conduit::Delivery Conduit::resolve(const Leg& leg,
   if (message_loss_ > 0.0 && leg.loss_stream != nullptr &&
       leg.loss_stream->bernoulli(message_loss_)) {
     ++counters.dropped_messages;
+    delivery.drop_cause = DropCause::kLoss;
     return delivery;  // copies == 0: lost.
   }
   if (leg.partition_check && faults_.enabled() &&
       faults_.partitioned(leg.from, leg.to, leg.round)) {
     ++counters.partitioned_messages;
+    delivery.drop_cause = DropCause::kPartition;
     return delivery;
   }
   const MessageFate fate = leg.fault_stream != nullptr
@@ -30,6 +32,7 @@ Conduit::Delivery Conduit::resolve(const Leg& leg,
                                : MessageFate::kDeliver;
   if (fate == MessageFate::kDrop) {
     ++counters.dropped_messages;
+    delivery.drop_cause = DropCause::kFault;
     return delivery;
   }
 
@@ -38,6 +41,7 @@ Conduit::Delivery Conduit::resolve(const Leg& leg,
     case MessageFate::kCorrupt:
       scratch = faults_.corrupt(payload, *leg.fault_stream);
       delivery.payload = scratch;
+      delivery.corrupted = true;
       ++counters.corrupted_messages;
       break;
     case MessageFate::kDuplicate:
@@ -61,14 +65,30 @@ void Conduit::run_cycle_exchange(HostView& host, Overlay& overlay,
                                  NodeTable& table, Round round,
                                  Node& initiator,
                                  const std::optional<NodeId>& target,
-                                 TrafficStats& counters) const {
+                                 TrafficStats& counters,
+                                 obs::ExchangeOutcome* outcome) const {
+  // Outcome reporting is fully guarded: a null `outcome` leaves the hot path
+  // untouched (zero-alloc acceptance), a non-null one records how far the
+  // exchange got at every early return below.
+  if (outcome != nullptr) {
+    *outcome = obs::ExchangeOutcome{};
+    outcome->initiator = initiator.id;
+    if (target) {
+      outcome->target = *target;
+      outcome->has_target = true;
+    }
+  }
   AgentContext ictx = make_context(host, overlay, initiator, round);
   auto request = initiator.agent->make_request(ictx);
-  if (request.empty()) return;
+  if (request.empty()) return;  // Outcome already kSilent.
 
   if (!target || !table.is_live(*target) || *target == initiator.id) {
     ++initiator.traffic.failed_contacts;
     ++counters.failed_contacts;
+    if (outcome != nullptr) {
+      outcome->status = obs::ExchangeStatus::kFailedContact;
+      outcome->request_bytes = static_cast<std::uint32_t>(request.size());
+    }
     return;
   }
 
@@ -85,6 +105,15 @@ void Conduit::run_cycle_exchange(HostView& host, Overlay& overlay,
                   &initiator.fault_rng, /*partition_check=*/true,
                   /*draw_delay=*/false},
               request, request_scratch, counters);
+  if (outcome != nullptr) {
+    outcome->request_bytes = static_cast<std::uint32_t>(request.size());
+    outcome->request_copies =
+        static_cast<std::uint8_t>(request_delivery.copies);
+    outcome->request_corrupted = request_delivery.corrupted;
+    outcome->status = request_delivery.drop_cause == DropCause::kPartition
+                          ? obs::ExchangeStatus::kRequestPartitioned
+                          : obs::ExchangeStatus::kRequestLost;
+  }
   if (request_delivery.copies == 0) return;
 
   Node& responder = table.at(*target);
@@ -99,6 +128,7 @@ void Conduit::run_cycle_exchange(HostView& host, Overlay& overlay,
   for (unsigned copy = 0; copy < request_delivery.copies; ++copy) {
     response = responder.agent->handle_request(rctx, request_delivery.payload);
   }
+  if (outcome != nullptr) outcome->status = obs::ExchangeStatus::kNoResponse;
   if (response.empty()) return;
 
   host.record_traffic(responder.id, initiator.id, Channel::kAggregation,
@@ -109,6 +139,15 @@ void Conduit::run_cycle_exchange(HostView& host, Overlay& overlay,
                   &initiator.fault_rng, /*partition_check=*/false,
                   /*draw_delay=*/false},
               response, response_scratch, counters);
+  if (outcome != nullptr) {
+    outcome->response_bytes = static_cast<std::uint32_t>(response.size());
+    outcome->response_copies =
+        static_cast<std::uint8_t>(response_delivery.copies);
+    outcome->response_corrupted = response_delivery.corrupted;
+    outcome->status = response_delivery.copies == 0
+                          ? obs::ExchangeStatus::kResponseLost
+                          : obs::ExchangeStatus::kCompleted;
+  }
   // The response aliases the responder's scratch: valid across both
   // handle_response calls because nothing calls the responder in between.
   for (unsigned copy = 0; copy < response_delivery.copies; ++copy) {

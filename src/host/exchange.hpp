@@ -45,6 +45,7 @@
 #include "host/traffic.hpp"
 #include "host/types.hpp"
 #include "host/view.hpp"
+#include "obs/events.hpp"
 #include "rng/rng.hpp"
 
 namespace adam2::host {
@@ -127,6 +128,15 @@ class Conduit {
     bool draw_delay = false;
   };
 
+  /// Why a leg delivered zero copies (observability: the trace distinguishes
+  /// a partition-blocked request from a fault-dropped one).
+  enum class DropCause : std::uint8_t {
+    kNone = 0,    ///< Delivered (copies > 0).
+    kLoss,        ///< Legacy message_loss draw.
+    kPartition,   ///< Blocked by an overlay partition.
+    kFault,       ///< Fault-plan drop fate.
+  };
+
   /// What the transport must now do with the message.
   struct Delivery {
     /// 0 = the message never arrives (lost / dropped / partitioned);
@@ -139,6 +149,10 @@ class Conduit {
     /// copies of a duplicated message share it; transports add their own
     /// per-copy latency on top.
     double extra_delay = 0.0;
+    /// Cause when copies == 0; kNone otherwise.
+    DropCause drop_cause = DropCause::kNone;
+    /// True when the payload was rebound to the corruption scratch.
+    bool corrupted = false;
   };
 
   /// Resolves the fate of one leg: draws loss → partition → fate → mangling
@@ -155,10 +169,14 @@ class Conduit {
   /// `host` (so sharded engines can reroute totals per worker). Draws only
   /// from the initiator's control/agent/fault streams and touches only the
   /// two participants plus `counters` — the unit stays parallel-safe.
+  /// When `outcome` is non-null it is filled with how far the exchange got
+  /// (obs trace support); the null path is the exact pre-obs instruction
+  /// stream, so detached runs stay bit-identical and allocation-free.
   void run_cycle_exchange(HostView& host, Overlay& overlay, NodeTable& table,
                           Round round, Node& initiator,
                           const std::optional<NodeId>& target,
-                          TrafficStats& counters) const;
+                          TrafficStats& counters,
+                          obs::ExchangeOutcome* outcome = nullptr) const;
 
  private:
   FaultInjector faults_;

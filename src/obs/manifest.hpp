@@ -1,0 +1,90 @@
+// Run manifest: the reproduction record emitted next to every trace/metrics
+// export (DESIGN.md §11). Captures everything needed to re-run the exact
+// same experiment — seed, engine kind, thread count, and a full ordered echo
+// of the effective configuration — plus the build flavour, because a
+// sanitizer build's timings are not comparable to a release build's.
+//
+// Deliberately no wall-clock timestamp: the manifest is part of the
+// deterministic artifact set (two identical runs produce byte-identical
+// manifests), and the CI artifact store supplies upload times anyway.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace adam2::obs {
+
+/// Compiler identification string baked in at build time.
+[[nodiscard]] inline std::string build_compiler() {
+#if defined(__clang__)
+  return std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// "release" / "debug", with sanitizer suffixes when detectable.
+[[nodiscard]] inline std::string build_kind() {
+#ifdef NDEBUG
+  std::string kind = "release";
+#else
+  std::string kind = "debug";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  kind += "+asan";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  kind += "+asan";
+#endif
+#if __has_feature(thread_sanitizer)
+  kind += "+tsan";
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+  kind += "+tsan";
+#endif
+  return kind;
+}
+
+struct RunManifest {
+  std::string schema = "adam2.manifest.v1";
+  std::string name;    ///< Run / bench name (file stem of the artifacts).
+  std::string engine;  ///< serial | parallel | async | cluster | udp.
+  std::uint64_t seed = 0;
+  std::size_t threads = 1;
+  /// Ordered key → value echo of the effective configuration.
+  std::vector<std::pair<std::string, std::string>> config;
+  std::string compiler = build_compiler();
+  std::string build = build_kind();
+
+  /// Upsert preserving first-insertion order (deterministic export).
+  void set(std::string_view key, std::string_view value) {
+    for (auto& [k, v] : config) {
+      if (k == key) {
+        v = std::string(value);
+        return;
+      }
+    }
+    config.emplace_back(std::string(key), std::string(value));
+  }
+  void set(std::string_view key, std::uint64_t value) {
+    set(key, std::string_view(std::to_string(value)));
+  }
+  void set(std::string_view key, double value) {
+    set(key, std::string_view(std::to_string(value)));
+  }
+
+  [[nodiscard]] const std::string* get(std::string_view key) const {
+    for (const auto& [k, v] : config) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace adam2::obs

@@ -1,0 +1,106 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace adam2::obs {
+
+MetricsRegistry::Id MetricsRegistry::intern(std::string_view name,
+                                            MetricKind kind) {
+  if (auto it = index_.find(name); it != index_.end()) {
+    const Metric& existing = metrics_[it->second];
+    if (existing.kind != kind) {
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' already registered as " +
+                             metric_kind_name(existing.kind));
+    }
+    return it->second;
+  }
+  const Id id = static_cast<Id>(metrics_.size());
+  Metric metric;
+  metric.name = std::string(name);
+  metric.kind = kind;
+  metrics_.push_back(std::move(metric));
+  index_.emplace(metrics_.back().name, id);
+  return id;
+}
+
+Metric& MetricsRegistry::checked(Id id, MetricKind kind) {
+  if (id >= metrics_.size()) throw std::out_of_range("unknown metric id");
+  Metric& metric = metrics_[id];
+  if (metric.kind != kind) {
+    throw std::logic_error("metric '" + metric.name + "' is a " +
+                           std::string(metric_kind_name(metric.kind)) +
+                           ", not a " + metric_kind_name(kind));
+  }
+  return metric;
+}
+
+MetricsRegistry::Id MetricsRegistry::counter(std::string_view name) {
+  return intern(name, MetricKind::kCounter);
+}
+
+MetricsRegistry::Id MetricsRegistry::gauge(std::string_view name) {
+  return intern(name, MetricKind::kGauge);
+}
+
+MetricsRegistry::Id MetricsRegistry::histogram(std::string_view name,
+                                               std::span<const double> bounds) {
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i - 1] < bounds[i])) {
+      throw std::invalid_argument("histogram bounds must strictly increase");
+    }
+  }
+  const Id id = intern(name, MetricKind::kHistogram);
+  Metric& metric = metrics_[id];
+  if (metric.buckets.empty()) {
+    metric.bounds.assign(bounds.begin(), bounds.end());
+    metric.buckets.assign(bounds.size() + 1, 0);
+  }
+  return id;
+}
+
+void MetricsRegistry::add(Id id, std::uint64_t delta) {
+  checked(id, MetricKind::kCounter).count += delta;
+}
+
+void MetricsRegistry::set_counter(Id id, std::uint64_t value) {
+  checked(id, MetricKind::kCounter).count = value;
+}
+
+void MetricsRegistry::set(Id id, double value) {
+  checked(id, MetricKind::kGauge).value = value;
+}
+
+void MetricsRegistry::observe(Id id, double sample) {
+  Metric& metric = checked(id, MetricKind::kHistogram);
+  ++metric.count;
+  metric.value += sample;
+  std::size_t bucket = metric.bounds.size();
+  for (std::size_t i = 0; i < metric.bounds.size(); ++i) {
+    if (sample <= metric.bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++metric.buckets[bucket];
+}
+
+const Metric* MetricsRegistry::find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &metrics_[it->second];
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const Metric* metric = find(name);
+  return metric != nullptr && metric->kind == MetricKind::kCounter
+             ? metric->count
+             : 0;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const Metric* metric = find(name);
+  return metric != nullptr && metric->kind == MetricKind::kGauge ? metric->value
+                                                                 : 0.0;
+}
+
+}  // namespace adam2::obs

@@ -1,0 +1,39 @@
+#include "obs/trace.hpp"
+
+namespace adam2::obs {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void mix(std::uint64_t& digest, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    digest ^= (value >> shift) & 0xffU;
+    digest *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t trace_digest(const TraceRing& ring) {
+  std::uint64_t digest = kFnvOffset;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const TraceEvent& e = ring.at(i);
+    mix(digest, e.seq);
+    mix(digest, e.round);
+    mix(digest, static_cast<std::uint64_t>(e.kind));
+    mix(digest, static_cast<std::uint64_t>(e.status));
+    mix(digest, static_cast<std::uint64_t>(e.request_copies) |
+                    (static_cast<std::uint64_t>(e.response_copies) << 8U) |
+                    (static_cast<std::uint64_t>(e.request_corrupted) << 16U) |
+                    (static_cast<std::uint64_t>(e.response_corrupted) << 17U));
+    mix(digest, e.a);
+    mix(digest, e.b);
+    mix(digest, e.value_a);
+    mix(digest, e.value_b);
+  }
+  return digest;
+}
+
+}  // namespace adam2::obs

@@ -1,0 +1,72 @@
+// Fixed-capacity ring buffer of trace events (DESIGN.md §11).
+//
+// The ring grows lazily up to its capacity, then overwrites the oldest
+// retained event; `total()` keeps counting, so `dropped()` reports exactly
+// how much history was lost. Sequence numbers are stamped at push time and
+// never reused, which makes the stream order part of the determinism
+// contract: two runs are trace-equal iff the rings hold the same events at
+// the same sequence numbers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace adam2::obs {
+
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1U << 16U;
+
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Appends `event`, stamping its sequence number. Overwrites the oldest
+  /// retained event once the ring is full.
+  void push(TraceEvent event) {
+    event.seq = total_++;
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(event);
+    } else {
+      buffer_[static_cast<std::size_t>(event.seq % capacity_)] = event;
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  [[nodiscard]] bool empty() const { return buffer_.empty(); }
+
+  /// Events ever pushed (including overwritten ones).
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Events lost to wraparound.
+  [[nodiscard]] std::uint64_t dropped() const { return total_ - size(); }
+
+  /// Chronological access: at(0) is the oldest *retained* event, at(size()-1)
+  /// the newest.
+  [[nodiscard]] const TraceEvent& at(std::size_t i) const {
+    const std::uint64_t seq = total_ - size() + i;
+    return buffer_.size() < capacity_
+               ? buffer_[i]
+               : buffer_[static_cast<std::size_t>(seq % capacity_)];
+  }
+
+  void clear() {
+    buffer_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> buffer_;
+  std::uint64_t total_ = 0;
+};
+
+/// FNV-1a digest over every retained event's fields, in chronological order.
+/// Two rings digest equal iff their retained streams are identical — the
+/// cheap form of the serial ≡ parallel trace-determinism check (the full
+/// form compares exported JSONL byte-for-byte).
+[[nodiscard]] std::uint64_t trace_digest(const TraceRing& ring);
+
+}  // namespace adam2::obs

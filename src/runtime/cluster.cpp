@@ -287,6 +287,11 @@ Cluster::~Cluster() { stop(); }
 
 void Cluster::start() {
   if (running_.exchange(true)) return;
+  // Recorder access stays on the driver thread (Recorder is not
+  // thread-safe); round 0 because wall-clock runtimes have no round counter.
+  if (recorder_ != nullptr) {
+    recorder_->engine_start("cluster", 0, nodes_.size());
+  }
   for (auto& node : nodes_) node->start();
 }
 
@@ -294,6 +299,12 @@ void Cluster::stop() {
   if (!running_.exchange(false)) return;
   for (auto& node : nodes_) node->request_stop();
   for (auto& node : nodes_) node->join();
+  // Threads have joined: the counters are exact now, so absorb the final
+  // snapshot into the metrics registry.
+  if (recorder_ != nullptr) {
+    recorder_->set_traffic(total_traffic());
+    recorder_->engine_stop(0);
+  }
 }
 
 void Cluster::run_on_node(host::NodeId id, NodeTask fn) {

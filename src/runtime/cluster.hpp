@@ -22,6 +22,7 @@
 
 #include "host/exchange.hpp"
 #include "host/fault.hpp"
+#include "obs/recorder.hpp"
 #include "rng/rng.hpp"
 #include "runtime/transport.hpp"
 #include "host/agent.hpp"
@@ -75,6 +76,15 @@ class Cluster {
 
   [[nodiscard]] const Network& network() const { return network_; }
 
+  /// Attaches the observability recorder (nullptr detaches; not owned). The
+  /// Recorder is single-threaded by contract, so a wall-clock runtime only
+  /// touches it from the driver thread: start() records the engine-start
+  /// event, stop() absorbs the final traffic snapshot and records
+  /// engine-stop after the node threads have joined. Per-event tracing is a
+  /// simulator feature (DESIGN.md §11). Call before start().
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+  [[nodiscard]] obs::Recorder* recorder() const { return recorder_; }
+
  private:
   class RuntimeNode;
   class HostBridge;
@@ -90,6 +100,7 @@ class Cluster {
   std::unique_ptr<HostBridge> host_;
   std::vector<std::unique_ptr<RuntimeNode>> nodes_;
   std::atomic<bool> running_{false};
+  obs::Recorder* recorder_ = nullptr;  // Driver-thread only; see set_recorder.
 };
 
 }  // namespace adam2::runtime

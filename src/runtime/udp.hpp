@@ -22,6 +22,7 @@
 #include "host/exchange.hpp"
 #include "host/fault.hpp"
 #include "host/ledger.hpp"
+#include "obs/recorder.hpp"
 #include "rng/rng.hpp"
 #include "runtime/transport.hpp"
 #include "host/agent.hpp"
@@ -110,6 +111,15 @@ class UdpDirectory final : public host::Overlay, public host::HostView {
   /// into the shared ledger, so fault-injection runs and real runs report
   /// the same fields through host::metrics.
   void merge_traffic(const host::TrafficStats& stats) { ledger_.merge(stats); }
+
+  /// Absorbs the current ledger snapshot into `recorder`'s metrics registry.
+  /// The Recorder is single-threaded by contract, so call this from the
+  /// driver thread — typically after every peer has stopped, when the
+  /// counters are exact (each UdpPeer::stop() merges its local counters into
+  /// the ledger first).
+  void publish_traffic(obs::Recorder& recorder) const {
+    recorder.set_traffic(traffic());
+  }
 
  private:
   std::vector<stats::Value> attributes_;

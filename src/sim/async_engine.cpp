@@ -66,6 +66,7 @@ void AsyncEngine::spawn_node(stats::Value attribute, bool bootstrap) {
   host::bootstrap_joiner(stored, table_, *overlay_, *this, round(),
                          total_traffic_);
   schedule(now_ + next_period(), EventKind::kNodeTick, id, id);
+  if (recorder_ != nullptr) recorder_->node_join(round(), id);
 }
 
 AgentContext AsyncEngine::context_ref(Node& n) {
@@ -234,6 +235,7 @@ void AsyncEngine::apply_crashes() {
     busy_until_.erase(id);
     ++n.traffic.crash_restarts;
     ++total_traffic_.crash_restarts;
+    if (recorder_ != nullptr) recorder_->crash_restart(round(), id);
   }
 }
 
@@ -258,10 +260,17 @@ void AsyncEngine::on_maintenance() {
       overlay_->remove_node(victim);
       table_.kill(victim);
       busy_until_.erase(victim);
+      if (recorder_ != nullptr) recorder_->node_depart(round(), victim);
     }
     for (std::size_t i = 0; i < count; ++i) {
       spawn_node(attribute_source_(rng_), /*bootstrap=*/true);
     }
+  }
+  // One kRoundEnd per maintenance cycle: the event-driven analogue of the
+  // cycle engines' end-of-round sample (same gauges, same traffic absorb).
+  if (recorder_ != nullptr) {
+    recorder_->round_end(round(), table_.live_count(), table_.size(),
+                         total_traffic_);
   }
   schedule(now_ + config_.gossip_period, EventKind::kMaintenance, 0, 0);
 }

@@ -42,6 +42,7 @@
 #include "host/exchange.hpp"
 #include "host/fault.hpp"
 #include "host/registry.hpp"
+#include "obs/recorder.hpp"
 #include "rng/rng.hpp"
 #include "host/agent.hpp"
 #include "sim/engine.hpp"
@@ -111,6 +112,17 @@ class AsyncEngine final : public HostView {
     return conduit_.faults();
   }
 
+  /// Attaches the observability recorder (nullptr detaches; not owned).
+  /// The event-driven engine has no synchronised rounds, so its trace
+  /// coverage is the lifecycle taxonomy: one kRoundEnd per maintenance cycle
+  /// (with the traffic totals absorbed into the metrics registry), plus
+  /// crash-restarts and churn joins/departures. Per-exchange fate events are
+  /// a cycle-engine feature — here message legs resolve independently inside
+  /// the event queue and are fully counted by the traffic.* metrics
+  /// (DESIGN.md §11).
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+  [[nodiscard]] obs::Recorder* recorder() const { return recorder_; }
+
  private:
   enum class EventKind : std::uint8_t {
     kNodeTick,
@@ -171,6 +183,7 @@ class AsyncEngine final : public HostView {
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   TrafficStats total_traffic_;
+  obs::Recorder* recorder_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
 };
 

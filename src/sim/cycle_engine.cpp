@@ -56,15 +56,20 @@ void CycleEngine::spawn_node(stats::Value attribute, bool bootstrap) {
   overlay_->add_node(stored.id, *this, rng_);
   host::bootstrap_joiner(stored, table_, *overlay_, *this, round_,
                          total_traffic_);
+  // Initial-population spawns happen before a recorder can be attached, so
+  // only churn-in joins (bootstrap) ever reach the trace — on serial and
+  // parallel engines alike (both churn in the same serial phase).
+  if (recorder_ != nullptr) recorder_->node_join(round_, stored.id);
 }
 
 void CycleEngine::exchange_with(Node& initiator,
-                                const std::optional<NodeId>& target) {
+                                const std::optional<NodeId>& target,
+                                obs::ExchangeOutcome* outcome) {
   // The fabric owns the whole pipeline (legacy loss, partitions, fates,
   // duplicate-delivery policy); this engine contributes only the traffic
   // accumulator, which the sharded subclass reroutes per worker.
   conduit_.run_cycle_exchange(*this, *overlay_, table_, round_, initiator,
-                              target, totals());
+                              target, totals(), outcome);
 }
 
 void CycleEngine::apply_crashes() {
@@ -82,6 +87,7 @@ void CycleEngine::apply_crashes() {
     if (!n.agent) throw std::runtime_error("agent factory returned null");
     ++n.traffic.crash_restarts;
     ++total_traffic_.crash_restarts;
+    if (recorder_ != nullptr) recorder_->crash_restart(round_, id);
   }
 }
 
@@ -114,14 +120,21 @@ void CycleEngine::kill_node(NodeId id) {
   }
   overlay_->remove_node(id);
   table_.kill(id);
+  if (recorder_ != nullptr) recorder_->node_depart(round_, id);
 }
 
 void CycleEngine::finish_round() {
+  // Legacy adapters first (their callbacks may still mutate the engine),
+  // then the recorder captures the settled end-of-round state.
   for (const Observer& fn : observers_) fn(*this);
   if (!sinks_.empty()) {
     const host::RoundSnapshot snapshot{round_, table_.live_count(),
                                        table_.size(), total_traffic_};
     for (host::MetricsSink* sink : sinks_) sink->on_round_end(snapshot);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->round_end(round_, table_.live_count(), table_.size(),
+                         total_traffic_);
   }
   ++round_;
 }

@@ -32,6 +32,7 @@
 #include "host/metrics.hpp"
 #include "host/node.hpp"
 #include "host/registry.hpp"
+#include "obs/recorder.hpp"
 #include "rng/rng.hpp"
 #include "host/agent.hpp"
 #include "sim/overlay.hpp"
@@ -128,12 +129,28 @@ class CycleEngine : public HostView {
   /// Count of all nodes ever created (live + departed).
   [[nodiscard]] std::size_t nodes_ever() const { return table_.size(); }
 
+  /// Attaches the observability recorder (nullptr detaches). Not owned; must
+  /// outlive the engine. With no recorder the engine executes the exact
+  /// pre-obs instruction stream (every hook is null-checked), so detached
+  /// runs stay bit-identical and allocation-free. With one attached, the
+  /// engine records round begin/end, every exchange outcome in plan order,
+  /// crash-restarts and churn joins/departures — identically on the serial
+  /// and sharded engines (DESIGN.md §11).
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+  [[nodiscard]] obs::Recorder* recorder() const { return recorder_; }
+
   /// Runs `fn(*this)` after every round.
+  ///
+  /// Legacy hook, kept as a thin adapter for one release: new code should
+  /// attach an obs::Recorder (round_end events + round gauges) instead.
   using Observer = std::function<void(CycleEngine&)>;
   void add_observer(Observer fn) { observers_.push_back(std::move(fn)); }
 
   /// Registers a metrics sink notified with aggregate state after every
   /// round. The sink must outlive the engine (not owned).
+  ///
+  /// Legacy hook, kept as a thin adapter for one release: the RoundSnapshot
+  /// it delivers is the same data an obs::Recorder captures per round.
   void add_metrics_sink(host::MetricsSink* sink) {
     if (sink != nullptr) sinks_.push_back(sink);
   }
@@ -165,8 +182,18 @@ class CycleEngine : public HostView {
   /// pre-picked `target` (request -> response, loss and failed-contact
   /// accounting). The control-stream draws (loss legs) come from the
   /// initiator's pick_rng, so the unit is self-contained: it touches only
-  /// the two participants' state plus `totals()`.
-  void exchange_with(Node& initiator, const std::optional<NodeId>& target);
+  /// the two participants' state plus `totals()` (and `outcome` when the
+  /// caller records traces).
+  void exchange_with(Node& initiator, const std::optional<NodeId>& target,
+                     obs::ExchangeOutcome* outcome = nullptr);
+
+  /// Records the round-begin trace event (no-op without a recorder). Each
+  /// engine calls this at the top of run_round.
+  void record_round_begin() {
+    if (recorder_ != nullptr) {
+      recorder_->round_begin(round_, table_.live_count());
+    }
+  }
 
   /// Stochastic churn at config_.churn_rate (serial phase).
   void apply_churn();
@@ -199,6 +226,7 @@ class CycleEngine : public HostView {
   TrafficStats total_traffic_;
   std::vector<Observer> observers_;
   std::vector<host::MetricsSink*> sinks_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace adam2::sim

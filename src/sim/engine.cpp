@@ -9,6 +9,8 @@ Engine::Engine(EngineConfig config, std::vector<stats::Value> initial_attributes
                   std::move(agent_factory), std::move(attribute_source)) {}
 
 void Engine::run_round() {
+  record_round_begin();
+
   // 1. Round start for every live agent.
   for (NodeId id : table_.live_ids()) {
     Node& n = table_.at(id);
@@ -29,8 +31,16 @@ void Engine::run_round() {
   for (NodeId id : order_scratch_) {
     if (!table_.is_live(id)) continue;  // Killed mid-round by a test hook.
     Node& initiator = table_.at(id);
-    exchange_with(initiator,
-                  overlay_->pick_gossip_target(id, initiator.pick_rng));
+    const auto target = overlay_->pick_gossip_target(id, initiator.pick_rng);
+    if (recorder_ == nullptr) {
+      exchange_with(initiator, target);
+    } else {
+      // Recorded inline, which is plan order — exactly the order the
+      // parallel engine drains its outcome slots in, so both traces match.
+      obs::ExchangeOutcome outcome;
+      exchange_with(initiator, target, &outcome);
+      recorder_->exchange(round_, outcome);
+    }
   }
 
   // 4. Fault-plan crash-restarts (serial; no-op without a plan).

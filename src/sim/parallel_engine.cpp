@@ -66,6 +66,8 @@ void ParallelEngine::merge_worker_totals() {
 }
 
 void ParallelEngine::run_round() {
+  record_round_begin();
+
   // 1. Round start for every live agent — parallel: an agent only mutates
   //    its own node's state; host and overlay reads are const this phase.
   {
@@ -88,8 +90,17 @@ void ParallelEngine::run_round() {
   rng_.shuffle(order_);
   plan_targets();
 
-  // 4. Exchange units in dependency order.
+  // 4. Exchange units in dependency order. With a recorder attached, every
+  //    unit writes its outcome into its own plan-position slot; draining the
+  //    slots serially after the phase barrier reproduces the serial engine's
+  //    record order exactly.
+  if (recorder_ != nullptr) outcomes_.assign(order_.size(), {});
   run_units();
+  if (recorder_ != nullptr) {
+    for (const obs::ExchangeOutcome& outcome : outcomes_) {
+      recorder_->exchange(round_, outcome);
+    }
+  }
 
   // 5. Fault-plan crash-restarts (serial; same table state and per-node
   //    fault streams as the serial engine at this point, so the same nodes
@@ -112,7 +123,8 @@ void ParallelEngine::plan_targets() {
 }
 
 void ParallelEngine::exec_unit(std::uint32_t position) {
-  exchange_with(table_.at(order_[position]), targets_[position]);
+  exchange_with(table_.at(order_[position]), targets_[position],
+                recorder_ != nullptr ? &outcomes_[position] : nullptr);
 }
 
 void ParallelEngine::run_units() {

@@ -89,6 +89,13 @@ class ParallelEngine final : public CycleEngine {
   std::vector<NodeId> order_;
   std::vector<std::optional<NodeId>> targets_;
 
+  // Exchange-outcome slots, one per plan position, used only with a recorder
+  // attached: workers fill their own unit's slot during the exchange phase
+  // and the main thread drains them in plan order after the barrier — so the
+  // recorded stream is byte-identical to the serial engine's at any thread
+  // count (the pool join publishes the writes).
+  std::vector<obs::ExchangeOutcome> outcomes_;
+
   // Exchange scheduler scratch, rebuilt each round (indices are *positions*
   // in order_; node slots are NodeTable creation slots).
   static constexpr std::uint32_t kNoSlot = 0xffffffffU;

@@ -18,8 +18,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/cyclon.hpp"
 #include "sim/engine.hpp"
@@ -206,6 +209,45 @@ std::uint64_t run_async(bool faults) {
   return digest(engine);
 }
 
+// -- Traced runs (observability determinism) ---------------------------------
+
+/// Everything a recorder-attached cycle run exports, plus the end-state
+/// digest, so one helper serves both halves of the obs contract: the exports
+/// must be byte-identical across schedules, and attaching the recorder must
+/// not perturb the run itself.
+struct TracedRun {
+  std::uint64_t state_digest = 0;
+  std::uint64_t ring_digest = 0;
+  std::string trace;
+  std::string metrics;
+  std::string series;
+};
+
+template <typename EngineT>
+TracedRun traced(EngineT& engine, obs::Recorder& recorder) {
+  engine.set_recorder(&recorder);
+  engine.run_rounds(12);
+  TracedRun run;
+  run.state_digest = digest(engine);
+  run.ring_digest = obs::trace_digest(recorder.trace());
+  run.trace = obs::trace_jsonl(recorder.trace());
+  run.metrics = obs::metrics_json(recorder.metrics());
+  run.series = obs::series_csv(recorder);
+  return run;
+}
+
+TracedRun run_cycle_traced(std::size_t threads, bool faults) {
+  obs::Recorder recorder;
+  if (threads == 0) {
+    Engine engine(cycle_config(faults), iota_values(64), cyclon(),
+                  digest_factory(), churn_values());
+    return traced(engine, recorder);
+  }
+  ParallelEngine engine(cycle_config(faults), threads, iota_values(64),
+                        cyclon(), digest_factory(), churn_values());
+  return traced(engine, recorder);
+}
+
 // -- Fixtures ----------------------------------------------------------------
 // Captured from the pre-exchange-fabric engines (PR 5 tree). A mismatch means
 // the exchange pipeline consumed different draws, from different streams, or
@@ -240,6 +282,53 @@ TEST(GoldenReplayTest, AsyncEngineMatchesCheckedInDigest) {
 
 TEST(GoldenReplayTest, AsyncEngineUnderFaultPlanMatchesCheckedInDigest) {
   EXPECT_EQ(run_async(true), kAsyncFaultsGolden);
+}
+
+// -- Observability determinism (DESIGN.md §11) -------------------------------
+// The serial engine and the sharded engine at any thread count must export
+// byte-identical traces, metrics and series for the same seed: the parallel
+// engine buffers per-unit exchange outcomes in plan-position slots and drains
+// them serially after the barrier, so the recorded stream is the plan order
+// on both. The non-trivial fault plan makes this bite — it exercises drops,
+// duplicates, corruption, partitions and crash-restarts in the trace.
+
+TEST(GoldenReplayTest, TraceExportsAreIdenticalAcrossSchedules) {
+  for (bool faults : {false, true}) {
+    const TracedRun serial = run_cycle_traced(0, faults);
+    const TracedRun one = run_cycle_traced(1, faults);
+    const TracedRun eight = run_cycle_traced(8, faults);
+
+    // A 64-node, 12-round run traces far more than lifecycle events.
+    EXPECT_GT(serial.trace.size(), 1000U) << "faults=" << faults;
+
+    EXPECT_EQ(serial.ring_digest, one.ring_digest) << "faults=" << faults;
+    EXPECT_EQ(serial.ring_digest, eight.ring_digest) << "faults=" << faults;
+    EXPECT_EQ(serial.trace, one.trace) << "faults=" << faults;
+    EXPECT_EQ(serial.trace, eight.trace) << "faults=" << faults;
+    EXPECT_EQ(serial.metrics, one.metrics) << "faults=" << faults;
+    EXPECT_EQ(serial.metrics, eight.metrics) << "faults=" << faults;
+    EXPECT_EQ(serial.series, one.series) << "faults=" << faults;
+    EXPECT_EQ(serial.series, eight.series) << "faults=" << faults;
+  }
+}
+
+TEST(GoldenReplayTest, AttachedRecorderDoesNotPerturbTheRun) {
+  // Recording is observation only: the end-state digests of recorder-attached
+  // runs must still match the pinned pre-obs constants.
+  EXPECT_EQ(run_cycle_traced(0, false).state_digest, kCycleGolden);
+  EXPECT_EQ(run_cycle_traced(0, true).state_digest, kCycleFaultsGolden);
+  EXPECT_EQ(run_cycle_traced(8, true).state_digest, kCycleFaultsGolden);
+}
+
+TEST(GoldenReplayTest, FaultPlanEventsAppearInTheTrace) {
+  const TracedRun run = run_cycle_traced(0, true);
+  // The plan's drop/corrupt/partition rates are high enough over 12 rounds
+  // that their counters must be non-zero — and they flow into the exports.
+  EXPECT_NE(run.trace.find("\"kind\":\"round_end\""), std::string::npos);
+  EXPECT_NE(run.trace.find("\"kind\":\"exchange\""), std::string::npos);
+  EXPECT_NE(run.metrics.find("traffic.dropped_messages"), std::string::npos);
+  const TracedRun clean = run_cycle_traced(0, false);
+  EXPECT_NE(run.trace, clean.trace);  // Faults visibly change the stream.
 }
 
 }  // namespace

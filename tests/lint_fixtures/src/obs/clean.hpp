@@ -1,0 +1,21 @@
+// Fixture: negative control for the obs/ layer rules. Downward and
+// same-rank includes, no concurrency primitives, no stdio — the shape every
+// real src/obs/ file must keep (the Recorder is single-threaded by contract
+// and exporters write through buffered file APIs, not printf).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "host/types.hpp"
+#include "stats/sketch.hpp"
+
+namespace adam2::obs {
+
+struct FixtureEvent {
+  std::uint64_t seq = 0;
+  host::NodeId node = 0;
+};
+
+}  // namespace adam2::obs

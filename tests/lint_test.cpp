@@ -150,6 +150,11 @@ TEST(Layering, FlagsUpwardIncludes) {
                     "layering", 1));
   EXPECT_TRUE(fires(run("src/host/a.hpp", "#include \"runtime/cluster.hpp\"\n"),
                     "layering", 1));
+  // Observability must never reach back into the engines it records.
+  EXPECT_TRUE(fires(run("src/obs/a.hpp", "#include \"sim/engine.hpp\"\n"),
+                    "layering", 1));
+  EXPECT_TRUE(fires(run("src/obs/a.hpp", "#include \"runtime/cluster.hpp\"\n"),
+                    "layering", 1));
 }
 
 TEST(Layering, AcceptsDownSameLayerAndSystem) {
@@ -162,6 +167,10 @@ TEST(Layering, AcceptsDownSameLayerAndSystem) {
                   .empty());
   // data and wire share a rank; the edge is legal in both directions.
   EXPECT_TRUE(run("src/wire/a.hpp", "#include \"data/source.hpp\"\n").empty());
+  // host and obs share a rank: the fabric hands outcome structs to the
+  // recorder, and the recorder absorbs host::TrafficStats.
+  EXPECT_TRUE(run("src/host/a.hpp", "#include \"obs/events.hpp\"\n").empty());
+  EXPECT_TRUE(run("src/obs/a.hpp", "#include \"host/traffic.hpp\"\n").empty());
   // tools/tests/bench sit on top of everything.
   EXPECT_TRUE(run("tools/adam2_sim.cpp",
                   "#include \"sim/engine.hpp\"\n"
@@ -318,6 +327,7 @@ TEST(FixtureCorpus, EachBadFixtureFiresItsRule) {
       {"src/core/r3_layering.hpp", "layering", 2},
       {"src/core/r4_unordered_iter.cpp", "unordered-iter", 2},
       {"src/core/r5_confinement.cpp", "confinement", 5},
+      {"src/obs/r3_reaches_engines.hpp", "layering", 2},
   };
   for (const auto& expected : kExpected) {
     const auto diags = lint::lint_file(root / expected.file);
@@ -338,6 +348,7 @@ TEST(FixtureCorpus, SuppressedAndWhitelistedFixturesBehave) {
   // Whitelist and negative control: zero diagnostics.
   EXPECT_TRUE(lint::lint_file(root / "src/runtime/clock_ok.cpp").empty());
   EXPECT_TRUE(lint::lint_file(root / "src/core/clean.cpp").empty());
+  EXPECT_TRUE(lint::lint_file(root / "src/obs/clean.hpp").empty());
 }
 
 TEST(FixtureCorpus, TreeWalkSkipsFixtures) {

@@ -11,14 +11,17 @@
 // per-node traffic so far.
 #include <cstdio>
 #include <exception>
+#include <optional>
 #include <string>
 
 #include "core/evaluation.hpp"
 #include "core/system.hpp"
 #include "data/boinc_synth.hpp"
 #include "data/trace.hpp"
-#include "flags.hpp"
 #include "host/fault.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
+#include "options.hpp"
 #include "sim/async_engine.hpp"
 
 using namespace adam2;
@@ -69,6 +72,14 @@ faults (deterministic injection, DESIGN.md §8; all default 0 = off):
 output:
   --format F           table | csv (default table)
   --eval-sample N      evaluate N sampled peers, 0 = all (default 400)
+
+observability (obs::Recorder, DESIGN.md §11; each writes atomically):
+  --trace-out FILE     structured event trace as JSONL (round begin/end,
+                       exchange fates, crashes, churn, instance lifecycle)
+  --metrics-out FILE   metrics-registry snapshot as JSON (traffic counters,
+                       exchange-fate counts, message-size histograms)
+  --manifest-out FILE  run manifest as JSON (seed, config echo, engine
+                       kind, build flags)
   --help               this text
 )";
 
@@ -79,31 +90,6 @@ data::Attribute parse_attribute(const std::string& name) {
   throw std::invalid_argument("unknown attribute '" + name + "'");
 }
 
-host::FaultPlan parse_fault_plan(const tools::Flags& flags) {
-  host::FaultPlan plan;
-  plan.drop_rate = flags.get_double("fault-drop", 0.0);
-  plan.duplicate_rate = flags.get_double("fault-duplicate", 0.0);
-  plan.corrupt_rate = flags.get_double("fault-corrupt", 0.0);
-  plan.crash_rate = flags.get_double("fault-crash", 0.0);
-  plan.delay_rate = flags.get_double("fault-delay", 0.0);
-  plan.max_delay = flags.get_double("fault-max-delay", 0.5);
-  plan.partition_count =
-      static_cast<std::size_t>(flags.get_int("fault-partitions", 0));
-  plan.partition_start =
-      static_cast<host::Round>(flags.get_int("fault-start", 0));
-  plan.partition_heal_after =
-      static_cast<host::Round>(flags.get_int("fault-heal", 0));
-  plan.seed = static_cast<std::uint64_t>(
-      flags.get_int("fault-seed", static_cast<std::int64_t>(plan.seed)));
-  for (double rate : {plan.drop_rate, plan.duplicate_rate, plan.corrupt_rate,
-                      plan.crash_rate, plan.delay_rate}) {
-    if (rate < 0.0 || rate > 1.0) {
-      throw std::invalid_argument("fault rates must be in [0, 1]");
-    }
-  }
-  return plan;
-}
-
 core::SelectionHeuristic parse_heuristic(const std::string& name) {
   if (name == "minmax") return core::SelectionHeuristic::kMinMax;
   if (name == "hcut") return core::SelectionHeuristic::kHCut;
@@ -111,7 +97,28 @@ core::SelectionHeuristic parse_heuristic(const std::string& name) {
   throw std::invalid_argument("unknown heuristic '" + name + "'");
 }
 
-int run(const tools::Flags& flags) {
+/// Writes whichever observability artifacts were requested; throws on an
+/// export that could not be written (partial artifacts are never left
+/// behind — obs::atomic_write_file renames a complete temp file or nothing).
+void write_observability(const obs::Recorder& recorder,
+                         const std::string& trace_out,
+                         const std::string& metrics_out,
+                         const std::string& manifest_out) {
+  if (!trace_out.empty() &&
+      !obs::write_trace_jsonl(trace_out, recorder.trace())) {
+    throw std::runtime_error("cannot write trace to " + trace_out);
+  }
+  if (!metrics_out.empty() &&
+      !obs::write_metrics_json(metrics_out, recorder.metrics())) {
+    throw std::runtime_error("cannot write metrics to " + metrics_out);
+  }
+  if (!manifest_out.empty() &&
+      !obs::write_manifest_json(manifest_out, recorder.manifest())) {
+    throw std::runtime_error("cannot write manifest to " + manifest_out);
+  }
+}
+
+int run(const tools::Options& flags) {
   if (flags.has("help")) {
     std::fputs(kUsage, stdout);
     return 0;
@@ -162,7 +169,7 @@ int run(const tools::Flags& flags) {
                                 std::to_string(threads));
   }
   config.engine_threads = static_cast<std::size_t>(threads);
-  config.engine.faults = parse_fault_plan(flags);
+  config.engine.faults = tools::parse_fault_plan(flags);
 
   const auto instances =
       static_cast<std::size_t>(flags.get_int("instances", 3));
@@ -172,7 +179,21 @@ int run(const tools::Flags& flags) {
   core::EvaluationOptions options;
   options.peer_sample =
       static_cast<std::size_t>(flags.get_int("eval-sample", 400));
+  const std::string trace_out = flags.get("trace-out", "");
+  const std::string metrics_out = flags.get("metrics-out", "");
+  const std::string manifest_out = flags.get("manifest-out", "");
   flags.reject_unknown();
+
+  // Observability is opt-in: without any of the three output flags no
+  // recorder exists and the engines run their zero-overhead null path.
+  std::optional<obs::Recorder> recorder;
+  if (!trace_out.empty() || !metrics_out.empty() || !manifest_out.empty()) {
+    recorder.emplace();
+    recorder->manifest().name = "adam2_sim";
+    recorder->manifest().set("attribute", data::attribute_name(attribute));
+    recorder->manifest().set("instances",
+                             static_cast<std::uint64_t>(instances));
+  }
 
   if (use_async) {
     sim::AsyncConfig async_config;
@@ -193,6 +214,16 @@ int run(const tools::Flags& flags) {
                 return data::sample_attribute(attribute, rng);
               })
             : host::AttributeSource{});
+    if (recorder) {
+      engine.set_recorder(&*recorder);
+      recorder->engine_start("async", 0, values.size());
+      recorder->manifest().seed = seed;
+      recorder->manifest().set("nodes",
+                               static_cast<std::uint64_t>(values.size()));
+      recorder->manifest().set("churn_per_second",
+                               async_config.churn_per_second);
+      recorder->manifest().set("message_loss", async_config.message_loss);
+    }
     engine.run_until(5.0);
     if (csv) {
       std::printf("instance,errm,erra,points_errm,points_erra\n");
@@ -219,6 +250,11 @@ int run(const tools::Flags& flags) {
                     entire.avg_err, points.max_err, points.avg_err);
       }
     }
+    if (recorder) {
+      recorder->engine_stop(engine.round());
+      recorder->set_traffic(engine.total_traffic());
+      write_observability(*recorder, trace_out, metrics_out, manifest_out);
+    }
     return 0;
   }
 
@@ -229,6 +265,7 @@ int run(const tools::Flags& flags) {
               return data::sample_attribute(attribute, rng);
             })
           : host::AttributeSource{});
+  if (recorder) system.attach_recorder(&*recorder);
   system.run_rounds(5);  // Warm up the peer-sampling descriptor caches.
 
   if (csv) {
@@ -268,6 +305,11 @@ int run(const tools::Flags& flags) {
                   points.avg_err, n_est, est_erra, sent_kb);
     }
   }
+  if (recorder) {
+    recorder->engine_stop(system.engine().round());
+    recorder->set_traffic(system.engine().total_traffic());
+    write_observability(*recorder, trace_out, metrics_out, manifest_out);
+  }
   return 0;
 }
 
@@ -275,7 +317,7 @@ int run(const tools::Flags& flags) {
 
 int main(int argc, char** argv) {
   try {
-    return run(tools::Flags(argc, argv));
+    return run(tools::Options(argc, argv));
   } catch (const std::exception& error) {
     std::fprintf(stderr, "adam2_sim: %s\n", error.what());
     std::fputs(kUsage, stderr);

@@ -9,6 +9,7 @@
 // real trace has the smooth-vs-stepped shapes the experiments care about.
 #include <cstdio>
 #include <exception>
+#include <stdexcept>
 #include <string>
 
 #include "data/boinc_synth.hpp"

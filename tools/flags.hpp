@@ -1,45 +1,12 @@
-// Minimal command-line flag parsing for the CLI tools: --name value pairs
-// plus boolean switches, with typed accessors and an auto-generated usage
-// listing. No external dependencies.
+// Legacy name for the CLI option parser. The implementation moved to
+// options.hpp so the benches (environment source) and the CLI tools (argv
+// source) share one parser; `Flags` remains as the argv-flavoured alias.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <optional>
-#include <stdexcept>
-#include <string>
-#include <vector>
+#include "options.hpp"
 
 namespace adam2::tools {
 
-class Flags {
- public:
-  /// Parses argv. Flags look like `--name value` or `--switch`; anything
-  /// not starting with `--` is a positional argument.
-  Flags(int argc, char** argv);
-
-  [[nodiscard]] bool has(const std::string& name) const;
-
-  [[nodiscard]] std::string get(const std::string& name,
-                                const std::string& fallback) const;
-  [[nodiscard]] std::int64_t get_int(const std::string& name,
-                                     std::int64_t fallback) const;
-  [[nodiscard]] double get_double(const std::string& name,
-                                  double fallback) const;
-  [[nodiscard]] bool get_bool(const std::string& name) const { return has(name); }
-
-  [[nodiscard]] const std::vector<std::string>& positional() const {
-    return positional_;
-  }
-
-  /// Throws std::invalid_argument when a flag was passed that none of the
-  /// get* calls above ever looked up (typo protection). Call after parsing.
-  void reject_unknown() const;
-
- private:
-  std::map<std::string, std::string> values_;
-  std::vector<std::string> positional_;
-  mutable std::map<std::string, bool> seen_;
-};
+using Flags = Options;
 
 }  // namespace adam2::tools

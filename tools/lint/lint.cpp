@@ -483,7 +483,7 @@ class Analyzer {
                  ") must not include \"" + inc.target + "\" (layer " +
                  std::to_string(target->second) +
                  "): the DESIGN.md DAG is rng < stats < data/wire < core < "
-                 "host < sim/runtime < baselines.");
+                 "host/obs < sim/runtime < baselines.");
       }
     }
   }

@@ -22,9 +22,12 @@
 //                         original's draw positions shift. Owning members
 //                         and factory returns (`node_stream(id)`) are fine.
 //   layering        (R3)  #include edges must respect the DESIGN.md DAG
-//                         rng < stats < data/wire < core < host <
+//                         rng < stats < data/wire < core < host/obs <
 //                         sim/runtime < baselines; tools/bench/tests/examples
-//                         sit on top. Protects: substrate-agnostic agents.
+//                         sit on top. In particular src/obs/ may never
+//                         include sim/ or runtime/ — observability is
+//                         recorded *into*, it does not reach back into the
+//                         engines. Protects: substrate-agnostic agents.
 //   unordered-iter  (R4)  iteration (`for (x : m)`, `m.begin()`) over
 //                         unordered_map/unordered_set in library TUs.
 //                         Bucket order is not part of any contract; letting
@@ -64,10 +67,14 @@ struct Options {
 
   /// Layer rank per top-level src/ directory; an include may only point at a
   /// rank <= the includer's. Directories absent from the map (and files not
-  /// under src/) rank as "top" and may include anything.
+  /// under src/) rank as "top" and may include anything. obs/ sits beside
+  /// host/ (rank 4): engines above record into it, and it must never reach
+  /// back into sim/ or runtime/ — an obs/ file including either is a
+  /// layering violation.
   std::map<std::string, int> layers = {
-      {"rng", 0},  {"stats", 1},   {"data", 2}, {"wire", 2},    {"core", 3},
-      {"host", 4}, {"sim", 5},     {"runtime", 5}, {"baselines", 6},
+      {"rng", 0},  {"stats", 1}, {"data", 2},    {"wire", 2},
+      {"core", 3}, {"host", 4},  {"obs", 4},     {"sim", 5},
+      {"runtime", 5},            {"baselines", 6},
   };
 
   /// Logical-path prefixes whose files may call *_clock::now() (wall-clock

@@ -1,0 +1,77 @@
+// Shared typed option parsing for the CLI tools and benches.
+//
+// One Options object holds a set of `name -> value` pairs plus positional
+// arguments, with typed accessors, typo protection (reject_unknown) and two
+// sources:
+//   * argv      — `--name value`, `--name=value`, bare `--switch`
+//                 (the CLI tools' flag syntax, unchanged);
+//   * environment — every variable under a prefix, with
+//                 `PREFIX_FOO_BAR` exposed as key `foo-bar` (the benches'
+//                 ADAM2_BENCH_* convention, unchanged).
+// Both sources answer the same get* calls, so helpers like parse_fault_plan
+// below serve adam2_sim's --fault-* flags and the benches'
+// ADAM2_BENCH_FAULT_* variables from one implementation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "host/fault.hpp"
+
+namespace adam2::tools {
+
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses argv. Options look like `--name value` or `--name=value`; a
+  /// `--switch` followed by another flag (or nothing) gets an empty value;
+  /// anything not starting with `--` is a positional argument.
+  Options(int argc, char** argv);
+
+  /// Collects every environment variable starting with `prefix` + '_'.
+  /// The remainder of the variable name is lower-cased with '_' mapped to
+  /// '-', so `ADAM2_BENCH_FAULT_DROP=0.1` answers get_double("fault-drop").
+  [[nodiscard]] static Options from_env(const std::string& prefix);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const { return has(name); }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Throws std::invalid_argument when an option was passed that none of the
+  /// get* calls above ever looked up (typo protection). Call after parsing.
+  /// Only meaningful for the argv source — the environment legitimately
+  /// carries variables a given consumer never reads.
+  void reject_unknown() const;
+
+ private:
+  /// Human name of an option for error messages: `--name` for the argv
+  /// source, `PREFIX_NAME` for the environment source.
+  [[nodiscard]] std::string describe(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string env_prefix_;  ///< Empty for the argv source.
+  mutable std::map<std::string, bool> seen_;
+};
+
+/// Parses the shared deterministic fault-injection schedule (DESIGN.md §8)
+/// from `fault-drop`, `fault-duplicate`, `fault-corrupt`, `fault-crash`,
+/// `fault-delay`, `fault-max-delay`, `fault-partitions`, `fault-start`,
+/// `fault-heal` and `fault-seed` — i.e. adam2_sim's --fault-* flags or the
+/// benches' ADAM2_BENCH_FAULT_* variables. Rates are validated to [0, 1].
+[[nodiscard]] host::FaultPlan parse_fault_plan(const Options& options);
+
+}  // namespace adam2::tools
