@@ -339,4 +339,24 @@ std::vector<InstanceResult> run_equidepth_series(
   return results;
 }
 
+double peak_rss_mb() {
+#if defined(__linux__)
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0.0;
+  char line[256];
+  double mb = 0.0;
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+      mb = static_cast<double>(kb) / 1024.0;
+      break;
+    }
+  }
+  std::fclose(status);
+  return mb;
+#else
+  return 0.0;
+#endif
+}
+
 }  // namespace adam2::bench

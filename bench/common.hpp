@@ -127,4 +127,9 @@ struct InstanceResult {
 /// Attribute source drawing fresh values of `kind` (churn replacements).
 [[nodiscard]] host::AttributeSource churn_source(data::Attribute kind);
 
+/// Peak resident set size of this process in MiB (Linux VmHWM; 0.0 where
+/// the platform has no cheap equivalent). Monotone over the process
+/// lifetime, so ascending-size sweeps read it after each row.
+[[nodiscard]] double peak_rss_mb();
+
 }  // namespace adam2::bench

@@ -10,12 +10,20 @@
 // ParallelEngine and is re-run serially for comparison: the row gains a
 // speedup column plus a `match` flag checking that the parallel errors are
 // bit-identical to the serial ones (the engine's determinism contract).
+//
+// With ADAM2_BENCH_HIGHN=<maxN> an additional high-N sweep runs one
+// instance per size on sizes up to 1,000,000 (capped at maxN), with sampled
+// evaluation only: it records a per-round wall-clock series for every size
+// plus peak RSS after each row, profiling memory-layout behaviour at
+// million-node rounds rather than accuracy (which the main sweep covers).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include <string>
 
 #include "common.hpp"
+#include "core/evaluation.hpp"
 
 using namespace adam2;
 
@@ -53,6 +61,62 @@ RowResult run_row(const bench::BenchEnv& sized, std::size_t n,
                                              start)
                    .count();
   return row;
+}
+
+/// High-N sweep (ADAM2_BENCH_HIGHN=<maxN>): one single-attribute instance
+/// per size, driven round by round so the report carries a wall-clock value
+/// for every gossip round, plus peak RSS after each size. Evaluation is
+/// always sampled — a full-population sweep at 1M nodes would dwarf the
+/// gossip being measured.
+void run_high_n_sweep(const bench::BenchEnv& env, std::size_t max_n) {
+  std::vector<std::size_t> sizes{1000,   10000,  31623,
+                                 100000, 316228, 1000000};
+  std::erase_if(sizes, [&](std::size_t n) { return n > max_n; });
+
+  std::vector<std::vector<double>> summaries;
+  for (std::size_t n : sizes) {
+    bench::BenchEnv sized = env;
+    sized.n = n;
+    const auto values =
+        bench::population(data::Attribute::kRamMb, n, env.seed);
+    const core::SystemConfig config = bench::default_system(sized);
+    core::Adam2System system(config, values);
+    system.attach_recorder(bench::report_recorder());
+    system.run_rounds(5);  // Warm the peer-sampling descriptor caches.
+
+    const std::size_t rounds = config.protocol.instance_ttl + 1u;
+    bench::print_header("highN_" + std::to_string(n) + "_round",
+                        {"wall_s"});
+    system.start_instance();
+    double total_s = 0.0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const auto begin = std::chrono::steady_clock::now();
+      system.run_rounds(1);
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        begin)
+              .count();
+      total_s += wall_s;
+      bench::print_row(std::to_string(r), {wall_s});
+    }
+
+    core::EvaluationOptions options;
+    options.peer_sample =
+        env.peer_sample > 0 ? env.peer_sample : std::size_t{400};
+    options.threads = env.threads;
+    const auto errors =
+        core::evaluate_estimates(system.engine(), stats::EmpiricalCdf{values},
+                                 options);
+    summaries.push_back({errors.max_err, errors.avg_err,
+                         static_cast<double>(rounds), total_s,
+                         bench::peak_rss_mb()});
+  }
+  bench::print_header("highN_nodes", {"RAM_Errm", "RAM_Erra", "rounds",
+                                      "total_s", "peak_rss_mb"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    bench::print_row(std::to_string(sizes[i]), summaries[i]);
+  }
+  bench::report_metric("peak_rss_mb", bench::peak_rss_mb());
 }
 
 }  // namespace
@@ -95,6 +159,10 @@ int main() {
     std::string label = std::to_string(n);
     if (compare) label += match ? " match" : " MISMATCH";
     bench::print_row(label, values);
+  }
+  if (const char* high_n = std::getenv("ADAM2_BENCH_HIGHN");
+      high_n != nullptr && *high_n != '\0') {
+    run_high_n_sweep(env, std::strtoull(high_n, nullptr, 10));
   }
   const std::string json = bench::emit_json();
   if (!json.empty()) std::printf("# wrote %s\n", json.c_str());

@@ -197,10 +197,10 @@ PopulationErrors evaluate_instance_cdf(Host& engine, wire::InstanceId id,
       [&](wire::NodeId peer) -> std::optional<stats::ErrorPair> {
         const Adam2Agent* agent = detail::adam2_agent(engine, peer);
         if (agent == nullptr) return std::nullopt;
-        const InstanceState* state = agent->instance(id);
+        const InstanceSlot* state = agent->instance(id);
         if (state == nullptr) return std::nullopt;
         const auto cdf = stats::interpolate_with_extremes(
-            state->points, state->min_value, state->max_value);
+            state->points(), state->min_value, state->max_value);
         return errors_against_truth(cdf);
       });
 }
@@ -215,9 +215,9 @@ PopulationErrors evaluate_instance_points(
       [&](wire::NodeId peer) -> std::optional<stats::ErrorPair> {
         const Adam2Agent* agent = detail::adam2_agent(engine, peer);
         if (agent == nullptr) return std::nullopt;
-        const InstanceState* state = agent->instance(id);
+        const InstanceSlot* state = agent->instance(id);
         if (state == nullptr) return std::nullopt;
-        return stats::point_errors(truth, state->points);
+        return stats::point_errors(truth, state->points());
       });
 }
 

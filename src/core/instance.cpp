@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/point_ops.hpp"
+
 namespace adam2::core {
 namespace {
 
@@ -27,38 +29,8 @@ std::vector<stats::CdfPoint> contribute_at(const PointRange& received,
   return points;
 }
 
-void average_points(std::vector<stats::CdfPoint>& mine,
-                    const std::vector<stats::CdfPoint>& theirs) {
-  assert(mine.size() == theirs.size());
-  for (std::size_t i = 0; i < mine.size(); ++i) {
-    assert(mine[i].t == theirs[i].t);
-    mine[i].f = (mine[i].f + theirs[i].f) / 2.0;
-  }
-}
-
-void average_points(std::vector<stats::CdfPoint>& mine,
-                    const wire::PointsView& theirs) {
-  assert(mine.size() == theirs.size());
-  std::size_t i = 0;
-  for (const stats::CdfPoint p : theirs) {
-    assert(mine[i].t == p.t);
-    mine[i].f = (mine[i].f + p.f) / 2.0;
-    ++i;
-  }
-}
-
-// Same element count and bitwise-identical thresholds; works for owned
-// vectors and zero-copy wire::PointsView alike.
-template <typename PointRange>
-bool same_thresholds(const std::vector<stats::CdfPoint>& mine,
-                     const PointRange& theirs) {
-  if (mine.size() != theirs.size()) return false;
-  std::size_t i = 0;
-  for (const stats::CdfPoint p : theirs) {
-    if (mine[i++].t != p.t) return false;
-  }
-  return true;
-}
+using point_ops::average_points;
+using point_ops::same_thresholds;
 
 }  // namespace
 

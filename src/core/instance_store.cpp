@@ -1,0 +1,189 @@
+#include "core/instance_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/point_ops.hpp"
+
+namespace adam2::core {
+
+// ---------------------------------------------------------------- InstanceSlot
+
+bool InstanceSlot::mergeable_with(const wire::InstancePayload& other) const {
+  return other.id == id && point_ops::same_thresholds(points(), other.points) &&
+         point_ops::same_thresholds(verification(), other.verification);
+}
+
+bool InstanceSlot::mergeable_with(const wire::InstancePayloadView& other) const {
+  return other.id == id && point_ops::same_thresholds(points(), other.points) &&
+         point_ops::same_thresholds(verification(), other.verification);
+}
+
+void InstanceSlot::average_with(const wire::InstancePayload& other) {
+  assert(other.id == id);
+  point_ops::average_points(points(), other.points);
+  point_ops::average_points(verification(), other.verification);
+  weight = (weight + other.weight) / 2.0;
+  min_value = std::min(min_value, other.min_value);
+  max_value = std::max(max_value, other.max_value);
+}
+
+void InstanceSlot::average_with(const wire::InstancePayloadView& other) {
+  assert(other.id == id);
+  point_ops::average_points(points(), other.points);
+  point_ops::average_points(verification(), other.verification);
+  weight = (weight + other.weight) / 2.0;
+  min_value = std::min(min_value, other.min_value);
+  max_value = std::max(max_value, other.max_value);
+}
+
+// --------------------------------------------------------------- InstanceStore
+
+InstanceStore::InstanceStore()
+    : index_(kInitialBuckets, kNpos), mask_(kInitialBuckets - 1) {}
+
+InstanceSlot* InstanceStore::find(wire::InstanceId id) {
+  std::size_t b = bucket_of(id);
+  while (index_[b] != kNpos) {
+    InstanceSlot& slot = slots_[index_[b]];
+    if (slot.id == id) return &slot;
+    b = (b + 1) & mask_;
+  }
+  return nullptr;
+}
+
+const InstanceSlot* InstanceStore::find(wire::InstanceId id) const {
+  return const_cast<InstanceStore*>(this)->find(id);
+}
+
+void InstanceStore::insert_index(std::uint32_t row) {
+  std::size_t b = bucket_of(slots_[row].id);
+  while (index_[b] != kNpos) b = (b + 1) & mask_;
+  index_[b] = row;
+}
+
+void InstanceStore::rehash(std::size_t buckets) {
+  index_.assign(buckets, kNpos);
+  mask_ = buckets - 1;
+  for (std::uint32_t row : order_) insert_index(row);
+}
+
+InstanceSlot& InstanceStore::emplace_row(wire::InstanceId id) {
+  assert(find(id) == nullptr);
+  // Grow at 70% occupancy, before the new element lands.
+  if ((order_.size() + 1) * 10 >= index_.size() * 7) rehash(index_.size() * 2);
+  std::uint32_t row;
+  if (!free_rows_.empty()) {
+    row = free_rows_.back();
+    free_rows_.pop_back();
+    slots_[row] = InstanceSlot{};
+  } else {
+    row = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[row].id = id;
+  insert_index(row);
+  order_.push_back(row);
+  return slots_[row];
+}
+
+InstanceSlot& InstanceStore::start(wire::InstanceId id,
+                                   std::uint32_t start_round, std::uint16_t ttl,
+                                   std::span<const double> thresholds,
+                                   std::span<const double> verification,
+                                   const ContributionFn& contribution,
+                                   double local_min, double local_max) {
+  InstanceSlot& slot = emplace_row(id);
+  slot.start_round = start_round;
+  slot.ttl = ttl;
+  slot.weight = 1.0;  // Unique initiator: the averaged mean becomes 1/N.
+  slot.min_value = local_min;
+  slot.max_value = local_max;
+  slot.points_ = arena_.allocate(thresholds.size());
+  slot.points_count_ = static_cast<std::uint32_t>(thresholds.size());
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    slot.points_.data[i] = {thresholds[i], contribution(thresholds[i])};
+  }
+  slot.verification_ = arena_.allocate(verification.size());
+  slot.verification_count_ = static_cast<std::uint32_t>(verification.size());
+  for (std::size_t i = 0; i < verification.size(); ++i) {
+    slot.verification_.data[i] = {verification[i],
+                                  contribution(verification[i])};
+  }
+  return slot;
+}
+
+template <typename Payload>
+InstanceSlot& InstanceStore::join_impl(const Payload& payload,
+                                       const ContributionFn& contribution,
+                                       double local_min, double local_max) {
+  InstanceSlot& slot = emplace_row(payload.id);
+  slot.start_round = payload.start_round;
+  slot.ttl = payload.ttl;
+  slot.weight = 0.0;
+  slot.min_value = local_min;
+  slot.max_value = local_max;
+  slot.points_ = arena_.allocate(payload.points.size());
+  slot.points_count_ = static_cast<std::uint32_t>(payload.points.size());
+  std::size_t i = 0;
+  for (const stats::CdfPoint p : payload.points) {
+    slot.points_.data[i++] = {p.t, contribution(p.t)};
+  }
+  slot.verification_ = arena_.allocate(payload.verification.size());
+  slot.verification_count_ =
+      static_cast<std::uint32_t>(payload.verification.size());
+  i = 0;
+  for (const stats::CdfPoint p : payload.verification) {
+    slot.verification_.data[i++] = {p.t, contribution(p.t)};
+  }
+  return slot;
+}
+
+InstanceSlot& InstanceStore::join(const wire::InstancePayloadView& payload,
+                                  const ContributionFn& contribution,
+                                  double local_min, double local_max) {
+  return join_impl(payload, contribution, local_min, local_max);
+}
+
+InstanceSlot& InstanceStore::join(const wire::InstancePayload& payload,
+                                  const ContributionFn& contribution,
+                                  double local_min, double local_max) {
+  return join_impl(payload, contribution, local_min, local_max);
+}
+
+void InstanceStore::erase_bucket(std::size_t hole) {
+  index_[hole] = kNpos;
+  std::size_t next = hole;
+  while (true) {
+    next = (next + 1) & mask_;
+    if (index_[next] == kNpos) return;
+    const std::size_t home = bucket_of(slots_[index_[next]].id);
+    // `next`'s element may fill the hole only if the hole lies on its probe
+    // path, i.e. its displacement from home reaches at least back to the
+    // hole (cyclic distances).
+    if (((next - home) & mask_) >= ((next - hole) & mask_)) {
+      index_[hole] = index_[next];
+      index_[next] = kNpos;
+      hole = next;
+    }
+  }
+}
+
+void InstanceStore::erase(wire::InstanceId id) {
+  std::size_t b = bucket_of(id);
+  while (true) {
+    assert(index_[b] != kNpos);  // Precondition: id is present.
+    if (slots_[index_[b]].id == id) break;
+    b = (b + 1) & mask_;
+  }
+  const std::uint32_t row = index_[b];
+  erase_bucket(b);
+  InstanceSlot& slot = slots_[row];
+  arena_.release(slot.points_.data, slot.points_.capacity);
+  arena_.release(slot.verification_.data, slot.verification_.capacity);
+  slot = InstanceSlot{};
+  free_rows_.push_back(row);
+  std::erase(order_, row);
+}
+
+}  // namespace adam2::core

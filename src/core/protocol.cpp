@@ -86,19 +86,30 @@ void Adam2Agent::on_round_start(host::AgentContext& ctx) {
   // burn one round. (Finalising before decrementing gives an instance with
   // ttl = T exactly T exchange rounds.)
   std::vector<wire::InstanceId> finished;
-  for (const wire::InstanceId id : active_order_) {
-    InstanceState& state = active_.find(id)->second;
-    if (state.ttl == 0) {
-      finished.push_back(id);
+  for (InstanceSlot& slot : store_) {
+    if (slot.ttl == 0) {
+      finished.push_back(slot.id);
       continue;
     }
-    --state.ttl;
+    --slot.ttl;
   }
   for (wire::InstanceId id : finished) {
-    auto it = active_.find(id);
-    InstanceState state = std::move(it->second);
-    active_.erase(it);
-    std::erase(active_order_, id);
+    // Finalisation leaves the hot path: copy the slot into the owning
+    // cold-path form (the finalize pipeline builds vectors and an Estimate
+    // anyway), recycle the slot, then finalise.
+    const InstanceSlot& slot = *store_.find(id);
+    InstanceState state;
+    state.id = slot.id;
+    state.start_round = slot.start_round;
+    state.ttl = slot.ttl;
+    state.flags = slot.flags;
+    state.weight = slot.weight;
+    state.min_value = slot.min_value;
+    state.max_value = slot.max_value;
+    state.points.assign(slot.points().begin(), slot.points().end());
+    state.verification.assign(slot.verification().begin(),
+                              slot.verification().end());
+    store_.erase(id);
     finalize(ctx, std::move(state));
   }
 
@@ -159,23 +170,27 @@ wire::InstanceId Adam2Agent::start_instance(host::AgentContext& ctx) {
 
   augment_thresholds(thresholds);
   const auto [local_min, local_max] = local_extremes(ctx);
-  InstanceState state = InstanceState::start(
-      id, ctx.round, config_.instance_ttl, thresholds, verification,
-      contribution_fn(ctx), local_min, local_max);
-  active_.emplace(id, std::move(state));
-  active_order_.push_back(id);
+  store_.start(id, ctx.round, config_.instance_ttl, thresholds, verification,
+               contribution_fn(ctx), local_min, local_max);
   return id;
 }
 
 std::span<const std::byte> Adam2Agent::make_request(host::AgentContext& ctx) {
-  if (active_.empty()) return {};
+  if (store_.empty()) return {};
+  // Exact-size reservation: skips the doubling-growth copies while the
+  // scratch warms up to the steady-state message size (one cheap pass over
+  // the slot headers; no effect once capacity has been seen).
+  std::size_t encoded = 1 + 8 + 4;
+  for (const InstanceSlot& slot : store_) {
+    encoded += wire::kInstancePayloadFixedSize +
+               16 * (slot.points().size() + slot.verification().size());
+  }
+  wire_scratch_.reserve(encoded);
   wire::Adam2MessageBuilder builder(wire_scratch_,
                                     wire::MessageType::kAdam2Request, ctx.self);
   // Payloads travel in join/start order: wire bytes must be a function of
-  // protocol history, not of active_'s bucket layout.
-  for (const wire::InstanceId id : active_order_) {
-    builder.add(active_.find(id)->second);
-  }
+  // protocol history, not of any hash-bucket layout.
+  for (const InstanceSlot& slot : store_) builder.add(slot.ref());
   return builder.finish();
 }
 
@@ -203,46 +218,44 @@ std::span<const std::byte> Adam2Agent::handle_request(
   const std::uint64_t epoch = ++request_epoch_;
 
   for (const wire::InstancePayloadView& payload : incoming) {
-    auto it = active_.find(payload.id);
-    if (it != active_.end()) it->second.touched_epoch = epoch;
+    InstanceSlot* slot = store_.find(payload.id);
+    if (slot != nullptr) slot->touched_epoch = epoch;
     if ((payload.flags & wire::kFlagEmptySet) != 0) continue;
     if (!eligible(ctx, payload.start_round, payload.id)) continue;
     if (!plausible(payload, config_.instance_ttl)) continue;
-    if (it != active_.end()) {
+    if (slot != nullptr) {
       // Corruption that survived the framing walk (or a foreign restart of
       // the same id) must not reach average_with: mismatched point counts
       // would read/write out of bounds.
-      if (!it->second.mergeable_with(payload)) continue;
+      if (!slot->mergeable_with(payload)) continue;
       // Symmetric exchange: reply with the pre-merge state, then average.
-      reply.add(it->second);
-      it->second.average_with(payload);
+      reply.add(slot->ref());
+      slot->average_with(payload);
       continue;
     }
-    // First contact with this instance: join it.
+    // First contact with this instance: join it. (The join may grow the
+    // store; `slot` is dead past this point.)
     const auto [local_min, local_max] = local_extremes(ctx);
-    InstanceState joined =
-        InstanceState::join(payload, contribution_fn(ctx), local_min, local_max);
+    InstanceSlot& joined =
+        store_.join(payload, contribution_fn(ctx), local_min, local_max);
     if (config_.join_policy == JoinPolicy::kMassConserving) {
       // Reply with the initial values so both sides end at the same average:
       // total mass grows by exactly this node's contribution.
-      reply.add(joined);
+      reply.add(joined.ref());
     } else {
       // Figure-1 literal: reply with an empty set, which the requester will
       // ignore. Not mass conserving; kept for the ablation bench.
-      reply.add_empty_set(joined);
+      reply.add_empty_set(joined.ref());
     }
     joined.average_with(payload);
     joined.touched_epoch = epoch;
-    active_.emplace(payload.id, std::move(joined));
-    active_order_.push_back(payload.id);
   }
 
   // Instances the requester did not mention spread through responses too —
   // again in join/start order, for the same replay-stability reason as
   // make_request.
-  for (const wire::InstanceId id : active_order_) {
-    const InstanceState& state = active_.find(id)->second;
-    if (state.touched_epoch != epoch) reply.add(state);
+  for (const InstanceSlot& slot : store_) {
+    if (slot.touched_epoch != epoch) reply.add(slot.ref());
   }
 
   if (reply.count() == 0) return {};
@@ -261,23 +274,21 @@ void Adam2Agent::handle_response(host::AgentContext& ctx,
     if ((payload.flags & wire::kFlagEmptySet) != 0) continue;
     if (!eligible(ctx, payload.start_round, payload.id)) continue;
     if (!plausible(payload, config_.instance_ttl)) continue;
-    auto it = active_.find(payload.id);
-    if (it != active_.end()) {
-      if (!it->second.mergeable_with(payload)) continue;  // See handle_request.
-      it->second.average_with(payload);
+    InstanceSlot* slot = store_.find(payload.id);
+    if (slot != nullptr) {
+      if (!slot->mergeable_with(payload)) continue;  // See handle_request.
+      slot->average_with(payload);
       continue;
     }
     const auto [local_min, local_max] = local_extremes(ctx);
-    InstanceState joined =
-        InstanceState::join(payload, contribution_fn(ctx), local_min, local_max);
+    InstanceSlot& joined =
+        store_.join(payload, contribution_fn(ctx), local_min, local_max);
     if (config_.join_policy == JoinPolicy::kPaperLiteral) {
       joined.average_with(payload);
     }
     // Mass-conserving requester join: initialise only — the responder cannot
     // learn our initial values within this exchange, so averaging here would
     // create mass out of nothing.
-    active_.emplace(payload.id, std::move(joined));
-    active_order_.push_back(payload.id);
   }
 }
 
@@ -336,11 +347,6 @@ void Adam2Agent::apply_adaptive_tuning(const stats::ErrorPair& assessment) {
   }
   lambda_ = std::clamp(static_cast<std::size_t>(std::llround(next)),
                        tuning.min_lambda, tuning.max_lambda);
-}
-
-const InstanceState* Adam2Agent::instance(wire::InstanceId id) const {
-  auto it = active_.find(id);
-  return it == active_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::byte> Adam2Agent::make_bootstrap_request(

@@ -14,12 +14,12 @@
 
 #include <deque>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "core/config.hpp"
 #include "core/estimate.hpp"
 #include "core/instance.hpp"
+#include "core/instance_store.hpp"
 // The NodeAgent contract is the protocol <-> substrate boundary: host/
 // defines the interface, core/ implements it. Inverting the edge would drag
 // the whole contract cluster (agent, view, overlay) below core/ for no
@@ -63,9 +63,14 @@ class Adam2Agent : public host::NodeAgent {
   [[nodiscard]] double n_estimate() const { return n_estimate_; }
 
   [[nodiscard]] std::size_t active_instance_count() const {
-    return active_.size();
+    return store_.size();
   }
-  [[nodiscard]] const InstanceState* instance(wire::InstanceId id) const;
+  /// The live state of instance `id` on this node, or nullptr. The pointer
+  /// (not the point storage) is invalidated by the next instance
+  /// start/join/expiry — hold it only within one inspection pass.
+  [[nodiscard]] const InstanceSlot* instance(wire::InstanceId id) const {
+    return store_.find(id);
+  }
   [[nodiscard]] std::size_t completed_instances() const { return completed_; }
 
   [[nodiscard]] const Adam2Config& config() const { return config_; }
@@ -106,14 +111,12 @@ class Adam2Agent : public host::NodeAgent {
 
   Adam2Config config_;
   std::size_t lambda_;  ///< Live lambda (config_.lambda + adaptive tuning).
-  std::unordered_map<wire::InstanceId, InstanceState, wire::InstanceIdHash>
-      active_;
-  /// Join/start order of the keys in active_. Every traversal (TTL pass,
-  /// wire emission, the unmentioned-instances reply pass) walks this vector,
-  /// never the hash map: emitted payload order is part of the replay
-  /// contract and must not depend on a hash table's bucket layout
-  /// (adam2_lint rule `unordered-iter`).
-  std::vector<wire::InstanceId> active_order_;
+  /// Live instances in a flat, arena-backed layout (DESIGN.md §7.5). The
+  /// store preserves join/start iteration order: every traversal (TTL pass,
+  /// wire emission, the unmentioned-instances reply pass) walks that order,
+  /// never a hash layout — emitted payload order is part of the replay
+  /// contract (adam2_lint rules `unordered-iter`, `hot-path-container`).
+  InstanceStore store_;
   std::optional<Estimate> estimate_;
   /// Raw per-instance estimates kept for point combining (§VII-D); bounded
   /// by config_.combine_last_instances.

@@ -1,0 +1,66 @@
+#include "stats/point_arena.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace adam2::stats {
+namespace {
+
+constexpr std::size_t kMinClass = PointArena::kMinClassPoints;
+
+std::size_t class_index(std::uint32_t capacity) {
+  return static_cast<std::size_t>(std::bit_width(capacity) - 1) - 3;
+}
+
+}  // namespace
+
+std::uint32_t PointArena::class_of(std::size_t count) {
+  if (count <= kMinClass) return kMinClass;
+  if (count > (std::size_t{1} << kMaxClassLog2)) {
+    throw std::length_error("PointArena: point sequence too large");
+  }
+  return static_cast<std::uint32_t>(std::bit_ceil(count));
+}
+
+PointArena::Block PointArena::allocate(std::size_t count) {
+  if (count == 0) return {};
+  const std::uint32_t capacity = class_of(count);
+  std::vector<CdfPoint*>& list = free_[class_index(capacity)];
+  if (!list.empty()) {
+    CdfPoint* data = list.back();
+    list.pop_back();
+    return {data, capacity};
+  }
+  return {bump(capacity), capacity};
+}
+
+void PointArena::release(CdfPoint* data, std::uint32_t capacity) {
+  if (data == nullptr) return;
+  assert(capacity >= kMinClass && std::has_single_bit(capacity));
+  free_[class_index(capacity)].push_back(data);
+}
+
+CdfPoint* PointArena::bump(std::size_t capacity) {
+  if (static_cast<std::size_t>(page_end_ - cursor_) < capacity) {
+    // The tail of the old page (always smaller than one class of the
+    // request) is abandoned; bounded waste per page, recovered when the
+    // block is eventually recycled anyway.
+    const std::size_t page = capacity > kPageCapacity ? capacity : kPageCapacity;
+    pages_.push_back(std::make_unique<CdfPoint[]>(page));
+    cursor_ = pages_.back().get();
+    page_end_ = cursor_ + page;
+    reserved_ += page;
+  }
+  CdfPoint* data = cursor_;
+  cursor_ += capacity;
+  return data;
+}
+
+std::size_t PointArena::free_blocks() const {
+  std::size_t n = 0;
+  for (const std::vector<CdfPoint*>& list : free_) n += list.size();
+  return n;
+}
+
+}  // namespace adam2::stats

@@ -1,0 +1,104 @@
+// Slab arena for CdfPoint sequences (the H and V series of live
+// aggregation instances).
+//
+// The Adam2 merge loop touches every point of every active instance every
+// round; with the points scattered across per-instance std::vector heap
+// blocks that walk is pointer-chasing through the allocator's layout. The
+// arena packs point blocks into large contiguous pages instead, so one
+// agent's working set occupies a handful of cache-resident slabs, and it
+// recycles freed blocks through per-size-class freelists so the steady-state
+// instance lifecycle (create / join / expire) performs zero heap
+// allocations once the high-water mark has been seen (DESIGN.md §7.5).
+//
+// Allocation model:
+//  * Requests are rounded up to a power-of-two capacity class (min 8
+//    points, 128 B). A freed block of class c serves any later request of
+//    class c — instance churn at a fixed lambda recycles perfectly.
+//  * Fresh blocks are bump-allocated from the current page. The first page
+//    is inline storage inside the arena object (kInlineCapacity points,
+//    sized so one instance at the paper's default lambda = 50 plus a small
+//    verification series fits without any heap traffic at all); overflow
+//    pages of kPageCapacity points come from the heap, and a request larger
+//    than a page gets a dedicated page of exactly its class size.
+//  * Blocks never move: pages are retained until the arena dies, so
+//    CdfPoint* handles stay valid for the lifetime of the block.
+//
+// The arena is neither copyable nor movable — handed-out pointers (and the
+// inline page) pin its address.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stats/cdf.hpp"
+
+namespace adam2::stats {
+
+class PointArena {
+ public:
+  /// Inline (in-object) first page: covers lambda = 50 interpolation points
+  /// (class 64) plus a typical verification series (class 8 or 16).
+  static constexpr std::size_t kInlineCapacity = 128;
+  /// Heap page size in points (16 KiB pages).
+  static constexpr std::size_t kPageCapacity = 1024;
+  /// Smallest capacity class, in points.
+  static constexpr std::size_t kMinClassPoints = 8;
+
+  /// A block handle: `capacity` is the rounded-up class size that must be
+  /// passed back to release(). data == nullptr iff the request was empty.
+  struct Block {
+    CdfPoint* data = nullptr;
+    std::uint32_t capacity = 0;
+  };
+
+  PointArena() = default;
+  PointArena(const PointArena&) = delete;
+  PointArena& operator=(const PointArena&) = delete;
+  PointArena(PointArena&&) = delete;
+  PointArena& operator=(PointArena&&) = delete;
+
+  /// Returns a block with capacity >= count (the next capacity class),
+  /// recycled from the freelist when possible. count == 0 returns the null
+  /// block. The points are uninitialised; callers overwrite them.
+  [[nodiscard]] Block allocate(std::size_t count);
+
+  /// Returns a block to its class freelist. `capacity` must be the value
+  /// allocate() handed out. Accepts the null block as a no-op.
+  void release(CdfPoint* data, std::uint32_t capacity);
+
+  // -- Introspection (tests, benches) ---------------------------------------
+
+  /// Heap pages allocated so far (excludes the inline page). Differential
+  /// tests pin this to stop growing once the working set has been seen.
+  [[nodiscard]] std::size_t heap_pages() const { return pages_.size(); }
+  /// Total point capacity reserved, inline page included.
+  [[nodiscard]] std::size_t reserved_points() const { return reserved_; }
+  /// Blocks currently parked on freelists.
+  [[nodiscard]] std::size_t free_blocks() const;
+
+  /// Capacity class for a request of `count` points (what allocate() would
+  /// round up to). Exposed for tests.
+  [[nodiscard]] static std::uint32_t class_of(std::size_t count);
+
+ private:
+  // Classes are powers of two from 2^3 to 2^26 points; index = log2 - 3.
+  static constexpr std::size_t kMaxClassLog2 = 26;
+  static constexpr std::size_t kClassCount = kMaxClassLog2 - 3 + 1;
+
+  [[nodiscard]] CdfPoint* bump(std::size_t capacity);
+
+  alignas(CdfPoint) std::array<CdfPoint, kInlineCapacity> inline_page_{};
+  std::vector<std::unique_ptr<CdfPoint[]>> pages_;
+  CdfPoint* cursor_ = inline_page_.data();
+  CdfPoint* page_end_ = inline_page_.data() + kInlineCapacity;
+  std::size_t reserved_ = kInlineCapacity;
+  /// Per-class stacks of recycled blocks. The stacks themselves are
+  /// vectors: they allocate only while their high-water mark grows, so a
+  /// steady churn workload stops touching the heap after warm-up.
+  std::array<std::vector<CdfPoint*>, kClassCount> free_;
+};
+
+}  // namespace adam2::stats

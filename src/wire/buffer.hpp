@@ -43,6 +43,12 @@ class Writer {
     u64(bits);
   }
 
+  /// Appends a pre-encoded byte run verbatim. Used by the zero-copy encode
+  /// fast path: on little-endian hosts a trivially-copyable record array
+  /// already has the wire layout, so a sequence is one bulk append instead
+  /// of a per-field loop.
+  void bytes(std::span<const std::byte> data) { raw(data.data(), data.size()); }
+
   /// Sequence length prefix (u32). Caller then writes `n` elements.
   void length(std::size_t n) {
     if (n > UINT32_MAX) throw DecodeError("sequence too long to encode");

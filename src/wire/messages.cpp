@@ -1,6 +1,7 @@
 #include "wire/messages.hpp"
 
 #include <cassert>
+#include <type_traits>
 
 namespace adam2::wire {
 namespace {
@@ -10,11 +11,21 @@ void check_type(MessageType got, MessageType a, MessageType b,
   if (got != a && got != b) throw DecodeError(std::string("bad type tag for ") + what);
 }
 
-void encode_points(Writer& w, const std::vector<stats::CdfPoint>& points) {
+// CdfPoint is two packed IEEE-754 doubles — exactly the 16-byte wire record
+// — so on little-endian hosts an in-memory run already has the wire layout
+// and a whole sequence is appended with one bulk copy.
+static_assert(sizeof(stats::CdfPoint) == 16 &&
+              std::is_trivially_copyable_v<stats::CdfPoint>);
+
+void encode_points(Writer& w, std::span<const stats::CdfPoint> points) {
   w.length(points.size());
-  for (const stats::CdfPoint& p : points) {
-    w.f64(p.t);
-    w.f64(p.f);
+  if constexpr (std::endian::native == std::endian::little) {
+    w.bytes(std::as_bytes(points));
+  } else {
+    for (const stats::CdfPoint& p : points) {
+      w.f64(p.t);
+      w.f64(p.f);
+    }
   }
 }
 
@@ -31,7 +42,11 @@ std::vector<stats::CdfPoint> decode_points(Reader& r) {
   return points;
 }
 
-void encode_payload(Writer& w, const InstancePayload& p) {
+// One encode routine serves the owning payload and the span-based ref
+// alike (both expose the same field names and point ranges), so the two
+// paths are byte-identical by construction.
+template <typename PayloadT>
+void encode_payload(Writer& w, const PayloadT& p) {
   w.u64(p.id.initiator);
   w.u32(p.id.seq);
   w.u32(p.start_round);
@@ -42,6 +57,22 @@ void encode_payload(Writer& w, const InstancePayload& p) {
   w.f64(p.max_value);
   encode_points(w, p.points);
   encode_points(w, p.verification);
+}
+
+// The paper-literal "empty set" marker: `like`'s identity and TTL with the
+// flag set, zeroed averaging fields, no point series.
+template <typename PayloadT>
+void encode_empty_set(Writer& w, const PayloadT& like) {
+  w.u64(like.id.initiator);
+  w.u32(like.id.seq);
+  w.u32(like.start_round);
+  w.u16(like.ttl);
+  w.u8(kFlagEmptySet);
+  w.f64(0.0);
+  w.f64(0.0);
+  w.f64(0.0);
+  w.length(0);
+  w.length(0);
 }
 
 InstancePayload decode_payload(Reader& r) {
@@ -59,11 +90,7 @@ InstancePayload decode_payload(Reader& r) {
   return p;
 }
 
-constexpr std::size_t payload_fixed_size() {
-  // id(12) + start_round(4) + ttl(2) + flags(1) + weight/min/max(24)
-  // + two sequence length prefixes (8)
-  return 12 + 4 + 2 + 1 + 24 + 8;
-}
+constexpr std::size_t payload_fixed_size() { return kInstancePayloadFixedSize; }
 
 // Unaligned little-endian loads for the zero-copy views. memcpy keeps the
 // reads well-defined at any offset; the byte-swap branch mirrors Reader.
@@ -103,13 +130,18 @@ void Adam2MessageBuilder::add(const InstancePayload& payload) {
   ++count_;
 }
 
+void Adam2MessageBuilder::add(const InstancePayloadRef& payload) {
+  encode_payload(writer_, payload);
+  ++count_;
+}
+
 void Adam2MessageBuilder::add_empty_set(const InstancePayload& like) {
-  InstancePayload marker;
-  marker.id = like.id;
-  marker.start_round = like.start_round;
-  marker.ttl = like.ttl;
-  marker.flags = kFlagEmptySet;
-  encode_payload(writer_, marker);
+  encode_empty_set(writer_, like);
+  ++count_;
+}
+
+void Adam2MessageBuilder::add_empty_set(const InstancePayloadRef& like) {
+  encode_empty_set(writer_, like);
   ++count_;
 }
 

@@ -14,6 +14,7 @@
 #include <compare>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "stats/cdf.hpp"
@@ -48,13 +49,28 @@ struct InstanceId {
 
 struct InstanceIdHash {
   [[nodiscard]] std::size_t operator()(const InstanceId& id) const noexcept {
-    return std::hash<std::uint64_t>{}(id.initiator * 0x9e3779b97f4a7c15ULL +
-                                      id.seq);
+    // splitmix64 finalizer: libstdc++'s std::hash<uint64_t> is the identity,
+    // so without the avalanche rounds sequential seqs from one initiator map
+    // to consecutive buckets — which turns open-addressing tables into one
+    // dense probe cluster (every miss/erase scans the whole run).
+    std::uint64_t x = id.initiator * 0x9e3779b97f4a7c15ULL + id.seq;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
   }
 };
 
 /// Payload flag bits.
 inline constexpr std::uint8_t kFlagEmptySet = 0x01;  ///< Paper-literal join marker.
+
+/// Encoded size of an instance payload's fixed part: id (12) + start_round
+/// (4) + ttl (2) + flags (1) + weight/min/max (24) + the two sequence
+/// length prefixes (8). Each point then adds 16 bytes. Senders use this to
+/// reserve exact scratch capacity before encoding.
+inline constexpr std::size_t kInstancePayloadFixedSize = 12 + 4 + 2 + 1 + 24 + 8;
 
 /// Per-instance state as it travels between two peers.
 struct InstancePayload {
@@ -70,6 +86,24 @@ struct InstancePayload {
 
   friend bool operator==(const InstancePayload&, const InstancePayload&) =
       default;
+};
+
+/// Non-owning view of one instance's live state for encoding: the fixed
+/// header by value, the H and V series as spans over the sender's storage
+/// (arena slots in core::InstanceStore, or any contiguous CdfPoint run).
+/// This is how agents hand their per-instance state to Adam2MessageBuilder
+/// without materialising an InstancePayload copy. Valid only while the
+/// referenced storage is alive and unmodified.
+struct InstancePayloadRef {
+  InstanceId id;
+  std::uint32_t start_round = 0;
+  std::uint16_t ttl = 0;
+  std::uint8_t flags = 0;
+  double weight = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::span<const stats::CdfPoint> points;
+  std::span<const stats::CdfPoint> verification;
 };
 
 /// A full Adam2 gossip message (request or response). This is the *owning*
@@ -230,9 +264,14 @@ class Adam2MessageBuilder {
   Adam2MessageBuilder(Writer& scratch, MessageType type, std::uint64_t sender);
 
   void add(const InstancePayload& payload);
+  /// Same encoding, straight from live state (spans instead of owned
+  /// vectors) — the byte-for-byte fast path InstanceStore slots use. On
+  /// little-endian hosts the point series are appended with one memcpy.
+  void add(const InstancePayloadRef& payload);
 
   /// Appends the paper-literal "empty set" marker for `like`'s instance.
   void add_empty_set(const InstancePayload& like);
+  void add_empty_set(const InstancePayloadRef& like);
 
   [[nodiscard]] std::size_t count() const { return count_; }
 

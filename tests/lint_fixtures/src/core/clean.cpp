@@ -1,7 +1,7 @@
 // Fixture: negative control. Idiomatic library code that must produce zero
 // diagnostics under every rule.
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "stats/sketch.hpp"  // downward include: core (3) -> stats (1)
@@ -9,7 +9,9 @@
 namespace fixture {
 
 struct Series {
-  std::map<std::uint64_t, double> by_round;
+  // Insertion-order flat storage: the idiomatic hot-path layout (R6 rejects
+  // node-based std:: maps here).
+  std::vector<std::pair<std::uint64_t, double>> by_round;
   std::vector<double> values;
 
   double sum() const {

@@ -198,7 +198,9 @@ TEST(UnorderedIter, FlagsRangeForAndBegin) {
 }
 
 TEST(UnorderedIter, IgnoresOrderedContainersAndLookups) {
-  EXPECT_TRUE(run("src/core/a.cpp",
+  // src/stats/: in the hot path (src/core/) the declarations themselves
+  // would trip R6 hot-path-container, which is not under test here.
+  EXPECT_TRUE(run("src/stats/a.cpp",
                   "#include <map>\n#include <unordered_map>\n"
                   "struct S {\n"
                   "  std::map<int, double> ordered;\n"
@@ -255,6 +257,52 @@ TEST(Confinement, ToolsAndBenchesAreExempt) {
       "std::mutex m;\nvoid f() { std::cout << 1; }\n";
   EXPECT_TRUE(run("tools/adam2_sim.cpp", text).empty());
   EXPECT_TRUE(run("bench/exchange_bench.cpp", text).empty());
+}
+
+// --- R6 hot-path-container --------------------------------------------------
+
+TEST(HotPathContainer, FlagsNodeMapsInCore) {
+  const auto diags = run("src/core/a.hpp",
+                         "#include <map>\n"
+                         "#include <unordered_map>\n"
+                         "struct Agent {\n"
+                         "  std::unordered_map<int, double> active;\n"
+                         "  std::map<int, double> pending;\n"
+                         "};\n");
+  EXPECT_TRUE(fires(diags, "hot-path-container", 4));
+  EXPECT_TRUE(fires(diags, "hot-path-container", 5));
+}
+
+TEST(HotPathContainer, AllowListedColdPathsAndOtherLayersPass) {
+  // The annotation records a reviewed cold path.
+  EXPECT_TRUE(run("src/core/a.hpp",
+                  "#include <map>\n"
+                  "// adam2-lint: allow(hot-path-container)\n"
+                  "std::map<int, double> completed;\n")
+                  .empty());
+  // Outside the gossip hot path the rule does not apply.
+  EXPECT_TRUE(run("src/obs/a.hpp",
+                  "#include <map>\n"
+                  "std::map<int, double> metrics;\n")
+                  .empty());
+  EXPECT_TRUE(run("tools/sim.cpp",
+                  "#include <map>\n"
+                  "std::map<int, double> flags;\n")
+                  .empty());
+}
+
+TEST(HotPathContainer, RequiresStdQualifiedTemplate) {
+  // Sets are membership markers, not per-instance state: not flagged.
+  EXPECT_TRUE(run("src/core/a.hpp",
+                  "#include <unordered_set>\n"
+                  "std::unordered_set<int> finalized;\n")
+                  .empty());
+  // Other namespaces' types and non-template uses of the name pass.
+  EXPECT_TRUE(run("src/core/a.hpp",
+                  "flat::map<int, double> ok;\n"
+                  "int map = 0;\n"
+                  "double f() { return map + 1.0; }\n")
+                  .empty());
 }
 
 // --- suppression directives ------------------------------------------------
@@ -327,6 +375,7 @@ TEST(FixtureCorpus, EachBadFixtureFiresItsRule) {
       {"src/core/r3_layering.hpp", "layering", 2},
       {"src/core/r4_unordered_iter.cpp", "unordered-iter", 2},
       {"src/core/r5_confinement.cpp", "confinement", 5},
+      {"src/core/r6_hot_path_container.cpp", "hot-path-container", 3},
       {"src/obs/r3_reaches_engines.hpp", "layering", 2},
   };
   for (const auto& expected : kExpected) {

@@ -192,8 +192,8 @@ double instance_mass(Adam2System& system, wire::InstanceId id,
                      std::size_t point_index) {
   double sum = 0.0;
   for (host::NodeId node : system.engine().live_ids()) {
-    const InstanceState* state = system.agent_of(node).instance(id);
-    if (state != nullptr) sum += state->points[point_index].f;
+    const InstanceSlot* state = system.agent_of(node).instance(id);
+    if (state != nullptr) sum += state->points()[point_index].f;
   }
   return sum;
 }
@@ -212,11 +212,11 @@ TEST(ProtocolTest, MassConservingJoinKeepsTotalsExact) {
     double weight_mass = 0.0;
     double joined_below = 0.0;
     for (host::NodeId node : system.engine().live_ids()) {
-      const InstanceState* state = system.agent_of(node).instance(id);
+      const InstanceSlot* state = system.agent_of(node).instance(id);
       if (state == nullptr) continue;
       weight_mass += state->weight;
       if (static_cast<double>(system.engine().node(node).attribute) <=
-          state->points[0].t) {
+          state->points()[0].t) {
         joined_below += 1.0;
       }
     }

@@ -12,8 +12,9 @@ const std::vector<std::string>& rule_names() {
       "nondeterminism",  // R1
       "rng-copy",        // R2
       "layering",        // R3
-      "unordered-iter",  // R4
-      "confinement",     // R5
+      "unordered-iter",      // R4
+      "confinement",         // R5
+      "hot-path-container",  // R6
   };
   return kRules;
 }
@@ -321,6 +322,7 @@ class Analyzer {
     if (enabled("layering")) check_layering();
     if (enabled("unordered-iter")) check_unordered_iter();
     if (enabled("confinement")) check_confinement();
+    if (enabled("hot-path-container")) check_hot_path_container();
     return std::move(diagnostics_);
   }
 
@@ -549,7 +551,7 @@ class Analyzer {
                "': bucket order is not deterministic across standard "
                "libraries and must not feed wire payloads, metrics, or "
                "evaluation series. Keep an insertion-order index (see "
-               "Adam2Agent::active_order_) or sort first.");
+               "core::InstanceStore's order walk) or sort first.");
     }
 
     // Pass 2b: ordered-access member calls on those names.
@@ -634,6 +636,31 @@ class Analyzer {
            "concurrency lives in the substrates (plus the sharded parallel "
            "engine's documented exception), never in protocol or statistics "
            "code.");
+    }
+  }
+
+  // -- R6 -------------------------------------------------------------------
+  void check_hot_path_container() {
+    if (!has_prefix(logical_, options_.hot_path_prefixes)) return;
+    static const std::set<std::string> kNodeMaps = {
+        "map", "multimap", "unordered_map", "unordered_multimap"};
+    const auto& tokens = scan_.tokens;
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != Token::Kind::kIdent || !kNodeMaps.contains(t.text)) {
+        continue;
+      }
+      // `std::map<...>` / `std::unordered_map<...>` only: a following `<`
+      // separates the type from locals that merely *call* something named
+      // map, and the std:: qualifier from other namespaces' types.
+      if (!is_punct(i - 1, "::") || !is_ident(i - 2, "std")) continue;
+      if (!is_punct(i + 1, "<")) continue;
+      emit(t.line, "hot-path-container",
+           "std::" + t.text + " in the gossip hot path (src/core/): "
+           "node-based maps cost one cache miss per instance per traversal "
+           "at scale. Keep per-instance state in the arena-backed "
+           "core::InstanceStore (DESIGN.md §7.5); annotate genuinely cold "
+           "paths with allow(hot-path-container).");
     }
   }
 

@@ -37,6 +37,15 @@
 //                         std:: concurrency primitives (mutex/atomic/thread/
 //                         condition_variable/...) outside src/host/ and
 //                         src/runtime/.
+//   hot-path-container (R6) std::map / std::unordered_map (and multi
+//                         variants) declared in the gossip hot path
+//                         (src/core/). Node-based maps scatter per-instance
+//                         state across the heap — one cache miss per
+//                         instance per traversal at million-node rounds.
+//                         Per-instance state belongs in the arena-backed
+//                         core::InstanceStore (DESIGN.md §7.5); genuinely
+//                         cold paths (finalisation bookkeeping, observer
+//                         tooling) annotate with allow(hot-path-container).
 //
 // The library half (this header) is what the unit tests drive over the
 // fixture corpus; the CLI (tools/lint/main.cpp) wraps lint_tree for CI.
@@ -58,7 +67,7 @@ struct Diagnostic {
   std::string message;  ///< Human-readable explanation.
 };
 
-/// All rule identifiers, in R1..R5 order.
+/// All rule identifiers, in R1..R6 order.
 [[nodiscard]] const std::vector<std::string>& rule_names();
 
 struct Options {
@@ -85,6 +94,10 @@ struct Options {
   /// Logical-path prefixes whose files may use std:: concurrency primitives.
   std::vector<std::string> concurrency_whitelist = {"src/host/",
                                                     "src/runtime/"};
+
+  /// Logical-path prefixes forming the gossip hot path, where node-based
+  /// std:: maps are rejected (R6 hot-path-container).
+  std::vector<std::string> hot_path_prefixes = {"src/core/"};
 
   Options();
 };
