@@ -20,10 +20,12 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <stdexcept>
 #include <string>
 
 #include "common.hpp"
 #include "core/evaluation.hpp"
+#include "host/snapshot.hpp"
 
 using namespace adam2;
 
@@ -63,6 +65,25 @@ RowResult run_row(const bench::BenchEnv& sized, std::size_t n,
   return row;
 }
 
+/// Checkpoint hooks for the resume-smoke CI job (DESIGN.md §12):
+/// ADAM2_SNAPSHOT_OUT=<file> saves the engine state at round
+/// ADAM2_SNAPSHOT_AT=<k> (default: half the instance TTL) of the high-N
+/// sweep's first size; ADAM2_SNAPSHOT_IN=<file> restores it instead of the
+/// warm-up + first k rounds, and the resumed run's BENCH JSON metrics
+/// (including the final-state snapshot digest) must bit-match the
+/// uninterrupted run's.
+struct SnapshotHooks {
+  const char* out = std::getenv("ADAM2_SNAPSHOT_OUT");
+  const char* in = std::getenv("ADAM2_SNAPSHOT_IN");
+  const char* at = std::getenv("ADAM2_SNAPSHOT_AT");
+
+  [[nodiscard]] bool active() const { return out != nullptr || in != nullptr; }
+  [[nodiscard]] std::size_t save_round(std::size_t rounds) const {
+    return at != nullptr && *at != '\0' ? std::strtoull(at, nullptr, 10)
+                                        : rounds / 2;
+  }
+};
+
 /// High-N sweep (ADAM2_BENCH_HIGHN=<maxN>): one single-attribute instance
 /// per size, driven round by round so the report carries a wall-clock value
 /// for every gossip round, plus peak RSS after each size. Evaluation is
@@ -72,9 +93,11 @@ void run_high_n_sweep(const bench::BenchEnv& env, std::size_t max_n) {
   std::vector<std::size_t> sizes{1000,   10000,  31623,
                                  100000, 316228, 1000000};
   std::erase_if(sizes, [&](std::size_t n) { return n > max_n; });
+  const SnapshotHooks snapshot;
 
   std::vector<std::vector<double>> summaries;
-  for (std::size_t n : sizes) {
+  for (std::size_t size_idx = 0; size_idx < sizes.size(); ++size_idx) {
+    const std::size_t n = sizes[size_idx];
     bench::BenchEnv sized = env;
     sized.n = n;
     const auto values =
@@ -82,14 +105,42 @@ void run_high_n_sweep(const bench::BenchEnv& env, std::size_t max_n) {
     const core::SystemConfig config = bench::default_system(sized);
     core::Adam2System system(config, values);
     system.attach_recorder(bench::report_recorder());
-    system.run_rounds(5);  // Warm the peer-sampling descriptor caches.
-
     const std::size_t rounds = config.protocol.instance_ttl + 1u;
+    // The hooks bind to the sweep's first size only: a snapshot resumes
+    // under the exact configuration that produced it, and the CI job runs a
+    // single-size sweep anyway.
+    const bool hooked = snapshot.active() && size_idx == 0;
+    const bool resumed = hooked && snapshot.in != nullptr;
+    std::size_t first_round = 0;
+    if (resumed) {
+      std::string error;
+      const auto bytes =
+          host::snapshot::read_snapshot_file(snapshot.in, &error);
+      if (!bytes) {
+        throw std::runtime_error(std::string("cannot read snapshot: ") +
+                                 error);
+      }
+      // Resume replaces warm-up + start_instance + the first k rounds.
+      system.engine().restore_snapshot(*bytes);
+      first_round = snapshot.save_round(rounds);
+    } else {
+      system.run_rounds(5);  // Warm the peer-sampling descriptor caches.
+    }
+
     bench::print_header("highN_" + std::to_string(n) + "_round",
                         {"wall_s"});
-    system.start_instance();
+    // The snapshot is taken after start_instance, so a resumed run never
+    // starts its own (even when resuming from round 0).
+    if (!resumed) system.start_instance();
     double total_s = 0.0;
-    for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t r = first_round; r < rounds; ++r) {
+      if (hooked && snapshot.out != nullptr &&
+          r == snapshot.save_round(rounds)) {
+        const auto bytes = system.engine().save_snapshot();
+        if (!host::snapshot::write_snapshot_file(snapshot.out, bytes)) {
+          throw std::runtime_error("cannot write snapshot");
+        }
+      }
       const auto begin = std::chrono::steady_clock::now();
       system.run_rounds(1);
       const double wall_s =
@@ -98,6 +149,18 @@ void run_high_n_sweep(const bench::BenchEnv& env, std::size_t max_n) {
               .count();
       total_s += wall_s;
       bench::print_row(std::to_string(r), {wall_s});
+    }
+    if (hooked) {
+      // The resumed-vs-uninterrupted comparison pins the *complete* final
+      // engine state, not just the error metrics: re-encode it and report
+      // the container digest as two exact-match halves (bench_diff.py
+      // treats metric names containing "digest" as exact).
+      const std::uint64_t digest =
+          host::snapshot::fnv1a(system.engine().save_snapshot());
+      bench::report_metric("final_state_digest_hi",
+                           static_cast<double>(digest >> 32));
+      bench::report_metric("final_state_digest_lo",
+                           static_cast<double>(digest & 0xffffffffULL));
     }
 
     core::EvaluationOptions options;

@@ -41,7 +41,9 @@ import sys
 CONFIG_KEYS = ("nodes", "seed", "peer_sample", "threads")
 
 # Deterministic counters: any drift is a real behaviour change, not noise.
-EXACT_RE = re.compile(r"(_allocs$|_iterations$|mismatch|failures|bytes)")
+# `digest` covers the snapshot-state digests the resume-smoke job compares
+# between an uninterrupted run and a save/resume run (DESIGN.md §12).
+EXACT_RE = re.compile(r"(_allocs$|_iterations$|mismatch|failures|bytes|digest)")
 
 # Wall-clock measurements and their ratios: compare with tolerance.
 TIMING_RE = re.compile(r"(_s$|speedup|seconds)")

@@ -169,6 +169,44 @@ void InstanceStore::erase_bucket(std::size_t hole) {
   }
 }
 
+InstanceSlot& InstanceStore::restore(wire::InstanceId id,
+                                     std::uint32_t start_round,
+                                     std::uint16_t ttl, std::uint8_t flags,
+                                     double weight, double min_value,
+                                     double max_value,
+                                     std::uint64_t touched_epoch,
+                                     std::span<const stats::CdfPoint> points,
+                                     std::span<const stats::CdfPoint> verification) {
+  InstanceSlot& slot = emplace_row(id);
+  slot.start_round = start_round;
+  slot.ttl = ttl;
+  slot.flags = flags;
+  slot.weight = weight;
+  slot.min_value = min_value;
+  slot.max_value = max_value;
+  slot.touched_epoch = touched_epoch;
+  slot.points_ = arena_.allocate(points.size());
+  slot.points_count_ = static_cast<std::uint32_t>(points.size());
+  std::copy(points.begin(), points.end(), slot.points_.data);
+  slot.verification_ = arena_.allocate(verification.size());
+  slot.verification_count_ = static_cast<std::uint32_t>(verification.size());
+  std::copy(verification.begin(), verification.end(),
+            slot.verification_.data);
+  return slot;
+}
+
+void InstanceStore::clear() {
+  for (std::uint32_t row : order_) {
+    InstanceSlot& slot = slots_[row];
+    arena_.release(slot.points_.data, slot.points_.capacity);
+    arena_.release(slot.verification_.data, slot.verification_.capacity);
+    slot = InstanceSlot{};
+    free_rows_.push_back(row);
+  }
+  order_.clear();
+  std::fill(index_.begin(), index_.end(), kNpos);
+}
+
 void InstanceStore::erase(wire::InstanceId id) {
   std::size_t b = bucket_of(id);
   while (true) {

@@ -133,6 +133,22 @@ class InstanceStore {
   /// std::erase(active_order_, id).
   void erase(wire::InstanceId id);
 
+  /// Checkpoint restore (host::snapshot, DESIGN.md §12): re-creates an
+  /// instance verbatim — header fields, scratch epoch and both point series
+  /// are installed exactly as given, with no contribution evaluation.
+  /// Appended to the iteration order; `id` must not be present. Restoring
+  /// into a non-empty store is supported (warm crash-restart hands a
+  /// checkpoint to a node that kept gossiping) and differential-fuzzed.
+  InstanceSlot& restore(wire::InstanceId id, std::uint32_t start_round,
+                        std::uint16_t ttl, std::uint8_t flags, double weight,
+                        double min_value, double max_value,
+                        std::uint64_t touched_epoch,
+                        std::span<const stats::CdfPoint> points,
+                        std::span<const stats::CdfPoint> verification);
+
+  /// Removes every instance, recycling all slot rows and point blocks.
+  void clear();
+
   // Insertion-order iteration (join/start order), yielding InstanceSlot&.
   template <bool Const>
   class basic_iterator {

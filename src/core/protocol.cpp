@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 #include "core/combine.hpp"
 #include "core/point_selection.hpp"
@@ -408,6 +409,219 @@ bool Adam2Agent::handle_bootstrap_response(host::AgentContext& ctx,
   inherited.n_estimate = incoming.n_estimate;
   inherited.inherited = true;
   estimate_ = std::move(inherited);
+  return true;
+}
+
+// ------------------------------------------------- host::snapshot (§12) ----
+
+namespace {
+
+void write_points(wire::Writer& out, std::span<const stats::CdfPoint> points) {
+  out.length(points.size());
+  for (const stats::CdfPoint p : points) {
+    out.f64(p.t);
+    out.f64(p.f);
+  }
+}
+
+std::vector<stats::CdfPoint> read_points(wire::Reader& in) {
+  const std::size_t count = in.length(16);
+  std::vector<stats::CdfPoint> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = in.f64();
+    const double f = in.f64();
+    points.push_back({t, f});
+  }
+  return points;
+}
+
+/// Canonical-form flag byte: anything but 0/1 is rejected, so every accepted
+/// blob re-encodes to exactly the bytes it was restored from.
+bool read_flag(wire::Reader& in, bool& value) {
+  const std::uint8_t raw = in.u8();
+  if (raw > 1) return false;
+  value = raw != 0;
+  return true;
+}
+
+/// Bit-level point equality. operator== is the wrong tool here: it calls
+/// NaN != NaN and -0.0 == 0.0, while the canonical re-encode contract
+/// compares encoded bytes.
+bool bit_identical(std::span<const stats::CdfPoint> a,
+                   std::span<const stats::CdfPoint> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(stats::CdfPoint)) == 0);
+}
+
+void write_estimate(wire::Writer& out, const Estimate& e) {
+  out.u64(e.instance.initiator);
+  out.u32(e.instance.seq);
+  out.u32(e.completed_round);
+  write_points(out, e.cdf.knots());
+  write_points(out, e.points);
+  out.f64(e.min_value);
+  out.f64(e.max_value);
+  out.f64(e.n_estimate);
+  out.u8(e.self_assessment ? 1 : 0);
+  if (e.self_assessment) {
+    out.f64(e.self_assessment->max_err);
+    out.f64(e.self_assessment->avg_err);
+  }
+  out.u8(e.inherited ? 1 : 0);
+}
+
+bool read_estimate(wire::Reader& in, Estimate& e) {
+  e.instance.initiator = in.u64();
+  e.instance.seq = in.u32();
+  e.completed_round = in.u32();
+  const std::vector<stats::CdfPoint> knots = read_points(in);
+  e.cdf = stats::PiecewiseLinearCdf{knots};
+  // The cdf constructor sorts, merges and clamps. Knots it would alter
+  // cannot have come from save_state (the constructor is idempotent on its
+  // own output) and would re-encode differently — reject as non-canonical
+  // instead of accepting a silently different state.
+  if (!bit_identical(e.cdf.knots(), knots)) return false;
+  e.points = read_points(in);
+  e.min_value = in.f64();
+  e.max_value = in.f64();
+  e.n_estimate = in.f64();
+  bool have_assessment = false;
+  if (!read_flag(in, have_assessment)) return false;
+  if (have_assessment) {
+    stats::ErrorPair pair;
+    pair.max_err = in.f64();
+    pair.avg_err = in.f64();
+    e.self_assessment = pair;
+  } else {
+    e.self_assessment.reset();
+  }
+  bool inherited = false;
+  if (!read_flag(in, inherited)) return false;
+  e.inherited = inherited;
+  return true;
+}
+
+// Minimum encoded sizes, used as length-prefix allocation guards.
+constexpr std::size_t kMinSlotBytes = 8 + 4 + 4 + 2 + 1 + 3 * 8 + 8 + 4 + 4;
+constexpr std::size_t kMinEstimateBytes = 8 + 4 + 4 + 4 + 4 + 3 * 8 + 1 + 1;
+
+}  // namespace
+
+bool Adam2Agent::save_state(wire::Writer& out) const {
+  // Config echo — validated on restore, never restored (see protocol.hpp).
+  out.u64(config_.lambda);
+  out.u16(config_.instance_ttl);
+  out.u64(config_.verification_points);
+  out.u64(config_.combine_last_instances);
+
+  out.u64(lambda_);
+  out.length(store_.size());
+  for (const InstanceSlot& slot : store_) {
+    out.u64(slot.id.initiator);
+    out.u32(slot.id.seq);
+    out.u32(slot.start_round);
+    out.u16(slot.ttl);
+    out.u8(slot.flags);
+    out.f64(slot.weight);
+    out.f64(slot.min_value);
+    out.f64(slot.max_value);
+    out.u64(slot.touched_epoch);
+    write_points(out, slot.points());
+    write_points(out, slot.verification());
+  }
+  out.u8(estimate_ ? 1 : 0);
+  if (estimate_) write_estimate(out, *estimate_);
+  out.length(history_.size());
+  for (const Estimate& e : history_) write_estimate(out, e);
+  out.length(finalized_order_.size());
+  for (const wire::InstanceId id : finalized_order_) {
+    out.u64(id.initiator);
+    out.u32(id.seq);
+  }
+  out.f64(n_estimate_);
+  out.u32(next_seq_);
+  out.u64(completed_);
+  out.u64(request_epoch_);
+  return true;
+}
+
+bool Adam2Agent::restore_state(wire::Reader& in) {
+  if (in.u64() != config_.lambda || in.u16() != config_.instance_ttl ||
+      in.u64() != config_.verification_points ||
+      in.u64() != config_.combine_last_instances) {
+    return false;  // Factory and checkpoint disagree on the protocol config.
+  }
+
+  // An honest live lambda is either the configured one or a value the
+  // adaptive clamp produced; anything else (notably a corrupt huge count
+  // that select_points would try to allocate) is rejected.
+  const std::uint64_t lambda = in.u64();
+  if (config_.adaptive) {
+    if (lambda < config_.adaptive->min_lambda ||
+        lambda > config_.adaptive->max_lambda) {
+      return false;
+    }
+  } else if (lambda != config_.lambda) {
+    return false;
+  }
+  lambda_ = static_cast<std::size_t>(lambda);
+
+  store_.clear();
+  estimate_.reset();
+  history_.clear();
+  finalized_ids_.clear();
+  finalized_order_.clear();
+
+  const std::size_t instances = in.length(kMinSlotBytes);
+  for (std::size_t i = 0; i < instances; ++i) {
+    const wire::InstanceId id{in.u64(), in.u32()};
+    const std::uint32_t start_round = in.u32();
+    const std::uint16_t ttl = in.u16();
+    const std::uint8_t flags = in.u8();
+    const double weight = in.f64();
+    const double min_value = in.f64();
+    const double max_value = in.f64();
+    const std::uint64_t touched_epoch = in.u64();
+    const std::vector<stats::CdfPoint> points = read_points(in);
+    const std::vector<stats::CdfPoint> verification = read_points(in);
+    if (store_.find(id) != nullptr) return false;  // Duplicate instance id.
+    store_.restore(id, start_round, ttl, flags, weight, min_value, max_value,
+                   touched_epoch, points, verification);
+  }
+
+  bool have_estimate = false;
+  if (!read_flag(in, have_estimate)) return false;
+  if (have_estimate) {
+    Estimate e;
+    if (!read_estimate(in, e)) return false;
+    estimate_ = std::move(e);
+  }
+
+  const std::size_t history = in.length(kMinEstimateBytes);
+  const bool history_fits = config_.combine_last_instances > 1
+                                ? history <= config_.combine_last_instances
+                                : history == 0;
+  if (!history_fits) return false;
+  for (std::size_t i = 0; i < history; ++i) {
+    Estimate e;
+    if (!read_estimate(in, e)) return false;
+    history_.push_back(std::move(e));
+  }
+
+  const std::size_t finalized = in.length(12);
+  if (finalized > kFinalizedMemory) return false;
+  for (std::size_t i = 0; i < finalized; ++i) {
+    const wire::InstanceId id{in.u64(), in.u32()};
+    if (!finalized_ids_.insert(id).second) return false;  // Duplicate.
+    finalized_order_.push_back(id);
+  }
+
+  n_estimate_ = in.f64();
+  next_seq_ = in.u32();
+  completed_ = in.u64();
+  request_epoch_ = in.u64();
   return true;
 }
 

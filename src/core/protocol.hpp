@@ -48,6 +48,16 @@ class Adam2Agent : public host::NodeAgent {
   bool handle_bootstrap_response(host::AgentContext& ctx,
                                  std::span<const std::byte> response) override;
 
+  // -- host::snapshot integration (DESIGN.md §12) ---------------------------
+  // The blob covers every field that influences future behaviour: live
+  // lambda, the instance store in iteration order, the working estimate and
+  // combine history, the finalisation tombstones, Np, sequence and epoch
+  // counters. config_ itself is echoed (not restored): the factory that
+  // rebuilds the agent must already agree on it, and a mismatch rejects the
+  // blob instead of silently resuming under different protocol parameters.
+  [[nodiscard]] bool save_state(wire::Writer& out) const override;
+  [[nodiscard]] bool restore_state(wire::Reader& in) override;
+
   // -- Experiment control / introspection ----------------------------------
 
   /// Starts a new aggregation instance on this node (scripted experiments;

@@ -20,6 +20,7 @@
 #include "host/view.hpp"
 #include "rng/rng.hpp"
 #include "stats/cdf.hpp"
+#include "wire/buffer.hpp"
 
 namespace adam2::host {
 
@@ -87,6 +88,23 @@ class NodeAgent {
   virtual bool handle_bootstrap_response(AgentContext& /*ctx*/,
                                          std::span<const std::byte> /*response*/) {
     return true;
+  }
+
+  /// Checkpoint hooks (host::snapshot, DESIGN.md §12). save_state encodes
+  /// the agent's full persistent protocol state into `out` and returns true;
+  /// restore_state decodes the same encoding from a freshly-constructed
+  /// agent of the same type and returns true on success. The defaults return
+  /// false — "this agent type is not snapshottable" — which makes the whole
+  /// engine snapshot fail loudly instead of silently dropping state.
+  /// Contract: restore_state(save_state(a)) must leave the agent's
+  /// observable behaviour (including wire bytes and draw sequences)
+  /// bit-identical to `a`, and a second save_state must re-encode the exact
+  /// same bytes (canonical form).
+  [[nodiscard]] virtual bool save_state(wire::Writer& /*out*/) const {
+    return false;
+  }
+  [[nodiscard]] virtual bool restore_state(wire::Reader& /*in*/) {
+    return false;
   }
 };
 

@@ -51,6 +51,13 @@ struct FaultPlan {
   /// Fault-stream seed, deliberately independent of the engine seed so the
   /// same simulation can be replayed under different fault schedules.
   std::uint64_t seed = 0xfa171;
+  /// When true, a crash-restarted node rejoins *warm*: its protocol state is
+  /// checkpointed through the NodeAgent save/restore hooks (host::snapshot)
+  /// and handed to the replacement agent, instead of the default cold
+  /// restart that loses all instance state. Pure behaviour switch — it
+  /// consumes no draws from any stream, so the crash schedule itself is
+  /// identical warm or cold.
+  bool warm_restart = false;
 
   /// True when any fault can ever fire.
   [[nodiscard]] bool enabled() const noexcept {

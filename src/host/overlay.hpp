@@ -8,6 +8,7 @@
 // shared bootstrap policy — can use an overlay without depending on sim.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "host/view.hpp"
 #include "rng/rng.hpp"
 #include "stats/cdf.hpp"
+#include "wire/buffer.hpp"
 
 namespace adam2::host {
 
@@ -51,6 +53,20 @@ class Overlay {
 
   /// Per-round maintenance (e.g. Cyclon view shuffles). Default: none.
   virtual void maintain(HostView& host, rng::Rng& rng);
+
+  // -- Checkpoint hooks (host::snapshot, DESIGN.md §12) ----------------------
+  //
+  // snapshot_kind() tags the concrete overlay type inside a checkpoint so a
+  // restore into a differently-configured engine is rejected instead of
+  // misinterpreted (0 = stateless: nothing to save, restore is a no-op).
+  // save_state/restore_state follow the NodeAgent contract: canonical
+  // re-encode, bit-identical behaviour after restore.
+  [[nodiscard]] virtual std::uint32_t snapshot_kind() const { return 0; }
+  virtual void save_state(wire::Writer& /*out*/) const {}
+  /// Throws wire::DecodeError on malformed input. Implementations must
+  /// consume the reader completely (expect_done) and commit only after the
+  /// full parse succeeds, so a rejected blob leaves the overlay untouched.
+  virtual void restore_state(wire::Reader& /*in*/) {}
 };
 
 }  // namespace adam2::host

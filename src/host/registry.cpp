@@ -96,4 +96,52 @@ void NodeTable::reserve(std::size_t count) {
   live_ids_.reserve(count);
 }
 
+void NodeTable::clear() {
+  nodes_.clear();
+  index_.clear();
+  live_ids_.clear();
+  live_pos_.clear();
+  next_id_ = 0;
+}
+
+Node& NodeTable::restore_node(NodeId id, stats::Value attribute,
+                              Round birth_round, bool alive) {
+  if (!nodes_.empty() && id <= nodes_.back().id) {
+    throw std::invalid_argument("restore_node: ids must be increasing");
+  }
+  Node node;
+  node.id = id;
+  node.attribute = attribute;
+  node.birth_round = birth_round;
+  node.alive = alive;
+  nodes_.push_back(std::move(node));
+  index_[id] = nodes_.size() - 1;
+  return nodes_.back();
+}
+
+void NodeTable::finish_restore(std::span<const NodeId> live_order,
+                               NodeId next_id) {
+  std::size_t alive_count = 0;
+  for (const Node& node : nodes_) alive_count += node.alive ? 1 : 0;
+  if (live_order.size() != alive_count) {
+    throw std::invalid_argument("finish_restore: live order size mismatch");
+  }
+  live_ids_.clear();
+  live_pos_.clear();
+  for (NodeId id : live_order) {
+    auto it = index_.find(id);
+    if (it == index_.end() || !nodes_[it->second].alive) {
+      throw std::invalid_argument("finish_restore: dead or unknown live id");
+    }
+    if (!live_pos_.emplace(id, live_ids_.size()).second) {
+      throw std::invalid_argument("finish_restore: duplicate live id");
+    }
+    live_ids_.push_back(id);
+  }
+  if (!nodes_.empty() && next_id <= nodes_.back().id) {
+    throw std::invalid_argument("finish_restore: next id not past last node");
+  }
+  next_id_ = next_id;
+}
+
 }  // namespace adam2::host

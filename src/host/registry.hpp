@@ -72,6 +72,27 @@ class NodeTable {
 
   void reserve(std::size_t count);
 
+  // -- Checkpoint restore primitives (host::snapshot, DESIGN.md §12) --------
+
+  /// Drops every node record and resets the table to its freshly-constructed
+  /// state (restore targets a clean table).
+  void clear();
+
+  /// Re-creates one node record during a restore, in creation order. Ids
+  /// must be strictly increasing across calls (creation order is the
+  /// snapshot's on-disk order). The node's rng streams and agent are left
+  /// default — the snapshot reader installs them afterwards — and live-set
+  /// membership is NOT established here; finish_restore() installs the
+  /// recorded live order. Throws std::invalid_argument on out-of-order ids.
+  Node& restore_node(NodeId id, stats::Value attribute, Round birth_round,
+                     bool alive);
+
+  /// Installs the live-id order (history-dependent: kill() swaps with the
+  /// back, so it cannot be derived from the records) and the id counter.
+  /// Every entry must name a distinct node marked alive by restore_node, and
+  /// every alive node must appear; throws std::invalid_argument otherwise.
+  void finish_restore(std::span<const NodeId> live_order, NodeId next_id);
+
  private:
   std::vector<Node> nodes_;                        // Indexed by creation order.
   std::unordered_map<NodeId, std::size_t> index_;  // id -> nodes_ slot.

@@ -65,6 +65,30 @@ class Rng {
     return Rng{split_mix64(material)};
   }
 
+  /// Full generator state, exposed so checkpoints (host::snapshot) can
+  /// persist and resume a stream mid-sequence. The cached Marsaglia normal
+  /// is part of the state: without it a restored generator would replay the
+  /// next normal() draw differently from the uninterrupted stream.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  [[nodiscard]] State state() const noexcept {
+    // A consumed cache leaves a stale value behind; report the canonical
+    // zero instead so two states that behave identically compare (and
+    // serialise) identically.
+    return State{state_, has_cached_normal_ ? cached_normal_ : 0.0,
+                 has_cached_normal_};
+  }
+
+  void set_state(const State& state) noexcept {
+    state_ = state.words;
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
+
   /// Uniform double in [0, 1).
   [[nodiscard]] double uniform() noexcept {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;

@@ -8,6 +8,7 @@
 #include "host/exchange.hpp"
 #include "host/ledger.hpp"
 #include "sim/overlay.hpp"
+#include "wire/buffer.hpp"
 
 namespace adam2::runtime {
 
@@ -73,6 +74,34 @@ class Cluster::RuntimeNode final : private host::SessionedPort::Transport {
     host::AgentContext ctx = make_context();
     agent_ = factory(ctx);
     if (!agent_) throw std::runtime_error("agent factory returned null");
+  }
+
+  /// Crash-restart, executed on this node's own thread (from a posted task)
+  /// or inline while the cluster is stopped. Warm restarts carry the agent's
+  /// protocol state through the host::snapshot hooks; cold restarts lose it.
+  /// The session lock is abandoned either way (the in-flight exchange died
+  /// with the process) but the port and its token counter survive, so the
+  /// first post-restart initiation stamps a fresh token and any straggler
+  /// response to the pre-crash exchange is rejected as stale, not merged.
+  void restart(const host::AgentFactory& factory, bool warm) {
+    wire::Writer blob;
+    const bool carry = warm && agent_->save_state(blob);
+    host::AgentContext ctx = make_context();
+    auto fresh = factory(ctx);
+    if (!fresh) throw std::runtime_error("agent factory returned null");
+    if (carry) {
+      wire::Reader in(blob.view());
+      if (!fresh->restore_state(in)) {
+        // The blob was produced by save_state moments ago; rejection means
+        // the agent's save/restore pair is asymmetric — a bug, not bad input.
+        throw std::runtime_error(
+            "warm restart: agent rejected its own state blob");
+      }
+      in.expect_done();
+    }
+    agent_ = std::move(fresh);
+    port_.session().abandon();
+    ++traffic_.crash_restarts;
   }
 
   void start() {
@@ -256,9 +285,12 @@ Cluster::Cluster(ClusterConfig config, std::vector<stats::Value> attributes,
                  host::AgentFactory agent_factory)
     : config_(config),
       conduit_(config.faults),
-      attributes_(std::move(attributes)) {
+      attributes_(std::move(attributes)),
+      agent_factory_(std::move(agent_factory)) {
   if (attributes_.empty()) throw std::invalid_argument("empty cluster");
-  if (!agent_factory) throw std::invalid_argument("cluster requires a factory");
+  if (!agent_factory_) {
+    throw std::invalid_argument("cluster requires a factory");
+  }
 
   ids_.resize(attributes_.size());
   for (std::size_t i = 0; i < ids_.size(); ++i) {
@@ -279,7 +311,7 @@ Cluster::Cluster(ClusterConfig config, std::vector<stats::Value> attributes,
   // Agents are created after every mailbox is attached, in case a factory
   // wants to send something immediately.
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    nodes_[i]->create_agent(agent_factory);
+    nodes_[i]->create_agent(agent_factory_);
   }
 }
 
@@ -320,6 +352,27 @@ void Cluster::run_on_node(host::NodeId id, NodeTask fn) {
     done.set_value();
   });
   future.wait();
+}
+
+void Cluster::restart_node(host::NodeId id) {
+  auto& node = *nodes_.at(static_cast<std::size_t>(id));
+  const bool warm = config_.faults.warm_restart;
+  if (!running_) {
+    node.restart(agent_factory_, warm);
+  } else {
+    std::promise<void> done;
+    auto future = done.get_future();
+    // The task's agent reference points at the old agent and must not be
+    // touched after restart replaces it; the restart runs on the node's own
+    // thread, the only place the agent may be swapped safely.
+    node.post([&](host::NodeAgent& /*agent*/, host::AgentContext& /*ctx*/) {
+      node.restart(agent_factory_, warm);
+      done.set_value();
+    });
+    future.wait();
+  }
+  // Recorder access stays on the driver thread (round 0: no global rounds).
+  if (recorder_ != nullptr) recorder_->crash_restart(0, id);
 }
 
 host::TrafficStats Cluster::total_traffic() const {

@@ -40,7 +40,9 @@ struct ClusterConfig {
   std::size_t overlay_degree = 8;
   std::uint64_t seed = 0xc1a5;
   /// Deterministic fault schedule for gossip messages (drop, duplication,
-  /// corruption). Crash-restart and partitions are simulator-only; delay is
+  /// corruption). Crash-restarts are driver-triggered (restart_node) rather
+  /// than drawn per round — the wall clock has no rounds — and honour the
+  /// plan's warm_restart knob. Partitions are simulator-only; delay is
   /// meaningless here because the wall clock already supplies real latency.
   host::FaultPlan faults;
 };
@@ -70,6 +72,17 @@ class Cluster {
   using NodeTask = std::function<void(host::NodeAgent&, host::AgentContext&)>;
   void run_on_node(host::NodeId id, NodeTask fn);
 
+  /// Crash-restarts one node in place, on its own thread (blocking): the
+  /// agent is replaced through the factory and any in-flight exchange is
+  /// abandoned — the lock died with the process. With
+  /// `config.faults.warm_restart` the agent's protocol state is carried
+  /// across through the host::snapshot hooks (DESIGN.md §12), so the node
+  /// rejoins its running instances; cold restarts lose all protocol state.
+  /// Either way the port's token counter survives, so the first post-restart
+  /// exchange uses a fresh token and pre-crash responses are rejected as
+  /// stale instead of merged. Counted in crash_restarts.
+  void restart_node(host::NodeId id);
+
   /// Aggregate traffic across all nodes (safe any time; counters are only
   /// approximate while threads are running).
   [[nodiscard]] host::TrafficStats total_traffic() const;
@@ -94,6 +107,8 @@ class Cluster {
   /// transfer either works or does not).
   host::Conduit conduit_;
   std::vector<stats::Value> attributes_;
+  /// Kept past construction so restart_node can rebuild crashed agents.
+  host::AgentFactory agent_factory_;
   std::vector<host::NodeId> ids_;
   Network network_;
   std::unique_ptr<host::Overlay> overlay_;

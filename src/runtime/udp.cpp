@@ -10,6 +10,8 @@
 #include <future>
 #include <stdexcept>
 
+#include "wire/buffer.hpp"
+
 namespace adam2::runtime {
 namespace {
 
@@ -253,6 +255,33 @@ void UdpPeer::run_on_peer(
     });
   }
   future.wait();  // The loop polls tasks at least once per receive timeout.
+}
+
+void UdpPeer::restart(const host::AgentFactory& factory) {
+  const bool warm = config_.faults.warm_restart;
+  // The swap itself must happen on the peer's thread (the only place agent_
+  // may be touched while running); run_on_peer posts there and blocks. The
+  // task's agent reference points at the old agent and is not used after the
+  // replacement.
+  run_on_peer([&](host::NodeAgent& /*agent*/, host::AgentContext& ctx) {
+    wire::Writer blob;
+    const bool carry = warm && agent_->save_state(blob);
+    auto fresh = factory(ctx);
+    if (!fresh) throw std::runtime_error("agent factory returned null");
+    if (carry) {
+      wire::Reader in(blob.view());
+      if (!fresh->restore_state(in)) {
+        // The blob was produced by save_state moments ago; rejection means
+        // the agent's save/restore pair is asymmetric — a bug, not bad input.
+        throw std::runtime_error(
+            "warm restart: agent rejected its own state blob");
+      }
+      in.expect_done();
+    }
+    agent_ = std::move(fresh);
+    port_.session().abandon();
+    ++traffic_.crash_restarts;
+  });
 }
 
 void UdpPeer::drain_tasks() {

@@ -135,7 +135,9 @@ struct UdpPeerConfig {
   std::uint64_t seed = 1;
   /// Deterministic fault schedule for outgoing gossip datagrams (drop,
   /// duplication, corruption — exercised against real sockets, so corrupted
-  /// bytes cross the kernel and hit the receiver's validation walk).
+  /// bytes cross the kernel and hit the receiver's validation walk). The
+  /// plan's warm_restart knob selects whether UdpPeer::restart carries the
+  /// agent's protocol state across.
   host::FaultPlan faults;
 };
 
@@ -156,6 +158,16 @@ class UdpPeer final : private host::SessionedPort::Transport {
   /// Cluster::run_on_node does.
   void run_on_peer(const std::function<void(host::NodeAgent&,
                                             host::AgentContext&)>& fn);
+
+  /// Crash-restarts this peer's agent in place, on the peer's own thread
+  /// (blocking; inline while stopped). With `config.faults.warm_restart` the
+  /// agent's protocol state is carried across through the host::snapshot
+  /// hooks (DESIGN.md §12); cold restarts lose it. The in-flight exchange is
+  /// abandoned but the port's token counter survives, so the first
+  /// post-restart initiation stamps a fresh token and straggler datagrams
+  /// answering the pre-crash exchange are rejected as stale, not merged.
+  /// Counted in crash_restarts.
+  void restart(const host::AgentFactory& factory);
 
  private:
   void run();

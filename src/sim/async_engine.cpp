@@ -1,13 +1,30 @@
 #include "sim/async_engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 #include "host/bootstrap.hpp"
 #include "host/churn.hpp"
+#include "host/snapshot.hpp"
 
 namespace adam2::sim {
+namespace {
+
+namespace snap = host::snapshot;
+
+bool same_async_plan(const host::FaultPlan& a, const host::FaultPlan& b) {
+  return a.drop_rate == b.drop_rate && a.duplicate_rate == b.duplicate_rate &&
+         a.corrupt_rate == b.corrupt_rate && a.delay_rate == b.delay_rate &&
+         a.max_delay == b.max_delay && a.crash_rate == b.crash_rate &&
+         a.partition_count == b.partition_count &&
+         a.partition_start == b.partition_start &&
+         a.partition_heal_after == b.partition_heal_after &&
+         a.seed == b.seed && a.warm_restart == b.warm_restart;
+}
+
+}  // namespace
 
 AsyncEngine::AsyncEngine(AsyncConfig config,
                          std::vector<stats::Value> initial_attributes,
@@ -122,7 +139,9 @@ void AsyncEngine::run_until(double time) {
     now_ = event.time;
     handle(std::move(event));
   }
-  now_ = time;
+  // Monotone: a target already in the past (e.g. a warm-up call after
+  // restore_snapshot resumed at a later time) must not rewind the clock.
+  if (time > now_) now_ = time;
 }
 
 void AsyncEngine::handle(Event&& event) {
@@ -222,16 +241,31 @@ void AsyncEngine::deliver(EventKind kind, NodeId from, NodeId to,
 
 void AsyncEngine::apply_crashes() {
   if (conduit_.faults().plan().crash_rate <= 0.0) return;
+  const bool warm = conduit_.faults().plan().warm_restart;
+  wire::Writer warm_blob;
   for (NodeId id : table_.live_ids()) {
     Node& n = table_.at(id);
     if (!conduit_.faults().crashes(n.fault_rng)) continue;
-    // Crash-restart with state loss (see CycleEngine::apply_crashes). The
-    // busy lock dies with the old process; any in-flight response addressed
-    // to it is ignored through the birth_round eligibility guard.
-    n.birth_round = round() + 1;
+    // Warm restart (plan.warm_restart): protocol state carries over through
+    // the host::snapshot hooks and birth_round stays put; otherwise the cold
+    // crash-restart with state loss (see CycleEngine::apply_crashes). Either
+    // way the busy lock dies with the old process; a stale in-flight
+    // response is ignored through the birth_round guard (cold) or merges
+    // harmlessly into the carried-over state (warm — same instances).
+    warm_blob.clear();
+    const bool carry = warm && n.agent->save_state(warm_blob);
+    if (!carry) n.birth_round = round() + 1;
     AgentContext ctx = context_ref(n);
     n.agent = agent_factory_(ctx);
     if (!n.agent) throw std::runtime_error("agent factory returned null");
+    if (carry) {
+      wire::Reader in(warm_blob.view());
+      if (!n.agent->restore_state(in)) {
+        throw std::runtime_error(
+            "warm restart: agent rejected its own state blob");
+      }
+      in.expect_done();
+    }
     busy_until_.erase(id);
     ++n.traffic.crash_restarts;
     ++total_traffic_.crash_restarts;
@@ -273,6 +307,183 @@ void AsyncEngine::on_maintenance() {
                          total_traffic_);
   }
   schedule(now_ + config_.gossip_period, EventKind::kMaintenance, 0, 0);
+}
+
+std::vector<std::byte> AsyncEngine::save_snapshot() const {
+  snap::SnapshotWriter writer(snap::EngineKind::kAsync);
+
+  writer.begin_section(snap::kSectionMeta);
+  writer.out().f64(config_.gossip_period);
+  writer.out().f64(config_.period_jitter);
+  writer.out().f64(config_.latency_min);
+  writer.out().f64(config_.latency_max);
+  writer.out().f64(config_.message_loss);
+  writer.out().f64(config_.churn_per_second);
+  writer.out().u64(config_.seed);
+  snap::write_fault_plan(writer.out(), config_.faults);
+  writer.end_section();
+
+  writer.begin_section(snap::kSectionEngine);
+  writer.out().f64(now_);
+  writer.out().u64(next_seq_);
+  snap::write_rng(writer.out(), rng_);
+  snap::write_traffic(writer.out(), total_traffic_);
+  {
+    // The busy set is an unordered map; sorted ids keep the encoding a
+    // function of state, not bucket layout.
+    std::vector<NodeId> busy_ids;
+    busy_ids.reserve(busy_until_.size());
+    // adam2-lint: allow(unordered-iter)
+    for (const auto& [id, until] : busy_until_) busy_ids.push_back(id);
+    std::sort(busy_ids.begin(), busy_ids.end());
+    writer.out().length(busy_ids.size());
+    for (NodeId id : busy_ids) {
+      writer.out().u64(id);
+      writer.out().f64(busy_until_.at(id));
+    }
+  }
+  writer.end_section();
+
+  writer.begin_section(snap::kSectionNodes);
+  snap::write_node_table(writer.out(), table_);
+  writer.end_section();
+
+  writer.begin_section(snap::kSectionOverlay);
+  const std::uint32_t overlay_kind = overlay_->snapshot_kind();
+  if (overlay_kind == 0) {
+    throw snap::SnapshotError("overlay type does not support snapshotting");
+  }
+  writer.out().u32(overlay_kind);
+  overlay_->save_state(writer.out());
+  writer.end_section();
+
+  writer.begin_section(snap::kSectionQueue);
+  {
+    // Drain a copy in pop order — the canonical (time, seq) order, which is
+    // also exactly the order a restored engine re-encounters the events in.
+    auto pending = queue_;
+    writer.out().length(pending.size());
+    while (!pending.empty()) {
+      const Event& event = pending.top();
+      writer.out().f64(event.time);
+      writer.out().u64(event.seq);
+      writer.out().u8(static_cast<std::uint8_t>(event.kind));
+      writer.out().u64(event.from);
+      writer.out().u64(event.to);
+      writer.out().length(event.payload.size());
+      writer.out().bytes(event.payload);
+      pending.pop();
+    }
+  }
+  writer.end_section();
+
+  return writer.finish();
+}
+
+void AsyncEngine::restore_snapshot(std::span<const std::byte> bytes) {
+  snap::SnapshotReader reader(bytes, snap::EngineKind::kAsync);
+  wire::Reader meta = reader.section(snap::kSectionMeta);
+  wire::Reader engine = reader.section(snap::kSectionEngine);
+  wire::Reader nodes = reader.section(snap::kSectionNodes);
+  wire::Reader overlay = reader.section(snap::kSectionOverlay);
+  wire::Reader queue = reader.section(snap::kSectionQueue);
+  reader.expect_end();
+
+  if (meta.f64() != config_.gossip_period ||
+      meta.f64() != config_.period_jitter ||
+      meta.f64() != config_.latency_min ||
+      meta.f64() != config_.latency_max ||
+      meta.f64() != config_.message_loss ||
+      meta.f64() != config_.churn_per_second ||
+      meta.u64() != config_.seed ||
+      !same_async_plan(snap::read_fault_plan(meta), config_.faults)) {
+    throw wire::DecodeError("snapshot engine config mismatch");
+  }
+  meta.expect_done();
+
+  const double now = engine.f64();
+  const std::uint64_t next_seq = engine.u64();
+  rng::Rng global(0);
+  snap::read_rng(engine, global);
+  TrafficStats totals;
+  snap::read_traffic(engine, totals);
+  std::unordered_map<NodeId, double> busy;
+  {
+    const std::size_t count = engine.length(16);
+    busy.reserve(count);
+    bool have_prev = false;
+    NodeId prev = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeId id = engine.u64();
+      if (have_prev && id <= prev) {
+        throw wire::DecodeError("busy set ids not in sorted order");
+      }
+      prev = id;
+      have_prev = true;
+      busy[id] = engine.f64();
+    }
+  }
+  engine.expect_done();
+
+  host::NodeTable scratch;
+  snap::read_node_table(nodes, scratch, [&](Node& n) {
+    AgentContext ctx = context_ref(n);
+    return agent_factory_(ctx);
+  });
+  nodes.expect_done();
+
+  std::vector<Event> events;
+  {
+    const std::size_t count = queue.length(37);  // Fixed fields + lengths.
+    events.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      Event event;
+      event.time = queue.f64();
+      event.seq = queue.u64();
+      // Canonical form: events appear in strict pop order (time, then seq;
+      // a NaN time can never compare as ordered and is rejected here too),
+      // and every seq predates the scheduler's counter.
+      if (i > 0 && !(event.time > events.back().time ||
+                     (event.time == events.back().time &&
+                      event.seq > events.back().seq))) {
+        throw wire::DecodeError("event queue not in pop order");
+      }
+      if (event.seq >= next_seq) {
+        throw wire::DecodeError("event seq ahead of scheduler counter");
+      }
+      const std::uint8_t kind = queue.u8();
+      if (kind > static_cast<std::uint8_t>(EventKind::kMaintenance)) {
+        throw wire::DecodeError("unknown event kind in snapshot");
+      }
+      event.kind = static_cast<EventKind>(kind);
+      event.from = queue.u64();
+      event.to = queue.u64();
+      const std::size_t payload = queue.length(1);
+      const auto view = queue.bytes(payload);
+      event.payload.assign(view.begin(), view.end());
+      events.push_back(std::move(event));
+    }
+  }
+  queue.expect_done();
+
+  if (overlay.u32() != overlay_->snapshot_kind()) {
+    throw wire::DecodeError("snapshot overlay kind mismatch");
+  }
+  overlay_->restore_state(overlay);  // Transactional (host/overlay.hpp).
+
+  table_ = std::move(scratch);
+  now_ = now;
+  next_seq_ = next_seq;
+  rng_ = global;
+  total_traffic_ = totals;
+  busy_until_ = std::move(busy);
+  queue_ = std::priority_queue<Event, std::vector<Event>, EventLater>(
+      EventLater{}, std::move(events));
+  if (recorder_ != nullptr) {
+    recorder_->manifest().set("resume_round",
+                              static_cast<std::uint64_t>(round()));
+    recorder_->manifest().set("resume_digest", snap::fnv1a(bytes));
+  }
 }
 
 }  // namespace adam2::sim

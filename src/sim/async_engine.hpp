@@ -112,6 +112,20 @@ class AsyncEngine final : public HostView {
     return conduit_.faults();
   }
 
+  // -- Checkpoint / resume (host::snapshot, DESIGN.md §12) ---------------
+
+  /// Serialises the engine's complete deterministic state, including the
+  /// event queue (drained in pop order — the canonical (time, seq) order)
+  /// and the virtual-time busy set. Throws host::snapshot::SnapshotError
+  /// when an attached agent or overlay type has no snapshot support.
+  [[nodiscard]] std::vector<std::byte> save_snapshot() const;
+
+  /// Restores a snapshot produced by save_snapshot on an engine built with
+  /// the same configuration. Resume + run_until(T) is bit-identical to the
+  /// uninterrupted run. Throws wire::DecodeError on malformed or mismatched
+  /// input, leaving the engine untouched.
+  void restore_snapshot(std::span<const std::byte> bytes);
+
   /// Attaches the observability recorder (nullptr detaches; not owned).
   /// The event-driven engine has no synchronised rounds, so its trace
   /// coverage is the lifecycle taxonomy: one kRoundEnd per maintenance cycle

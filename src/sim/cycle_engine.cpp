@@ -5,8 +5,24 @@
 
 #include "host/bootstrap.hpp"
 #include "host/churn.hpp"
+#include "host/snapshot.hpp"
 
 namespace adam2::sim {
+namespace {
+
+namespace snap = host::snapshot;
+
+bool same_plan(const host::FaultPlan& a, const host::FaultPlan& b) {
+  return a.drop_rate == b.drop_rate && a.duplicate_rate == b.duplicate_rate &&
+         a.corrupt_rate == b.corrupt_rate && a.delay_rate == b.delay_rate &&
+         a.max_delay == b.max_delay && a.crash_rate == b.crash_rate &&
+         a.partition_count == b.partition_count &&
+         a.partition_start == b.partition_start &&
+         a.partition_heal_after == b.partition_heal_after &&
+         a.seed == b.seed && a.warm_restart == b.warm_restart;
+}
+
+}  // namespace
 
 CycleEngine::CycleEngine(EngineConfig config,
                          std::vector<stats::Value> initial_attributes,
@@ -74,17 +90,38 @@ void CycleEngine::exchange_with(Node& initiator,
 
 void CycleEngine::apply_crashes() {
   if (conduit_.faults().plan().crash_rate <= 0.0) return;
+  const bool warm = conduit_.faults().plan().warm_restart;
+  wire::Writer warm_blob;
   for (NodeId id : table_.live_ids()) {
     Node& n = table_.at(id);
     if (!conduit_.faults().crashes(n.fault_rng)) continue;
-    // Crash-restart with state loss: identity, attribute and overlay links
-    // survive; all protocol state is gone. birth_round moves forward so the
-    // restarted node ignores instances started before the crash (they would
-    // otherwise absorb a partial, state-free contribution).
-    n.birth_round = round_ + 1;
+    // Warm restart (plan.warm_restart): the agent's protocol state is
+    // checkpointed through the host::snapshot hooks and handed to the
+    // replacement, so the node rejoins its running instances; birth_round
+    // stays put. Pure behaviour switch — no draws, so the crash schedule is
+    // identical warm or cold.
+    warm_blob.clear();
+    const bool carry = warm && n.agent->save_state(warm_blob);
+    if (!carry) {
+      // Cold crash-restart with state loss: identity, attribute and overlay
+      // links survive; all protocol state is gone. birth_round moves forward
+      // so the restarted node ignores instances started before the crash
+      // (they would otherwise absorb a partial, state-free contribution).
+      n.birth_round = round_ + 1;
+    }
     AgentContext ctx = make_context(*this, *overlay_, n, round_);
     n.agent = agent_factory_(ctx);
     if (!n.agent) throw std::runtime_error("agent factory returned null");
+    if (carry) {
+      wire::Reader in(warm_blob.view());
+      if (!n.agent->restore_state(in)) {
+        // The blob was produced by save_state moments ago; rejection means
+        // the agent's save/restore pair is asymmetric — a bug, not bad input.
+        throw std::runtime_error(
+            "warm restart: agent rejected its own state blob");
+      }
+      in.expect_done();
+    }
     ++n.traffic.crash_restarts;
     ++total_traffic_.crash_restarts;
     if (recorder_ != nullptr) recorder_->crash_restart(round_, id);
@@ -137,6 +174,92 @@ void CycleEngine::finish_round() {
                          total_traffic_);
   }
   ++round_;
+}
+
+std::vector<std::byte> CycleEngine::save_snapshot() const {
+  snap::SnapshotWriter writer(snap::EngineKind::kCycle);
+
+  writer.begin_section(snap::kSectionMeta);
+  writer.out().f64(config_.churn_rate);
+  writer.out().f64(config_.message_loss);
+  writer.out().u64(config_.seed);
+  snap::write_fault_plan(writer.out(), config_.faults);
+  writer.end_section();
+
+  writer.begin_section(snap::kSectionEngine);
+  writer.out().u32(round_);
+  snap::write_rng(writer.out(), rng_);
+  snap::write_traffic(writer.out(), total_traffic_);
+  writer.end_section();
+
+  writer.begin_section(snap::kSectionNodes);
+  snap::write_node_table(writer.out(), table_);
+  writer.end_section();
+
+  writer.begin_section(snap::kSectionOverlay);
+  const std::uint32_t overlay_kind = overlay_->snapshot_kind();
+  if (overlay_kind == 0) {
+    throw snap::SnapshotError("overlay type does not support snapshotting");
+  }
+  writer.out().u32(overlay_kind);
+  overlay_->save_state(writer.out());
+  writer.end_section();
+
+  return writer.finish();
+}
+
+void CycleEngine::restore_snapshot(std::span<const std::byte> bytes) {
+  snap::SnapshotReader reader(bytes, snap::EngineKind::kCycle);
+  wire::Reader meta = reader.section(snap::kSectionMeta);
+  wire::Reader engine = reader.section(snap::kSectionEngine);
+  wire::Reader nodes = reader.section(snap::kSectionNodes);
+  wire::Reader overlay = reader.section(snap::kSectionOverlay);
+  reader.expect_end();
+
+  // A snapshot only resumes under the exact configuration that produced it:
+  // any divergence (different seed, rates, fault plan) would silently change
+  // the replayed schedule, so mismatches reject instead.
+  const double churn_rate = meta.f64();
+  const double message_loss = meta.f64();
+  const std::uint64_t seed = meta.u64();
+  const host::FaultPlan plan = snap::read_fault_plan(meta);
+  meta.expect_done();
+  if (churn_rate != config_.churn_rate ||
+      message_loss != config_.message_loss || seed != config_.seed ||
+      !same_plan(plan, config_.faults)) {
+    throw wire::DecodeError("snapshot engine config mismatch");
+  }
+
+  const Round round = engine.u32();
+  rng::Rng global(0);
+  snap::read_rng(engine, global);
+  TrafficStats totals;
+  snap::read_traffic(engine, totals);
+  engine.expect_done();
+
+  // Everything below parses into scratch state; the engine's own members are
+  // only swapped once the whole snapshot (overlay included) validated.
+  host::NodeTable scratch;
+  snap::read_node_table(nodes, scratch, [&](Node& n) {
+    AgentContext ctx = make_context(*this, *overlay_, n, round);
+    return agent_factory_(ctx);
+  });
+  nodes.expect_done();
+
+  if (overlay.u32() != overlay_->snapshot_kind()) {
+    throw wire::DecodeError("snapshot overlay kind mismatch");
+  }
+  overlay_->restore_state(overlay);  // Transactional (host/overlay.hpp).
+
+  table_ = std::move(scratch);
+  round_ = round;
+  rng_ = global;
+  total_traffic_ = totals;
+  if (recorder_ != nullptr) {
+    recorder_->manifest().set("resume_round",
+                              static_cast<std::uint64_t>(round_));
+    recorder_->manifest().set("resume_digest", snap::fnv1a(bytes));
+  }
 }
 
 }  // namespace adam2::sim

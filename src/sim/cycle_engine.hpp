@@ -25,6 +25,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "host/exchange.hpp"
@@ -167,6 +168,22 @@ class CycleEngine : public HostView {
 
   /// Removes one specific node (targeted failure injection).
   void kill_node(NodeId id);
+
+  // -- Checkpoint / resume (host::snapshot, DESIGN.md §12) -----------------
+
+  /// Serialises the engine's complete deterministic state (config echo,
+  /// round counter, global stream, traffic ledger, every node record with
+  /// its three streams and agent blob, the overlay) into one versioned
+  /// snapshot. Serial and sharded engines share the layout: the shards hold
+  /// only per-round scratch. Throws host::snapshot::SnapshotError when an
+  /// attached agent or overlay type has no snapshot support.
+  [[nodiscard]] std::vector<std::byte> save_snapshot() const;
+
+  /// Restores a snapshot produced by save_snapshot on an engine built with
+  /// the same configuration. Resume + run-to-round-R is bit-identical to the
+  /// uninterrupted run (golden-resume fixtures). Throws wire::DecodeError on
+  /// any malformed or mismatched input, leaving the engine untouched.
+  void restore_snapshot(std::span<const std::byte> bytes);
 
  protected:
   CycleEngine(EngineConfig config, std::vector<stats::Value> initial_attributes,

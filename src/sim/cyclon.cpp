@@ -228,4 +228,74 @@ void CyclonOverlay::remember_values(
   }
 }
 
+void CyclonOverlay::save_state(wire::Writer& out) const {
+  out.u64(config_.view_size);
+  out.u64(config_.shuffle_size);
+  out.u64(config_.value_cache_size);
+  std::vector<NodeId> ids;
+  ids.reserve(views_.size());
+  // Bucket order cannot leak into the snapshot: ids are sorted before
+  // anything is encoded.
+  // adam2-lint: allow(unordered-iter)
+  for (const auto& [id, view] : views_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  out.length(ids.size());
+  for (NodeId id : ids) {
+    const View& view = views_.at(id);
+    out.u64(id);
+    out.length(view.entries.size());
+    for (const wire::NodeDescriptor& d : view.entries) {
+      out.u64(d.id);
+      out.u32(d.age);
+      out.i64(d.attribute);
+    }
+    out.length(view.value_cache.size());
+    for (stats::Value value : view.value_cache) out.i64(value);
+  }
+}
+
+void CyclonOverlay::restore_state(wire::Reader& in) {
+  if (in.u64() != config_.view_size || in.u64() != config_.shuffle_size ||
+      in.u64() != config_.value_cache_size) {
+    throw wire::DecodeError("cyclon overlay config mismatch");
+  }
+  const std::size_t count = in.length(16);  // id + two empty sequences.
+  std::unordered_map<NodeId, View> views;
+  views.reserve(count);
+  bool have_prev = false;
+  NodeId prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId id = in.u64();
+    if (have_prev && id <= prev) {
+      throw wire::DecodeError("cyclon view ids not in sorted order");
+    }
+    prev = id;
+    have_prev = true;
+    View& view = views[id];
+    const std::size_t entries = in.length(20);
+    if (entries > config_.view_size) {
+      throw wire::DecodeError("cyclon view exceeds configured capacity");
+    }
+    view.entries.reserve(entries);
+    for (std::size_t j = 0; j < entries; ++j) {
+      wire::NodeDescriptor d;
+      d.id = in.u64();
+      d.age = in.u32();
+      d.attribute = in.i64();
+      view.entries.push_back(d);
+    }
+    const std::size_t cached = in.length(8);
+    if (cached > config_.value_cache_size) {
+      throw wire::DecodeError("cyclon value cache exceeds configured size");
+    }
+    for (std::size_t j = 0; j < cached; ++j) {
+      view.value_cache.push_back(in.i64());
+    }
+  }
+  // Transactional commit: nothing is mutated until the whole payload parsed
+  // (trailing bytes included), so a rejected blob leaves the overlay intact.
+  in.expect_done();
+  views_ = std::move(views);
+}
+
 }  // namespace adam2::sim

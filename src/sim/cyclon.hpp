@@ -44,6 +44,14 @@ class CyclonOverlay final : public Overlay {
 
   [[nodiscard]] const CyclonConfig& config() const { return config_; }
 
+  // host::snapshot integration (DESIGN.md §12): kind 2 = Cyclon. Views are
+  // encoded per node in sorted id order; each view's descriptor entries and
+  // value cache keep their stored order (shuffles and the bootstrap consume
+  // them positionally).
+  [[nodiscard]] std::uint32_t snapshot_kind() const override { return 2; }
+  void save_state(wire::Writer& out) const override;
+  void restore_state(wire::Reader& in) override;
+
  private:
   struct View {
     std::vector<wire::NodeDescriptor> entries;

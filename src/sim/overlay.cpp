@@ -92,4 +92,49 @@ std::vector<stats::Value> StaticRandomOverlay::known_attribute_values(
   return values;
 }
 
+void StaticRandomOverlay::save_state(wire::Writer& out) const {
+  out.u64(degree_);
+  std::vector<NodeId> ids;
+  ids.reserve(links_.size());
+  // Bucket order cannot leak into the snapshot: ids are sorted before
+  // anything is encoded.
+  // adam2-lint: allow(unordered-iter)
+  for (const auto& [id, links] : links_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  out.length(ids.size());
+  for (NodeId id : ids) {
+    out.u64(id);
+    const std::vector<NodeId>& neighbours = links_.at(id).out;
+    out.length(neighbours.size());
+    for (NodeId peer : neighbours) out.u64(peer);
+  }
+}
+
+void StaticRandomOverlay::restore_state(wire::Reader& in) {
+  if (in.u64() != degree_) {
+    throw wire::DecodeError("static overlay degree mismatch");
+  }
+  const std::size_t count = in.length(12);  // id + empty neighbour list.
+  std::unordered_map<NodeId, Links> links;
+  links.reserve(count);
+  bool have_prev = false;
+  NodeId prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId id = in.u64();
+    if (have_prev && id <= prev) {
+      throw wire::DecodeError("overlay node ids not in sorted order");
+    }
+    prev = id;
+    have_prev = true;
+    const std::size_t n = in.length(8);
+    Links& entry = links[id];
+    entry.out.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) entry.out.push_back(in.u64());
+  }
+  // Transactional commit: nothing is mutated until the whole payload parsed
+  // (trailing bytes included), so a rejected blob leaves the overlay intact.
+  in.expect_done();
+  links_ = std::move(links);
+}
+
 }  // namespace adam2::sim

@@ -47,6 +47,13 @@ class StaticRandomOverlay final : public Overlay {
   [[nodiscard]] std::vector<stats::Value> known_attribute_values(
       NodeId id, const HostView& host) const override;
 
+  // host::snapshot integration (DESIGN.md §12): kind 1 = static random
+  // graph. Links are encoded per node in sorted id order, each node's
+  // neighbour list in stored order (pick_gossip_target indexes into it).
+  [[nodiscard]] std::uint32_t snapshot_kind() const override { return 1; }
+  void save_state(wire::Writer& out) const override;
+  void restore_state(wire::Reader& in) override;
+
  private:
   struct Links {
     std::vector<NodeId> out;

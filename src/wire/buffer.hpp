@@ -139,6 +139,17 @@ class Reader {
     pos_ += n;
   }
 
+  /// A view of the next `n` bytes, advancing past them. Used for nested
+  /// length-prefixed blobs (e.g. the per-agent state blobs inside a
+  /// host::snapshot node record); the view stays valid as long as the
+  /// underlying buffer does.
+  [[nodiscard]] std::span<const std::byte> bytes(std::size_t n) {
+    need(n);
+    const auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] std::size_t position() const { return pos_; }
   [[nodiscard]] bool done() const { return pos_ == data_.size(); }

@@ -418,5 +418,155 @@ TEST(ChaosTest, UdpPeersSurviveCorruptDatagrams) {
   EXPECT_GT(traffic.dropped_messages, 0u);
 }
 
+// -- Warm crash-restart (host::snapshot, DESIGN.md §12) -----------------------
+// A crashed node restarted with `warm_restart` carries its protocol state
+// across through the snapshot hooks, so it rejoins its running instances
+// instead of starting from scratch. The port's token counter survives the
+// crash, so the node's first post-rejoin initiation uses a fresh token and
+// is ACCEPTED by the swarm — pre-crash stragglers are the ones rejected as
+// stale, never the new exchanges (no stale-token NACK storm). The crash
+// itself must surface exactly once in the crash_restarts ledger.
+
+TEST(ChaosTest, ClusterWarmRestartRejoinsUnderFaults) {
+  runtime::ClusterConfig config;
+  config.seed = 33;
+  config.gossip_period = 1ms;
+  config.response_timeout = 20ms;
+  config.faults.drop_rate = 0.1;
+  config.faults.duplicate_rate = 0.15;
+  config.faults.corrupt_rate = 0.15;
+  config.faults.warm_restart = true;
+
+  core::Adam2Config protocol;
+  protocol.lambda = 6;
+  protocol.instance_ttl = 5000;  // Outlives the test: instances stay active.
+  runtime::Cluster cluster(config, iota_values(12),
+                           [protocol](const host::AgentContext&) {
+                             return std::make_unique<core::Adam2Agent>(protocol);
+                           });
+  cluster.start();
+  cluster.run_on_node(0, [](host::NodeAgent& agent, host::AgentContext& ctx) {
+    (void)dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
+  });
+
+  const auto instances_on = [&cluster](host::NodeId id) {
+    std::size_t count = 0;
+    cluster.run_on_node(id,
+                        [&count](host::NodeAgent& agent, host::AgentContext&) {
+                          count = dynamic_cast<core::Adam2Agent&>(agent)
+                                      .active_instance_count();
+                        });
+    return count;
+  };
+  const auto wait_for_instances = [&](host::NodeId id, std::size_t want) {
+    for (int i = 0; i < 600; ++i) {
+      if (instances_on(id) >= want) return true;
+      std::this_thread::sleep_for(5ms);
+    }
+    return false;
+  };
+
+  // Node 3 joins node 0's instance through the faulty network...
+  ASSERT_TRUE(wait_for_instances(3, 1));
+  const std::size_t before = instances_on(3);
+  cluster.restart_node(3);
+  // ...and the warm restart carries the joined instance across the crash.
+  EXPECT_EQ(instances_on(3), before);
+
+  // The restarted node initiates a NEW instance. The swarm picking it up is
+  // the acceptance proof: a node whose post-rejoin exchanges were NACKed as
+  // stale could never spread one.
+  cluster.run_on_node(3, [](host::NodeAgent& agent, host::AgentContext& ctx) {
+    (void)dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
+  });
+  EXPECT_TRUE(wait_for_instances(7, 2));
+  cluster.stop();
+
+  const host::TrafficStats traffic = cluster.total_traffic();
+  EXPECT_EQ(traffic.crash_restarts, 1u);  // Reconciles with the one crash.
+  EXPECT_GT(traffic.dropped_messages, 0u);
+  EXPECT_GT(traffic.duplicated_messages, 0u);
+  EXPECT_GT(traffic.corrupted_messages, 0u);
+}
+
+TEST(ChaosTest, UdpWarmRestartRejoinsUnderFaults) {
+  constexpr std::size_t kPeers = 6;
+  std::vector<stats::Value> values;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    values.push_back(static_cast<stats::Value>((i + 1) * 10));
+  }
+  std::vector<std::unique_ptr<runtime::UdpEndpoint>> endpoints;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    endpoints.push_back(std::make_unique<runtime::UdpEndpoint>());
+    ports.push_back(endpoints.back()->port());
+  }
+  runtime::UdpDirectory directory(values, ports);
+
+  core::Adam2Config protocol;
+  protocol.lambda = 5;
+  protocol.instance_ttl = 5000;
+  runtime::UdpPeerConfig config;
+  config.gossip_period = 2ms;
+  config.response_timeout = 20ms;
+  config.seed = 7;
+  config.faults.drop_rate = 0.1;
+  config.faults.duplicate_rate = 0.15;
+  config.faults.corrupt_rate = 0.15;
+  config.faults.warm_restart = true;
+
+  const host::AgentFactory factory = [protocol](const host::AgentContext&) {
+    return std::make_unique<core::Adam2Agent>(protocol);
+  };
+  std::vector<std::unique_ptr<runtime::UdpPeer>> peers;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    peers.push_back(std::make_unique<runtime::UdpPeer>(
+        config, static_cast<host::NodeId>(i), directory, *endpoints[i],
+        std::make_unique<core::Adam2Agent>(protocol)));
+  }
+  for (auto& peer : peers) peer->start();
+  peers[0]->run_on_peer([](host::NodeAgent& agent, host::AgentContext& ctx) {
+    (void)dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
+  });
+
+  const auto instances_on = [&peers](std::size_t i) {
+    std::size_t count = 0;
+    peers[i]->run_on_peer(
+        [&count](host::NodeAgent& agent, host::AgentContext&) {
+          count = dynamic_cast<core::Adam2Agent&>(agent)
+                      .active_instance_count();
+        });
+    return count;
+  };
+  const auto wait_for_instances = [&](std::size_t i, std::size_t want) {
+    for (int tries = 0; tries < 600; ++tries) {
+      if (instances_on(i) >= want) return true;
+      std::this_thread::sleep_for(5ms);
+    }
+    return false;
+  };
+
+  // Peer 2 joins peer 0's instance across real sockets, crashes, and the
+  // warm restart preserves its membership.
+  ASSERT_TRUE(wait_for_instances(2, 1));
+  const std::size_t before = instances_on(2);
+  peers[2]->restart(factory);
+  EXPECT_EQ(instances_on(2), before);
+
+  // Its first post-rejoin initiations must be accepted: the new instance it
+  // starts spreads to the rest of the deployment.
+  peers[2]->run_on_peer([](host::NodeAgent& agent, host::AgentContext& ctx) {
+    (void)dynamic_cast<core::Adam2Agent&>(agent).start_instance(ctx);
+  });
+  EXPECT_TRUE(wait_for_instances(4, 2));
+  for (auto& peer : peers) peer->stop();
+
+  const host::TrafficStats traffic = directory.traffic();
+  EXPECT_EQ(traffic.crash_restarts, 1u);  // Reconciles with the one crash.
+  EXPECT_GT(traffic.dropped_messages, 0u);
+  EXPECT_GT(traffic.duplicated_messages, 0u);
+  EXPECT_GT(traffic.corrupted_messages, 0u);
+}
+
 }  // namespace
 }  // namespace adam2

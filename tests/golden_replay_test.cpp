@@ -98,6 +98,18 @@ class DigestAgent final : public NodeAgent {
     value_ = (value_ + *theirs) / 2.0;
   }
 
+  // Checkpoint hooks: `value_` is the agent's entire persistent state
+  // (jitter and scratch are per-exchange), so the golden-resume fixtures
+  // below can snapshot mid-run and still land on the pinned digests.
+  [[nodiscard]] bool save_state(wire::Writer& out) const override {
+    out.f64(value_);
+    return true;
+  }
+  [[nodiscard]] bool restore_state(wire::Reader& in) override {
+    value_ = in.f64();
+    return true;
+  }
+
  private:
   static std::vector<std::byte> encode(double v) {
     wire::Writer w;
@@ -192,7 +204,31 @@ std::uint64_t run_cycle(std::size_t threads, bool faults) {
   return digest(engine);
 }
 
-std::uint64_t run_async(bool faults) {
+/// Golden resume (host::snapshot, DESIGN.md §12): snapshot a serial run at
+/// round 6, restore into a fresh engine (serial or sharded — the layout is
+/// shared) and run the remaining rounds. The digest must equal the SAME
+/// pinned constant as the uninterrupted run: checkpoint/restore is invisible
+/// to the replayed schedule, draws included.
+std::uint64_t run_cycle_resumed(std::size_t threads, bool faults) {
+  Engine source(cycle_config(faults), iota_values(64), cyclon(),
+                digest_factory(), churn_values());
+  source.run_rounds(6);
+  const std::vector<std::byte> bytes = source.save_snapshot();
+  if (threads == 0) {
+    Engine engine(cycle_config(faults), iota_values(64), cyclon(),
+                  digest_factory(), churn_values());
+    engine.restore_snapshot(bytes);
+    engine.run_rounds(6);
+    return digest(engine);
+  }
+  ParallelEngine engine(cycle_config(faults), threads, iota_values(64),
+                        cyclon(), digest_factory(), churn_values());
+  engine.restore_snapshot(bytes);
+  engine.run_rounds(6);
+  return digest(engine);
+}
+
+AsyncConfig async_config(bool faults) {
   AsyncConfig config;
   config.seed = 0x90de;
   config.message_loss = 0.02;
@@ -202,9 +238,30 @@ std::uint64_t run_async(bool faults) {
     config.faults.delay_rate = 0.2;
     config.faults.max_delay = 0.3;
   }
-  AsyncEngine engine(config, iota_values(48),
+  return config;
+}
+
+AsyncEngine make_async(bool faults) {
+  return AsyncEngine(async_config(faults), iota_values(48),
                      std::make_unique<StaticRandomOverlay>(6),
                      digest_factory(), churn_values());
+}
+
+std::uint64_t run_async(bool faults) {
+  AsyncEngine engine = make_async(faults);
+  engine.run_until(20.0);
+  return digest(engine);
+}
+
+/// Event-driven golden resume: snapshot at t=10 (queue included), restore
+/// into a fresh engine, continue to t=20 — same pinned digest as the
+/// uninterrupted run.
+std::uint64_t run_async_resumed(bool faults) {
+  AsyncEngine source = make_async(faults);
+  source.run_until(10.0);
+  const std::vector<std::byte> bytes = source.save_snapshot();
+  AsyncEngine engine = make_async(faults);
+  engine.restore_snapshot(bytes);
   engine.run_until(20.0);
   return digest(engine);
 }
@@ -282,6 +339,37 @@ TEST(GoldenReplayTest, AsyncEngineMatchesCheckedInDigest) {
 
 TEST(GoldenReplayTest, AsyncEngineUnderFaultPlanMatchesCheckedInDigest) {
   EXPECT_EQ(run_async(true), kAsyncFaultsGolden);
+}
+
+// -- Golden resume (host::snapshot, DESIGN.md §12) ----------------------------
+// Save at round 6 (or t=10) + restore + run to the end must reproduce the
+// SAME digests as the uninterrupted fixtures above — with faults off and
+// under the non-trivial plan, across all three engines. A mismatch means the
+// snapshot codec dropped or perturbed replayed state (an RNG stream, a queue
+// entry, a traffic counter), which would silently break crash recovery.
+
+TEST(GoldenResumeTest, SerialResumeMatchesUninterruptedDigest) {
+  EXPECT_EQ(run_cycle_resumed(0, false), kCycleGolden);
+}
+
+TEST(GoldenResumeTest, SerialResumeUnderFaultPlanMatchesUninterruptedDigest) {
+  EXPECT_EQ(run_cycle_resumed(0, true), kCycleFaultsGolden);
+}
+
+TEST(GoldenResumeTest, ParallelResumeMatchesUninterruptedDigest) {
+  EXPECT_EQ(run_cycle_resumed(8, false), kCycleGolden);
+}
+
+TEST(GoldenResumeTest, ParallelResumeUnderFaultPlanMatchesUninterruptedDigest) {
+  EXPECT_EQ(run_cycle_resumed(8, true), kCycleFaultsGolden);
+}
+
+TEST(GoldenResumeTest, AsyncResumeMatchesUninterruptedDigest) {
+  EXPECT_EQ(run_async_resumed(false), kAsyncGolden);
+}
+
+TEST(GoldenResumeTest, AsyncResumeUnderFaultPlanMatchesUninterruptedDigest) {
+  EXPECT_EQ(run_async_resumed(true), kAsyncFaultsGolden);
 }
 
 // -- Observability determinism (DESIGN.md §11) -------------------------------

@@ -385,6 +385,7 @@ void expect_equivalent(const InstanceStore& store, const ReferenceStore& ref) {
     EXPECT_EQ(slot.start_round, state.start_round);
     EXPECT_EQ(slot.ttl, state.ttl);
     EXPECT_EQ(slot.flags, state.flags);
+    EXPECT_EQ(slot.touched_epoch, state.touched_epoch);
     EXPECT_EQ(slot.weight, state.weight);
     EXPECT_EQ(slot.min_value, state.min_value);
     EXPECT_EQ(slot.max_value, state.max_value);
@@ -421,9 +422,13 @@ void run_fuzz(std::uint64_t seed) {
   std::uint32_t next_seq = 0;
 
   for (int round = 0; round < 900; ++round) {
+    // Creation ops only while empty (0 = start, 1 = join, 5 = checkpoint
+    // restore — the latter lands into a *non-empty* store most of the time,
+    // the coverage the warm-restart path needs).
+    static constexpr std::uint64_t kCreateOps[] = {0, 1, 5};
     const std::uint64_t op = ref.order.size() >= 48  ? 3  // Cap: force expiry.
-                             : ref.order.size() == 0 ? rng.below(2)
-                                                     : rng.below(5);
+                             : ref.order.size() == 0 ? kCreateOps[rng.below(3)]
+                                                     : rng.below(6);
     switch (op) {
       case 0: {  // Initiator-side start.
         const wire::InstanceId id{1, next_seq++};
@@ -472,6 +477,33 @@ void run_fuzz(std::uint64_t seed) {
         store.erase(id);
         ref.map.erase(id);
         std::erase(ref.order, id);
+        break;
+      }
+      case 5: {  // Checkpoint restore into a (possibly non-empty) store.
+        const wire::InstanceId id{10 + rng.below(4), next_seq++};
+        InstanceState state;
+        state.id = id;
+        state.start_round = static_cast<std::uint32_t>(rng.below(100));
+        state.ttl = static_cast<std::uint16_t>(1 + rng.below(25));
+        state.flags = static_cast<std::uint8_t>(rng.below(4));
+        state.weight = rng.uniform();
+        state.min_value = rng.uniform(0.0, 500.0);
+        state.max_value = state.min_value + rng.uniform(0.0, 500.0);
+        for (double t : random_thresholds(rng)) {
+          state.points.push_back({t, rng.uniform()});
+        }
+        if (rng.below(2) == 0) {
+          for (int i = 0; i < 4; ++i) {
+            state.verification.push_back(
+                {rng.uniform(0.0, 1000.0), rng.uniform()});
+          }
+        }
+        state.touched_epoch = rng.below(1000);
+        store.restore(state.id, state.start_round, state.ttl, state.flags,
+                      state.weight, state.min_value, state.max_value,
+                      state.touched_epoch, state.points, state.verification);
+        ref.map.emplace(id, state);
+        ref.order.push_back(id);
         break;
       }
       default: {  // Lookup of a (probably dead) id.

@@ -1,0 +1,543 @@
+// host::snapshot codec coverage (ctest label: snapshot).
+//
+// Two halves, mirroring the wire_test discipline:
+//
+//  * Round-trip byte identity: save -> restore into a fresh
+//    identically-configured engine -> save must reproduce the exact bytes,
+//    and resume + run-to-round-R must land on the same bytes as the
+//    uninterrupted run — for the serial, sharded and event-driven engines.
+//  * A >= 10k-seeded-mutant corpus per engine family: every corrupted
+//    snapshot is either rejected with a wire::DecodeError diagnostic and
+//    leaves the engine untouched, or restores into a state whose re-encoded
+//    snapshot is byte-identical to the mutant (canonical acceptance). Never
+//    UB — the suite runs under the sanitizer jobs like everything else.
+//
+// Container-level mutants (checksum intact region included) are virtually
+// all caught by the trailing FNV-1a checksum; a second corpus mutates only
+// the section body and re-seals the checksum so the section framing, node
+// table, RNG and overlay decoders are the ones under fire.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "host/snapshot.hpp"
+#include "rng/rng.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/cyclon.hpp"
+#include "sim/engine.hpp"
+#include "sim/overlay.hpp"
+#include "sim/parallel_engine.hpp"
+#include "wire/buffer.hpp"
+
+namespace adam2::sim {
+namespace {
+
+namespace snap = host::snapshot;
+
+// -- Snapshottable test agent ------------------------------------------------
+
+/// Push-pull averaging agent with full checkpoint support: one f64 of
+/// persistent state, re-encoded bit-exactly (jitter and scratch are
+/// per-exchange and deliberately excluded — the save/restore contract covers
+/// persistent protocol state only).
+class SnapAgent final : public NodeAgent {
+ public:
+  explicit SnapAgent(double initial) : value_(initial) {}
+
+  std::span<const std::byte> make_request(AgentContext& ctx) override {
+    const double jitter = ctx.rng.uniform(0.0, 1e-12);
+    scratch_ = encode(value_ + jitter);
+    return scratch_;
+  }
+
+  std::span<const std::byte> handle_request(
+      AgentContext&, std::span<const std::byte> req) override {
+    const auto theirs = decode(req);
+    if (!theirs) return {};
+    scratch_ = encode(value_);
+    value_ = (value_ + *theirs) / 2.0;
+    return scratch_;
+  }
+
+  void handle_response(AgentContext&, std::span<const std::byte> resp) override {
+    const auto theirs = decode(resp);
+    if (theirs) value_ = (value_ + *theirs) / 2.0;
+  }
+
+  [[nodiscard]] bool save_state(wire::Writer& out) const override {
+    out.f64(value_);
+    return true;
+  }
+
+  [[nodiscard]] bool restore_state(wire::Reader& in) override {
+    value_ = in.f64();  // Any bit pattern is valid state: canonical as-is.
+    return true;
+  }
+
+ private:
+  static std::vector<std::byte> encode(double v) {
+    wire::Writer w;
+    w.f64(v);
+    return w.take();
+  }
+  static std::optional<double> decode(std::span<const std::byte> bytes) {
+    if (bytes.size() != sizeof(double)) return std::nullopt;
+    wire::Reader r(bytes);
+    return r.f64();
+  }
+
+  double value_ = 0.0;
+  std::vector<std::byte> scratch_;  ///< Backs the returned spans.
+};
+
+/// Minimal agent WITHOUT snapshot hooks: saving an engine hosting one must
+/// fail loudly with SnapshotError, never silently drop state.
+class OpaqueAgent final : public NodeAgent {
+ public:
+  std::span<const std::byte> make_request(AgentContext&) override {
+    return {};
+  }
+  std::span<const std::byte> handle_request(AgentContext&,
+                                            std::span<const std::byte>) override {
+    return {};
+  }
+};
+
+AgentFactory snap_factory() {
+  return [](const AgentContext& ctx) {
+    return std::make_unique<SnapAgent>(static_cast<double>(ctx.attribute));
+  };
+}
+
+AttributeSource churn_values() {
+  return [](rng::Rng& rng) { return static_cast<stats::Value>(rng.below(1000)); };
+}
+
+std::vector<stats::Value> iota_values(std::size_t n) {
+  std::vector<stats::Value> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<stats::Value>(i);
+  return values;
+}
+
+std::unique_ptr<Overlay> cyclon() {
+  CyclonConfig config;
+  config.view_size = 6;
+  config.shuffle_size = 3;
+  return std::make_unique<CyclonOverlay>(config);
+}
+
+/// Churn plus a light fault plan so snapshots carry dead node records,
+/// crash-restart counters and non-trivial traffic — richer decode surface
+/// for the mutant corpus than a fault-free run.
+EngineConfig cycle_config() {
+  EngineConfig config;
+  config.seed = 0x5eed;
+  config.churn_rate = 0.03;
+  config.message_loss = 0.05;
+  config.faults.drop_rate = 0.05;
+  config.faults.crash_rate = 0.01;
+  config.faults.seed = 0x5eed;
+  return config;
+}
+
+Engine make_cycle_engine() {
+  return Engine(cycle_config(), iota_values(24), cyclon(), snap_factory(),
+                churn_values());
+}
+
+AsyncConfig async_config() {
+  AsyncConfig config;
+  config.seed = 0x5eed;
+  config.message_loss = 0.02;
+  config.churn_per_second = 0.01;
+  return config;
+}
+
+AsyncEngine make_async_engine() {
+  return AsyncEngine(async_config(), iota_values(24),
+                     std::make_unique<StaticRandomOverlay>(5), snap_factory(),
+                     churn_values());
+}
+
+// -- Round-trip byte identity ------------------------------------------------
+
+TEST(SnapshotRoundTripTest, CycleSaveRestoreSaveIsByteIdentical) {
+  Engine original = make_cycle_engine();
+  original.run_rounds(8);
+  const std::vector<std::byte> bytes = original.save_snapshot();
+
+  Engine resumed = make_cycle_engine();
+  resumed.restore_snapshot(bytes);
+  EXPECT_EQ(resumed.save_snapshot(), bytes);
+
+  // Resume + run-to-round-R lands on the uninterrupted run's exact bytes.
+  original.run_rounds(4);
+  resumed.run_rounds(4);
+  EXPECT_EQ(resumed.save_snapshot(), original.save_snapshot());
+}
+
+TEST(SnapshotRoundTripTest, SerialAndShardedEnginesShareTheLayout) {
+  Engine serial = make_cycle_engine();
+  serial.run_rounds(6);
+  const std::vector<std::byte> bytes = serial.save_snapshot();
+  serial.run_rounds(6);
+
+  // A serial snapshot restores into the sharded engine (and vice versa):
+  // the shards are per-round scratch, not persistent state.
+  ParallelEngine sharded(cycle_config(), 8, iota_values(24), cyclon(),
+                         snap_factory(), churn_values());
+  sharded.restore_snapshot(bytes);
+  EXPECT_EQ(sharded.save_snapshot(), bytes);
+  sharded.run_rounds(6);
+  EXPECT_EQ(sharded.save_snapshot(), serial.save_snapshot());
+}
+
+TEST(SnapshotRoundTripTest, AsyncSaveRestoreSaveIsByteIdentical) {
+  AsyncEngine original = make_async_engine();
+  original.run_until(10.0);
+  const std::vector<std::byte> bytes = original.save_snapshot();
+
+  AsyncEngine resumed = make_async_engine();
+  resumed.restore_snapshot(bytes);
+  EXPECT_EQ(resumed.save_snapshot(), bytes);
+
+  original.run_until(20.0);
+  resumed.run_until(20.0);
+  EXPECT_EQ(resumed.save_snapshot(), original.save_snapshot());
+}
+
+TEST(SnapshotRoundTripTest, FreshEngineSnapshotRestoresBeforeAnyRound) {
+  // Round-0 snapshots (no exchanges yet) are valid checkpoints too.
+  Engine original = make_cycle_engine();
+  const std::vector<std::byte> bytes = original.save_snapshot();
+  Engine resumed = make_cycle_engine();
+  resumed.restore_snapshot(bytes);
+  EXPECT_EQ(resumed.save_snapshot(), bytes);
+}
+
+// -- Encode-side failures ----------------------------------------------------
+
+TEST(SnapshotEncodeTest, UnsupportedAgentTypeThrowsSnapshotError) {
+  Engine engine(cycle_config(), iota_values(8), cyclon(),
+                [](const AgentContext&) { return std::make_unique<OpaqueAgent>(); },
+                churn_values());
+  EXPECT_THROW((void)engine.save_snapshot(), snap::SnapshotError);
+}
+
+// -- Container-level rejections ----------------------------------------------
+
+/// Feeds `bytes` to a fresh cycle engine and requires a clean DecodeError
+/// whose diagnostic is non-empty; the engine must be left byte-identical to
+/// its pre-restore state.
+void expect_rejected(const std::vector<std::byte>& bytes,
+                     const std::string& context) {
+  Engine engine = make_cycle_engine();
+  const std::vector<std::byte> before = engine.save_snapshot();
+  try {
+    engine.restore_snapshot(bytes);
+    FAIL() << context << ": malformed snapshot was accepted";
+  } catch (const wire::DecodeError& error) {
+    EXPECT_NE(std::string(error.what()), "") << context;
+  }
+  EXPECT_EQ(engine.save_snapshot(), before) << context;
+}
+
+/// Recomputes and replaces the trailing checksum so mutations *before* it
+/// exercise the decoders instead of the checksum gate.
+std::vector<std::byte> reseal(std::vector<std::byte> bytes) {
+  bytes.resize(bytes.size() - 8);
+  wire::Writer out;
+  out.bytes(bytes);
+  out.u64(snap::fnv1a(out.view()));
+  return out.take();
+}
+
+TEST(SnapshotContainerTest, RejectsEmptyAndTinyInputs) {
+  expect_rejected({}, "empty");
+  expect_rejected(std::vector<std::byte>(19, std::byte{0}), "19 zero bytes");
+}
+
+TEST(SnapshotContainerTest, RejectsBadMagic) {
+  Engine engine = make_cycle_engine();
+  std::vector<std::byte> bytes = engine.save_snapshot();
+  bytes[0] ^= std::byte{0xff};
+  expect_rejected(reseal(std::move(bytes)), "bad magic");
+}
+
+TEST(SnapshotContainerTest, RejectsUnsupportedFormatVersion) {
+  Engine engine = make_cycle_engine();
+  std::vector<std::byte> bytes = engine.save_snapshot();
+  bytes[4] = std::byte{99};  // Version field, little-endian low byte.
+  expect_rejected(reseal(std::move(bytes)), "future version");
+}
+
+TEST(SnapshotContainerTest, RejectsEngineKindMismatch) {
+  Engine cycle = make_cycle_engine();
+  const std::vector<std::byte> bytes = cycle.save_snapshot();
+  AsyncEngine async = make_async_engine();
+  const std::vector<std::byte> before = async.save_snapshot();
+  EXPECT_THROW(async.restore_snapshot(bytes), wire::DecodeError);
+  EXPECT_EQ(async.save_snapshot(), before);
+}
+
+TEST(SnapshotContainerTest, RejectsChecksumMismatch) {
+  Engine engine = make_cycle_engine();
+  std::vector<std::byte> bytes = engine.save_snapshot();
+  bytes.back() ^= std::byte{0x01};
+  expect_rejected(bytes, "flipped checksum bit");
+}
+
+TEST(SnapshotContainerTest, RejectsTruncationAtEveryBoundary) {
+  Engine engine = make_cycle_engine();
+  engine.run_rounds(3);
+  const std::vector<std::byte> bytes = engine.save_snapshot();
+  for (std::size_t keep : {std::size_t{0}, std::size_t{4}, std::size_t{12},
+                           std::size_t{16}, bytes.size() / 2,
+                           bytes.size() - 1}) {
+    std::vector<std::byte> cut(bytes.begin(),
+                               bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    expect_rejected(cut, "truncated to " + std::to_string(keep));
+  }
+}
+
+TEST(SnapshotContainerTest, RejectsTrailingGarbage) {
+  Engine engine = make_cycle_engine();
+  std::vector<std::byte> bytes = engine.save_snapshot();
+  bytes.insert(bytes.end(), 8, std::byte{0xab});
+  expect_rejected(bytes, "8 garbage bytes appended");
+}
+
+TEST(SnapshotContainerTest, RejectsConfigMismatch) {
+  Engine engine = make_cycle_engine();
+  engine.run_rounds(2);
+  const std::vector<std::byte> bytes = engine.save_snapshot();
+
+  EngineConfig other = cycle_config();
+  other.seed = 0xbad;  // Any config divergence must reject, not diverge.
+  Engine mismatched(other, iota_values(24), cyclon(), snap_factory(),
+                    churn_values());
+  const std::vector<std::byte> before = mismatched.save_snapshot();
+  EXPECT_THROW(mismatched.restore_snapshot(bytes), wire::DecodeError);
+  EXPECT_EQ(mismatched.save_snapshot(), before);
+}
+
+// -- Mutant corpus -----------------------------------------------------------
+
+constexpr int kMutantsPerCorpus = 10'000;
+
+/// Same mutation kinds as the wire_test corpus: truncate, extend, truncate
+/// then flip, flip 1-8 bytes in place.
+std::vector<std::byte> mutate(std::vector<std::byte> bytes, rng::Rng& rng) {
+  const auto flip_some = [&rng](std::vector<std::byte>& target) {
+    if (target.empty()) return;
+    for (std::uint64_t i = 1 + rng.below(8); i > 0; --i) {
+      target[rng.below(target.size())] ^=
+          static_cast<std::byte>(1 + rng.below(255));
+    }
+  };
+  switch (rng.below(4)) {
+    case 0:
+      if (!bytes.empty()) bytes.resize(rng.below(bytes.size()));
+      break;
+    case 1:
+      for (std::uint64_t i = 1 + rng.below(8); i > 0; --i) {
+        bytes.push_back(static_cast<std::byte>(rng() & 0xff));
+      }
+      break;
+    case 2:
+      if (!bytes.empty()) bytes.resize(1 + rng.below(bytes.size()));
+      flip_some(bytes);
+      break;
+    default:
+      flip_some(bytes);
+      break;
+  }
+  return bytes;
+}
+
+/// Mutates only the section-body region (between the 12-byte header and the
+/// 8-byte checksum), then re-seals the checksum: the container gate passes
+/// and the section framing + payload decoders face the corruption.
+std::vector<std::byte> mutate_body(const std::vector<std::byte>& pristine,
+                                   rng::Rng& rng) {
+  std::vector<std::byte> body(pristine.begin() + 12, pristine.end() - 8);
+  body = mutate(std::move(body), rng);
+  wire::Writer out;
+  out.bytes(std::span<const std::byte>(pristine.data(), 12));
+  out.bytes(body);
+  out.u64(snap::fnv1a(out.view()));
+  return out.take();
+}
+
+/// The accept-or-reject oracle, run against a long-lived victim engine:
+/// rejection must throw DecodeError with a diagnostic and leave the engine's
+/// re-encoded state untouched; acceptance must be canonical — the engine's
+/// re-encoded snapshot reproduces the mutant byte for byte. Any other
+/// exception (or a non-canonical acceptance) fails the test.
+template <typename EngineT>
+class MutantOracle {
+ public:
+  explicit MutantOracle(EngineT& engine)
+      : engine_(engine), expected_(engine.save_snapshot()) {}
+
+  void feed(const std::vector<std::byte>& mutant, int index) {
+    try {
+      engine_.restore_snapshot(mutant);
+    } catch (const wire::DecodeError& error) {
+      ++rejected_;
+      ASSERT_NE(std::string(error.what()), "") << "mutant " << index;
+      // Reject-don't-crash also means reject-don't-corrupt: the engine
+      // still re-encodes exactly its pre-restore state.
+      ASSERT_EQ(engine_.save_snapshot(), expected_) << "mutant " << index;
+      return;
+    }
+    ++accepted_;
+    const std::vector<std::byte> reencoded = engine_.save_snapshot();
+    ASSERT_EQ(reencoded.size(), mutant.size()) << "mutant " << index;
+    ASSERT_EQ(reencoded, mutant) << "mutant " << index;
+    expected_ = mutant;
+  }
+
+  [[nodiscard]] int accepted() const { return accepted_; }
+  [[nodiscard]] int rejected() const { return rejected_; }
+
+ private:
+  EngineT& engine_;
+  std::vector<std::byte> expected_;
+  int accepted_ = 0;
+  int rejected_ = 0;
+};
+
+TEST(SnapshotMutantCorpusTest, CycleContainerMutantsRejectedOrCanonical) {
+  Engine source = make_cycle_engine();
+  source.run_rounds(6);
+  const std::vector<std::byte> pristine = source.save_snapshot();
+
+  Engine victim = make_cycle_engine();
+  MutantOracle<Engine> oracle(victim);
+  rng::Rng rng(0x5a405a40);
+  for (int i = 0; i < kMutantsPerCorpus; ++i) {
+    oracle.feed(mutate(pristine, rng), i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // Whole-container mutants are essentially always caught by the checksum;
+  // what matters is that every one of them died cleanly.
+  EXPECT_EQ(oracle.accepted() + oracle.rejected(), kMutantsPerCorpus);
+  EXPECT_GT(oracle.rejected(), 0);
+}
+
+TEST(SnapshotMutantCorpusTest, CycleBodyMutantsRejectedOrCanonical) {
+  Engine source = make_cycle_engine();
+  source.run_rounds(6);
+  const std::vector<std::byte> pristine = source.save_snapshot();
+
+  Engine victim = make_cycle_engine();
+  MutantOracle<Engine> oracle(victim);
+  rng::Rng rng(0xb0d7b0d7);
+  for (int i = 0; i < kMutantsPerCorpus; ++i) {
+    oracle.feed(mutate_body(pristine, rng), i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // Checksum-sealed body mutants must exercise BOTH fates, or the corpus
+  // proves nothing about canonical acceptance.
+  EXPECT_GT(oracle.accepted(), 0);
+  EXPECT_GT(oracle.rejected(), 0);
+}
+
+TEST(SnapshotMutantCorpusTest, AsyncBodyMutantsRejectedOrCanonical) {
+  AsyncEngine source = make_async_engine();
+  source.run_until(8.0);
+  const std::vector<std::byte> pristine = source.save_snapshot();
+
+  AsyncEngine victim = make_async_engine();
+  MutantOracle<AsyncEngine> oracle(victim);
+  rng::Rng rng(0xa57ca57c);
+  for (int i = 0; i < kMutantsPerCorpus; ++i) {
+    oracle.feed(mutate_body(pristine, rng), i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GT(oracle.accepted(), 0);
+  EXPECT_GT(oracle.rejected(), 0);
+}
+
+// -- File I/O ----------------------------------------------------------------
+
+class SnapshotFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("adam2_snapshot_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SnapshotFileTest, WriteThenReadRoundTrips) {
+  Engine engine = make_cycle_engine();
+  engine.run_rounds(4);
+  const std::vector<std::byte> bytes = engine.save_snapshot();
+
+  const auto path = dir_ / "state.snap";
+  ASSERT_TRUE(snap::write_snapshot_file(path, bytes));
+  const auto loaded = snap::read_snapshot_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, bytes);
+
+  // The atomic-rename discipline leaves no temp droppings behind.
+  std::size_t entries = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator(dir_)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+
+  Engine resumed = make_cycle_engine();
+  resumed.restore_snapshot(*loaded);
+  EXPECT_EQ(resumed.save_snapshot(), bytes);
+}
+
+TEST_F(SnapshotFileTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(
+      snap::read_snapshot_file(dir_ / "nope.snap", &error).has_value());
+  EXPECT_NE(error, "");
+}
+
+TEST_F(SnapshotFileTest, OversizedFileIsRefused) {
+  Engine engine = make_cycle_engine();
+  const std::vector<std::byte> bytes = engine.save_snapshot();
+  const auto path = dir_ / "state.snap";
+  ASSERT_TRUE(snap::write_snapshot_file(path, bytes));
+  std::string error;
+  EXPECT_FALSE(snap::read_snapshot_file(path, &error, bytes.size() - 1)
+                   .has_value());
+  EXPECT_NE(error, "");
+}
+
+TEST_F(SnapshotFileTest, CreatesParentDirectoriesButFailsCleanlyOtherwise) {
+  Engine engine = make_cycle_engine();
+  const std::vector<std::byte> bytes = engine.save_snapshot();
+  // Missing parent directories are created (checkpoint paths come from
+  // flags; requiring a pre-made directory would make --snapshot-out flaky).
+  EXPECT_TRUE(snap::write_snapshot_file(dir_ / "sub" / "state.snap", bytes));
+  // A non-directory in the path cannot be papered over: clean false.
+  ASSERT_TRUE(snap::write_snapshot_file(dir_ / "blocker", bytes));
+  EXPECT_FALSE(
+      snap::write_snapshot_file(dir_ / "blocker" / "state.snap", bytes));
+}
+
+}  // namespace
+}  // namespace adam2::sim

@@ -19,6 +19,7 @@
 #include "data/boinc_synth.hpp"
 #include "data/trace.hpp"
 #include "host/fault.hpp"
+#include "host/snapshot.hpp"
 #include "obs/export.hpp"
 #include "obs/recorder.hpp"
 #include "options.hpp"
@@ -69,6 +70,13 @@ faults (deterministic injection, DESIGN.md §8; all default 0 = off):
                        the sharded parallel engine, which is bit-identical
                        to the serial one at any thread count (default 0)
 
+checkpoint (host::snapshot, DESIGN.md §12):
+  --snapshot-out FILE  save the full engine state at the end of the run
+                       (atomic: temp file + fsync + rename)
+  --snapshot-in FILE   restore the engine state before running; the flags
+                       must reproduce the saving run's configuration, and
+                       the restore replaces the warm-up phase
+
 output:
   --format F           table | csv (default table)
   --eval-sample N      evaluate N sampled peers, 0 = all (default 400)
@@ -115,6 +123,24 @@ void write_observability(const obs::Recorder& recorder,
   if (!manifest_out.empty() &&
       !obs::write_manifest_json(manifest_out, recorder.manifest())) {
     throw std::runtime_error("cannot write manifest to " + manifest_out);
+  }
+}
+
+/// Loads a snapshot file, mapping both I/O and size failures to one
+/// diagnostic (container-level validation happens inside restore_snapshot).
+std::vector<std::byte> load_snapshot(const std::string& path) {
+  std::string error;
+  auto bytes = host::snapshot::read_snapshot_file(path, &error);
+  if (!bytes) {
+    throw std::runtime_error("cannot read snapshot " + path + ": " + error);
+  }
+  return std::move(*bytes);
+}
+
+void store_snapshot(const std::string& path,
+                    std::span<const std::byte> bytes) {
+  if (!host::snapshot::write_snapshot_file(path, bytes)) {
+    throw std::runtime_error("cannot write snapshot to " + path);
   }
 }
 
@@ -182,6 +208,8 @@ int run(const tools::Options& flags) {
   const std::string trace_out = flags.get("trace-out", "");
   const std::string metrics_out = flags.get("metrics-out", "");
   const std::string manifest_out = flags.get("manifest-out", "");
+  const std::string snapshot_in = flags.get("snapshot-in", "");
+  const std::string snapshot_out = flags.get("snapshot-out", "");
   flags.reject_unknown();
 
   // Observability is opt-in: without any of the three output flags no
@@ -224,6 +252,11 @@ int run(const tools::Options& flags) {
                                async_config.churn_per_second);
       recorder->manifest().set("message_loss", async_config.message_loss);
     }
+    // Resume replaces the warm-up: the snapshot already holds the warmed
+    // state, and run_until is a no-op once simulated time has passed 5 s.
+    if (!snapshot_in.empty()) {
+      engine.restore_snapshot(load_snapshot(snapshot_in));
+    }
     engine.run_until(5.0);
     if (csv) {
       std::printf("instance,errm,erra,points_errm,points_erra\n");
@@ -250,6 +283,9 @@ int run(const tools::Options& flags) {
                     entire.avg_err, points.max_err, points.avg_err);
       }
     }
+    if (!snapshot_out.empty()) {
+      store_snapshot(snapshot_out, engine.save_snapshot());
+    }
     if (recorder) {
       recorder->engine_stop(engine.round());
       recorder->set_traffic(engine.total_traffic());
@@ -266,7 +302,13 @@ int run(const tools::Options& flags) {
             })
           : host::AttributeSource{});
   if (recorder) system.attach_recorder(&*recorder);
-  system.run_rounds(5);  // Warm up the peer-sampling descriptor caches.
+  if (!snapshot_in.empty()) {
+    // Resume replaces the warm-up: the snapshot already holds the warmed
+    // descriptor caches (and round counter) of the saving run.
+    system.engine().restore_snapshot(load_snapshot(snapshot_in));
+  } else {
+    system.run_rounds(5);  // Warm up the peer-sampling descriptor caches.
+  }
 
   if (csv) {
     std::printf("instance,errm,erra,points_errm,points_erra,n_estimate,"
@@ -304,6 +346,9 @@ int run(const tools::Options& flags) {
                   entire.max_err, entire.avg_err, points.max_err,
                   points.avg_err, n_est, est_erra, sent_kb);
     }
+  }
+  if (!snapshot_out.empty()) {
+    store_snapshot(snapshot_out, system.engine().save_snapshot());
   }
   if (recorder) {
     recorder->engine_stop(system.engine().round());
